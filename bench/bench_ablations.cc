@@ -1,0 +1,249 @@
+// Ablation benches for the design choices called out in DESIGN.md:
+//  (1) the checkout join strategy for split-by-rlist (Sec. 5.5.5 concluded
+//      hash-join is the right default);
+//  (2) delta-based vs split-by-rlist commit cost as the modification
+//      fraction grows (Sec. 4.2's 8.16s-vs-4.12s observation);
+//  (3) delta-based storage under delete-heavy workloads (Sec. 4.2: deleted
+//      records are repeated in deltas, split models don't repeat them);
+//  (4) LyreSplit's DAG tree-reduction pessimism: estimated (with R̂
+//      duplicates) vs exact storage after post-processing (Sec. 5.3.1).
+
+#include <iostream>
+#include <memory>
+#include <unordered_set>
+
+#include "bench/bench_util.h"
+#include "core/data_models.h"
+#include "core/lyresplit.h"
+
+namespace orpheus::bench {
+namespace {
+
+using core::DataModelBackend;
+using core::DataModelType;
+using core::NewRecord;
+using core::RecordId;
+using core::SplitByRlistBackend;
+
+minidb::Schema AttrSchema(int num_attributes) {
+  std::vector<minidb::ColumnDef> cols;
+  for (int a = 0; a < num_attributes; ++a) {
+    cols.push_back({StrFormat("a%d", a), minidb::ValueType::kInt64});
+  }
+  return minidb::Schema(std::move(cols));
+}
+
+std::unique_ptr<DataModelBackend> BuildBackend(
+    DataModelType type, const benchdata::VersionedDataset& ds) {
+  auto backend =
+      DataModelBackend::Create(type, AttrSchema(ds.num_attributes()));
+  std::vector<char> seen(ds.num_distinct_records(), 0);
+  for (int v = 0; v < ds.num_versions(); ++v) {
+    const auto& spec = ds.version(v);
+    std::vector<NewRecord> fresh;
+    for (RecordId rid : spec.records) {
+      if (!seen[rid]) {
+        seen[rid] = 1;
+        minidb::Row row;
+        for (int64_t x : ds.RecordPayload(rid)) row.emplace_back(x);
+        fresh.push_back({rid, std::move(row)});
+      }
+    }
+    Status s = backend->AddVersion(v, spec.records, fresh, spec.parents);
+    if (!s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      std::exit(1);
+    }
+  }
+  return backend;
+}
+
+void JoinStrategyAblation(int scale) {
+  auto ds = benchdata::VersionedDataset::Generate(
+      benchdata::SciConfig("SCI_JOIN", 800, 80, 100 * scale));
+  auto backend = BuildBackend(DataModelType::kSplitByRlist, ds);
+  auto* rlist = static_cast<SplitByRlistBackend*>(backend.get());
+  TablePrinter table({"join strategy", "checkout time (latest version)"});
+  for (auto algo : {minidb::JoinAlgorithm::kHashJoin,
+                    minidb::JoinAlgorithm::kMergeJoin,
+                    minidb::JoinAlgorithm::kIndexNestedLoop}) {
+    rlist->set_join_algorithm(algo);
+    Timer t;
+    auto out = backend->Checkout(ds.num_versions() - 1, "t");
+    double secs = t.ElapsedSeconds();
+    if (!out.ok()) {
+      std::cerr << out.status().ToString() << "\n";
+      std::exit(1);
+    }
+    table.AddRow({minidb::JoinAlgorithmName(algo), HumanSeconds(secs)});
+  }
+  std::cout << "\n=== Ablation 1: split-by-rlist checkout join strategy ===\n";
+  table.Print(std::cout);
+}
+
+void ModifiedCommitSweep(int scale) {
+  auto ds = benchdata::VersionedDataset::Generate(
+      benchdata::SciConfig("SCI_MODSWEEP", 400, 40, 25 * scale));
+  TablePrinter table({"modified fraction", "delta-based commit",
+                      "split-by-rlist commit"});
+  for (double frac : {0.0, 0.1, 0.3, 0.5}) {
+    std::vector<std::string> row = {StrFormat("%.0f%%", frac * 100)};
+    for (auto type :
+         {DataModelType::kDeltaBased, DataModelType::kSplitByRlist}) {
+      auto backend = BuildBackend(type, ds);
+      const int latest = ds.num_versions() - 1;
+      std::vector<RecordId> rids = ds.version(latest).records;
+      Xorshift rng(3);
+      std::vector<NewRecord> fresh;
+      RecordId next = ds.num_distinct_records();
+      for (auto& rid : rids) {
+        if (rng.NextDouble() < frac) {
+          RecordId src = rid;
+          rid = next++;
+          minidb::Row payload;
+          for (int64_t x : ds.RecordPayload(src)) payload.emplace_back(x);
+          fresh.push_back({rid, std::move(payload)});
+        }
+      }
+      std::sort(rids.begin(), rids.end());
+      std::sort(fresh.begin(), fresh.end(),
+                [](const NewRecord& a, const NewRecord& b) {
+                  return a.rid < b.rid;
+                });
+      Timer t;
+      Status s =
+          backend->AddVersion(ds.num_versions(), rids, fresh, {latest});
+      double secs = t.ElapsedSeconds();
+      if (!s.ok()) {
+        std::cerr << s.ToString() << "\n";
+        std::exit(1);
+      }
+      row.push_back(HumanSeconds(secs));
+    }
+    table.AddRow(row);
+  }
+  std::cout << "\n=== Ablation 2: commit cost vs modification fraction ===\n";
+  table.Print(std::cout);
+}
+
+void DeleteHeavyStorage(int scale) {
+  // The delta model repeats records when versions diverge and re-merge
+  // (the non-base parent's records re-enter the delta), and when deleted
+  // records resurface; sweep from a linear SCI history to a merge-heavy
+  // CUR history with growing delete rates.
+  TablePrinter table({"workload", "delta-based storage",
+                      "split-by-rlist storage", "ratio"});
+  struct Case {
+    const char* label;
+    bool curated;
+    double delete_frac;
+  };
+  const Case kCases[] = {
+      {"SCI, deletes=5%", false, 0.05},
+      {"SCI, deletes=30%", false, 0.3},
+      {"CUR (merges), deletes=5%", true, 0.05},
+      {"CUR (merges), deletes=30%", true, 0.3},
+  };
+  for (const Case& c : kCases) {
+    benchdata::GeneratorConfig cfg =
+        c.curated ? benchdata::CurConfig("DEL", 300, 30, 20 * scale)
+                  : benchdata::SciConfig("DEL", 300, 30, 20 * scale);
+    cfg.base_multiplier = 10;
+    cfg.merge_prob = 0.4;
+    cfg.delete_frac = c.delete_frac;
+    cfg.insert_frac = c.delete_frac;  // keep sizes roughly stable
+    cfg.update_frac = 1.0 - 2 * c.delete_frac;
+    auto ds = benchdata::VersionedDataset::Generate(cfg);
+    auto delta = BuildBackend(DataModelType::kDeltaBased, ds);
+    auto rlist = BuildBackend(DataModelType::kSplitByRlist, ds);
+    double ratio = static_cast<double>(delta->StorageBytes()) /
+                   static_cast<double>(rlist->StorageBytes());
+    table.AddRow({c.label, HumanBytes(delta->StorageBytes()),
+                  HumanBytes(rlist->StorageBytes()),
+                  StrFormat("%.2f", ratio)});
+  }
+  std::cout << "\n=== Ablation 3: delta-based storage under merge/delete "
+               "heavy workloads ===\n";
+  table.Print(std::cout);
+}
+
+void DagReductionPessimism(int scale) {
+  TablePrinter table({"dataset", "estimated storage (with R^)",
+                      "exact storage (collapsed)", "overestimate"});
+  for (const char* name : {"CUR_1M", "CUR_5M"}) {
+    auto cfg = benchdata::CurConfig(
+        name, 1100, 100, (std::string(name) == "CUR_1M" ? 13 : 66) * scale);
+    auto ds = benchdata::VersionedDataset::Generate(cfg);
+    auto graph = GraphOf(ds);
+    auto view = ViewOf(ds);
+    auto r = core::LyreSplitWithDelta(graph, 0.3);
+    auto exact = core::ComputeExactCosts(view, r.partitioning);
+    table.AddRow(
+        {name, StrFormat("%.2fM", r.estimated.storage / 1e6),
+         StrFormat("%.2fM", exact.storage / 1e6),
+         StrFormat("%.1f%%", 100.0 * (static_cast<double>(r.estimated.storage) -
+                                      static_cast<double>(exact.storage)) /
+                                 static_cast<double>(exact.storage))});
+  }
+  std::cout << "\n=== Ablation 4: DAG tree-reduction estimate vs exact "
+               "storage (Sec. 5.3.1) ===\n";
+  table.Print(std::cout);
+}
+
+// Sec. 5.3.2: workload-aware (weighted) partitioning vs the uniform
+// objective when recent versions are checked out far more often.
+void WeightedCheckoutAblation(int scale) {
+  auto ds = benchdata::VersionedDataset::Generate(
+      benchdata::SciConfig("SCI_W", 300, 30, 20 * scale));
+  auto graph = GraphOf(ds);
+  auto view = ViewOf(ds);
+  std::vector<int64_t> freq(ds.num_versions(), 1);
+  for (int v = ds.num_versions() - 30; v < ds.num_versions(); ++v) {
+    freq[v] = 20;  // the most recent versions dominate the workload
+  }
+  auto weighted_cost = [&](const core::Partitioning& p) {
+    auto per = core::PerVersionCheckoutCost(view, p);
+    double num = 0;
+    double den = 0;
+    for (size_t i = 0; i < per.size(); ++i) {
+      num += static_cast<double>(freq[i]) * static_cast<double>(per[i]);
+      den += static_cast<double>(freq[i]);
+    }
+    return num / den;
+  };
+  TablePrinter table({"objective", "partitions", "weighted checkout cost",
+                      "storage (records)"});
+  for (double delta : {0.3, 0.5}) {
+    auto plain = core::LyreSplitWithDelta(graph, delta);
+    auto weighted = core::LyreSplitWeighted(graph, freq, delta);
+    auto pc = core::ComputeExactCosts(view, plain.partitioning);
+    auto wc = core::ComputeExactCosts(view, weighted.partitioning);
+    table.AddRow({StrFormat("uniform (d=%.1f)", delta),
+                  StrFormat("%d", plain.partitioning.num_partitions),
+                  StrFormat("%.0f", weighted_cost(plain.partitioning)),
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        pc.storage))});
+    table.AddRow({StrFormat("weighted (d=%.1f)", delta),
+                  StrFormat("%d", weighted.partitioning.num_partitions),
+                  StrFormat("%.0f", weighted_cost(weighted.partitioning)),
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        wc.storage))});
+  }
+  std::cout << "\n=== Ablation 5: workload-aware partitioning "
+               "(Sec. 5.3.2) ===\n";
+  table.Print(std::cout);
+}
+
+void Run(int argc, char** argv) {
+  int scale = ParseScale(argc, argv);
+  JoinStrategyAblation(scale);
+  ModifiedCommitSweep(scale);
+  DeleteHeavyStorage(scale);
+  DagReductionPessimism(scale);
+  WeightedCheckoutAblation(scale);
+}
+
+}  // namespace
+}  // namespace orpheus::bench
+
+int main(int argc, char** argv) { orpheus::bench::Run(argc, argv); }

@@ -1,0 +1,42 @@
+// Reproduces Table 5.2: the description of the versioning benchmark
+// datasets (|V|, |R|, |E|, B, I, and |R̂| for the CUR DAG workloads).
+// |R̂| is the number of records conceptually duplicated when the DAG is
+// reduced to a tree (Sec. 5.3.1); the paper reports it at 7-10% of |R|.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace orpheus::bench {
+namespace {
+
+std::string Pretty(uint64_t n) {
+  if (n >= 1000000) return StrFormat("%.1fM", n / 1e6);
+  if (n >= 1000) return StrFormat("%.0fK", n / 1e3);
+  return StrFormat("%llu", static_cast<unsigned long long>(n));
+}
+
+void Run(int argc, char** argv) {
+  int scale = ParseScale(argc, argv);
+  TablePrinter table({"dataset", "|V|", "|R|", "|E|", "|B|", "|I|", "|R^|"});
+  for (const auto& named : Table52Configs(scale)) {
+    std::cerr << "generating " << named.paper_name << "...\n";
+    auto ds = benchdata::VersionedDataset::Generate(named.config);
+    auto graph = GraphOf(ds);
+    int64_t duplicated = 0;
+    graph.ToTree(&duplicated);
+    table.AddRow({named.paper_name, Pretty(ds.num_versions()),
+                  Pretty(ds.num_distinct_records()),
+                  Pretty(ds.num_bipartite_edges()),
+                  Pretty(named.config.num_branches),
+                  Pretty(named.config.ops_per_version),
+                  graph.IsDag() ? Pretty(duplicated) : "-"});
+  }
+  std::cout << "\n=== Table 5.2: dataset description (scaled) ===\n";
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace orpheus::bench
+
+int main(int argc, char** argv) { orpheus::bench::Run(argc, argv); }

@@ -1,0 +1,210 @@
+// Reproduces the Chapter 7 evaluation (Sec. 7.5): the storage-cost vs
+// recreation-cost trade-off on versioned file repositories, across the
+// three scenarios of Table 7.1, plus algorithm running times and the
+// optimality gap against the exact (ILP-equivalent) solver on small
+// instances.
+//
+// Expected shape: the minimum spanning tree/arborescence anchors the
+// storage axis and the shortest-path tree the recreation axis; LMG and MP
+// trace the frontier between them (LMG optimizes the sum, MP the max);
+// LAST obeys its (alpha, 1 + 2/(alpha-1)) guarantee in the undirected
+// Phi = Delta scenario.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "deltastore/algorithms.h"
+#include "deltastore/dedup.h"
+#include "deltastore/exact.h"
+#include "deltastore/repository.h"
+
+namespace orpheus::bench {
+namespace {
+
+using namespace orpheus::deltastore;  // NOLINT
+
+void FrontierSection(const char* title, const FileRepository& repo,
+                     bool undirected, PhiModel phi) {
+  StorageGraph graph = repo.BuildStorageGraph(undirected, phi, 2);
+  TablePrinter table({"solution", "total storage", "sum recreation",
+                      "max recreation", "materialized"});
+  auto add = [&](const std::string& name, const StorageSolution& sol) {
+    auto costs = EvaluateSolution(graph, sol);
+    if (!costs.ok()) {
+      std::cerr << costs.status().ToString() << "\n";
+      std::exit(1);
+    }
+    int materialized = 0;
+    for (int p : sol.parent) {
+      if (p == StorageGraph::kDummy) ++materialized;
+    }
+    table.AddRow({name, HumanBytes(static_cast<uint64_t>(costs->total_storage)),
+                  HumanBytes(static_cast<uint64_t>(costs->sum_recreation)),
+                  HumanBytes(static_cast<uint64_t>(costs->max_recreation)),
+                  StrFormat("%d", materialized)});
+  };
+
+  StorageSolution mst = undirected ? MinimumStorageTree(graph)
+                                   : MinimumStorageArborescence(graph);
+  auto mst_costs = EvaluateSolution(graph, mst);
+  StorageSolution spt = ShortestPathTree(graph);
+  auto spt_costs = EvaluateSolution(graph, spt);
+  add("MST/MCA (Problem 7.1)", mst);
+  add("SPT (Problem 7.2)", spt);
+  for (double beta_factor : {1.25, 1.5, 2.0, 3.0}) {
+    double beta = beta_factor * mst_costs->total_storage;
+    add(StrFormat("LMG beta=%.2f*MST (Problem 7.3)", beta_factor),
+        LmgWithStorageBudget(graph, beta));
+  }
+  for (double theta_factor : {1.25, 1.5, 2.0}) {
+    double theta = theta_factor * spt_costs->max_recreation;
+    add(StrFormat("MP theta=%.2f*SPTmax (Problem 7.6)", theta_factor),
+        MpWithRecreationThreshold(graph, theta));
+  }
+  if (undirected && phi == PhiModel::kProportional) {
+    for (double alpha : {1.5, 2.0, 3.0}) {
+      add(StrFormat("LAST alpha=%.1f", alpha), LastTree(graph, alpha));
+    }
+  }
+  std::cout << "\n=== " << title << " ===\n";
+  table.Print(std::cout);
+}
+
+// The deduplicating-archive baseline of the related work (Venti-style):
+// good storage, but recreation always reads the full version and there is
+// no knob to trade between the two.
+void DedupBaselineSection(const FileRepository& repo) {
+  DedupStore store;
+  double sum_recreation = 0.0;
+  double max_recreation = 0.0;
+  for (int v = 0; v < repo.num_versions(); ++v) {
+    store.AddVersion(repo.file(v));
+  }
+  for (int v = 0; v < repo.num_versions(); ++v) {
+    double r = store.RecreationCost(v);
+    sum_recreation += r;
+    max_recreation = std::max(max_recreation, r);
+  }
+  TablePrinter table({"baseline", "total storage", "sum recreation",
+                      "max recreation", "unique chunks"});
+  table.AddRow({"chunk-dedup archive", HumanBytes(store.StorageBytes()),
+                HumanBytes(static_cast<uint64_t>(sum_recreation)),
+                HumanBytes(static_cast<uint64_t>(max_recreation)),
+                StrFormat("%zu", store.num_unique_chunks())});
+  std::cout << "\n=== Related-work baseline: deduplication archive ===\n";
+  table.Print(std::cout);
+}
+
+void RuntimeSection(int scale) {
+  TablePrinter table({"versions", "deltas", "MST", "Edmonds", "SPT",
+                      "LMG(2xMST)", "MP(1.5xSPT)"});
+  for (int n : {50, 100, 200}) {
+    FileRepository::Config cfg;
+    cfg.num_versions = n * scale;
+    cfg.base_lines = 300;
+    cfg.edits_per_version = 30;
+    FileRepository repo = FileRepository::Generate(cfg);
+    StorageGraph g =
+        repo.BuildStorageGraph(false, PhiModel::kProportional, 2);
+    Timer t1;
+    auto mst = MinimumStorageTree(g);
+    double mst_s = t1.ElapsedSeconds();
+    Timer t2;
+    auto arb = MinimumStorageArborescence(g);
+    double arb_s = t2.ElapsedSeconds();
+    Timer t3;
+    auto spt = ShortestPathTree(g);
+    double spt_s = t3.ElapsedSeconds();
+    auto mst_costs = EvaluateSolution(g, arb);
+    auto spt_costs = EvaluateSolution(g, spt);
+    Timer t4;
+    LmgWithStorageBudget(g, 2 * mst_costs->total_storage);
+    double lmg_s = t4.ElapsedSeconds();
+    Timer t5;
+    MpWithRecreationThreshold(g, 1.5 * spt_costs->max_recreation);
+    double mp_s = t5.ElapsedSeconds();
+    (void)mst;
+    table.AddRow({StrFormat("%d", cfg.num_versions),
+                  StrFormat("%zu", g.num_deltas()), HumanSeconds(mst_s),
+                  HumanSeconds(arb_s), HumanSeconds(spt_s),
+                  HumanSeconds(lmg_s), HumanSeconds(mp_s)});
+  }
+  std::cout << "\n=== Sec. 7.5: algorithm running times ===\n";
+  table.Print(std::cout);
+}
+
+void OptimalityGapSection() {
+  // Small instances where the exact branch-and-bound (the ILP stand-in of
+  // Sec. 7.2.3) is tractable.
+  TablePrinter table({"instance", "exact sumR", "LMG sumR", "LMG gap",
+                      "exact storage", "MP storage", "MP gap"});
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    FileRepository::Config cfg;
+    cfg.num_versions = 8;
+    cfg.base_lines = 120;
+    cfg.edits_per_version = 25;
+    cfg.seed = seed;
+    FileRepository repo = FileRepository::Generate(cfg);
+    StorageGraph g =
+        repo.BuildStorageGraph(false, PhiModel::kProportional, 2);
+    auto mst_costs = EvaluateSolution(g, MinimumStorageArborescence(g));
+    double beta = 1.5 * mst_costs->total_storage;
+    auto exact3 = ExactMinSumRecreationStorageBudget(g, beta);
+    auto lmg = EvaluateSolution(g, LmgWithStorageBudget(g, beta));
+    auto spt_costs = EvaluateSolution(g, ShortestPathTree(g));
+    double theta = 1.5 * spt_costs->max_recreation;
+    auto exact6 = ExactMinStorageMaxRecreation(g, theta);
+    auto mp = EvaluateSolution(g, MpWithRecreationThreshold(g, theta));
+    if (!exact3 || !exact6) continue;
+    auto e3 = EvaluateSolution(g, *exact3);
+    auto e6 = EvaluateSolution(g, *exact6);
+    table.AddRow(
+        {StrFormat("n=8 seed=%llu", static_cast<unsigned long long>(seed)),
+         StrFormat("%.0f", e3->sum_recreation),
+         StrFormat("%.0f", lmg->sum_recreation),
+         StrFormat("%.2fx", lmg->sum_recreation / e3->sum_recreation),
+         StrFormat("%.0f", e6->total_storage),
+         StrFormat("%.0f", mp->total_storage),
+         StrFormat("%.2fx", mp->total_storage / e6->total_storage)});
+  }
+  std::cout << "\n=== Sec. 7.5: optimality gap vs exact solver "
+               "(small instances) ===\n";
+  table.Print(std::cout);
+}
+
+void Run(int argc, char** argv) {
+  int scale = ParseScale(argc, argv);
+  FileRepository::Config cfg;
+  cfg.num_versions = 120 * scale;
+  cfg.base_lines = 500;
+  cfg.edits_per_version = 50;
+
+  std::cerr << "generating file repository (tree)...\n";
+  FileRepository tree_repo = FileRepository::Generate(cfg);
+  cfg.curated = true;
+  cfg.seed = 43;
+  std::cerr << "generating file repository (DAG)...\n";
+  FileRepository dag_repo = FileRepository::Generate(cfg);
+
+  FrontierSection(
+      "Scenario 7.1 (undirected, Phi = Delta), tree repository",
+      tree_repo, /*undirected=*/true, PhiModel::kProportional);
+  FrontierSection(
+      "Scenario 7.2 (directed, Phi = Delta), tree repository",
+      tree_repo, /*undirected=*/false, PhiModel::kProportional);
+  FrontierSection(
+      "Scenario 7.3 (directed, Phi != Delta), tree repository",
+      tree_repo, /*undirected=*/false, PhiModel::kOutputBytes);
+  FrontierSection(
+      "Scenario 7.2 (directed, Phi = Delta), DAG repository",
+      dag_repo, /*undirected=*/false, PhiModel::kProportional);
+
+  DedupBaselineSection(tree_repo);
+  RuntimeSection(scale);
+  OptimalityGapSection();
+}
+
+}  // namespace
+}  // namespace orpheus::bench
+
+int main(int argc, char** argv) { orpheus::bench::Run(argc, argv); }

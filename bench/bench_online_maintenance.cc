@@ -1,0 +1,187 @@
+// Reproduces Figures 5.17 and 5.19: online maintenance of the partitioning
+// while versions stream in, and the migration engine's cost.
+//
+// (a) The checkout cost under online maintenance diverges slowly from the
+//     best cost LyreSplit could achieve; migration triggers when the
+//     tolerance factor mu is exceeded, and larger mu triggers less often.
+// (b) The intelligent migration engine (patch the closest existing
+//     partitions) is several times cheaper than rebuilding from scratch,
+//     and cheaper the smaller mu is.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/lyresplit.h"
+#include "core/online.h"
+
+namespace orpheus::bench {
+namespace {
+
+void TrajectorySection(const benchdata::VersionedDataset& ds,
+                       double gamma_factor) {
+  const int n = ds.num_versions();
+  const int warm = n / 10;
+  const int sample_every = std::max(1, n / 12);
+
+  struct Track {
+    double mu;
+    core::VersionGraph graph;
+    std::unique_ptr<core::OnlineMaintainer> maint;
+    int migrations = 0;
+  };
+  std::vector<Track> tracks;
+  for (double mu : {1.5, 2.0}) {
+    tracks.emplace_back();
+    tracks.back().mu = mu;
+  }
+  for (auto& track : tracks) {
+    core::OnlineMaintainer::Options opt;
+    opt.mu = track.mu;
+    opt.gamma_factor = gamma_factor;
+    opt.replan_every = 5;
+    track.maint =
+        std::make_unique<core::OnlineMaintainer>(&track.graph, opt);
+    for (int v = 0; v < warm; ++v) {
+      const auto& spec = ds.version(v);
+      std::vector<int64_t> w;
+      for (int p : spec.parents) w.push_back(ds.CommonRecords(p, v));
+      track.graph.AddVersion(spec.parents, w,
+                             static_cast<int64_t>(spec.records.size()));
+    }
+    track.maint->Bootstrap(core::LyreSplitForBudget(
+        track.graph,
+        static_cast<uint64_t>(gamma_factor *
+                              static_cast<double>(
+                                  track.graph.TotalBipartiteEdges()))));
+  }
+
+  TablePrinter table({"commits", "C*avg (LyreSplit)", "Cavg (mu=1.5)",
+                      "Cavg (mu=2)", "migrations (1.5/2)"});
+  for (int v = warm; v < n; ++v) {
+    for (auto& track : tracks) {
+      const auto& spec = ds.version(v);
+      std::vector<int64_t> w;
+      for (int p : spec.parents) w.push_back(ds.CommonRecords(p, v));
+      track.graph.AddVersion(spec.parents, w,
+                             static_cast<int64_t>(spec.records.size()));
+      bool migrate = false;
+      track.maint->OnCommit(v, &migrate);
+      if (migrate) {
+        track.maint->OnMigrated();
+        ++track.migrations;
+      }
+    }
+    if ((v - warm) % sample_every == 0 || v == n - 1) {
+      table.AddRow(
+          {StrFormat("%d", v + 1),
+           StrFormat("%.3fM", tracks[0].maint->best_checkout_cost() / 1e6),
+           StrFormat("%.3fM",
+                     tracks[0].maint->current_checkout_cost() / 1e6),
+           StrFormat("%.3fM",
+                     tracks[1].maint->current_checkout_cost() / 1e6),
+           StrFormat("%d / %d", tracks[0].migrations,
+                     tracks[1].migrations)});
+    }
+  }
+  std::cout << "\n=== Figure 5.17(a)/5.19(a): online maintenance "
+            << "(gamma = " << gamma_factor << "|R|) ===\n";
+  table.Print(std::cout);
+}
+
+void MigrationSection(const benchdata::VersionedDataset& ds,
+                      double gamma_factor) {
+  const int n = ds.num_versions();
+  const int warm = n / 10;
+
+  TablePrinter table({"mu", "migrations", "avg intell time", "avg naive time",
+                      "intell/naive work"});
+  for (double mu : {1.05, 1.2, 1.5, 2.0}) {
+    core::VersionGraph graph;
+    core::OnlineMaintainer::Options opt;
+    opt.mu = mu;
+    opt.gamma_factor = gamma_factor;
+    opt.replan_every = 5;
+    core::OnlineMaintainer maint(&graph, opt);
+
+    auto accessor = AccessorOf(ds);
+    for (int v = 0; v < warm; ++v) {
+      const auto& spec = ds.version(v);
+      std::vector<int64_t> w;
+      for (int p : spec.parents) w.push_back(ds.CommonRecords(p, v));
+      graph.AddVersion(spec.parents, w,
+                       static_cast<int64_t>(spec.records.size()));
+    }
+    auto initial = core::LyreSplitForBudget(
+        graph, static_cast<uint64_t>(
+                   gamma_factor *
+                   static_cast<double>(graph.TotalBipartiteEdges())));
+    maint.Bootstrap(initial);
+    core::DatasetAccessor head = accessor;
+    head.num_versions = warm;
+    auto store = core::PartitionedStore::Build(head, initial.partitioning);
+
+    int migrations = 0;
+    double intell_total = 0.0;
+    double naive_total = 0.0;
+    uint64_t intell_work = 0;
+    uint64_t naive_work = 0;
+    for (int v = warm; v < n; ++v) {
+      const auto& spec = ds.version(v);
+      std::vector<int64_t> w;
+      for (int p : spec.parents) w.push_back(ds.CommonRecords(p, v));
+      graph.AddVersion(spec.parents, w,
+                       static_cast<int64_t>(spec.records.size()));
+      head.num_versions = v + 1;
+      bool migrate = false;
+      int old_parts = maint.current().num_partitions;
+      int part = maint.OnCommit(v, &migrate);
+      auto added =
+          store.AddVersion(head, v, part >= old_parts ? -1 : part);
+      if (!added.ok()) {
+        std::cerr << added.status().ToString() << "\n";
+        std::exit(1);
+      }
+      if (migrate) {
+        maint.OnMigrated();
+        const auto& target = maint.current();
+        // Naive cost: rebuild everything from scratch.
+        Timer naive_timer;
+        auto rebuilt = core::PartitionedStore::Build(head, target);
+        naive_total += naive_timer.ElapsedSeconds();
+        naive_work += rebuilt.TotalDataRecords();
+        // Intelligent: patch the existing partitions.
+        Timer intell_timer;
+        intell_work += store.MigrateTo(head, target, /*intelligent=*/true);
+        intell_total += intell_timer.ElapsedSeconds();
+        ++migrations;
+      }
+    }
+    table.AddRow(
+        {StrFormat("%.2f", mu), StrFormat("%d", migrations),
+         migrations ? HumanSeconds(intell_total / migrations) : "-",
+         migrations ? HumanSeconds(naive_total / migrations) : "-",
+         naive_work ? StrFormat("%.2f", static_cast<double>(intell_work) /
+                                            static_cast<double>(naive_work))
+                    : "-"});
+  }
+  std::cout << "\n=== Figure 5.17(b)/5.19(b): migration time, intelligent "
+            << "vs naive (gamma = " << gamma_factor << "|R|) ===\n";
+  table.Print(std::cout);
+}
+
+void Run(int argc, char** argv) {
+  int scale = ParseScale(argc, argv);
+  // The paper streams SCI_10M (10K versions); we use the scaled variant.
+  auto config = benchdata::SciConfig("SCI_10M", 2000, 200, 100 * scale);
+  std::cerr << "generating SCI_10M (scaled)...\n";
+  auto ds = benchdata::VersionedDataset::Generate(config);
+  for (double gamma : {1.5, 2.0}) {
+    TrajectorySection(ds, gamma);
+    MigrationSection(ds, gamma);
+  }
+}
+
+}  // namespace
+}  // namespace orpheus::bench
+
+int main(int argc, char** argv) { orpheus::bench::Run(argc, argv); }

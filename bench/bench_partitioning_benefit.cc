@@ -1,0 +1,68 @@
+// Reproduces Figures 5.14 and 5.15: checkout time and storage size with and
+// without partitioning, for gamma = 1.5|R| and gamma = 2|R|.
+//
+// Expected shape: with a <= 2x storage increase, average checkout time
+// drops by several-x, and the reduction grows with dataset size (the paper
+// reports 3x/10x/21x on SCI and 3x/7x/9x on CUR).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/lyresplit.h"
+
+namespace orpheus::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  int scale = ParseScale(argc, argv);
+  int samples = HasFlag(argc, argv, "--quick") ? 10 : 50;
+
+  TablePrinter checkout({"dataset", "without partitioning",
+                         "LyreSplit (g=1.5|R|)", "LyreSplit (g=2|R|)",
+                         "speedup @2|R|"});
+  TablePrinter storage({"dataset", "without partitioning",
+                        "LyreSplit (g=1.5|R|)", "LyreSplit (g=2|R|)"});
+
+  for (const auto& named : Table52Configs(scale)) {
+    if (named.paper_name == "SCI_2M" || named.paper_name == "SCI_8M") continue;
+    std::cerr << "generating " << named.paper_name << "...\n";
+    auto ds = benchdata::VersionedDataset::Generate(named.config);
+    auto graph = GraphOf(ds);
+    auto accessor = AccessorOf(ds);
+
+    auto whole = core::PartitionedStore::Build(
+        accessor, core::Partitioning::SinglePartition(ds.num_versions()));
+    double base_secs = AvgCheckoutSeconds(whole, samples);
+    uint64_t base_bytes = whole.StorageBytes();
+
+    std::vector<std::string> crow = {named.paper_name,
+                                     HumanSeconds(base_secs)};
+    std::vector<std::string> srow = {named.paper_name,
+                                     HumanBytes(base_bytes)};
+    double speedup2 = 0.0;
+    for (double factor : {1.5, 2.0}) {
+      uint64_t gamma = static_cast<uint64_t>(
+          factor * static_cast<double>(ds.num_distinct_records()));
+      auto plan = core::LyreSplitForBudget(graph, gamma);
+      auto store = core::PartitionedStore::Build(accessor, plan.partitioning);
+      double secs = AvgCheckoutSeconds(store, samples);
+      crow.push_back(HumanSeconds(secs));
+      srow.push_back(HumanBytes(store.StorageBytes()));
+      if (factor == 2.0 && secs > 0) speedup2 = base_secs / secs;
+    }
+    crow.push_back(StrFormat("%.1fx", speedup2));
+    checkout.AddRow(crow);
+    storage.AddRow(srow);
+  }
+
+  std::cout << "\n=== Figures 5.14(a)/5.15(a): checkout time with and "
+               "without partitioning ===\n";
+  checkout.Print(std::cout);
+  std::cout << "\n=== Figures 5.14(b)/5.15(b): storage size ===\n";
+  storage.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace orpheus::bench
+
+int main(int argc, char** argv) { orpheus::bench::Run(argc, argv); }

@@ -1,0 +1,127 @@
+#ifndef ORPHEUS_BENCH_BENCH_UTIL_H_
+#define ORPHEUS_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchdata/generator.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/cvd.h"
+#include "core/partition_store.h"
+#include "core/partitioning.h"
+#include "core/version_graph.h"
+
+namespace orpheus::bench {
+
+/// All harnesses run the paper's workloads at a reduced default scale (the
+/// substrate is an in-memory engine, not a provisioned PostgreSQL box); pass
+/// --scale=N (default 1) to multiply workload sizes toward paper scale.
+inline int ParseScale(int argc, char** argv, int def = 1) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--scale=")) {
+      return std::max(1, atoi(arg.c_str() + 8));
+    }
+  }
+  return def;
+}
+
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) return true;
+  }
+  return false;
+}
+
+/// The Table 5.2 datasets, scaled down ~25x by default (I and |R| shrink
+/// linearly; |V| and B are preserved except for the 10M variants, whose
+/// version count is reduced 5x to bound generation memory).
+struct NamedConfig {
+  std::string paper_name;
+  benchdata::GeneratorConfig config;
+};
+
+inline std::vector<NamedConfig> Table52Configs(int scale,
+                                               bool include_large = true) {
+  using benchdata::CurConfig;
+  using benchdata::SciConfig;
+  std::vector<NamedConfig> out;
+  out.push_back({"SCI_1M", SciConfig("SCI_1M", 1000, 100, 40 * scale)});
+  out.push_back({"SCI_2M", SciConfig("SCI_2M", 1000, 100, 80 * scale)});
+  out.push_back({"SCI_5M", SciConfig("SCI_5M", 1000, 100, 200 * scale)});
+  out.push_back({"SCI_8M", SciConfig("SCI_8M", 1000, 100, 320 * scale)});
+  if (include_large) {
+    out.push_back({"SCI_10M", SciConfig("SCI_10M", 2000, 200, 200 * scale)});
+  }
+  out.push_back({"CUR_1M", CurConfig("CUR_1M", 1100, 100, 40 * scale)});
+  out.push_back({"CUR_5M", CurConfig("CUR_5M", 1100, 100, 200 * scale)});
+  if (include_large) {
+    out.push_back({"CUR_10M", CurConfig("CUR_10M", 2200, 200, 100 * scale)});
+  }
+  return out;
+}
+
+/// Version graph of a generated dataset (node sizes + parent edge weights).
+inline core::VersionGraph GraphOf(const benchdata::VersionedDataset& ds) {
+  core::VersionGraph g;
+  for (int v = 0; v < ds.num_versions(); ++v) {
+    const auto& spec = ds.version(v);
+    std::vector<int64_t> weights;
+    weights.reserve(spec.parents.size());
+    for (int p : spec.parents) weights.push_back(ds.CommonRecords(p, v));
+    g.AddVersion(spec.parents, weights,
+                 static_cast<int64_t>(spec.records.size()));
+  }
+  return g;
+}
+
+inline core::RecordSetView ViewOf(const benchdata::VersionedDataset& ds) {
+  core::RecordSetView view;
+  view.num_versions = ds.num_versions();
+  view.records_of = [&ds](int v) -> const std::vector<core::RecordId>& {
+    return ds.version(v).records;
+  };
+  return view;
+}
+
+inline core::DatasetAccessor AccessorOf(const benchdata::VersionedDataset& ds) {
+  core::DatasetAccessor acc;
+  acc.num_versions = ds.num_versions();
+  acc.num_attributes = ds.num_attributes();
+  acc.records_of = [&ds](int v) -> const std::vector<core::RecordId>& {
+    return ds.version(v).records;
+  };
+  acc.payload_of = [&ds](core::RecordId rid, std::vector<int64_t>* out) {
+    *out = ds.RecordPayload(rid);
+  };
+  return acc;
+}
+
+/// Average wall-clock checkout time over up to `samples` randomly selected
+/// versions of a partitioned store.
+inline double AvgCheckoutSeconds(const core::PartitionedStore& store,
+                                 int samples, uint64_t seed = 99) {
+  Xorshift rng(seed);
+  double total = 0.0;
+  int n = std::min(samples, store.num_versions());
+  for (int s = 0; s < n; ++s) {
+    int v = static_cast<int>(rng.Uniform(store.num_versions()));
+    Timer t;
+    auto table = store.Checkout(v);
+    total += t.ElapsedSeconds();
+    if (!table.ok()) {
+      std::cerr << "checkout failed: " << table.status().ToString() << "\n";
+      std::exit(1);
+    }
+  }
+  return n > 0 ? total / n : 0.0;
+}
+
+}  // namespace orpheus::bench
+
+#endif  // ORPHEUS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,125 @@
+// A data science team at work: hundreds of versions stream into a CVD-style
+// store while the partition optimizer (Chapter 5) keeps checkouts fast.
+// Shows LyreSplit planning, the physical partitioned store, online
+// maintenance as commits arrive, and a migration when the tolerance factor
+// is exceeded.
+//
+// Build & run:  ./build/examples/team_workflow
+
+#include <iostream>
+
+#include "benchdata/generator.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/lyresplit.h"
+#include "core/online.h"
+#include "core/partition_store.h"
+
+using namespace orpheus;         // NOLINT
+using namespace orpheus::core;   // NOLINT
+
+int main() {
+  // Simulate the team's history: 400 versions, 40 branches, ~30 edits per
+  // commit (the SCI pattern of Sec. 5.5.1).
+  auto ds = benchdata::VersionedDataset::Generate(
+      benchdata::SciConfig("team", 400, 40, 30));
+  std::cout << "history: " << ds.num_versions() << " versions, "
+            << ds.num_distinct_records() << " distinct records, "
+            << ds.num_bipartite_edges() << " version-record memberships\n";
+
+  // Build the version graph the optimizer reasons about.
+  VersionGraph graph;
+  for (int v = 0; v < ds.num_versions(); ++v) {
+    const auto& spec = ds.version(v);
+    std::vector<int64_t> w;
+    for (int p : spec.parents) w.push_back(ds.CommonRecords(p, v));
+    graph.AddVersion(spec.parents, w,
+                     static_cast<int64_t>(spec.records.size()));
+  }
+
+  DatasetAccessor accessor;
+  accessor.num_versions = ds.num_versions();
+  accessor.num_attributes = ds.num_attributes();
+  accessor.records_of = [&ds](int v) -> const std::vector<RecordId>& {
+    return ds.version(v).records;
+  };
+  accessor.payload_of = [&ds](RecordId rid, std::vector<int64_t>* out) {
+    *out = ds.RecordPayload(rid);
+  };
+
+  // Without partitioning: one big split-by-rlist pair of tables.
+  auto whole = PartitionedStore::Build(
+      accessor, Partitioning::SinglePartition(ds.num_versions()));
+  Timer t0;
+  auto co = whole.Checkout(ds.num_versions() - 1);
+  double unpartitioned = t0.ElapsedSeconds();
+  std::cout << "\nunpartitioned checkout of the latest version: "
+            << HumanSeconds(unpartitioned) << " (scans "
+            << whole.PartitionRecords(ds.num_versions() - 1)
+            << " records)\n";
+  if (!co.ok()) return 1;
+
+  // LyreSplit with a 2x storage budget.
+  uint64_t gamma = 2ull * static_cast<uint64_t>(ds.num_distinct_records());
+  auto plan = LyreSplitForBudget(graph, gamma);
+  std::cout << "LyreSplit: delta=" << StrFormat("%.3f", plan.delta) << ", "
+            << plan.partitioning.num_partitions << " partitions, estimated "
+            << plan.estimated.storage << " stored records\n";
+
+  auto store = PartitionedStore::Build(accessor, plan.partitioning);
+  Timer t1;
+  auto co2 = store.Checkout(ds.num_versions() - 1);
+  double partitioned = t1.ElapsedSeconds();
+  if (!co2.ok()) return 1;
+  std::cout << "partitioned checkout of the same version: "
+            << HumanSeconds(partitioned) << " (scans "
+            << store.PartitionRecords(ds.num_versions() - 1)
+            << " records) — " << StrFormat("%.1fx", unpartitioned /
+                                                        partitioned)
+            << " faster\n";
+
+  // Online phase: 100 more commits stream in; the maintainer places each
+  // one and watches the divergence from LyreSplit's best plan.
+  auto more = benchdata::VersionedDataset::Generate(
+      benchdata::SciConfig("team", 500, 50, 30));
+  VersionGraph live_graph;
+  OnlineMaintainer::Options opt;
+  opt.mu = 1.5;
+  opt.replan_every = 10;
+  OnlineMaintainer maint(&live_graph, opt);
+  for (int v = 0; v < 400; ++v) {
+    const auto& spec = more.version(v);
+    std::vector<int64_t> w;
+    for (int p : spec.parents) w.push_back(more.CommonRecords(p, v));
+    live_graph.AddVersion(spec.parents, w,
+                          static_cast<int64_t>(spec.records.size()));
+  }
+  maint.Bootstrap(LyreSplitForBudget(
+      live_graph, 2ull * static_cast<uint64_t>(more.num_distinct_records())));
+
+  int migrations = 0;
+  for (int v = 400; v < more.num_versions(); ++v) {
+    const auto& spec = more.version(v);
+    std::vector<int64_t> w;
+    for (int p : spec.parents) w.push_back(more.CommonRecords(p, v));
+    live_graph.AddVersion(spec.parents, w,
+                          static_cast<int64_t>(spec.records.size()));
+    bool migrate = false;
+    maint.OnCommit(v, &migrate);
+    if (migrate) {
+      std::cout << "  commit " << v + 1 << ": C_avg "
+                << StrFormat("%.0f", maint.current_checkout_cost())
+                << " > mu * C*_avg "
+                << StrFormat("%.0f", opt.mu * maint.best_checkout_cost())
+                << " -> migration triggered\n";
+      maint.OnMigrated();
+      ++migrations;
+    }
+  }
+  std::cout << "\nonline phase: 100 commits placed, " << migrations
+            << " migration(s); final C_avg "
+            << StrFormat("%.0f", maint.current_checkout_cost())
+            << " vs best " << StrFormat("%.0f", maint.best_checkout_cost())
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,452 @@
+#include "cli/command_processor.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/lyresplit.h"
+#include "core/query.h"
+#include "minidb/csv.h"
+
+namespace orpheus::cli {
+
+using core::Cvd;
+using core::VersionId;
+using minidb::Table;
+
+namespace {
+
+// Shell-style tokenizer: whitespace-separated, quotes group.
+Result<std::vector<std::string>> Tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_token = false;
+  char quote = 0;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quote != 0) {
+      if (c == quote) {
+        quote = 0;
+      } else {
+        cur += c;
+      }
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+      in_token = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (in_token) {
+        out.push_back(std::move(cur));
+        cur.clear();
+        in_token = false;
+      }
+      continue;
+    }
+    cur += c;
+    in_token = true;
+  }
+  if (quote != 0) return Status::InvalidArgument("unterminated quote");
+  if (in_token) out.push_back(std::move(cur));
+  return out;
+}
+
+Result<std::vector<VersionId>> ParseVersionList(const std::string& spec) {
+  std::vector<VersionId> vids;
+  for (const auto& part : Split(spec, ',')) {
+    char* end = nullptr;
+    long v = std::strtol(part.c_str(), &end, 10);
+    if (end != part.c_str() + part.size() || v <= 0) {
+      return Status::InvalidArgument(
+          StrFormat("bad version id '%s'", part.c_str()));
+    }
+    vids.push_back(static_cast<VersionId>(v));
+  }
+  if (vids.empty()) return Status::InvalidArgument("no versions given");
+  return vids;
+}
+
+std::string RenderTable(const Table& t, size_t max_rows = 20) {
+  std::ostringstream os;
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    if (c) os << " | ";
+    os << t.schema().column(c).name;
+  }
+  os << "\n";
+  for (uint32_t r = 0; r < t.num_rows() && r < max_rows; ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      if (c) os << " | ";
+      os << t.GetValue(r, c).ToString();
+    }
+    os << "\n";
+  }
+  if (t.num_rows() > max_rows) {
+    os << "... (" << t.num_rows() - max_rows << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Result<CommandProcessor::Args> CommandProcessor::ParseArgs(
+    const std::string& line) {
+  auto tokens = Tokenize(line);
+  if (!tokens.ok()) return tokens.status();
+  Args args;
+  for (size_t i = 0; i < tokens->size(); ++i) {
+    const std::string& tok = (*tokens)[i];
+    if (tok.size() >= 2 && tok[0] == '-' && !std::isdigit(
+                                                static_cast<unsigned char>(
+                                                    tok[1]))) {
+      std::string value;
+      if (i + 1 < tokens->size()) {
+        value = (*tokens)[++i];
+      }
+      args.flags[tok.substr(1)] = value;
+    } else {
+      args.positional.push_back(tok);
+    }
+  }
+  return args;
+}
+
+Result<Cvd*> CommandProcessor::FindCvd(const std::string& name) {
+  auto it = cvds_.find(name);
+  if (it == cvds_.end()) {
+    return Status::NotFound(StrFormat("no CVD named %s", name.c_str()));
+  }
+  return it->second.get();
+}
+
+Result<Cvd*> CommandProcessor::CvdOfStagingTable(const std::string& table) {
+  for (auto& [name, cvd] : cvds_) {
+    (void)name;
+    for (const auto& staged : cvd->StagedTables()) {
+      if (staged == table) return cvd.get();
+    }
+  }
+  return Status::NotFound(
+      StrFormat("table %s was not checked out from any CVD", table.c_str()));
+}
+
+Result<std::string> CommandProcessor::Execute(const std::string& line) {
+  auto args_result = ParseArgs(line);
+  if (!args_result.ok()) return args_result.status();
+  Args args = args_result.MoveValueOrDie();
+  if (args.positional.empty()) return std::string();
+  std::string cmd = ToLower(args.positional[0]);
+  args.positional.erase(args.positional.begin());
+
+  if (cmd == "create_user") {
+    if (args.positional.empty()) {
+      return Status::InvalidArgument("usage: create_user <name>");
+    }
+    ORPHEUS_RETURN_NOT_OK(access_.CreateUser(args.positional[0]));
+    return StrFormat("created user %s", args.positional[0].c_str());
+  }
+  if (cmd == "config") {
+    if (args.positional.empty()) {
+      return Status::InvalidArgument("usage: config <name>");
+    }
+    ORPHEUS_RETURN_NOT_OK(access_.Login(args.positional[0]));
+    return StrFormat("logged in as %s", args.positional[0].c_str());
+  }
+  if (cmd == "whoami") {
+    return access_.current_user().empty() ? std::string("<anonymous>")
+                                          : access_.current_user();
+  }
+  if (cmd == "init") return Init(args);
+  if (cmd == "checkout") return Checkout(args);
+  if (cmd == "commit") return Commit(args);
+  if (cmd == "diff") return Diff(args);
+  if (cmd == "ls") return Ls();
+  if (cmd == "drop") return Drop(args);
+  if (cmd == "log") return Log(args);
+  if (cmd == "run") return RunSql(args);
+  if (cmd == "optimize") return Optimize(args);
+  if (cmd == "tables") {
+    std::string out;
+    for (const auto& name : staging_.ListTables()) {
+      out += name;
+      out += "\n";
+    }
+    return out;
+  }
+  return Status::InvalidArgument(StrFormat("unknown command '%s'",
+                                           cmd.c_str()));
+}
+
+Result<std::string> CommandProcessor::Init(const Args& args) {
+  if (args.positional.empty()) {
+    return Status::InvalidArgument("usage: init <cvd> (-t table | -f csv)");
+  }
+  const std::string& name = args.positional[0];
+  if (cvds_.count(name)) {
+    return Status::AlreadyExists(StrFormat("CVD %s exists", name.c_str()));
+  }
+
+  Cvd::Options options;
+  if (const std::string* pk = args.Flag("k")) {
+    options.primary_key = Split(*pk, ',');
+  }
+
+  const Table* source = nullptr;
+  Table loaded("", minidb::Schema());
+  if (const std::string* table_name = args.Flag("t")) {
+    source = staging_.GetTable(*table_name);
+    if (source == nullptr) {
+      return Status::NotFound(
+          StrFormat("no staging table %s", table_name->c_str()));
+    }
+  } else if (const std::string* path = args.Flag("f")) {
+    minidb::Schema schema;
+    const minidb::Schema* schema_ptr = nullptr;
+    if (const std::string* spec_path = args.Flag("s")) {
+      std::ifstream in(*spec_path);
+      if (!in) {
+        return Status::NotFound(
+            StrFormat("cannot open schema file %s", spec_path->c_str()));
+      }
+      std::stringstream buf;
+      buf << in.rdbuf();
+      auto parsed = minidb::ParseSchemaSpec(buf.str());
+      if (!parsed.ok()) return parsed.status();
+      schema = *parsed;
+      schema_ptr = &schema;
+    }
+    auto table = minidb::ReadCsv(*path, name, schema_ptr);
+    if (!table.ok()) return table.status();
+    loaded = table.MoveValueOrDie();
+    source = &loaded;
+  } else {
+    return Status::InvalidArgument("init needs -t <table> or -f <csv>");
+  }
+
+  auto cvd = Cvd::Init(name, *source, options);
+  if (!cvd.ok()) return cvd.status();
+  cvds_[name] = cvd.MoveValueOrDie();
+  return StrFormat("initialized CVD %s with version 1 (%zu records)",
+                   name.c_str(), static_cast<size_t>(source->num_rows()));
+}
+
+Result<std::string> CommandProcessor::Checkout(const Args& args) {
+  if (args.positional.empty()) {
+    return Status::InvalidArgument(
+        "usage: checkout <cvd> -v <vids> (-t table | -f csv)");
+  }
+  auto cvd = FindCvd(args.positional[0]);
+  if (!cvd.ok()) return cvd.status();
+  const std::string* vspec = args.Flag("v");
+  if (vspec == nullptr) {
+    return Status::InvalidArgument("checkout needs -v <version list>");
+  }
+  auto vids = ParseVersionList(*vspec);
+  if (!vids.ok()) return vids.status();
+
+  if (const std::string* table = args.Flag("t")) {
+    ORPHEUS_RETURN_NOT_OK((*cvd)->Checkout(*vids, *table, &staging_));
+    access_.GrantTable(*table);
+    return StrFormat("checked out version(s) %s into table %s",
+                     vspec->c_str(), table->c_str());
+  }
+  if (const std::string* path = args.Flag("f")) {
+    // Materialize, export, and drop the transient table; remember the
+    // file's provenance for the later commit.
+    std::string tmp = "__csv_checkout__";
+    ORPHEUS_RETURN_NOT_OK((*cvd)->Checkout(*vids, tmp, &staging_));
+    Table* t = staging_.GetTable(tmp);
+    Status written = minidb::WriteCsv(*t, *path);
+    Status forgotten = (*cvd)->ForgetStaging(tmp);
+    Status dropped = staging_.DropTable(tmp);
+    ORPHEUS_RETURN_NOT_OK(written);
+    ORPHEUS_RETURN_NOT_OK(forgotten);
+    ORPHEUS_RETURN_NOT_OK(dropped);
+    files_[*path] = FileInfo{args.positional[0], *vids};
+    return StrFormat("checked out version(s) %s into %s", vspec->c_str(),
+                     path->c_str());
+  }
+  return Status::InvalidArgument("checkout needs -t <table> or -f <csv>");
+}
+
+Result<std::string> CommandProcessor::Commit(const Args& args) {
+  const std::string* msg = args.Flag("m");
+  std::string message = msg ? *msg : "";
+
+  if (const std::string* table = args.Flag("t")) {
+    ORPHEUS_RETURN_NOT_OK(access_.CheckTableAccess(*table));
+    auto cvd = CvdOfStagingTable(*table);
+    if (!cvd.ok()) return cvd.status();
+    auto vid = (*cvd)->Commit(*table, &staging_, message,
+                              access_.current_user());
+    if (!vid.ok()) return vid.status();
+    access_.RevokeTable(*table);
+    return StrFormat("committed table %s as version %d of CVD %s",
+                     table->c_str(), *vid, (*cvd)->name().c_str());
+  }
+  if (const std::string* path = args.Flag("f")) {
+    auto info = files_.find(*path);
+    if (info == files_.end()) {
+      return Status::NotFound(
+          StrFormat("%s was not checked out from any CVD", path->c_str()));
+    }
+    auto cvd = FindCvd(info->second.cvd);
+    if (!cvd.ok()) return cvd.status();
+    minidb::Schema schema;
+    const minidb::Schema* schema_ptr = nullptr;
+    if (const std::string* spec_path = args.Flag("s")) {
+      std::ifstream in(*spec_path);
+      if (!in) {
+        return Status::NotFound(
+            StrFormat("cannot open schema file %s", spec_path->c_str()));
+      }
+      std::stringstream buf;
+      buf << in.rdbuf();
+      auto parsed = minidb::ParseSchemaSpec(buf.str());
+      if (!parsed.ok()) return parsed.status();
+      schema = *parsed;
+      // The exported csv carries the hidden _rid column; prepend it when
+      // the user's schema file describes only the data attributes.
+      if (schema.FindColumn("_rid") < 0) {
+        minidb::Schema with_rid;
+        with_rid.AddColumn({"_rid", minidb::ValueType::kInt64});
+        for (const auto& def : schema.columns()) with_rid.AddColumn(def);
+        schema = with_rid;
+      }
+      schema_ptr = &schema;
+    }
+    auto table = minidb::ReadCsv(*path, *path, schema_ptr);
+    if (!table.ok()) return table.status();
+    auto vid = (*cvd)->CommitTable(*table, info->second.parents, message,
+                                   access_.current_user());
+    if (!vid.ok()) return vid.status();
+    files_.erase(info);
+    return StrFormat("committed %s as version %d of CVD %s", path->c_str(),
+                     *vid, (*cvd)->name().c_str());
+  }
+  return Status::InvalidArgument("commit needs -t <table> or -f <csv>");
+}
+
+Result<std::string> CommandProcessor::Diff(const Args& args) {
+  if (args.positional.empty()) {
+    return Status::InvalidArgument("usage: diff <cvd> -v <v1>,<v2>");
+  }
+  auto cvd = FindCvd(args.positional[0]);
+  if (!cvd.ok()) return cvd.status();
+  const std::string* vspec = args.Flag("v");
+  if (vspec == nullptr) return Status::InvalidArgument("diff needs -v v1,v2");
+  auto vids = ParseVersionList(*vspec);
+  if (!vids.ok()) return vids.status();
+  if (vids->size() != 2) {
+    return Status::InvalidArgument("diff takes exactly two versions");
+  }
+  auto table = (*cvd)->Diff((*vids)[0], (*vids)[1]);
+  if (!table.ok()) return table.status();
+  return StrFormat("records in v%d but not v%d:\n", (*vids)[0], (*vids)[1]) +
+         RenderTable(*table);
+}
+
+Result<std::string> CommandProcessor::Ls() const {
+  std::string out;
+  for (const auto& [name, cvd] : cvds_) {
+    out += StrFormat("%s  (%d versions, %llu bytes)\n", name.c_str(),
+                     cvd->num_versions(),
+                     static_cast<unsigned long long>(cvd->StorageBytes()));
+  }
+  return out.empty() ? "no CVDs\n" : out;
+}
+
+Result<std::string> CommandProcessor::Drop(const Args& args) {
+  if (args.positional.empty()) {
+    return Status::InvalidArgument("usage: drop <cvd>");
+  }
+  if (cvds_.erase(args.positional[0]) == 0) {
+    return Status::NotFound(
+        StrFormat("no CVD named %s", args.positional[0].c_str()));
+  }
+  return StrFormat("dropped CVD %s", args.positional[0].c_str());
+}
+
+Result<std::string> CommandProcessor::Log(const Args& args) {
+  if (args.positional.empty()) {
+    return Status::InvalidArgument("usage: log <cvd>");
+  }
+  auto cvd = FindCvd(args.positional[0]);
+  if (!cvd.ok()) return cvd.status();
+  std::ostringstream os;
+  for (auto it = (*cvd)->metadata().rbegin(); it != (*cvd)->metadata().rend();
+       ++it) {
+    os << "version " << it->vid;
+    if (!it->parents.empty()) {
+      os << " (parents:";
+      for (auto p : it->parents) os << " " << p;
+      os << ")";
+    }
+    os << "\n  author:  "
+       << (it->author.empty() ? "<anonymous>" : it->author) << "\n  records: "
+       << it->num_records << "\n  message: " << it->message << "\n";
+  }
+  return os.str();
+}
+
+Result<std::string> CommandProcessor::RunSql(const Args& args) {
+  if (args.positional.empty()) {
+    return Status::InvalidArgument("usage: run \"<sql>\"");
+  }
+  const std::string& sql = args.positional[0];
+  // Route to the CVD named after the `CVD` keyword.
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  std::string cvd_name;
+  for (size_t i = 0; i + 1 < tokens->size(); ++i) {
+    if (ToLower((*tokens)[i]) == "cvd") {
+      cvd_name = (*tokens)[i + 1];
+      // strip trailing punctuation like ','
+      while (!cvd_name.empty() &&
+             (cvd_name.back() == ',' || cvd_name.back() == ';')) {
+        cvd_name.pop_back();
+      }
+      break;
+    }
+  }
+  if (cvd_name.empty()) {
+    return Status::InvalidArgument("query must reference a CVD");
+  }
+  auto cvd = FindCvd(cvd_name);
+  if (!cvd.ok()) return cvd.status();
+  auto result = core::RunQuery(**cvd, sql);
+  if (!result.ok()) return result.status();
+  return RenderTable(*result, 50);
+}
+
+Result<std::string> CommandProcessor::Optimize(const Args& args) {
+  if (args.positional.empty()) {
+    return Status::InvalidArgument("usage: optimize <cvd> [-g factor]");
+  }
+  auto cvd = FindCvd(args.positional[0]);
+  if (!cvd.ok()) return cvd.status();
+  double factor = 2.0;
+  if (const std::string* g = args.Flag("g")) {
+    factor = std::strtod(g->c_str(), nullptr);
+    if (factor < 1.0) return Status::InvalidArgument("-g must be >= 1");
+  }
+  const auto& graph = (*cvd)->graph();
+  // |R| estimate: records in the whole CVD (single partition union).
+  auto single = core::ComputeTreeEstimatedCosts(
+      graph, graph.ToTree(),
+      core::Partitioning::SinglePartition(graph.num_versions()));
+  uint64_t gamma = static_cast<uint64_t>(
+      factor * static_cast<double>(single.storage));
+  auto plan = core::LyreSplitForBudget(graph, gamma);
+  return StrFormat(
+      "LyreSplit plan: %d partitions (delta=%.3f), estimated storage %llu "
+      "records (budget %llu), estimated avg checkout %.0f records (vs %.0f "
+      "unpartitioned)",
+      plan.partitioning.num_partitions, plan.delta,
+      static_cast<unsigned long long>(plan.estimated.storage),
+      static_cast<unsigned long long>(gamma), plan.estimated.checkout_avg,
+      single.checkout_avg);
+}
+
+}  // namespace orpheus::cli

@@ -1,0 +1,92 @@
+#ifndef ORPHEUS_CLI_COMMAND_PROCESSOR_H_
+#define ORPHEUS_CLI_COMMAND_PROCESSOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/access_control.h"
+#include "core/cvd.h"
+#include "minidb/database.h"
+
+namespace orpheus::cli {
+
+/// The OrpheusDB command client (Sec. 3.3): parses git-style version
+/// control commands and SQL, and executes them against an in-process
+/// session. One processor is one user session holding the staging area
+/// (materialized tables), the registered CVDs, and the access controller.
+///
+/// Supported commands:
+///   create_user <name>              register a user
+///   config <name>                   log in
+///   whoami                          show the current user
+///   init <cvd> -t <table> [-k a,b]  register a staging table as a CVD
+///   init <cvd> -f <file.csv> [-s <schema.txt>] [-k a,b]
+///   checkout <cvd> -v <v1[,v2...]> (-t <table> | -f <file.csv>)
+///   commit -t <table> -m "<msg>"    commit a staging table
+///   commit <cvd> -f <file.csv> [-s <schema.txt>] -m "<msg>"
+///   diff <cvd> -v <v1>,<v2>         records in v1 but not v2
+///   ls                              list CVDs
+///   drop <cvd>                      remove a CVD
+///   log <cvd>                       version metadata and graph
+///   run "<sql>"                     versioned SQL (Sec. 3.3.2)
+///   optimize <cvd> [-g <factor>]    run the partition optimizer (Ch. 5)
+///   tables                          list staging tables
+class CommandProcessor {
+ public:
+  CommandProcessor() = default;
+
+  /// Execute one command line; returns the text to display.
+  Result<std::string> Execute(const std::string& line);
+
+  /// Accessors for tests and embedding.
+  minidb::Database* staging() { return &staging_; }
+  core::Cvd* cvd(const std::string& name) {
+    auto it = cvds_.find(name);
+    return it == cvds_.end() ? nullptr : it->second.get();
+  }
+  core::AccessController* access() { return &access_; }
+
+ private:
+  struct Args {
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> flags;  // -x value
+
+    const std::string* Flag(const std::string& name) const {
+      auto it = flags.find(name);
+      return it == flags.end() ? nullptr : &it->second;
+    }
+  };
+
+  static Result<Args> ParseArgs(const std::string& line);
+
+  Result<std::string> Init(const Args& args);
+  Result<std::string> Checkout(const Args& args);
+  Result<std::string> Commit(const Args& args);
+  Result<std::string> Diff(const Args& args);
+  Result<std::string> Ls() const;
+  Result<std::string> Drop(const Args& args);
+  Result<std::string> Log(const Args& args);
+  Result<std::string> RunSql(const Args& args);
+  Result<std::string> Optimize(const Args& args);
+
+  Result<core::Cvd*> FindCvd(const std::string& name);
+  /// The CVD that owns staging table `table`, or an error.
+  Result<core::Cvd*> CvdOfStagingTable(const std::string& table);
+
+  minidb::Database staging_;
+  std::map<std::string, std::unique_ptr<core::Cvd>> cvds_;
+  core::AccessController access_;
+  // CSV checkout provenance: file path -> (cvd name, parent versions).
+  struct FileInfo {
+    std::string cvd;
+    std::vector<core::VersionId> parents;
+  };
+  std::map<std::string, FileInfo> files_;
+};
+
+}  // namespace orpheus::cli
+
+#endif  // ORPHEUS_CLI_COMMAND_PROCESSOR_H_

@@ -1,0 +1,49 @@
+// The OrpheusDB command client: a REPL over CommandProcessor. Reads one
+// command per line from stdin (or from files given on the command line),
+// mirroring the paper's command-line interface (Sec. 3.3).
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cli/command_processor.h"
+#include "common/string_util.h"
+
+namespace {
+
+int RunStream(orpheus::cli::CommandProcessor* processor, std::istream& in,
+              bool interactive) {
+  std::string line;
+  while (true) {
+    if (interactive) std::cout << "orpheus> " << std::flush;
+    if (!std::getline(in, line)) break;
+    auto trimmed = orpheus::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed == "exit" || trimmed == "quit") break;
+    auto result = processor->Execute(std::string(trimmed));
+    if (result.ok()) {
+      if (!result->empty()) std::cout << *result << "\n";
+    } else {
+      std::cout << "error: " << result.status().ToString() << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  orpheus::cli::CommandProcessor processor;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      std::ifstream file(argv[i]);
+      if (!file) {
+        std::cerr << "cannot open " << argv[i] << "\n";
+        return 1;
+      }
+      RunStream(&processor, file, /*interactive=*/false);
+    }
+    return 0;
+  }
+  return RunStream(&processor, std::cin, /*interactive=*/true);
+}

@@ -1,0 +1,77 @@
+#ifndef ORPHEUS_COMMON_RANDOM_H_
+#define ORPHEUS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace orpheus {
+
+/// Deterministic xorshift128+ pseudo-random generator.
+///
+/// We use our own generator (rather than std::mt19937) so that benchmark
+/// workloads are reproducible bit-for-bit across standard library
+/// implementations.
+class Xorshift {
+ public:
+  explicit Xorshift(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 to fill the state from a single seed.
+    s_[0] = SplitMix64(&seed);
+    s_[1] = SplitMix64(&seed);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Sample k distinct indices from [0, n) (k <= n); order is random.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k) {
+    // Floyd's algorithm would avoid the O(n) vector, but n is small enough
+    // in all our uses that a partial Fisher-Yates is simpler and fast.
+    std::vector<uint64_t> idx(n);
+    for (uint64_t i = 0; i < n; ++i) idx[i] = i;
+    if (k > n) k = n;
+    for (uint64_t i = 0; i < k; ++i) {
+      uint64_t j = i + Uniform(n - i);
+      uint64_t tmp = idx[i];
+      idx[i] = idx[j];
+      idx[j] = tmp;
+    }
+    idx.resize(k);
+    return idx;
+  }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace orpheus
+
+#endif  // ORPHEUS_COMMON_RANDOM_H_

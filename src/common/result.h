@@ -1,0 +1,72 @@
+#ifndef ORPHEUS_COMMON_RESULT_H_
+#define ORPHEUS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace orpheus {
+
+/// Result<T> holds either a value of type T or an error Status.
+///
+/// Usage:
+///   Result<VersionId> r = cvd.Commit(...);
+///   if (!r.ok()) return r.status();
+///   VersionId vid = r.ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(var_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(var_);
+  }
+
+  const T& ValueOrDie() const {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T& ValueOrDie() {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+
+  /// Move the contained value out; only valid when ok().
+  T MoveValueOrDie() {
+    assert(ok());
+    return std::move(std::get<T>(var_));
+  }
+
+  const T& operator*() const { return ValueOrDie(); }
+  T& operator*() { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Assign the value of a Result expression to `lhs`, propagating errors.
+#define ORPHEUS_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto ORPHEUS_CONCAT_(_res_, __LINE__) = (expr);       \
+  if (!ORPHEUS_CONCAT_(_res_, __LINE__).ok())           \
+    return ORPHEUS_CONCAT_(_res_, __LINE__).status();   \
+  lhs = ORPHEUS_CONCAT_(_res_, __LINE__).MoveValueOrDie()
+
+#define ORPHEUS_CONCAT_IMPL_(a, b) a##b
+#define ORPHEUS_CONCAT_(a, b) ORPHEUS_CONCAT_IMPL_(a, b)
+
+}  // namespace orpheus
+
+#endif  // ORPHEUS_COMMON_RESULT_H_

@@ -1,0 +1,91 @@
+#ifndef ORPHEUS_COMMON_STATUS_H_
+#define ORPHEUS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace orpheus {
+
+/// Error/status codes used across the library. We follow the RocksDB-style
+/// convention: fallible operations return a Status (or a Result<T>, see
+/// result.h) instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kConstraintViolation,
+  kCorruption,
+  kNotSupported,
+  kOutOfRange,
+  kInternal,
+};
+
+/// A lightweight status object carrying a code and, for errors, a message.
+///
+/// Usage:
+///   Status s = cvd.Commit(...);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsConstraintViolation() const {
+    return code_ == StatusCode::kConstraintViolation;
+  }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "NotFound: version 7".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define ORPHEUS_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::orpheus::Status _s = (expr);             \
+    if (!_s.ok()) return _s;                   \
+  } while (0)
+
+}  // namespace orpheus
+
+#endif  // ORPHEUS_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+#ifndef ORPHEUS_COMMON_STRING_UTIL_H_
+#define ORPHEUS_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orpheus {
+
+/// Split `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Join the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Lower-case ASCII copy.
+std::string ToLower(std::string_view s);
+
+/// Render a byte count as a human-readable string, e.g. "3.97 GB".
+std::string HumanBytes(uint64_t bytes);
+
+/// Render a duration in seconds with an adaptive unit, e.g. "53 ms", "1.7 s".
+std::string HumanSeconds(double seconds);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace orpheus
+
+#endif  // ORPHEUS_COMMON_STRING_UTIL_H_

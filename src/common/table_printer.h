@@ -1,0 +1,29 @@
+#ifndef ORPHEUS_COMMON_TABLE_PRINTER_H_
+#define ORPHEUS_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace orpheus {
+
+/// Renders aligned ASCII tables for the benchmark harnesses, so every bench
+/// binary reports the same rows/series the paper's figures plot.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Write the table, padded per-column, to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace orpheus
+
+#endif  // ORPHEUS_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,29 @@
+#ifndef ORPHEUS_COMMON_TIMER_H_
+#define ORPHEUS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace orpheus {
+
+/// Wall-clock stopwatch used by benches to report paper-style timings.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace orpheus
+
+#endif  // ORPHEUS_COMMON_TIMER_H_

@@ -1,0 +1,42 @@
+#include "core/access_control.h"
+
+#include "common/string_util.h"
+
+namespace orpheus::core {
+
+Status AccessController::CreateUser(const std::string& name) {
+  if (name.empty()) return Status::InvalidArgument("empty user name");
+  if (!users_.insert(name).second) {
+    return Status::AlreadyExists(StrFormat("user %s exists", name.c_str()));
+  }
+  return Status::OK();
+}
+
+Status AccessController::Login(const std::string& name) {
+  if (!users_.count(name)) {
+    return Status::NotFound(StrFormat("unknown user %s", name.c_str()));
+  }
+  current_ = name;
+  return Status::OK();
+}
+
+void AccessController::GrantTable(const std::string& table) {
+  table_owner_[table] = current_;
+}
+
+Status AccessController::CheckTableAccess(const std::string& table) const {
+  auto it = table_owner_.find(table);
+  if (it == table_owner_.end()) return Status::OK();  // untracked table
+  if (it->second != current_) {
+    return Status::InvalidArgument(
+        StrFormat("table %s belongs to user %s", table.c_str(),
+                  it->second.empty() ? "<anonymous>" : it->second.c_str()));
+  }
+  return Status::OK();
+}
+
+void AccessController::RevokeTable(const std::string& table) {
+  table_owner_.erase(table);
+}
+
+}  // namespace orpheus::core

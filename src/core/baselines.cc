@@ -1,0 +1,315 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace orpheus::core {
+
+namespace {
+
+uint64_t MixRid(uint64_t x, uint64_t salt) {
+  x += salt + 0x9E3779B97F4A7C15ULL;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Min-hash shingle signature of a record set: the k smallest hash values.
+std::vector<uint64_t> Shingles(const std::vector<RecordId>& records, int k,
+                               uint64_t salt) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(records.size());
+  for (RecordId r : records) {
+    hashes.push_back(MixRid(static_cast<uint64_t>(r), salt));
+  }
+  std::sort(hashes.begin(), hashes.end());
+  if (static_cast<int>(hashes.size()) > k) hashes.resize(k);
+  return hashes;
+}
+
+int64_t CommonSorted(const std::vector<uint64_t>& a,
+                     const std::vector<uint64_t>& b) {
+  int64_t common = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return common;
+}
+
+}  // namespace
+
+Partitioning AggloPartition(const RecordSetView& view,
+                            const AggloOptions& options) {
+  const int n = view.num_versions;
+  struct Part {
+    std::vector<int> versions;
+    std::vector<RecordId> records;    // sorted union
+    std::vector<uint64_t> signature;  // min-hash shingles
+    bool alive = true;
+  };
+  std::vector<Part> parts(n);
+  for (int v = 0; v < n; ++v) {
+    parts[v].versions = {v};
+    parts[v].records = view.records_of(v);
+    parts[v].signature =
+        Shingles(parts[v].records, options.num_shingles, options.seed);
+  }
+
+  // Threshold τ: sampled median of pairwise shingle overlaps (the paper
+  // sets τ via uniform sampling).
+  Xorshift rng(options.seed);
+  std::vector<int64_t> samples;
+  for (int s = 0; s < 64 && n >= 2; ++s) {
+    int a = static_cast<int>(rng.Uniform(n));
+    int b = static_cast<int>(rng.Uniform(n));
+    if (a == b) continue;
+    samples.push_back(CommonSorted(parts[a].signature, parts[b].signature));
+  }
+  int64_t tau = 1;
+  if (!samples.empty()) {
+    std::sort(samples.begin(), samples.end());
+    tau = std::max<int64_t>(1, samples[samples.size() / 2]);
+  }
+
+  // Order partitions by their smallest shingle (shingle-based ordering).
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&parts](int a, int b) {
+    uint64_t ka = parts[a].signature.empty() ? 0 : parts[a].signature[0];
+    uint64_t kb = parts[b].signature.empty() ? 0 : parts[b].signature[0];
+    return ka < kb;
+  });
+
+  bool merged_any = true;
+  while (merged_any) {
+    merged_any = false;
+    for (size_t i = 0; i < order.size(); ++i) {
+      int pi = order[i];
+      if (!parts[pi].alive) continue;
+      int best = -1;
+      int64_t best_common = tau - 1;
+      int scanned = 0;
+      for (size_t j = i + 1; j < order.size() && scanned < options.lookahead;
+           ++j) {
+        int pj = order[j];
+        if (!parts[pj].alive) continue;
+        ++scanned;
+        int64_t common = CommonSorted(parts[pi].signature, parts[pj].signature);
+        if (common <= best_common) continue;
+        if (options.capacity > 0) {
+          // Capacity check on the merged union (upper bound: sum of sizes).
+          uint64_t upper =
+              parts[pi].records.size() + parts[pj].records.size();
+          if (upper > options.capacity) {
+            std::vector<RecordId> u;
+            std::set_union(parts[pi].records.begin(), parts[pi].records.end(),
+                           parts[pj].records.begin(), parts[pj].records.end(),
+                           std::back_inserter(u));
+            if (u.size() > options.capacity) continue;
+          }
+        }
+        best = pj;
+        best_common = common;
+      }
+      if (best >= 0) {
+        Part& a = parts[pi];
+        Part& b = parts[best];
+        std::vector<RecordId> u;
+        u.reserve(a.records.size() + b.records.size());
+        std::set_union(a.records.begin(), a.records.end(), b.records.begin(),
+                       b.records.end(), std::back_inserter(u));
+        a.records = std::move(u);
+        a.versions.insert(a.versions.end(), b.versions.begin(),
+                          b.versions.end());
+        a.signature = Shingles(a.records, options.num_shingles, options.seed);
+        b.alive = false;
+        b.records.clear();
+        merged_any = true;
+      }
+    }
+  }
+
+  Partitioning out;
+  out.partition_of.assign(n, -1);
+  for (auto& p : parts) {
+    if (!p.alive) continue;
+    int id = out.num_partitions++;
+    for (int v : p.versions) out.partition_of[v] = id;
+  }
+  return out;
+}
+
+Partitioning KmeansPartition(const RecordSetView& view,
+                             const KmeansOptions& options) {
+  const int n = view.num_versions;
+  const int k = std::min(options.k, n);
+  Xorshift rng(options.seed);
+
+  // Seed centroids with K distinct random versions.
+  std::vector<std::unordered_set<RecordId>> centroids(k);
+  for (uint64_t pick : rng.SampleWithoutReplacement(n, k)) {
+    const auto& rs = view.records_of(static_cast<int>(pick));
+    size_t c = centroids.size();
+    for (size_t i = 0; i < centroids.size(); ++i) {
+      if (centroids[i].empty()) {
+        c = i;
+        break;
+      }
+    }
+    if (c < centroids.size()) centroids[c].insert(rs.begin(), rs.end());
+  }
+
+  std::vector<int> assign(n, 0);
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    std::vector<uint64_t> part_sizes(k, 0);
+    // Assignment: nearest centroid by common-record count.
+    for (int v = 0; v < n; ++v) {
+      const auto& rs = view.records_of(v);
+      int best = 0;
+      int64_t best_common = -1;
+      for (int c = 0; c < k; ++c) {
+        int64_t common = 0;
+        for (RecordId r : rs) common += centroids[c].count(r);
+        if (common > best_common) {
+          if (options.capacity > 0 &&
+              part_sizes[c] + rs.size() > options.capacity) {
+            continue;
+          }
+          best_common = common;
+          best = c;
+        }
+      }
+      assign[v] = best;
+      part_sizes[best] += rs.size();
+    }
+    // Update: centroid becomes the union of its members.
+    for (auto& c : centroids) c.clear();
+    for (int v = 0; v < n; ++v) {
+      const auto& rs = view.records_of(v);
+      centroids[assign[v]].insert(rs.begin(), rs.end());
+    }
+  }
+
+  // Renumber non-empty clusters densely.
+  Partitioning out;
+  out.partition_of.assign(n, -1);
+  std::vector<int> remap(k, -1);
+  for (int v = 0; v < n; ++v) {
+    int c = assign[v];
+    if (remap[c] < 0) remap[c] = out.num_partitions++;
+    out.partition_of[v] = remap[c];
+  }
+  return out;
+}
+
+namespace {
+
+// Shared binary-search scaffolding for the baselines: sweep a parameter,
+// keep the best feasible partitioning (storage <= gamma).
+template <typename RunFn>
+Partitioning SearchParameter(const RecordSetView& view, uint64_t gamma,
+                             int64_t lo, int64_t hi, RunFn run,
+                             int* iterations_out) {
+  Partitioning best = Partitioning::SinglePartition(view.num_versions);
+  double best_checkout = std::numeric_limits<double>::infinity();
+  bool have = false;
+  int iterations = 0;
+  while (lo <= hi) {
+    int64_t mid = lo + (hi - lo) / 2;
+    Partitioning p = run(mid);
+    PartitionCosts costs = ComputeExactCosts(view, p);
+    ++iterations;
+    if (costs.storage <= gamma) {
+      if (!have || costs.checkout_avg < best_checkout) {
+        best = std::move(p);
+        best_checkout = costs.checkout_avg;
+        have = true;
+      }
+      if (costs.storage >= 0.99 * static_cast<double>(gamma)) break;
+      // Feasible: allow more duplication (more partitions).
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+    if (iterations >= 12) break;
+  }
+  if (iterations_out) *iterations_out = iterations;
+  return best;
+}
+
+}  // namespace
+
+Partitioning AggloForBudget(const RecordSetView& view, uint64_t gamma_records,
+                            int* iterations_out) {
+  // BC ranges from one version's records up to everything.
+  uint64_t total = 0;
+  uint64_t max_version = 0;
+  for (int v = 0; v < view.num_versions; ++v) {
+    total += view.records_of(v).size();
+    max_version = std::max<uint64_t>(max_version, view.records_of(v).size());
+  }
+  return SearchParameter(
+      view, gamma_records, static_cast<int64_t>(max_version),
+      static_cast<int64_t>(total),
+      [&view](int64_t bc) {
+        AggloOptions opt;
+        opt.capacity = static_cast<uint64_t>(bc);
+        return AggloPartition(view, opt);
+      },
+      iterations_out);
+}
+
+Partitioning KmeansForBudget(const RecordSetView& view, uint64_t gamma_records,
+                             int* iterations_out) {
+  // K ranges from 1 (all together) to |V| (fully split). Larger K => more
+  // storage, lower checkout cost, so the search is inverted vs Agglo's BC.
+  Partitioning best = Partitioning::SinglePartition(view.num_versions);
+  double best_checkout = std::numeric_limits<double>::infinity();
+  bool have = false;
+  int iterations = 0;
+  int64_t lo = 1;
+  // K beyond a few dozen clusters is never competitive and each KMeans run
+  // costs O(iters * |V| * K * version-size); bound the search like the
+  // paper bounds wall-clock time.
+  int64_t hi = std::min<int64_t>(view.num_versions, 64);
+  while (lo <= hi) {
+    int64_t mid = lo + (hi - lo) / 2;
+    KmeansOptions opt;
+    opt.k = static_cast<int>(mid);
+    Partitioning p = KmeansPartition(view, opt);
+    PartitionCosts costs = ComputeExactCosts(view, p);
+    ++iterations;
+    if (costs.storage <= gamma_records) {
+      if (!have || costs.checkout_avg < best_checkout) {
+        best = std::move(p);
+        best_checkout = costs.checkout_avg;
+        have = true;
+      }
+      if (costs.storage >= 0.99 * static_cast<double>(gamma_records)) break;
+      lo = mid + 1;  // afford more clusters
+    } else {
+      hi = mid - 1;
+    }
+    if (iterations >= 12) break;
+  }
+  if (iterations_out) *iterations_out = iterations;
+  return best;
+}
+
+}  // namespace orpheus::core

@@ -1,0 +1,49 @@
+#ifndef ORPHEUS_CORE_BASELINES_H_
+#define ORPHEUS_CORE_BASELINES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partitioning.h"
+
+namespace orpheus::core {
+
+/// NScale's agglomerative-clustering partitioner (Algorithm 4 of [61]),
+/// mapped to the versioning setting (Sec. 5.5.1): partitions start as single
+/// versions, are ordered by min-hash shingles, and are merged with the
+/// following candidates sharing the most shingles, subject to a per-
+/// partition record capacity BC.
+struct AggloOptions {
+  uint64_t capacity = 0;      // BC: max records per partition (0 = infinite)
+  int num_shingles = 24;      // min-hash signature width
+  int lookahead = 100;        // l: candidate window in shingle order
+  uint64_t seed = 7;
+};
+Partitioning AggloPartition(const RecordSetView& view,
+                            const AggloOptions& options);
+
+/// NScale's K-Means-clustering partitioner (Algorithm 5 of [61]): K seed
+/// versions become centroids (their record sets); versions are assigned to
+/// the centroid sharing the most records; centroids update to the union of
+/// their members. Quadratic-ish and slow by design — the paper's point.
+struct KmeansOptions {
+  int k = 8;
+  int iterations = 10;
+  uint64_t capacity = 0;  // BC (0 = infinite)
+  uint64_t seed = 7;
+};
+Partitioning KmeansPartition(const RecordSetView& view,
+                             const KmeansOptions& options);
+
+/// Binary-search drivers mirroring Sec. 5.5.1: find the parameter (BC for
+/// Agglo, K for KMeans) whose partitioning minimizes checkout cost while
+/// keeping storage <= gamma_records. `iterations_out` reports the number of
+/// search iterations (Figs. 5.10/5.12).
+Partitioning AggloForBudget(const RecordSetView& view, uint64_t gamma_records,
+                            int* iterations_out = nullptr);
+Partitioning KmeansForBudget(const RecordSetView& view, uint64_t gamma_records,
+                             int* iterations_out = nullptr);
+
+}  // namespace orpheus::core
+
+#endif  // ORPHEUS_CORE_BASELINES_H_

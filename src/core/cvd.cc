@@ -1,0 +1,439 @@
+#include "core/cvd.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace orpheus::core {
+
+using minidb::ColumnDef;
+using minidb::Row;
+using minidb::Schema;
+using minidb::Table;
+using minidb::Value;
+using minidb::ValueType;
+
+namespace {
+
+// Rank types by generality for single-pool widening (int < double < string).
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64: return 1;
+    case ValueType::kDouble: return 2;
+    case ValueType::kString: return 3;
+    default: return 4;
+  }
+}
+
+Value CoerceValue(const Value& v, ValueType to) {
+  if (v.is_null() || v.type() == to) return v;
+  if (to == ValueType::kDouble &&
+      (v.type() == ValueType::kInt64)) {
+    return Value(static_cast<double>(v.AsInt()));
+  }
+  if (to == ValueType::kString) {
+    return Value(v.ToString());
+  }
+  return v;
+}
+
+}  // namespace
+
+Cvd::Cvd(std::string name, Options options, Schema data_schema)
+    : name_(std::move(name)),
+      options_(std::move(options)),
+      backend_(DataModelBackend::Create(options_.model, data_schema)) {
+  for (const auto& def : data_schema.columns()) {
+    RegisterAttribute(def.name, def.type);
+  }
+}
+
+void Cvd::RegisterAttribute(const std::string& attr_name, ValueType type) {
+  AttributeInfo info;
+  info.attr_id = static_cast<int>(attributes_.size());
+  info.name = attr_name;
+  info.type = type;
+  attributes_.push_back(info);
+  // The most recent registration for a position becomes current; callers
+  // update current_attr_ids_ explicitly for widenings.
+  current_attr_ids_.push_back(info.attr_id);
+}
+
+Result<std::unique_ptr<Cvd>> Cvd::Init(const std::string& name,
+                                       const Table& initial,
+                                       const Options& options) {
+  // Validate the PK attributes exist.
+  Schema data_schema = initial.schema();
+  bool has_rid = data_schema.num_columns() > 0 &&
+                 data_schema.column(0).name == "_rid";
+  if (has_rid) {
+    std::vector<ColumnDef> cols(data_schema.columns().begin() + 1,
+                                data_schema.columns().end());
+    data_schema = Schema(std::move(cols));
+  }
+  for (const auto& pk : options.primary_key) {
+    if (data_schema.FindColumn(pk) < 0) {
+      return Status::InvalidArgument(
+          StrFormat("primary key attribute %s not in schema", pk.c_str()));
+    }
+  }
+  std::unique_ptr<Cvd> cvd(new Cvd(name, options, data_schema));
+  auto vid = cvd->CommitTable(initial, {}, "init " + name);
+  if (!vid.ok()) return vid.status();
+  return cvd;
+}
+
+Status Cvd::ValidateVersion(VersionId vid) const {
+  if (vid < 1 || vid > num_versions()) {
+    return Status::NotFound(StrFormat("version %d does not exist", vid));
+  }
+  return Status::OK();
+}
+
+Status Cvd::Checkout(const std::vector<VersionId>& vids,
+                     const std::string& table_name,
+                     minidb::Database* staging) {
+  if (vids.empty()) {
+    return Status::InvalidArgument("checkout requires at least one version");
+  }
+  if (staging->HasTable(table_name)) {
+    return Status::AlreadyExists(
+        StrFormat("staging table %s already exists", table_name.c_str()));
+  }
+  for (VersionId vid : vids) ORPHEUS_RETURN_NOT_OK(ValidateVersion(vid));
+
+  // Materialize the first (highest-precedence) version.
+  auto first = backend_->Checkout(DenseId(vids[0]), table_name);
+  if (!first.ok()) return first.status();
+  Table merged = first.MoveValueOrDie();
+
+  if (vids.size() > 1) {
+    // Precedence merge on the primary key: a record whose PK was already
+    // added is omitted (Sec. 3.3.1). Without a PK, rid identity is used.
+    std::vector<int> pk_cols;
+    for (const auto& pk : options_.primary_key) {
+      int c = merged.schema().FindColumn(pk);
+      if (c >= 0) pk_cols.push_back(c);
+    }
+    auto key_of = [&pk_cols](const Table& t, uint32_t r) {
+      if (pk_cols.empty()) return t.GetValue(r, 0).ToString();
+      std::string key;
+      for (int c : pk_cols) {
+        key += t.GetValue(r, static_cast<size_t>(c)).ToString();
+        key += '\x1f';
+      }
+      return key;
+    };
+    std::unordered_set<std::string> seen;
+    seen.reserve(merged.num_rows() * 2);
+    for (uint32_t r = 0; r < merged.num_rows(); ++r) {
+      seen.insert(key_of(merged, r));
+    }
+    for (size_t i = 1; i < vids.size(); ++i) {
+      auto next = backend_->Checkout(DenseId(vids[i]), "tmp");
+      if (!next.ok()) return next.status();
+      const Table& t = *next;
+      std::vector<uint32_t> keep;
+      for (uint32_t r = 0; r < t.num_rows(); ++r) {
+        if (seen.insert(key_of(t, r)).second) keep.push_back(r);
+      }
+      merged.AppendFrom(t, keep);
+    }
+  }
+
+  auto adopted = staging->AdoptTable(std::move(merged));
+  if (!adopted.ok()) return adopted.status();
+  logical_clock_ += 1.0;
+  staging_[table_name] = StagingInfo{vids, logical_clock_};
+  return Status::OK();
+}
+
+Status Cvd::ReconcileSchema(const Table& table, bool has_rid_col,
+                            std::vector<int>* staging_col_of_attr) {
+  const Schema& tschema = table.schema();
+  const size_t first_data_col = has_rid_col ? 1 : 0;
+
+  // Pass 1: new attributes and type widenings.
+  for (size_t c = first_data_col; c < tschema.num_columns(); ++c) {
+    const ColumnDef& def = tschema.column(c);
+    int attr = backend_->data_schema().FindColumn(def.name);
+    if (attr < 0) {
+      // New attribute: extend the CVD (ALTER ... ADD COLUMN, NULLs for old
+      // records) and log it in the attribute table.
+      ORPHEUS_RETURN_NOT_OK(backend_->AddAttribute(def));
+      RegisterAttribute(def.name, def.type);
+      continue;
+    }
+    ValueType have = backend_->data_schema().column(attr).type;
+    if (def.type != have && TypeRank(def.type) > TypeRank(have)) {
+      // Widen to the more general type; a fresh attribute entry records the
+      // change (Fig. 4.3: cooccurrence integer -> decimal => new attr id).
+      ORPHEUS_RETURN_NOT_OK(backend_->WidenAttribute(attr, def.type));
+      AttributeInfo info;
+      info.attr_id = static_cast<int>(attributes_.size());
+      info.name = def.name;
+      info.type = def.type;
+      attributes_.push_back(info);
+      current_attr_ids_[attr] = info.attr_id;
+    }
+  }
+
+  // Pass 2: mapping from CVD attribute position -> staging column (or -1).
+  staging_col_of_attr->assign(backend_->data_schema().num_columns(), -1);
+  for (size_t k = 0; k < backend_->data_schema().num_columns(); ++k) {
+    int c = tschema.FindColumn(backend_->data_schema().column(k).name);
+    if (c >= 0 && (!has_rid_col || c != 0)) {
+      (*staging_col_of_attr)[k] = c;
+    }
+  }
+  return Status::OK();
+}
+
+Result<VersionId> Cvd::CommitTable(const Table& table,
+                                   const std::vector<VersionId>& parents,
+                                   const std::string& message,
+                                   const std::string& author) {
+  for (VersionId p : parents) ORPHEUS_RETURN_NOT_OK(ValidateVersion(p));
+
+  const bool has_rid_col = table.schema().num_columns() > 0 &&
+                           table.schema().column(0).name == "_rid";
+  std::vector<int> col_of_attr;
+  ORPHEUS_RETURN_NOT_OK(ReconcileSchema(table, has_rid_col, &col_of_attr));
+
+  const size_t num_attrs = backend_->data_schema().num_columns();
+  const int parent_hint = parents.empty() ? -1 : DenseId(parents[0]);
+
+  // PK positions within the CVD attribute space.
+  std::vector<int> pk_attrs;
+  for (const auto& pk : options_.primary_key) {
+    int k = backend_->data_schema().FindColumn(pk);
+    if (k >= 0) pk_attrs.push_back(k);
+  }
+
+  std::vector<RecordId> rids;
+  rids.reserve(table.num_rows());
+  std::vector<NewRecord> new_records;
+  std::unordered_set<std::string> pk_seen;
+  pk_seen.reserve(table.num_rows() * 2);
+
+  for (uint32_t r = 0; r < table.num_rows(); ++r) {
+    // Project the staging row into the CVD attribute space.
+    Row payload(num_attrs);
+    for (size_t k = 0; k < num_attrs; ++k) {
+      if (col_of_attr[k] >= 0) {
+        payload[k] =
+            CoerceValue(table.GetValue(r, static_cast<size_t>(col_of_attr[k])),
+                        backend_->data_schema().column(k).type);
+      }
+    }
+    // Primary-key constraint within the committed version.
+    if (!pk_attrs.empty()) {
+      std::string key;
+      for (int k : pk_attrs) {
+        key += payload[k].ToString();
+        key += '\x1f';
+      }
+      if (!pk_seen.insert(key).second) {
+        return Status::ConstraintViolation(
+            StrFormat("duplicate primary key in commit of %s: %s",
+                      table.name().c_str(), key.c_str()));
+      }
+    }
+    // Modification detection (no cross-version diff rule): a row carrying a
+    // rid is kept iff its payload still matches the stored record; anything
+    // else becomes a new immutable record.
+    RecordId rid = -1;
+    if (has_rid_col && !table.column(0).IsNull(r)) {
+      rid = table.column(0).GetInt(r);
+    }
+    bool keep = false;
+    if (rid >= 0 && rid < next_rid_) {
+      auto stored = backend_->GetRecordPayload(rid, parent_hint);
+      if (stored.ok() && stored->size() <= payload.size()) {
+        keep = true;
+        for (size_t k = 0; k < stored->size(); ++k) {
+          if (!((*stored)[k] == payload[k])) {
+            keep = false;
+            break;
+          }
+        }
+        // Attributes beyond the stored arity must be NULL for a match.
+        for (size_t k = stored->size(); keep && k < payload.size(); ++k) {
+          if (!payload[k].is_null()) keep = false;
+        }
+      }
+    }
+    if (keep) {
+      rids.push_back(rid);
+    } else {
+      RecordId fresh = next_rid_++;
+      rids.push_back(fresh);
+      new_records.push_back(NewRecord{fresh, std::move(payload)});
+    }
+  }
+
+  std::sort(rids.begin(), rids.end());
+  // new_records were assigned increasing rids in row order => sorted already.
+
+  std::vector<int> dense_parents;
+  std::vector<int64_t> weights;
+  for (VersionId p : parents) {
+    dense_parents.push_back(DenseId(p));
+    auto prids = backend_->VersionRecords(DenseId(p));
+    if (!prids.ok()) return prids.status();
+    // Shared records = |parent ∩ new| via sorted merge.
+    const auto& pv = *prids;
+    int64_t shared = 0;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < rids.size() && j < pv.size()) {
+      if (rids[i] < pv[j]) {
+        ++i;
+      } else if (rids[i] > pv[j]) {
+        ++j;
+      } else {
+        ++shared;
+        ++i;
+        ++j;
+      }
+    }
+    weights.push_back(shared);
+  }
+
+  const int dense = backend_->num_versions();
+  ORPHEUS_RETURN_NOT_OK(
+      backend_->AddVersion(dense, rids, new_records, dense_parents));
+  graph_.AddVersion(dense_parents, weights,
+                    static_cast<int64_t>(rids.size()));
+
+  VersionMetadata meta;
+  meta.vid = PublicId(dense);
+  meta.parents = parents;
+  meta.commit_time = (logical_clock_ += 1.0);
+  meta.message = message;
+  meta.author = author;
+  meta.attributes = current_attr_ids_;
+  meta.num_records = static_cast<int64_t>(rids.size());
+  metadata_.push_back(std::move(meta));
+  return PublicId(dense);
+}
+
+Result<VersionId> Cvd::Commit(const std::string& table_name,
+                              minidb::Database* staging,
+                              const std::string& message,
+                              const std::string& author) {
+  auto it = staging_.find(table_name);
+  if (it == staging_.end()) {
+    return Status::NotFound(
+        StrFormat("table %s was not checked out from CVD %s",
+                  table_name.c_str(), name_.c_str()));
+  }
+  Table* table = staging->GetTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound(
+        StrFormat("staging table %s missing", table_name.c_str()));
+  }
+  auto vid = CommitTable(*table, it->second.parents, message, author);
+  if (!vid.ok()) return vid.status();
+  metadata_.back().checkout_time = it->second.checkout_time;
+  // Cleanup: the record manager removes the table from the staging area.
+  ORPHEUS_RETURN_NOT_OK(staging->DropTable(table_name));
+  staging_.erase(it);
+  return vid;
+}
+
+Result<minidb::Table> Cvd::Diff(VersionId a, VersionId b) const {
+  ORPHEUS_RETURN_NOT_OK(ValidateVersion(a));
+  ORPHEUS_RETURN_NOT_OK(ValidateVersion(b));
+  auto only = VDiff(a, b);
+  if (!only.ok()) return only.status();
+  std::unordered_set<RecordId> keep(only->begin(), only->end());
+  auto mat = backend_->Checkout(DenseId(a), StrFormat("diff_%d_%d", a, b));
+  if (!mat.ok()) return mat.status();
+  const Table& t = *mat;
+  std::vector<uint32_t> rows;
+  const auto& rids = t.column(0).int_data();
+  for (uint32_t r = 0; r < t.num_rows(); ++r) {
+    if (keep.count(rids[r])) rows.push_back(r);
+  }
+  return t.CopyRows(rows, StrFormat("diff_%d_%d", a, b));
+}
+
+Result<std::vector<RecordId>> Cvd::VersionRecords(VersionId vid) const {
+  ORPHEUS_RETURN_NOT_OK(ValidateVersion(vid));
+  return backend_->VersionRecords(DenseId(vid));
+}
+
+std::vector<VersionId> Cvd::Ancestors(VersionId vid) const {
+  std::vector<VersionId> out;
+  for (int v : graph_.Ancestors(DenseId(vid))) out.push_back(PublicId(v));
+  return out;
+}
+
+std::vector<VersionId> Cvd::Descendants(VersionId vid) const {
+  std::vector<VersionId> out;
+  for (int v : graph_.Descendants(DenseId(vid))) out.push_back(PublicId(v));
+  return out;
+}
+
+std::vector<VersionId> Cvd::Parents(VersionId vid) const {
+  std::vector<VersionId> out;
+  for (int v : graph_.parents(DenseId(vid))) out.push_back(PublicId(v));
+  return out;
+}
+
+Result<std::vector<RecordId>> Cvd::VIntersect(
+    const std::vector<VersionId>& vids) const {
+  if (vids.empty()) return std::vector<RecordId>{};
+  auto acc = VersionRecords(vids[0]);
+  if (!acc.ok()) return acc.status();
+  std::vector<RecordId> cur = acc.MoveValueOrDie();
+  for (size_t i = 1; i < vids.size(); ++i) {
+    auto next = VersionRecords(vids[i]);
+    if (!next.ok()) return next.status();
+    std::vector<RecordId> merged;
+    std::set_intersection(cur.begin(), cur.end(), next->begin(), next->end(),
+                          std::back_inserter(merged));
+    cur = std::move(merged);
+  }
+  return cur;
+}
+
+Result<std::vector<RecordId>> Cvd::VDiff(VersionId a, VersionId b) const {
+  auto ra = VersionRecords(a);
+  if (!ra.ok()) return ra.status();
+  auto rb = VersionRecords(b);
+  if (!rb.ok()) return rb.status();
+  std::vector<RecordId> out;
+  std::set_difference(ra->begin(), ra->end(), rb->begin(), rb->end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+std::vector<VersionId> Cvd::StagingParents(
+    const std::string& table_name) const {
+  auto it = staging_.find(table_name);
+  return it == staging_.end() ? std::vector<VersionId>{} : it->second.parents;
+}
+
+Status Cvd::ForgetStaging(const std::string& table_name) {
+  if (staging_.erase(table_name) == 0) {
+    return Status::NotFound(
+        StrFormat("table %s is not staged", table_name.c_str()));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Cvd::StagedTables() const {
+  std::vector<std::string> out;
+  out.reserve(staging_.size());
+  for (const auto& [name, info] : staging_) {
+    (void)info;
+    out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace orpheus::core

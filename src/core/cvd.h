@@ -1,0 +1,156 @@
+#ifndef ORPHEUS_CORE_CVD_H_
+#define ORPHEUS_CORE_CVD_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/data_models.h"
+#include "core/types.h"
+#include "core/version_graph.h"
+#include "minidb/database.h"
+
+namespace orpheus::core {
+
+/// Attribute-table row (Fig. 4.3b): any change to an attribute's properties
+/// creates a new entry.
+struct AttributeInfo {
+  int attr_id = 0;
+  std::string name;
+  minidb::ValueType type = minidb::ValueType::kInt64;
+};
+
+/// A Collaborative Versioned Dataset (Sec. 3.1): one relation with many
+/// implicit versions, a version graph, version metadata, and a pluggable
+/// physical data model (Chapter 4).
+///
+/// Public version ids are 1-based, in commit order; internally they map to
+/// dense 0-based backend indices.
+class Cvd {
+ public:
+  struct Options {
+    DataModelType model = DataModelType::kSplitByRlist;
+    /// Names of the primary-key attributes (may be empty: no PK enforced).
+    std::vector<std::string> primary_key;
+  };
+
+  /// `init`: register an existing table (data attributes only) as a new CVD
+  /// whose version 1 holds the table's records.
+  static Result<std::unique_ptr<Cvd>> Init(const std::string& name,
+                                           const minidb::Table& initial,
+                                           const Options& options);
+
+  const std::string& name() const { return name_; }
+  DataModelBackend* backend() { return backend_.get(); }
+  const DataModelBackend* backend() const { return backend_.get(); }
+
+  int num_versions() const { return graph_.num_versions(); }
+  VersionId latest() const { return num_versions(); }
+  const VersionGraph& graph() const { return graph_; }
+  const std::vector<VersionMetadata>& metadata() const { return metadata_; }
+  const VersionMetadata& version_metadata(VersionId vid) const {
+    return metadata_[vid - 1];
+  }
+  const std::vector<AttributeInfo>& attribute_table() const {
+    return attributes_;
+  }
+
+  /// `checkout [cvd] -v vid... -t table`: materialize one or more versions
+  /// into `staging` as `table_name`. With multiple versions, records are
+  /// merged in precedence order: a record whose primary key was already
+  /// added by an earlier version is omitted (Sec. 3.3.1).
+  Status Checkout(const std::vector<VersionId>& vids,
+                  const std::string& table_name, minidb::Database* staging);
+
+  /// `commit -t table -m msg`: diff the staging table against its parent
+  /// versions, add any new/modified records to the CVD, register the new
+  /// version, and drop the staging table. The staging table must have been
+  /// produced by Checkout (OrpheusDB tracks its parent versions).
+  Result<VersionId> Commit(const std::string& table_name,
+                           minidb::Database* staging,
+                           const std::string& message,
+                           const std::string& author = "");
+
+  /// Commit a free-standing materialized table (schema: data attributes,
+  /// optionally preceded by a `_rid` column) with explicit parent versions.
+  /// Used by `init`-style imports and the bench harnesses.
+  Result<VersionId> CommitTable(const minidb::Table& table,
+                                const std::vector<VersionId>& parents,
+                                const std::string& message,
+                                const std::string& author = "");
+
+  /// `diff`: records present in version `a` but not in version `b`,
+  /// materialized with schema [_rid, attrs...].
+  Result<minidb::Table> Diff(VersionId a, VersionId b) const;
+
+  /// Sorted rids of a version (not user-visible in OrpheusDB proper, but
+  /// needed by the partition optimizer and tests).
+  Result<std::vector<RecordId>> VersionRecords(VersionId vid) const;
+
+  // --- Functional primitives usable as query predicates (Sec. 3.3.2) ---
+
+  /// ancestor(vid): all ancestors in the version graph.
+  std::vector<VersionId> Ancestors(VersionId vid) const;
+  /// descendant(vid).
+  std::vector<VersionId> Descendants(VersionId vid) const;
+  /// parent(vid).
+  std::vector<VersionId> Parents(VersionId vid) const;
+  /// v_intersect(ARRAY[vids]): rids present in all the given versions.
+  Result<std::vector<RecordId>> VIntersect(
+      const std::vector<VersionId>& vids) const;
+  /// v_diff(a, b) at the rid level.
+  Result<std::vector<RecordId>> VDiff(VersionId a, VersionId b) const;
+
+  /// Total backend storage (Fig. 4.1a).
+  uint64_t StorageBytes() const { return backend_->StorageBytes(); }
+
+  /// Staging tables currently tracked by the provenance manager.
+  std::vector<std::string> StagedTables() const;
+
+  /// Parent versions recorded for a staged table (empty if unknown).
+  std::vector<VersionId> StagingParents(const std::string& table_name) const;
+
+  /// Forget a staging registration without committing (used when a
+  /// checkout is exported to a CSV file and the table is dropped).
+  Status ForgetStaging(const std::string& table_name);
+
+ private:
+  Cvd(std::string name, Options options, minidb::Schema data_schema);
+
+  int DenseId(VersionId vid) const { return vid - 1; }
+  VersionId PublicId(int dense) const { return dense + 1; }
+  Status ValidateVersion(VersionId vid) const;
+
+  /// Align the staging table's columns with the CVD schema, evolving the
+  /// CVD schema when needed (Sec. 4.3). Outputs, for each CVD data
+  /// attribute, the staging column feeding it (-1 => NULL).
+  Status ReconcileSchema(const minidb::Table& table, bool has_rid_col,
+                         std::vector<int>* staging_col_of_attr);
+
+  void RegisterAttribute(const std::string& attr_name, minidb::ValueType type);
+
+  std::string name_;
+  Options options_;
+  std::unique_ptr<DataModelBackend> backend_;
+  VersionGraph graph_;
+  std::vector<VersionMetadata> metadata_;
+  std::vector<AttributeInfo> attributes_;
+  // Current attribute ids (indexes into attributes_) per data column.
+  std::vector<int> current_attr_ids_;
+  RecordId next_rid_ = 0;
+  double logical_clock_ = 0.0;
+  // Provenance manager state: staging table -> parent versions + checkout
+  // timestamp (Sec. 3.2).
+  struct StagingInfo {
+    std::vector<VersionId> parents;
+    double checkout_time = 0.0;
+  };
+  std::unordered_map<std::string, StagingInfo> staging_;
+};
+
+}  // namespace orpheus::core
+
+#endif  // ORPHEUS_CORE_CVD_H_

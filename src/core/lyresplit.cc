@@ -1,0 +1,371 @@
+#include "core/lyresplit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace orpheus::core {
+
+namespace {
+
+/// Tree context shared by all LyreSplit variants: the tree reduction of the
+/// version graph plus optional schema-awareness (Sec. 5.3.3).
+struct TreeCtx {
+  const VersionGraph* graph = nullptr;
+  std::vector<int> tree_parent;
+  std::vector<std::vector<int>> tree_children;
+  // Schema-aware inputs (null => fixed schema).
+  const std::vector<int>* common_attrs = nullptr;
+  int total_attrs = 1;
+
+  void Build(const VersionGraph& g) {
+    graph = &g;
+    tree_parent = g.ToTree();
+    tree_children.assign(g.num_versions(), {});
+    for (int v = 0; v < g.num_versions(); ++v) {
+      if (tree_parent[v] >= 0) tree_children[tree_parent[v]].push_back(v);
+    }
+  }
+
+  int64_t NodeSize(int v) const { return graph->num_records(v); }
+  int64_t EdgeWeight(int v) const {
+    return graph->EdgeWeight(tree_parent[v], v);
+  }
+  /// The split-candidate test value for the edge into v: w(p,v), or
+  /// a(p,v) * w(p,v) in the schema-aware variant.
+  int64_t EdgeScore(int v) const {
+    int64_t w = EdgeWeight(v);
+    if (common_attrs) w *= (*common_attrs)[v];
+    return w;
+  }
+  /// The candidate threshold multiplier: δ|R| or δ|A||R|.
+  double ThresholdScale() const {
+    return common_attrs ? static_cast<double>(total_attrs) : 1.0;
+  }
+};
+
+/// The recursive partitioner of Algorithm 5.1.
+class Splitter {
+ public:
+  Splitter(const TreeCtx& ctx, double delta)
+      : ctx_(ctx), delta_(delta), n_(ctx.graph->num_versions()) {
+    sub_v_.resize(n_);
+    sub_e_.resize(n_);
+    sub_r_.resize(n_);
+    in_comp_.assign(n_, 0);
+  }
+
+  Partitioning Run(int* levels_out) {
+    partition_of_.assign(n_, -1);
+    next_partition_ = 0;
+    max_level_ = 0;
+    // One recursion per tree root (normally just version 0).
+    for (int v = 0; v < n_; ++v) {
+      if (ctx_.tree_parent[v] < 0) {
+        std::vector<int> nodes = CollectSubtree(v);
+        Split(std::move(nodes), v, 0);
+      }
+    }
+    if (levels_out) *levels_out = max_level_;
+    Partitioning p;
+    p.partition_of = std::move(partition_of_);
+    p.num_partitions = next_partition_;
+    return p;
+  }
+
+ private:
+  std::vector<int> CollectSubtree(int root) const {
+    std::vector<int> nodes;
+    std::vector<int> stack = {root};
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      nodes.push_back(v);
+      for (int c : ctx_.tree_children[v]) stack.push_back(c);
+    }
+    return nodes;
+  }
+
+  // Compute subtree aggregates for every node of the component rooted at
+  // `root` (restricted to stamped members), in reverse-DFS order.
+  void ComputeSubtreeStats(const std::vector<int>& order) {
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      int v = *it;
+      sub_v_[v] = 1;
+      sub_e_[v] = static_cast<uint64_t>(ctx_.NodeSize(v));
+      sub_r_[v] = static_cast<uint64_t>(ctx_.NodeSize(v));
+      for (int c : ctx_.tree_children[v]) {
+        if (in_comp_[c] != stamp_) continue;
+        sub_v_[v] += sub_v_[c];
+        sub_e_[v] += sub_e_[c];
+        // Union grows by the child's union minus the shared records on the
+        // connecting edge (no-cross-version-diff rule).
+        sub_r_[v] += sub_r_[c] - static_cast<uint64_t>(ctx_.EdgeWeight(c));
+      }
+    }
+  }
+
+  // DFS order of the component rooted at `root` (parents before children).
+  std::vector<int> ComponentOrder(int root) const {
+    std::vector<int> order;
+    std::vector<int> stack = {root};
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      order.push_back(v);
+      for (int c : ctx_.tree_children[v]) {
+        if (in_comp_[c] == stamp_) stack.push_back(c);
+      }
+    }
+    return order;
+  }
+
+  void Split(std::vector<int> nodes, int root, int level) {
+    max_level_ = std::max(max_level_, level);
+    // Stamp the component.
+    ++stamp_;
+    for (int v : nodes) in_comp_[v] = stamp_;
+    std::vector<int> order = ComponentOrder(root);
+    ComputeSubtreeStats(order);
+
+    const uint64_t comp_v = sub_v_[root];
+    const uint64_t comp_e = sub_e_[root];
+    const uint64_t comp_r = sub_r_[root];
+
+    // Termination: |R| * |V| < |E| / δ  (Algorithm 5.1, line 1).
+    if (static_cast<double>(comp_r) * static_cast<double>(comp_v) <
+            static_cast<double>(comp_e) / delta_ ||
+        comp_v <= 1) {
+      int part = next_partition_++;
+      for (int v : nodes) partition_of_[v] = part;
+      return;
+    }
+
+    // Candidate edges: weight (or a*w in the schema-aware variant) at most
+    // δ|R| (resp. δ|A||R|).
+    const double threshold =
+        delta_ * ctx_.ThresholdScale() * static_cast<double>(comp_r);
+    int best = -1;
+    uint64_t best_v_gap = std::numeric_limits<uint64_t>::max();
+    uint64_t best_r_gap = std::numeric_limits<uint64_t>::max();
+    int fallback = -1;
+    int64_t fallback_w = std::numeric_limits<int64_t>::max();
+    for (int v : order) {
+      if (v == root) continue;
+      int64_t score = ctx_.EdgeScore(v);
+      if (score < fallback_w) {
+        fallback_w = score;
+        fallback = v;
+      }
+      if (static_cast<double>(score) > threshold) continue;
+      // Prefer the split balancing version counts; tie-break on records
+      // (Sec. 5.2's experimental policy).
+      uint64_t v_gap = sub_v_[v] * 2 > comp_v ? sub_v_[v] * 2 - comp_v
+                                              : comp_v - sub_v_[v] * 2;
+      uint64_t r_gap = sub_r_[v] * 2 > comp_r ? sub_r_[v] * 2 - comp_r
+                                              : comp_r - sub_r_[v] * 2;
+      if (v_gap < best_v_gap || (v_gap == best_v_gap && r_gap < best_r_gap)) {
+        best = v;
+        best_v_gap = v_gap;
+        best_r_gap = r_gap;
+      }
+    }
+    if (best < 0) best = fallback;  // guard; Lemma 5.1 makes this rare
+    if (best < 0) {
+      int part = next_partition_++;
+      for (int v : nodes) partition_of_[v] = part;
+      return;
+    }
+
+    // Cut the edge into `best`: the lower component is best's subtree.
+    std::vector<int> lower;
+    {
+      std::vector<int> stack = {best};
+      while (!stack.empty()) {
+        int v = stack.back();
+        stack.pop_back();
+        lower.push_back(v);
+        for (int c : ctx_.tree_children[v]) {
+          if (in_comp_[c] == stamp_) stack.push_back(c);
+        }
+      }
+    }
+    std::vector<char> in_lower(0);
+    ++stamp_;  // re-stamp lower for the membership test below
+    for (int v : lower) in_comp_[v] = stamp_;
+    std::vector<int> upper;
+    upper.reserve(nodes.size() - lower.size());
+    for (int v : nodes) {
+      if (in_comp_[v] != stamp_) upper.push_back(v);
+    }
+    Split(std::move(upper), root, level + 1);
+    Split(std::move(lower), best, level + 1);
+  }
+
+  const TreeCtx& ctx_;
+  const double delta_;
+  const int n_;
+  std::vector<uint64_t> sub_v_, sub_e_, sub_r_;
+  std::vector<int> in_comp_;
+  int stamp_ = 0;
+  std::vector<int> partition_of_;
+  int next_partition_ = 0;
+  int max_level_ = 0;
+};
+
+LyreSplitResult RunWithCtx(const TreeCtx& ctx, double delta) {
+  LyreSplitResult result;
+  Splitter splitter(ctx, delta);
+  result.partitioning = splitter.Run(&result.recursion_levels);
+  result.delta = delta;
+  result.estimated = ComputeTreeEstimatedCosts(*ctx.graph, ctx.tree_parent,
+                                               result.partitioning);
+  return result;
+}
+
+}  // namespace
+
+LyreSplitResult LyreSplitWithDelta(const VersionGraph& graph, double delta) {
+  TreeCtx ctx;
+  ctx.Build(graph);
+  return RunWithCtx(ctx, delta);
+}
+
+LyreSplitResult LyreSplitForBudget(const VersionGraph& graph,
+                                   uint64_t gamma_records) {
+  TreeCtx ctx;
+  ctx.Build(graph);
+
+  // Tree-wide totals determine the δ search range (Sec. 5.2).
+  Partitioning single = Partitioning::SinglePartition(graph.num_versions());
+  PartitionCosts base =
+      ComputeTreeEstimatedCosts(graph, ctx.tree_parent, single);
+  const double total_r = static_cast<double>(base.storage);  // |R| (+|R̂|)
+  const double total_e = static_cast<double>(graph.TotalBipartiteEdges());
+  const double total_v = static_cast<double>(graph.num_versions());
+
+  double lo = total_e / (total_r * total_v);
+  double hi = 1.0;
+  lo = std::min(lo, hi);
+
+  LyreSplitResult best = RunWithCtx(ctx, lo);
+  bool have_feasible = best.estimated.storage <= gamma_records;
+  int iterations = 1;
+  for (int it = 0; it < 40; ++it) {
+    double mid = 0.5 * (lo + hi);
+    LyreSplitResult r = RunWithCtx(ctx, mid);
+    ++iterations;
+    if (r.estimated.storage <= gamma_records) {
+      // Feasible: remember it and push for more splits (larger δ).
+      if (!have_feasible ||
+          r.estimated.checkout_avg < best.estimated.checkout_avg) {
+        best = std::move(r);
+        have_feasible = true;
+      }
+      if (best.estimated.storage >=
+          0.99 * static_cast<double>(gamma_records)) {
+        break;
+      }
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  best.search_iterations = iterations;
+  return best;
+}
+
+LyreSplitResult LyreSplitWeighted(const VersionGraph& graph,
+                                  const std::vector<int64_t>& freq,
+                                  double delta) {
+  const int n = graph.num_versions();
+  assert(static_cast<int>(freq.size()) == n);
+  // Build the expanded tree T' (Sec. 5.3.2): version i becomes a chain of
+  // freq[i] copies; the original edge (i, j) connects i's last copy to j's
+  // first copy.
+  std::vector<int> tree_parent = graph.ToTree();
+  VersionGraph expanded;
+  std::vector<int> first_copy(n, -1);
+  std::vector<int> last_copy(n, -1);
+  // Insert versions in an order where parents precede children (version
+  // indices already satisfy this: parents have smaller indices).
+  for (int v = 0; v < n; ++v) {
+    int64_t f = std::max<int64_t>(1, freq[v]);
+    for (int64_t c = 0; c < f; ++c) {
+      std::vector<int> parents;
+      std::vector<int64_t> weights;
+      if (c == 0) {
+        if (tree_parent[v] >= 0) {
+          parents = {last_copy[tree_parent[v]]};
+          weights = {graph.EdgeWeight(tree_parent[v], v)};
+        }
+      } else {
+        parents = {last_copy[v]};
+        weights = {graph.num_records(v)};  // identical copies share all
+      }
+      int idx = expanded.AddVersion(parents, weights, graph.num_records(v));
+      if (c == 0) first_copy[v] = idx;
+      last_copy[v] = idx;
+    }
+  }
+
+  TreeCtx ctx;
+  ctx.Build(expanded);
+  LyreSplitResult expanded_result = RunWithCtx(ctx, delta);
+
+  // Post-process: move all copies of a version into the copy-partition with
+  // the fewest (estimated) records.
+  std::vector<uint64_t> part_records(expanded_result.partitioning.num_partitions,
+                                     0);
+  {
+    auto groups = expanded_result.partitioning.Groups();
+    for (int k = 0; k < static_cast<int>(groups.size()); ++k) {
+      // Estimate: sum of node sizes is a safe proxy for coalescing choice.
+      for (int v : groups[k]) {
+        part_records[k] += static_cast<uint64_t>(expanded.num_records(v));
+      }
+    }
+  }
+  LyreSplitResult result;
+  result.delta = delta;
+  result.recursion_levels = expanded_result.recursion_levels;
+  result.partitioning.partition_of.resize(n);
+  for (int v = 0; v < n; ++v) {
+    int best_part = expanded_result.partitioning.partition_of[first_copy[v]];
+    for (int c = first_copy[v]; c <= last_copy[v]; ++c) {
+      int p = expanded_result.partitioning.partition_of[c];
+      if (part_records[p] < part_records[best_part]) best_part = p;
+    }
+    result.partitioning.partition_of[v] = best_part;
+  }
+  // Renumber partitions densely.
+  std::vector<int> remap(expanded_result.partitioning.num_partitions, -1);
+  int next = 0;
+  for (int v = 0; v < n; ++v) {
+    int& p = result.partitioning.partition_of[v];
+    if (remap[p] < 0) remap[p] = next++;
+    p = remap[p];
+  }
+  result.partitioning.num_partitions = next;
+  TreeCtx orig_ctx;
+  orig_ctx.Build(graph);
+  result.estimated = ComputeTreeEstimatedCosts(graph, orig_ctx.tree_parent,
+                                               result.partitioning);
+  return result;
+}
+
+LyreSplitResult LyreSplitSchemaAware(const VersionGraph& graph,
+                                     const std::vector<int>& attrs_of,
+                                     const std::vector<int>& common_attrs,
+                                     int total_attrs, double delta) {
+  (void)attrs_of;  // node attribute counts inform only the threshold scale
+  TreeCtx ctx;
+  ctx.Build(graph);
+  ctx.common_attrs = &common_attrs;
+  ctx.total_attrs = std::max(1, total_attrs);
+  return RunWithCtx(ctx, delta);
+}
+
+}  // namespace orpheus::core

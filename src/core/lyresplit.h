@@ -1,0 +1,52 @@
+#ifndef ORPHEUS_CORE_LYRESPLIT_H_
+#define ORPHEUS_CORE_LYRESPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partitioning.h"
+#include "core/version_graph.h"
+
+namespace orpheus::core {
+
+/// Result of a LyreSplit run (Algorithm 5.1).
+struct LyreSplitResult {
+  Partitioning partitioning;
+  double delta = 0.0;        // the δ actually used
+  int recursion_levels = 0;  // ℓ: approximation is ((1+δ)^ℓ, 1/δ)
+  int search_iterations = 0; // binary-search iterations (0 if fixed δ)
+  PartitionCosts estimated;  // tree-estimated costs of the result
+};
+
+/// Run LyreSplit with a fixed δ on the version graph. A DAG is first
+/// reduced to a tree by keeping each version's highest-weight in-edge
+/// (Sec. 5.3.1). Guarantees ((1+δ)^ℓ, 1/δ)-approximation (Theorem 5.2).
+LyreSplitResult LyreSplitWithDelta(const VersionGraph& graph, double delta);
+
+/// Problem 5.1: minimize C_avg subject to the storage threshold
+/// `gamma_records` (in records), by binary-searching δ (Sec. 5.2). The best
+/// feasible partitioning found is returned.
+LyreSplitResult LyreSplitForBudget(const VersionGraph& graph,
+                                   uint64_t gamma_records);
+
+/// Weighted checkout cost variant (Sec. 5.3.2): version i is checked out
+/// with integer frequency freq[i]; each version is conceptually duplicated
+/// freq[i] times in a chain before partitioning, and copies are coalesced
+/// into the smallest resulting partition afterwards.
+LyreSplitResult LyreSplitWeighted(const VersionGraph& graph,
+                                  const std::vector<int64_t>& freq,
+                                  double delta);
+
+/// Schema-change-aware variant (Sec. 5.3.3): an edge is a split candidate
+/// when a(vi,vj) * w(vi,vj) <= δ * |A||R|, where a() counts common
+/// attributes. `attrs_of` gives the attribute count per version and
+/// `common_attrs` the per-tree-edge common attribute count (indexed by
+/// child version; roots ignored).
+LyreSplitResult LyreSplitSchemaAware(const VersionGraph& graph,
+                                     const std::vector<int>& attrs_of,
+                                     const std::vector<int>& common_attrs,
+                                     int total_attrs, double delta);
+
+}  // namespace orpheus::core
+
+#endif  // ORPHEUS_CORE_LYRESPLIT_H_

@@ -1,0 +1,110 @@
+#include "core/online.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace orpheus::core {
+
+OnlineMaintainer::OnlineMaintainer(const VersionGraph* graph,
+                                   const Options& options)
+    : graph_(graph), options_(options) {}
+
+void OnlineMaintainer::Bootstrap(const LyreSplitResult& initial) {
+  best_plan_ = initial;
+  current_ = initial.partitioning;
+  delta_star_ = initial.delta;
+  versions_seen_ = static_cast<int>(current_.partition_of.size());
+
+  part_records_.assign(current_.num_partitions, 0);
+  part_versions_.assign(current_.num_partitions, 0);
+  std::vector<int> tree_parent = graph_->ToTree();
+  total_records_ = 0;
+  for (int v = 0; v < versions_seen_; ++v) {
+    int part = current_.partition_of[v];
+    ++part_versions_[part];
+    int p = tree_parent[v];
+    int64_t add = p >= 0 && current_.partition_of[p] == part
+                      ? graph_->num_records(v) - graph_->EdgeWeight(p, v)
+                      : graph_->num_records(v);
+    part_records_[part] += static_cast<uint64_t>(add);
+    int64_t fresh = p >= 0 ? graph_->num_records(v) - graph_->EdgeWeight(p, v)
+                           : graph_->num_records(v);
+    total_records_ += static_cast<uint64_t>(fresh);
+  }
+  storage_ = 0;
+  for (uint64_t r : part_records_) storage_ += r;
+}
+
+double OnlineMaintainer::current_checkout_cost() const {
+  double sum = 0.0;
+  for (size_t k = 0; k < part_records_.size(); ++k) {
+    sum += static_cast<double>(part_records_[k]) *
+           static_cast<double>(part_versions_[k]);
+  }
+  return versions_seen_ > 0 ? sum / static_cast<double>(versions_seen_) : 0.0;
+}
+
+void OnlineMaintainer::Replan() {
+  uint64_t gamma = static_cast<uint64_t>(
+      options_.gamma_factor * static_cast<double>(total_records_));
+  best_plan_ = LyreSplitForBudget(*graph_, gamma);
+  delta_star_ = best_plan_.delta;
+}
+
+int OnlineMaintainer::OnCommit(int v, bool* migration_needed) {
+  assert(v == versions_seen_);
+  // Best parent: highest-weight in-edge (the version inherits most from it).
+  const auto& parents = graph_->parents(v);
+  int best_parent = -1;
+  int64_t w = 0;
+  for (int p : parents) {
+    int64_t pw = graph_->EdgeWeight(p, v);
+    if (pw > w) {
+      w = pw;
+      best_parent = p;
+    }
+  }
+  int64_t fresh = graph_->num_records(v) - w;
+  total_records_ += static_cast<uint64_t>(fresh);
+  uint64_t gamma = static_cast<uint64_t>(
+      options_.gamma_factor * static_cast<double>(total_records_));
+
+  int chosen;
+  if (best_parent < 0 ||
+      (static_cast<double>(w) <=
+           delta_star_ * static_cast<double>(total_records_) &&
+       storage_ + static_cast<uint64_t>(graph_->num_records(v)) <= gamma)) {
+    // Low overlap with the parent and room in the budget: new partition.
+    chosen = current_.num_partitions++;
+    part_records_.push_back(static_cast<uint64_t>(graph_->num_records(v)));
+    part_versions_.push_back(1);
+    storage_ += static_cast<uint64_t>(graph_->num_records(v));
+  } else {
+    // High overlap: join the parent's partition, adding only the delta.
+    chosen = current_.partition_of[best_parent];
+    part_records_[chosen] += static_cast<uint64_t>(fresh);
+    ++part_versions_[chosen];
+    storage_ += static_cast<uint64_t>(fresh);
+  }
+  current_.partition_of.push_back(chosen);
+  ++versions_seen_;
+
+  if (versions_seen_ % std::max(1, options_.replan_every) == 0) {
+    Replan();
+  }
+  if (migration_needed) {
+    *migration_needed =
+        best_plan_.estimated.checkout_avg > 0 &&
+        current_checkout_cost() >
+            options_.mu * best_plan_.estimated.checkout_avg;
+  }
+  return chosen;
+}
+
+void OnlineMaintainer::OnMigrated() {
+  // Recompute the plan over the complete graph, then adopt it.
+  Replan();
+  Bootstrap(best_plan_);
+}
+
+}  // namespace orpheus::core

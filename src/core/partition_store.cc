@@ -1,0 +1,290 @@
+#include "core/partition_store.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "minidb/join.h"
+
+namespace orpheus::core {
+
+using minidb::ColumnDef;
+using minidb::Schema;
+using minidb::Table;
+using minidb::ValueType;
+
+minidb::Schema PartitionedStore::DataSchema(int num_attributes) {
+  std::vector<ColumnDef> cols;
+  cols.reserve(num_attributes + 1);
+  cols.push_back({"_rid", ValueType::kInt64});
+  for (int a = 0; a < num_attributes; ++a) {
+    cols.push_back({StrFormat("a%d", a), ValueType::kInt64});
+  }
+  return Schema(std::move(cols));
+}
+
+PartitionedStore::Part::Part(const std::string& name, int num_attributes)
+    : data(name + "_data", DataSchema(num_attributes)),
+      versioning(name + "_versioning",
+                 Schema({{"vid", ValueType::kInt64},
+                         {"rlist", ValueType::kIntArray}})) {
+  Status s = data.BuildUniqueIntIndex(0);
+  (void)s;
+  s = versioning.BuildUniqueIntIndex(0);
+  (void)s;
+}
+
+void PartitionedStore::AppendVersionRecords(
+    const DatasetAccessor& ds, int version,
+    const std::vector<RecordId>& missing, Part* part) {
+  std::vector<int64_t> row(ds.num_attributes + 1);
+  std::vector<int64_t> payload(ds.num_attributes);
+  for (RecordId rid : missing) {
+    ds.payload_of(rid, &payload);
+    row[0] = rid;
+    for (int a = 0; a < ds.num_attributes; ++a) row[a + 1] = payload[a];
+    part->data.AppendIntRowUnchecked(row);
+  }
+  const auto& rids = ds.records_of(version);
+  minidb::Row vrow;
+  vrow.emplace_back(static_cast<int64_t>(version));
+  vrow.emplace_back(std::vector<int64_t>(rids.begin(), rids.end()));
+  part->versioning.AppendRowUnchecked(vrow);
+}
+
+void PartitionedStore::FillPartition(const DatasetAccessor& ds,
+                                     const std::vector<int>& versions,
+                                     Part* part) {
+  for (int v : versions) {
+    std::vector<RecordId> missing;
+    for (RecordId rid : ds.records_of(v)) {
+      if (!part->data.LookupUniqueInt(0, rid)) missing.push_back(rid);
+    }
+    AppendVersionRecords(ds, v, missing, part);
+  }
+}
+
+PartitionedStore PartitionedStore::Build(const DatasetAccessor& ds,
+                                         const Partitioning& partitioning) {
+  PartitionedStore store;
+  store.partition_of_ = partitioning.partition_of;
+  store.num_attributes_ = ds.num_attributes;
+  auto groups = partitioning.Groups();
+  store.parts_.reserve(groups.size());
+  for (int k = 0; k < static_cast<int>(groups.size()); ++k) {
+    store.parts_.emplace_back(StrFormat("p%d", k), ds.num_attributes);
+    FillPartition(ds, groups[k], &store.parts_.back());
+  }
+  return store;
+}
+
+Result<minidb::Table> PartitionedStore::Checkout(int version) const {
+  if (version < 0 || version >= num_versions()) {
+    return Status::NotFound(StrFormat("version %d", version));
+  }
+  const Part& part = parts_[partition_of_[version]];
+  auto row = part.versioning.LookupUniqueInt(0, version);
+  if (!row) return Status::Corruption("version missing from its partition");
+  const auto& rlist = part.versioning.column(1).GetIntArray(*row);
+  std::vector<uint32_t> rows =
+      minidb::JoinRids(part.data, 0, rlist, minidb::JoinAlgorithm::kHashJoin,
+                       /*clustered_on_rid=*/false);
+  return part.data.CopyRows(rows, StrFormat("checkout_v%d", version));
+}
+
+uint64_t PartitionedStore::TotalDataRecords() const {
+  uint64_t total = 0;
+  for (const auto& p : parts_) total += p.data.num_rows();
+  return total;
+}
+
+uint64_t PartitionedStore::StorageBytes() const {
+  uint64_t total = 0;
+  for (const auto& p : parts_) {
+    total += p.data.StorageBytes() + p.versioning.StorageBytes();
+  }
+  return total;
+}
+
+uint64_t PartitionedStore::PartitionRecords(int version) const {
+  return parts_[partition_of_[version]].data.num_rows();
+}
+
+uint64_t PartitionedStore::MigrateTo(const DatasetAccessor& ds,
+                                     const Partitioning& target,
+                                     bool intelligent) {
+  uint64_t work = 0;
+  auto groups = target.Groups();
+
+  if (!intelligent) {
+    // Naive: drop everything, rebuild every partition from scratch.
+    std::vector<Part> fresh;
+    fresh.reserve(groups.size());
+    for (int k = 0; k < static_cast<int>(groups.size()); ++k) {
+      fresh.emplace_back(StrFormat("p%d", k), ds.num_attributes);
+      FillPartition(ds, groups[k], &fresh.back());
+      work += fresh.back().data.num_rows();
+    }
+    parts_ = std::move(fresh);
+    partition_of_ = target.partition_of;
+    return work;
+  }
+
+  // Intelligent migration: match each target partition to the existing
+  // partition with the smallest modification cost, computed from the
+  // common versions, then patch it with record-level inserts/deletes.
+  const int old_n = num_partitions();
+  std::vector<char> old_used(old_n, 0);
+
+  // Record unions per target partition.
+  std::vector<std::vector<RecordId>> target_records(groups.size());
+  for (size_t k = 0; k < groups.size(); ++k) {
+    std::unordered_set<RecordId> u;
+    for (int v : groups[k]) {
+      const auto& rs = ds.records_of(v);
+      u.insert(rs.begin(), rs.end());
+    }
+    target_records[k].assign(u.begin(), u.end());
+    std::sort(target_records[k].begin(), target_records[k].end());
+  }
+
+  // Candidate old partitions per target: those currently holding one of its
+  // versions (partitions sharing no version share few records). Old rid
+  // sets are sorted once and reused across targets.
+  std::vector<std::vector<RecordId>> old_sorted(old_n);
+  std::vector<char> old_sorted_ready(old_n, 0);
+  auto sorted_old = [&](int oldk) -> const std::vector<RecordId>& {
+    if (!old_sorted_ready[oldk]) {
+      const auto& col = parts_[oldk].data.column(0).int_data();
+      old_sorted[oldk].assign(col.begin(), col.end());
+      std::sort(old_sorted[oldk].begin(), old_sorted[oldk].end());
+      old_sorted_ready[oldk] = 1;
+    }
+    return old_sorted[oldk];
+  };
+  struct Match {
+    int target = -1;
+    int old = -1;
+    uint64_t cost = 0;
+  };
+  std::vector<Match> matches;
+  for (size_t k = 0; k < groups.size(); ++k) {
+    std::unordered_set<int> candidates;
+    for (int v : groups[k]) {
+      if (v < static_cast<int>(partition_of_.size())) {
+        candidates.insert(partition_of_[v]);
+      }
+    }
+    for (int oldk : candidates) {
+      // Modification cost |R' \ R| + |R \ R'| from the rid columns.
+      const auto& old_rids = sorted_old(oldk);
+      uint64_t common = 0;
+      size_t i = 0;
+      size_t j = 0;
+      while (i < target_records[k].size() && j < old_rids.size()) {
+        if (target_records[k][i] < old_rids[j]) {
+          ++i;
+        } else if (target_records[k][i] > old_rids[j]) {
+          ++j;
+        } else {
+          ++common;
+          ++i;
+          ++j;
+        }
+      }
+      uint64_t cost = (target_records[k].size() - common) +
+                      (old_rids.size() - common);
+      // Modifying must beat building from scratch (cost |R'_i|).
+      if (cost < target_records[k].size()) {
+        matches.push_back({static_cast<int>(k), oldk, cost});
+      }
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const Match& a, const Match& b) { return a.cost < b.cost; });
+
+  std::vector<int> matched_old(groups.size(), -1);
+  for (const Match& m : matches) {
+    if (matched_old[m.target] >= 0 || old_used[m.old]) continue;
+    matched_old[m.target] = m.old;
+    old_used[m.old] = 1;
+  }
+
+  std::vector<Part> fresh;
+  fresh.reserve(groups.size());
+  for (size_t k = 0; k < groups.size(); ++k) {
+    if (matched_old[k] < 0) {
+      // Build from scratch.
+      fresh.emplace_back(StrFormat("p%zu", k), ds.num_attributes);
+      FillPartition(ds, groups[k], &fresh.back());
+      work += fresh.back().data.num_rows();
+      continue;
+    }
+    Part& old_part = parts_[matched_old[k]];
+    // Deletes: rows whose rid is not needed anymore (binary search against
+    // the sorted target set — no extra hash table).
+    const auto& target = target_records[k];
+    std::vector<uint32_t> dead;
+    const auto& rids = old_part.data.column(0).int_data();
+    for (uint32_t r = 0; r < old_part.data.num_rows(); ++r) {
+      if (!std::binary_search(target.begin(), target.end(), rids[r])) {
+        dead.push_back(r);
+      }
+    }
+    // Inserts: needed rids the old partition lacks.
+    std::vector<RecordId> missing;
+    for (RecordId rid : target) {
+      if (!old_part.data.LookupUniqueInt(0, rid)) missing.push_back(rid);
+    }
+    work += dead.size() + missing.size();
+    if (!dead.empty()) old_part.data.DeleteRows(dead);
+    std::vector<int64_t> row(ds.num_attributes + 1);
+    std::vector<int64_t> payload(ds.num_attributes);
+    for (RecordId rid : missing) {
+      ds.payload_of(rid, &payload);
+      row[0] = rid;
+      for (int a = 0; a < ds.num_attributes; ++a) row[a + 1] = payload[a];
+      old_part.data.AppendIntRowUnchecked(row);
+    }
+    // The versioning table is rebuilt (cheap: one rlist row per version).
+    Part patched(StrFormat("p%zu", k), 0);
+    patched.data = std::move(old_part.data);
+    for (int v : groups[k]) {
+      const auto& vr = ds.records_of(v);
+      minidb::Row vrow;
+      vrow.emplace_back(static_cast<int64_t>(v));
+      vrow.emplace_back(std::vector<int64_t>(vr.begin(), vr.end()));
+      patched.versioning.AppendRowUnchecked(vrow);
+    }
+    fresh.push_back(std::move(patched));
+  }
+  parts_ = std::move(fresh);
+  partition_of_ = target.partition_of;
+  return work;
+}
+
+Result<int> PartitionedStore::AddVersion(const DatasetAccessor& ds,
+                                         int version, int partition) {
+  if (version != num_versions()) {
+    return Status::InvalidArgument("versions must be appended in order");
+  }
+  if (partition >= num_partitions()) {
+    return Status::InvalidArgument("no such partition");
+  }
+  if (partition < 0) {
+    parts_.emplace_back(StrFormat("p%d", num_partitions()),
+                        num_attributes_);
+    partition = num_partitions() - 1;
+  }
+  Part& part = parts_[partition];
+  std::vector<RecordId> missing;
+  for (RecordId rid : ds.records_of(version)) {
+    if (!part.data.LookupUniqueInt(0, rid)) missing.push_back(rid);
+  }
+  AppendVersionRecords(ds, version, missing, &part);
+  partition_of_.push_back(partition);
+  return partition;
+}
+
+}  // namespace orpheus::core

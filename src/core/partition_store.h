@@ -1,0 +1,86 @@
+#ifndef ORPHEUS_CORE_PARTITION_STORE_H_
+#define ORPHEUS_CORE_PARTITION_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/partitioning.h"
+#include "core/types.h"
+#include "minidb/table.h"
+
+namespace orpheus::core {
+
+/// Full access to a versioned dataset's membership and payloads, decoupled
+/// from where it lives (benchmark generator or CVD backend).
+struct DatasetAccessor {
+  int num_versions = 0;
+  int num_attributes = 0;  // data attributes per record
+  std::function<const std::vector<RecordId>&(int v)> records_of;
+  /// Fill `out` (size num_attributes) with the record's attribute values.
+  std::function<void(RecordId, std::vector<int64_t>*)> payload_of;
+};
+
+/// The physical realization of a partitioning (Sec. 5.1): each partition
+/// stores its own split-by-rlist pair of tables — a data table holding the
+/// union of its versions' records, and a versioning table mapping each of
+/// its versions to an rlist. Checkout touches exactly one partition.
+class PartitionedStore {
+ public:
+  /// Materialize `partitioning` over the dataset.
+  static PartitionedStore Build(const DatasetAccessor& ds,
+                                const Partitioning& partitioning);
+
+  int num_partitions() const { return static_cast<int>(parts_.size()); }
+  int partition_of(int version) const { return partition_of_[version]; }
+  int num_versions() const { return static_cast<int>(partition_of_.size()); }
+
+  /// Materialize a version: vid index lookup in its partition's versioning
+  /// table, then a hash join against that partition's data table.
+  Result<minidb::Table> Checkout(int version) const;
+
+  /// Σ over partitions of the records stored (the storage metric S).
+  uint64_t TotalDataRecords() const;
+  uint64_t StorageBytes() const;
+  /// Records in the partition holding `version` (the checkout cost C_i).
+  uint64_t PartitionRecords(int version) const;
+
+  /// Migrate this store to `target` (Sec. 5.4). With `intelligent` the
+  /// engine matches each target partition to the closest existing one and
+  /// applies record-level inserts/deletes (falling back to from-scratch
+  /// builds when modifying would cost more); otherwise every partition is
+  /// rebuilt from scratch. Returns the number of records inserted+deleted
+  /// (the work measure behind Figs. 5.17b/5.19b).
+  uint64_t MigrateTo(const DatasetAccessor& ds, const Partitioning& target,
+                     bool intelligent);
+
+  /// Online maintenance (Sec. 5.4): add a newly committed version (already
+  /// visible through `ds`) to partition `partition`, or to a brand new
+  /// partition when `partition` < 0. Returns the partition used.
+  Result<int> AddVersion(const DatasetAccessor& ds, int version,
+                         int partition);
+
+ private:
+  struct Part {
+    minidb::Table data;        // [_rid, attrs...]
+    minidb::Table versioning;  // [vid, rlist]
+    Part(const std::string& name, int num_attributes);
+  };
+
+  static minidb::Schema DataSchema(int num_attributes);
+  static void FillPartition(const DatasetAccessor& ds,
+                            const std::vector<int>& versions, Part* part);
+  static void AppendVersionRecords(const DatasetAccessor& ds, int version,
+                                   const std::vector<RecordId>& missing,
+                                   Part* part);
+
+  std::vector<Part> parts_;
+  std::vector<int> partition_of_;
+  int num_attributes_ = 0;
+};
+
+}  // namespace orpheus::core
+
+#endif  // ORPHEUS_CORE_PARTITION_STORE_H_

@@ -1,0 +1,85 @@
+#include "core/partitioning.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace orpheus::core {
+
+std::vector<std::vector<int>> Partitioning::Groups() const {
+  std::vector<std::vector<int>> groups(num_partitions);
+  for (int v = 0; v < static_cast<int>(partition_of.size()); ++v) {
+    groups[partition_of[v]].push_back(v);
+  }
+  return groups;
+}
+
+PartitionCosts ComputeExactCosts(const RecordSetView& view,
+                                 const Partitioning& partitioning) {
+  PartitionCosts costs;
+  const int n = view.num_versions;
+  auto groups = partitioning.Groups();
+  for (const auto& group : groups) {
+    if (group.empty()) continue;
+    // Union of the group's record sets.
+    std::unordered_set<RecordId> records;
+    for (int v : group) {
+      const auto& rs = view.records_of(v);
+      records.insert(rs.begin(), rs.end());
+    }
+    uint64_t rk = records.size();
+    costs.storage += rk;
+    costs.checkout_avg += static_cast<double>(group.size()) *
+                          static_cast<double>(rk);
+    costs.max_partition = std::max(costs.max_partition, rk);
+  }
+  costs.checkout_avg /= static_cast<double>(n);
+  return costs;
+}
+
+PartitionCosts ComputeTreeEstimatedCosts(const VersionGraph& graph,
+                                         const std::vector<int>& tree_parent,
+                                         const Partitioning& partitioning) {
+  PartitionCosts costs;
+  const int n = graph.num_versions();
+  std::vector<uint64_t> rk(partitioning.num_partitions, 0);
+  std::vector<uint64_t> vk(partitioning.num_partitions, 0);
+  for (int v = 0; v < n; ++v) {
+    int part = partitioning.partition_of[v];
+    ++vk[part];
+    int parent = tree_parent[v];
+    if (parent >= 0 && partitioning.partition_of[parent] == part) {
+      // v adds only its new records relative to its (in-partition) parent.
+      rk[part] += static_cast<uint64_t>(graph.num_records(v) -
+                                        graph.EdgeWeight(parent, v));
+    } else {
+      // v is the root of its partition's component: contributes fully.
+      rk[part] += static_cast<uint64_t>(graph.num_records(v));
+    }
+  }
+  for (int k = 0; k < partitioning.num_partitions; ++k) {
+    costs.storage += rk[k];
+    costs.checkout_avg += static_cast<double>(vk[k]) *
+                          static_cast<double>(rk[k]);
+    costs.max_partition = std::max(costs.max_partition, rk[k]);
+  }
+  costs.checkout_avg /= static_cast<double>(n);
+  return costs;
+}
+
+std::vector<uint64_t> PerVersionCheckoutCost(const RecordSetView& view,
+                                             const Partitioning& partitioning) {
+  std::vector<uint64_t> cost(view.num_versions, 0);
+  auto groups = partitioning.Groups();
+  for (const auto& group : groups) {
+    if (group.empty()) continue;
+    std::unordered_set<RecordId> records;
+    for (int v : group) {
+      const auto& rs = view.records_of(v);
+      records.insert(rs.begin(), rs.end());
+    }
+    for (int v : group) cost[v] = records.size();
+  }
+  return cost;
+}
+
+}  // namespace orpheus::core

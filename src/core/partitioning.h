@@ -1,0 +1,70 @@
+#ifndef ORPHEUS_CORE_PARTITIONING_H_
+#define ORPHEUS_CORE_PARTITIONING_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/types.h"
+#include "core/version_graph.h"
+
+namespace orpheus::core {
+
+/// Assignment of versions to partitions: each version lives in exactly one
+/// partition; records are implicitly duplicated across partitions (Sec. 5.1).
+struct Partitioning {
+  std::vector<int> partition_of;  // version index -> partition id
+  int num_partitions = 0;
+
+  static Partitioning SinglePartition(int num_versions) {
+    Partitioning p;
+    p.partition_of.assign(num_versions, 0);
+    p.num_partitions = 1;
+    return p;
+  }
+  static Partitioning OnePerVersion(int num_versions) {
+    Partitioning p;
+    p.partition_of.resize(num_versions);
+    for (int i = 0; i < num_versions; ++i) p.partition_of[i] = i;
+    p.num_partitions = num_versions;
+    return p;
+  }
+
+  /// Versions grouped by partition.
+  std::vector<std::vector<int>> Groups() const;
+};
+
+/// Access to a versioned dataset's record membership, decoupled from where
+/// it lives (benchmark generator, CVD backend, ...).
+struct RecordSetView {
+  int num_versions = 0;
+  /// Sorted rids of version v.
+  std::function<const std::vector<RecordId>&(int v)> records_of;
+};
+
+/// The two partitioning metrics of Sec. 5.1, in units of records.
+struct PartitionCosts {
+  uint64_t storage = 0;        // S = sum over partitions of |R_k|
+  double checkout_avg = 0.0;   // C_avg = sum |V_k||R_k| / n
+  uint64_t max_partition = 0;  // largest |R_k|
+};
+
+/// Exact costs, computed from real record sets (unions per partition).
+PartitionCosts ComputeExactCosts(const RecordSetView& view,
+                                 const Partitioning& partitioning);
+
+/// Estimated costs computed only from the version tree (node sizes + edge
+/// weights), assuming the no-cross-version-diff rule: the union of a
+/// connected tree component is size(root) + sum of (size(v) - w(parent,v)).
+/// This is what LyreSplit itself reasons about (Figs. 5.20/5.21).
+PartitionCosts ComputeTreeEstimatedCosts(const VersionGraph& graph,
+                                         const std::vector<int>& tree_parent,
+                                         const Partitioning& partitioning);
+
+/// Per-version checkout cost |R_k| of the partition containing it.
+std::vector<uint64_t> PerVersionCheckoutCost(const RecordSetView& view,
+                                             const Partitioning& partitioning);
+
+}  // namespace orpheus::core
+
+#endif  // ORPHEUS_CORE_PARTITIONING_H_

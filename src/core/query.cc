@@ -1,0 +1,391 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace orpheus::core {
+
+using minidb::ColumnDef;
+using minidb::Row;
+using minidb::Schema;
+using minidb::Table;
+using minidb::Value;
+using minidb::ValueType;
+
+bool Condition::Matches(const Value& v) const {
+  if (v.is_null()) return false;
+  switch (op) {
+    case Op::kEq: return v == value;
+    case Op::kNe: return v != value;
+    case Op::kLt: return v < value;
+    case Op::kLe: return !(value < v);
+    case Op::kGt: return value < v;
+    case Op::kGe: return !(v < value);
+  }
+  return false;
+}
+
+namespace {
+
+// Evaluate all conditions over row r of a materialized version table.
+bool RowMatches(const Table& t, uint32_t r, const std::vector<Condition>& where,
+                const std::vector<int>& cond_cols) {
+  for (size_t i = 0; i < where.size(); ++i) {
+    if (cond_cols[i] < 0) return false;
+    if (!where[i].Matches(t.GetValue(r, static_cast<size_t>(cond_cols[i])))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> ResolveConditionColumns(const Table& t,
+                                         const std::vector<Condition>& where) {
+  std::vector<int> cols;
+  cols.reserve(where.size());
+  for (const auto& c : where) cols.push_back(t.schema().FindColumn(c.column));
+  return cols;
+}
+
+}  // namespace
+
+Result<Table> SelectFromVersions(const Cvd& cvd,
+                                 const std::vector<VersionId>& vids,
+                                 const std::vector<Condition>& where,
+                                 const std::vector<std::string>& cols,
+                                 int64_t limit) {
+  if (vids.empty()) return Status::InvalidArgument("no versions given");
+  // Output schema: vid, then _rid + requested columns.
+  std::vector<ColumnDef> out_cols = {{"vid", ValueType::kInt64}};
+  const Schema& data_schema = cvd.backend()->data_schema();
+  std::vector<std::string> selected = cols;
+  if (selected.empty()) {
+    selected.push_back("_rid");
+    for (const auto& def : data_schema.columns()) selected.push_back(def.name);
+  }
+  for (const auto& name : selected) {
+    if (name == "_rid") {
+      out_cols.push_back({"_rid", ValueType::kInt64});
+      continue;
+    }
+    int k = data_schema.FindColumn(name);
+    if (k < 0) {
+      return Status::InvalidArgument(
+          StrFormat("unknown column %s", name.c_str()));
+    }
+    out_cols.push_back(data_schema.column(static_cast<size_t>(k)));
+  }
+  Table out("query_result", Schema(out_cols));
+
+  int64_t emitted = 0;
+  for (VersionId vid : vids) {
+    if (vid < 1 || vid > cvd.num_versions()) {
+      return Status::NotFound(StrFormat("version %d does not exist", vid));
+    }
+    auto mat = cvd.backend()->Checkout(vid - 1, "q_tmp");
+    if (!mat.ok()) return mat.status();
+    const Table& t = *mat;
+    std::vector<int> cond_cols = ResolveConditionColumns(t, where);
+    std::vector<int> sel_cols;
+    for (const auto& name : selected) {
+      sel_cols.push_back(t.schema().FindColumn(name));
+    }
+    for (uint32_t r = 0; r < t.num_rows(); ++r) {
+      if (!RowMatches(t, r, where, cond_cols)) continue;
+      Row row;
+      row.reserve(sel_cols.size() + 1);
+      row.emplace_back(static_cast<int64_t>(vid));
+      for (int c : sel_cols) {
+        row.push_back(c >= 0 ? t.GetValue(r, static_cast<size_t>(c))
+                             : Value::Null());
+      }
+      out.AppendRowUnchecked(row);
+      if (limit >= 0 && ++emitted >= limit) return out;
+    }
+  }
+  return out;
+}
+
+Result<Table> AggregateByVersion(const Cvd& cvd, AggFunc func,
+                                 const std::string& col,
+                                 const std::vector<Condition>& where) {
+  const char* agg_name = "agg";
+  switch (func) {
+    case AggFunc::kCount: agg_name = "count"; break;
+    case AggFunc::kSum: agg_name = "sum"; break;
+    case AggFunc::kAvg: agg_name = "avg"; break;
+    case AggFunc::kMin: agg_name = "min"; break;
+    case AggFunc::kMax: agg_name = "max"; break;
+  }
+  Table out("agg_result", Schema({{"vid", ValueType::kInt64},
+                                  {agg_name, ValueType::kDouble}}));
+  for (VersionId vid = 1; vid <= cvd.num_versions(); ++vid) {
+    auto mat = cvd.backend()->Checkout(vid - 1, "q_tmp");
+    if (!mat.ok()) return mat.status();
+    const Table& t = *mat;
+    std::vector<int> cond_cols = ResolveConditionColumns(t, where);
+    int agg_col = col == "*" ? -1 : t.schema().FindColumn(col);
+    if (col != "*" && agg_col < 0) {
+      return Status::InvalidArgument(StrFormat("unknown column %s",
+                                               col.c_str()));
+    }
+    double acc = 0.0;
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+    int64_t n = 0;
+    for (uint32_t r = 0; r < t.num_rows(); ++r) {
+      if (!RowMatches(t, r, where, cond_cols)) continue;
+      ++n;
+      if (agg_col >= 0) {
+        Value v = t.GetValue(r, static_cast<size_t>(agg_col));
+        if (!v.is_null()) {
+          double x = v.NumericValue();
+          acc += x;
+          mn = std::min(mn, x);
+          mx = std::max(mx, x);
+        }
+      }
+    }
+    double result = 0.0;
+    switch (func) {
+      case AggFunc::kCount: result = static_cast<double>(n); break;
+      case AggFunc::kSum: result = acc; break;
+      case AggFunc::kAvg: result = n > 0 ? acc / static_cast<double>(n) : 0.0;
+        break;
+      case AggFunc::kMin: result = n > 0 ? mn : 0.0; break;
+      case AggFunc::kMax: result = n > 0 ? mx : 0.0; break;
+    }
+    Row row;
+    row.emplace_back(static_cast<int64_t>(vid));
+    row.emplace_back(result);
+    out.AppendRowUnchecked(row);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// A small recursive-descent parser for the two supported SQL forms.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Tokenizer {
+  explicit Tokenizer(const std::string& sql) : s(sql) {}
+
+  std::string Next() {
+    SkipSpace();
+    if (pos >= s.size()) return "";
+    char c = s[pos];
+    if (c == ',' || c == '(' || c == ')' || c == '*') {
+      ++pos;
+      return std::string(1, c);
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      size_t end = s.find(quote, pos + 1);
+      if (end == std::string::npos) end = s.size();
+      std::string tok = s.substr(pos, end - pos + 1);
+      pos = end + 1;
+      return tok;
+    }
+    if (c == '<' || c == '>' || c == '=' || c == '!') {
+      size_t start = pos;
+      ++pos;
+      if (pos < s.size() && (s[pos] == '=' || s[pos] == '>')) ++pos;
+      return s.substr(start, pos - start);
+    }
+    size_t start = pos;
+    while (pos < s.size() && !std::isspace(static_cast<unsigned char>(s[pos])) &&
+           s[pos] != ',' && s[pos] != '(' && s[pos] != ')' && s[pos] != '<' &&
+           s[pos] != '>' && s[pos] != '=' && s[pos] != '!') {
+      ++pos;
+    }
+    return s.substr(start, pos - start);
+  }
+
+  std::string Peek() {
+    size_t saved = pos;
+    std::string tok = Next();
+    pos = saved;
+    return tok;
+  }
+
+  void SkipSpace() {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])))
+      ++pos;
+  }
+
+  const std::string& s;
+  size_t pos = 0;
+};
+
+bool IsKeyword(const std::string& tok, const char* kw) {
+  return ToLower(tok) == kw;
+}
+
+Result<Value> ParseLiteral(const std::string& tok) {
+  if (tok.empty()) return Status::InvalidArgument("missing literal");
+  if (tok.front() == '\'' || tok.front() == '"') {
+    if (tok.size() < 2) return Status::InvalidArgument("bad string literal");
+    return Value(tok.substr(1, tok.size() - 2));
+  }
+  // Numeric: integer unless it contains '.' or 'e'.
+  bool is_double = tok.find('.') != std::string::npos ||
+                   tok.find('e') != std::string::npos ||
+                   tok.find('E') != std::string::npos;
+  char* end = nullptr;
+  if (is_double) {
+    double d = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str()) return Status::InvalidArgument("bad literal");
+    return Value(d);
+  }
+  long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (end == tok.c_str()) return Status::InvalidArgument("bad literal");
+  return Value(static_cast<int64_t>(v));
+}
+
+Result<Condition::Op> ParseOp(const std::string& tok) {
+  if (tok == "=" || tok == "==") return Condition::Op::kEq;
+  if (tok == "!=" || tok == "<>") return Condition::Op::kNe;
+  if (tok == "<") return Condition::Op::kLt;
+  if (tok == "<=") return Condition::Op::kLe;
+  if (tok == ">") return Condition::Op::kGt;
+  if (tok == ">=") return Condition::Op::kGe;
+  return Status::InvalidArgument(StrFormat("bad operator %s", tok.c_str()));
+}
+
+Status ParseWhere(Tokenizer* tz, std::vector<Condition>* where) {
+  while (true) {
+    Condition cond;
+    cond.column = tz->Next();
+    if (cond.column.empty()) return Status::InvalidArgument("missing column");
+    auto op = ParseOp(tz->Next());
+    if (!op.ok()) return op.status();
+    cond.op = *op;
+    auto lit = ParseLiteral(tz->Next());
+    if (!lit.ok()) return lit.status();
+    cond.value = *lit;
+    where->push_back(std::move(cond));
+    if (!IsKeyword(tz->Peek(), "and")) break;
+    tz->Next();  // consume AND
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Table> RunQuery(const Cvd& cvd, const std::string& sql) {
+  Tokenizer tz(sql);
+  if (!IsKeyword(tz.Next(), "select")) {
+    return Status::InvalidArgument("query must start with SELECT");
+  }
+
+  // Select list.
+  std::vector<std::string> select_list;
+  while (true) {
+    std::string tok = tz.Next();
+    if (tok.empty()) return Status::InvalidArgument("unexpected end of query");
+    if (IsKeyword(tok, "from")) break;
+    if (tok == ",") continue;
+    if (tok == "(" || tok == ")") {
+      select_list.push_back(tok);
+      continue;
+    }
+    select_list.push_back(tok);
+  }
+
+  // Aggregate form: SELECT vid, AGG(col) FROM CVD name ... GROUP BY vid
+  bool is_agg = select_list.size() >= 2 && ToLower(select_list[0]) == "vid";
+  if (is_agg) {
+    AggFunc func;
+    std::string fname = ToLower(select_list[1]);
+    if (fname == "count") {
+      func = AggFunc::kCount;
+    } else if (fname == "sum") {
+      func = AggFunc::kSum;
+    } else if (fname == "avg") {
+      func = AggFunc::kAvg;
+    } else if (fname == "min") {
+      func = AggFunc::kMin;
+    } else if (fname == "max") {
+      func = AggFunc::kMax;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unknown aggregate %s", fname.c_str()));
+    }
+    // select_list: vid count ( col ) ...
+    std::string col = "*";
+    for (size_t i = 2; i < select_list.size(); ++i) {
+      if (select_list[i] != "(" && select_list[i] != ")") {
+        col = select_list[i];
+        break;
+      }
+    }
+    if (!IsKeyword(tz.Next(), "cvd")) {
+      return Status::InvalidArgument("expected FROM CVD");
+    }
+    std::string cvd_name = tz.Next();
+    if (cvd_name != cvd.name()) {
+      return Status::NotFound(StrFormat("unknown CVD %s", cvd_name.c_str()));
+    }
+    std::vector<Condition> where;
+    std::string tok = tz.Next();
+    if (IsKeyword(tok, "where")) {
+      ORPHEUS_RETURN_NOT_OK(ParseWhere(&tz, &where));
+      tok = tz.Next();
+    }
+    if (!IsKeyword(tok, "group")) {
+      return Status::InvalidArgument("aggregate query requires GROUP BY vid");
+    }
+    tz.Next();  // BY
+    tz.Next();  // vid
+    return AggregateByVersion(cvd, func, col, where);
+  }
+
+  // Plain form: SELECT cols FROM VERSION v1,v2 OF CVD name [WHERE] [LIMIT]
+  if (!IsKeyword(tz.Next(), "version")) {
+    return Status::InvalidArgument("expected FROM VERSION");
+  }
+  std::vector<VersionId> vids;
+  while (true) {
+    std::string tok = tz.Next();
+    if (tok == ",") continue;
+    if (IsKeyword(tok, "of")) break;
+    char* end = nullptr;
+    long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (end == tok.c_str()) {
+      return Status::InvalidArgument(
+          StrFormat("bad version id %s", tok.c_str()));
+    }
+    vids.push_back(static_cast<VersionId>(v));
+  }
+  if (!IsKeyword(tz.Next(), "cvd")) {
+    return Status::InvalidArgument("expected OF CVD");
+  }
+  std::string cvd_name = tz.Next();
+  if (cvd_name != cvd.name()) {
+    return Status::NotFound(StrFormat("unknown CVD %s", cvd_name.c_str()));
+  }
+  std::vector<Condition> where;
+  int64_t limit = -1;
+  std::string tok = tz.Next();
+  if (IsKeyword(tok, "where")) {
+    ORPHEUS_RETURN_NOT_OK(ParseWhere(&tz, &where));
+    tok = tz.Next();
+  }
+  if (IsKeyword(tok, "limit")) {
+    auto lit = ParseLiteral(tz.Next());
+    if (!lit.ok()) return lit.status();
+    limit = lit->AsInt();
+  }
+  std::vector<std::string> cols;
+  if (!(select_list.size() == 1 && select_list[0] == "*")) {
+    cols = select_list;
+  }
+  return SelectFromVersions(cvd, vids, where, cols, limit);
+}
+
+}  // namespace orpheus::core

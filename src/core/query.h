@@ -1,0 +1,53 @@
+#ifndef ORPHEUS_CORE_QUERY_H_
+#define ORPHEUS_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/cvd.h"
+#include "minidb/table.h"
+
+namespace orpheus::core {
+
+/// A simple comparison predicate `column op constant`.
+struct Condition {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe };
+  std::string column;
+  Op op = Op::kEq;
+  minidb::Value value;
+
+  bool Matches(const minidb::Value& v) const;
+};
+
+/// Aggregates supported in version-grouped queries.
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+/// `SELECT ... FROM VERSION v1, v2, ... OF CVD cvd WHERE ... LIMIT n`
+/// (Sec. 3.3.2): evaluate the conditions over the listed versions without
+/// requiring an explicit checkout. The result carries a leading `vid`
+/// column, then `_rid`, then the requested columns (empty = all).
+Result<minidb::Table> SelectFromVersions(const Cvd& cvd,
+                                         const std::vector<VersionId>& vids,
+                                         const std::vector<Condition>& where,
+                                         const std::vector<std::string>& cols,
+                                         int64_t limit = -1);
+
+/// `SELECT vid, AGG(col) FROM CVD cvd WHERE ... GROUP BY vid`: one output
+/// row per version. For kCount, `col` may be "*".
+Result<minidb::Table> AggregateByVersion(const Cvd& cvd, AggFunc func,
+                                         const std::string& col,
+                                         const std::vector<Condition>& where);
+
+/// Parse and run one of the two supported SQL forms against `cvd`:
+///   SELECT <*|col,...> FROM VERSION <v,...> OF CVD <name>
+///       [WHERE col op const [AND ...]] [LIMIT n]
+///   SELECT vid, <AGG>(<col|*>) FROM CVD <name>
+///       [WHERE col op const [AND ...]] GROUP BY vid
+/// The query translator turns these into operations on the backend tables,
+/// exactly as OrpheusDB rewrites them into PostgreSQL SQL.
+Result<minidb::Table> RunQuery(const Cvd& cvd, const std::string& sql);
+
+}  // namespace orpheus::core
+
+#endif  // ORPHEUS_CORE_QUERY_H_

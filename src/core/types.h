@@ -1,0 +1,33 @@
+#ifndef ORPHEUS_CORE_TYPES_H_
+#define ORPHEUS_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace orpheus::core {
+
+/// Version identifier within a CVD. Versions are numbered from 1 in commit
+/// order (vid 0 is reserved/invalid), matching the paper's v1, v2, ...
+using VersionId = int32_t;
+inline constexpr VersionId kInvalidVersion = 0;
+
+/// Immutable record identifier within a CVD (never reused; not user-visible).
+using RecordId = int64_t;
+
+/// Version-level provenance row of the metadata table (Fig. 4.2a):
+/// vid, parents, checkout time, commit time, message, attribute set.
+struct VersionMetadata {
+  VersionId vid = kInvalidVersion;
+  std::vector<VersionId> parents;
+  double checkout_time = 0.0;  // creation (checkout) timestamp
+  double commit_time = 0.0;    // commit timestamp
+  std::string message;
+  std::string author;
+  std::vector<int> attributes;  // attribute ids present in this version
+  int64_t num_records = 0;
+};
+
+}  // namespace orpheus::core
+
+#endif  // ORPHEUS_CORE_TYPES_H_

@@ -1,0 +1,135 @@
+#include "core/version_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace orpheus::core {
+
+int VersionGraph::AddVersion(const std::vector<int>& parents,
+                             const std::vector<int64_t>& parent_weights,
+                             int64_t num_records) {
+  assert(parents.size() == parent_weights.size());
+  int idx = num_versions();
+  parents_.push_back(parents);
+  parent_weights_.push_back(parent_weights);
+  num_records_.push_back(num_records);
+  children_.emplace_back();
+  for (int p : parents) {
+    assert(p >= 0 && p < idx);
+    children_[p].push_back(idx);
+  }
+  return idx;
+}
+
+int64_t VersionGraph::EdgeWeight(int parent, int child) const {
+  const auto& ps = parents_[child];
+  for (size_t i = 0; i < ps.size(); ++i) {
+    if (ps[i] == parent) return parent_weights_[child][i];
+  }
+  return -1;
+}
+
+namespace {
+
+std::vector<int> Walk(int start, int max_hops,
+                      const std::vector<std::vector<int>>& adj) {
+  std::vector<int> out;
+  std::vector<char> seen(adj.size(), 0);
+  seen[start] = 1;
+  std::deque<std::pair<int, int>> frontier = {{start, 0}};
+  while (!frontier.empty()) {
+    auto [v, d] = frontier.front();
+    frontier.pop_front();
+    if (max_hops >= 0 && d >= max_hops) continue;
+    for (int next : adj[v]) {
+      if (!seen[next]) {
+        seen[next] = 1;
+        out.push_back(next);
+        frontier.emplace_back(next, d + 1);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> VersionGraph::Ancestors(int v, int max_hops) const {
+  return Walk(v, max_hops, parents_);
+}
+
+std::vector<int> VersionGraph::Descendants(int v, int max_hops) const {
+  return Walk(v, max_hops, children_);
+}
+
+std::vector<int> VersionGraph::Neighborhood(int v, int hops) const {
+  std::vector<std::vector<int>> undirected(num_versions());
+  for (int u = 0; u < num_versions(); ++u) {
+    for (int p : parents_[u]) {
+      undirected[u].push_back(p);
+      undirected[p].push_back(u);
+    }
+  }
+  return Walk(v, hops, undirected);
+}
+
+std::vector<int> VersionGraph::TopologicalLevels() const {
+  const int n = num_versions();
+  std::vector<int> level(n, 0);
+  std::vector<int> indeg(n, 0);
+  for (int v = 0; v < n; ++v) indeg[v] = static_cast<int>(parents_[v].size());
+  std::deque<int> q;
+  for (int v = 0; v < n; ++v) {
+    if (indeg[v] == 0) {
+      level[v] = 1;
+      q.push_back(v);
+    }
+  }
+  while (!q.empty()) {
+    int v = q.front();
+    q.pop_front();
+    for (int c : children_[v]) {
+      level[c] = std::max(level[c], level[v] + 1);
+      if (--indeg[c] == 0) q.push_back(c);
+    }
+  }
+  return level;
+}
+
+bool VersionGraph::IsDag() const {
+  for (const auto& ps : parents_) {
+    if (ps.size() > 1) return true;
+  }
+  return false;
+}
+
+std::vector<int> VersionGraph::ToTree(int64_t* duplicated_records) const {
+  const int n = num_versions();
+  std::vector<int> tree_parent(n, -1);
+  if (duplicated_records) *duplicated_records = 0;
+  for (int v = 0; v < n; ++v) {
+    if (parents_[v].empty()) continue;
+    // Keep the incoming edge with the highest weight (Sec. 5.3.1).
+    size_t best = 0;
+    for (size_t i = 1; i < parents_[v].size(); ++i) {
+      if (parent_weights_[v][i] > parent_weights_[v][best]) best = i;
+    }
+    tree_parent[v] = parents_[v][best];
+    if (duplicated_records && parents_[v].size() > 1) {
+      // Records inherited from dropped parents are conceptually re-created:
+      // R̂ grows by the records of v not shared with the retained parent.
+      *duplicated_records += num_records_[v] - parent_weights_[v][best];
+    }
+  }
+  return tree_parent;
+}
+
+uint64_t VersionGraph::TotalBipartiteEdges() const {
+  uint64_t total = 0;
+  for (int64_t r : num_records_) total += static_cast<uint64_t>(r);
+  return total;
+}
+
+}  // namespace orpheus::core

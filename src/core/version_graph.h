@@ -1,0 +1,70 @@
+#ifndef ORPHEUS_CORE_VERSION_GRAPH_H_
+#define ORPHEUS_CORE_VERSION_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/types.h"
+
+namespace orpheus::core {
+
+/// The version graph G = (V, E): a DAG whose nodes are versions and whose
+/// edge (vi -> vj) means vj was derived from vi, weighted by the number of
+/// records the two versions share (Sec. 4.3, 5.2).
+///
+/// Versions are dense indices [0, num_versions) here; the CVD layer maps
+/// public VersionIds onto them.
+class VersionGraph {
+ public:
+  VersionGraph() = default;
+
+  /// Add a version with the given parents (indices of existing versions),
+  /// per-parent shared-record counts `parent_weights` (same length as
+  /// `parents`), and the version's record count. Returns the new index.
+  int AddVersion(const std::vector<int>& parents,
+                 const std::vector<int64_t>& parent_weights,
+                 int64_t num_records);
+
+  int num_versions() const { return static_cast<int>(parents_.size()); }
+
+  const std::vector<int>& parents(int v) const { return parents_[v]; }
+  const std::vector<int>& children(int v) const { return children_[v]; }
+  int64_t num_records(int v) const { return num_records_[v]; }
+
+  /// Weight (shared records) of the edge parent -> child; -1 if no edge.
+  int64_t EdgeWeight(int parent, int child) const;
+
+  /// All ancestors of v (excluding v), via reverse BFS. With `max_hops` >= 0
+  /// the walk stops after that many hops (VQuel's P(k)).
+  std::vector<int> Ancestors(int v, int max_hops = -1) const;
+  /// All descendants of v (excluding v) (VQuel's D(k)).
+  std::vector<int> Descendants(int v, int max_hops = -1) const;
+  /// Versions exactly or up to `hops` undirected hops away (VQuel's N(k)).
+  std::vector<int> Neighborhood(int v, int hops) const;
+
+  /// Topological levels: root(s) at level 1 (Sec. 5.2's l(v)).
+  std::vector<int> TopologicalLevels() const;
+
+  /// True if the graph has at least one merge (a node with >1 parent).
+  bool IsDag() const;
+
+  /// DAG -> tree reduction (Sec. 5.3.1): for each multi-parent version keep
+  /// only the highest-weight incoming edge. Returns, for each version, its
+  /// retained parent (-1 for roots), and optionally accumulates |R̂|, the
+  /// number of records conceptually duplicated by dropped edges.
+  std::vector<int> ToTree(int64_t* duplicated_records = nullptr) const;
+
+  /// Sum over versions of num_records (|E| of the bipartite graph).
+  uint64_t TotalBipartiteEdges() const;
+
+ private:
+  std::vector<std::vector<int>> parents_;
+  std::vector<std::vector<int>> children_;
+  std::vector<std::vector<int64_t>> parent_weights_;
+  std::vector<int64_t> num_records_;
+};
+
+}  // namespace orpheus::core
+
+#endif  // ORPHEUS_CORE_VERSION_GRAPH_H_

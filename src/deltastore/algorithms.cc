@@ -1,0 +1,578 @@
+#include "deltastore/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace orpheus::deltastore {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct OutEdge {
+  int to;
+  Cost cost;
+};
+
+// Forward adjacency (deltas are stored as in-edges).
+std::vector<std::vector<OutEdge>> BuildOutAdjacency(const StorageGraph& g) {
+  std::vector<std::vector<OutEdge>> out(g.num_versions());
+  for (int v = 0; v < g.num_versions(); ++v) {
+    for (const auto& e : g.InEdges(v)) {
+      out[e.from].push_back({v, e.cost});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StorageSolution MinimumStorageTree(const StorageGraph& graph) {
+  // Prim's algorithm on the augmented graph: every unattached node's best
+  // candidate starts as materialization (the edge from the dummy vertex).
+  const int n = graph.num_versions();
+  auto out = BuildOutAdjacency(graph);
+  std::vector<double> best(n);
+  std::vector<int> best_parent(n, StorageGraph::kDummy);
+  std::vector<char> attached(n, 0);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  for (int v = 0; v < n; ++v) {
+    best[v] = graph.MaterializationCost(v).storage;
+    pq.push({best[v], v});
+  }
+  StorageSolution sol;
+  sol.parent.assign(n, StorageGraph::kDummy);
+  int added = 0;
+  while (!pq.empty() && added < n) {
+    auto [w, v] = pq.top();
+    pq.pop();
+    if (attached[v] || w > best[v]) continue;
+    attached[v] = 1;
+    sol.parent[v] = best_parent[v];
+    ++added;
+    for (const auto& e : out[v]) {
+      if (!attached[e.to] && e.cost.storage < best[e.to]) {
+        best[e.to] = e.cost.storage;
+        best_parent[e.to] = v;
+        pq.push({best[e.to], e.to});
+      }
+    }
+  }
+  return sol;
+}
+
+// ---------------------------------------------------------------------------
+// Edmonds / Chu-Liu minimum arborescence (directed case of Problem 7.1).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct DirEdge {
+  int u;       // from
+  int v;       // to
+  double w;
+  int id;      // original edge id (for reconstruction)
+};
+
+// Recursive Chu-Liu/Edmonds returning the set of original edge ids forming
+// a minimum arborescence rooted at `root` over nodes [0, nn).
+bool ChuLiu(int nn, int root, std::vector<DirEdge> edges,
+            std::vector<int>* chosen_ids) {
+  while (true) {
+    // 1. Cheapest in-edge per node.
+    std::vector<int> in_edge(nn, -1);
+    for (int i = 0; i < static_cast<int>(edges.size()); ++i) {
+      const DirEdge& e = edges[i];
+      if (e.v == e.u || e.v == root) continue;
+      if (in_edge[e.v] < 0 || e.w < edges[in_edge[e.v]].w) in_edge[e.v] = i;
+    }
+    for (int v = 0; v < nn; ++v) {
+      if (v != root && in_edge[v] < 0) return false;  // unreachable
+    }
+    // 2. Detect cycles among the chosen in-edges.
+    std::vector<int> comp(nn, -1);
+    std::vector<int> state(nn, 0);  // 0 unvisited, 1 on stack, 2 done
+    int num_comp = 0;
+    std::vector<int> cycle_of(nn, -1);
+    bool has_cycle = false;
+    for (int v = 0; v < nn; ++v) {
+      if (state[v] != 0) continue;
+      std::vector<int> path;
+      int x = v;
+      while (x != root && state[x] == 0) {
+        state[x] = 1;
+        path.push_back(x);
+        x = edges[in_edge[x]].u;
+      }
+      if (x != root && state[x] == 1) {
+        // Found a cycle ending at x: mark its members.
+        has_cycle = true;
+        int cid = num_comp++;
+        int y = x;
+        do {
+          cycle_of[y] = cid;
+          y = edges[in_edge[y]].u;
+        } while (y != x);
+      }
+      for (int y : path) state[y] = 2;
+    }
+    if (!has_cycle) {
+      for (int v = 0; v < nn; ++v) {
+        if (v != root) chosen_ids->push_back(edges[in_edge[v]].id);
+      }
+      return true;
+    }
+    // 3. Contract: cycles become supernodes; others keep distinct ids.
+    for (int v = 0; v < nn; ++v) {
+      comp[v] = cycle_of[v] >= 0 ? cycle_of[v] : num_comp++;
+    }
+    // Record which in-cycle edges we tentatively keep: all cycle edges are
+    // part of the answer except the one displaced by the supernode's
+    // in-edge. We resolve that after the recursive call by a replay trick:
+    // append cycle edges now, and let the chosen supernode in-edge's
+    // original id override via the `drop` map below.
+    std::vector<DirEdge> next;
+    std::vector<int> pending_cycle_edges;
+    for (int v = 0; v < nn; ++v) {
+      if (cycle_of[v] >= 0) pending_cycle_edges.push_back(in_edge[v]);
+    }
+    // Map: new edge id -> (original id, displaced cycle edge id or -1).
+    struct Provenance {
+      int original;
+      int displaces;  // index into `edges` of the cycle in-edge it replaces
+    };
+    std::vector<Provenance> prov;
+    for (const DirEdge& e : edges) {
+      int cu = comp[e.u];
+      int cv = comp[e.v];
+      if (cu == cv) continue;
+      DirEdge ne;
+      ne.u = cu;
+      ne.v = cv;
+      ne.id = static_cast<int>(prov.size());
+      if (cycle_of[e.v] >= 0) {
+        ne.w = e.w - edges[in_edge[e.v]].w;
+        prov.push_back({e.id, in_edge[e.v]});
+      } else {
+        ne.w = e.w;
+        prov.push_back({e.id, -1});
+      }
+      next.push_back(ne);
+    }
+    std::vector<int> sub_chosen;
+    if (!ChuLiu(num_comp, comp[root], std::move(next), &sub_chosen)) {
+      return false;
+    }
+    // 4. Expand: start from all cycle edges, then apply the recursion's
+    // choices, dropping each displaced cycle edge.
+    std::vector<char> dropped(edges.size(), 0);
+    for (int nid : sub_chosen) {
+      const Provenance& p = prov[nid];
+      chosen_ids->push_back(p.original);
+      if (p.displaces >= 0) dropped[p.displaces] = 1;
+    }
+    for (int eidx : pending_cycle_edges) {
+      if (!dropped[eidx]) chosen_ids->push_back(edges[eidx].id);
+    }
+    return true;
+  }
+}
+
+}  // namespace
+
+StorageSolution MinimumStorageArborescence(const StorageGraph& graph) {
+  const int n = graph.num_versions();
+  const int root = n;  // dummy vertex
+  std::vector<DirEdge> edges;
+  // Remember each original edge's (parent, child).
+  std::vector<std::pair<int, int>> endpoint;
+  for (int v = 0; v < n; ++v) {
+    edges.push_back({root, v, graph.MaterializationCost(v).storage,
+                     static_cast<int>(endpoint.size())});
+    endpoint.push_back({StorageGraph::kDummy, v});
+    for (const auto& e : graph.InEdges(v)) {
+      edges.push_back({e.from, v, e.cost.storage,
+                       static_cast<int>(endpoint.size())});
+      endpoint.push_back({e.from, v});
+    }
+  }
+  std::vector<int> chosen;
+  StorageSolution sol;
+  sol.parent.assign(n, StorageGraph::kDummy);
+  if (!ChuLiu(n + 1, root, std::move(edges), &chosen)) {
+    return sol;  // every version is reachable via materialization, so this
+                 // cannot happen; return all-materialized defensively.
+  }
+  for (int id : chosen) {
+    sol.parent[endpoint[id].second] = endpoint[id].first;
+  }
+  return sol;
+}
+
+StorageSolution ShortestPathTree(const StorageGraph& graph) {
+  const int n = graph.num_versions();
+  auto out = BuildOutAdjacency(graph);
+  std::vector<double> dist(n, kInf);
+  std::vector<int> parent(n, StorageGraph::kDummy);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  for (int v = 0; v < n; ++v) {
+    dist[v] = graph.MaterializationCost(v).recreation;
+    pq.push({dist[v], v});
+  }
+  std::vector<char> done(n, 0);
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (done[v] || d > dist[v]) continue;
+    done[v] = 1;
+    for (const auto& e : out[v]) {
+      double nd = d + e.cost.recreation;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        parent[e.to] = v;
+        pq.push({nd, e.to});
+      }
+    }
+  }
+  StorageSolution sol;
+  sol.parent = std::move(parent);
+  return sol;
+}
+
+// ---------------------------------------------------------------------------
+// LMG
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// One LMG pass: repeatedly materialize the best-ratio version. `stop`
+// decides when to halt given (current storage, current sum recreation,
+// candidate storage increase).
+StorageSolution RunLmg(const StorageGraph& graph, double beta, double theta) {
+  StorageSolution sol = MinimumStorageArborescence(graph);
+  const int n = graph.num_versions();
+
+  while (true) {
+    auto costs = EvaluateSolution(graph, sol);
+    if (!costs.ok()) return sol;
+    if (theta >= 0 && costs->sum_recreation <= theta) return sol;
+
+    // Subtree sizes under the current tree.
+    std::vector<std::vector<int>> children(n);
+    std::vector<int> order;
+    for (int v = 0; v < n; ++v) {
+      if (sol.parent[v] != StorageGraph::kDummy) {
+        children[sol.parent[v]].push_back(v);
+      } else {
+        order.push_back(v);
+      }
+    }
+    std::vector<int> subtree(n, 1);
+    // BFS order, then accumulate bottom-up.
+    std::vector<int> bfs = order;
+    for (size_t i = 0; i < bfs.size(); ++i) {
+      for (int c : children[bfs[i]]) bfs.push_back(c);
+    }
+    for (auto it = bfs.rbegin(); it != bfs.rend(); ++it) {
+      for (int c : children[*it]) subtree[*it] += subtree[c];
+    }
+
+    int best = -1;
+    double best_ratio = 0.0;
+    double best_gain = 0.0;
+    double best_dstorage = 0.0;
+    for (int v = 0; v < n; ++v) {
+      if (sol.parent[v] == StorageGraph::kDummy) continue;
+      double gain = (costs->recreation[v] -
+                     graph.MaterializationCost(v).recreation) *
+                    subtree[v];
+      if (gain <= 0) continue;
+      double cur_edge = 0.0;
+      for (const auto& e : graph.InEdges(v)) {
+        if (e.from == sol.parent[v]) cur_edge = e.cost.storage;
+      }
+      double dstorage = graph.MaterializationCost(v).storage - cur_edge;
+      if (beta >= 0 && costs->total_storage + dstorage > beta) continue;
+      double ratio = dstorage <= 0 ? kInf : gain / dstorage;
+      if (best < 0 || ratio > best_ratio) {
+        best = v;
+        best_ratio = ratio;
+        best_gain = gain;
+        best_dstorage = dstorage;
+      }
+    }
+    (void)best_gain;
+    (void)best_dstorage;
+    if (best < 0) return sol;
+    sol.parent[best] = StorageGraph::kDummy;
+  }
+}
+
+}  // namespace
+
+StorageSolution LmgWithStorageBudget(const StorageGraph& graph, double beta) {
+  return RunLmg(graph, beta, /*theta=*/-1.0);
+}
+
+StorageSolution LmgWithRecreationTarget(const StorageGraph& graph,
+                                        double theta) {
+  return RunLmg(graph, /*beta=*/-1.0, theta);
+}
+
+// ---------------------------------------------------------------------------
+// MP
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Post-pass for MP: Prim's pop order can strand a version on an expensive
+// materialization edge before its cheap delta parent joins the tree.
+// Repeatedly re-parent the single best version for which another attached
+// node offers a cheaper-storage edge keeping the whole subtree within
+// theta; all path costs are recomputed between moves so theta can never be
+// exceeded through stale data.
+void ImproveParents(const StorageGraph& graph, double theta,
+                    StorageSolution* sol) {
+  const int n = graph.num_versions();
+  for (int round = 0; round < 4 * n; ++round) {
+    auto costs = EvaluateSolution(graph, *sol);
+    if (!costs.ok()) return;
+    // Deepest path cost within each subtree (to validate re-parenting).
+    std::vector<std::vector<int>> children(n);
+    std::vector<int> order;
+    for (int v = 0; v < n; ++v) {
+      if (sol->parent[v] == StorageGraph::kDummy) {
+        order.push_back(v);
+      } else {
+        children[sol->parent[v]].push_back(v);
+      }
+    }
+    for (size_t i = 0; i < order.size(); ++i) {
+      for (int c : children[order[i]]) order.push_back(c);
+    }
+    std::vector<double> subtree_max(n);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      subtree_max[*it] = costs->recreation[*it];
+      for (int c : children[*it]) {
+        subtree_max[*it] = std::max(subtree_max[*it], subtree_max[c]);
+      }
+    }
+    // Ancestor test to avoid cycles.
+    auto is_descendant = [&sol](int maybe_desc, int of) {
+      int x = maybe_desc;
+      while (x != StorageGraph::kDummy) {
+        if (x == of) return true;
+        x = sol->parent[x];
+      }
+      return false;
+    };
+    int best_v = -1;
+    int best_parent = -1;
+    double best_saving = 0.0;
+    for (int v = 0; v < n; ++v) {
+      double cur_storage = graph.MaterializationCost(v).storage;
+      if (sol->parent[v] != StorageGraph::kDummy) {
+        for (const auto& e : graph.InEdges(v)) {
+          if (e.from == sol->parent[v]) cur_storage = e.cost.storage;
+        }
+      }
+      for (const auto& e : graph.InEdges(v)) {
+        double saving = cur_storage - e.cost.storage;
+        if (saving <= best_saving) continue;
+        if (is_descendant(e.from, v)) continue;
+        double new_path = costs->recreation[e.from] + e.cost.recreation;
+        double slack = subtree_max[v] - costs->recreation[v];
+        if (new_path + slack > theta) continue;
+        best_v = v;
+        best_parent = e.from;
+        best_saving = saving;
+      }
+    }
+    if (best_v < 0) break;
+    sol->parent[best_v] = best_parent;
+  }
+}
+
+// Final guard: any version whose path still exceeds theta (possible when
+// the Prim phase materialized it late, or theta is infeasible for it) is
+// re-parented onto its shortest-path-tree edge, the minimum achievable.
+void RepairThetaViolations(const StorageGraph& graph, double theta,
+                           const StorageSolution& spt, StorageSolution* sol) {
+  for (int round = 0; round < graph.num_versions(); ++round) {
+    auto costs = EvaluateSolution(graph, *sol);
+    if (!costs.ok()) return;
+    int worst = -1;
+    for (int v = 0; v < graph.num_versions(); ++v) {
+      if (costs->recreation[v] > theta &&
+          sol->parent[v] != spt.parent[v]) {
+        worst = v;
+        break;
+      }
+    }
+    if (worst < 0) return;
+    sol->parent[worst] = spt.parent[worst];
+  }
+}
+
+}  // namespace
+
+StorageSolution MpWithRecreationThreshold(const StorageGraph& graph,
+                                          double theta) {
+  const int n = graph.num_versions();
+  auto out = BuildOutAdjacency(graph);
+  // best[v]: cheapest-storage feasible attachment found so far.
+  std::vector<double> best(n);
+  std::vector<int> best_parent(n, StorageGraph::kDummy);
+  std::vector<double> recreation(n, 0.0);
+  std::vector<char> attached(n, 0);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  for (int v = 0; v < n; ++v) {
+    // Materialization is always allowed (otherwise no solution can meet
+    // theta anyway).
+    best[v] = graph.MaterializationCost(v).storage;
+    pq.push({best[v], v});
+  }
+  std::vector<double> path_cost(n, 0.0);
+  StorageSolution sol;
+  sol.parent.assign(n, StorageGraph::kDummy);
+  int added = 0;
+  while (!pq.empty() && added < n) {
+    auto [w, v] = pq.top();
+    pq.pop();
+    if (attached[v] || w > best[v]) continue;
+    attached[v] = 1;
+    sol.parent[v] = best_parent[v];
+    path_cost[v] =
+        best_parent[v] == StorageGraph::kDummy
+            ? graph.MaterializationCost(v).recreation
+            : path_cost[best_parent[v]] + recreation[v];
+    ++added;
+    for (const auto& e : out[v]) {
+      if (attached[e.to]) continue;
+      if (path_cost[v] + e.cost.recreation > theta) continue;  // infeasible
+      if (e.cost.storage < best[e.to]) {
+        best[e.to] = e.cost.storage;
+        best_parent[e.to] = v;
+        recreation[e.to] = e.cost.recreation;
+        pq.push({best[e.to], e.to});
+      }
+    }
+  }
+  ImproveParents(graph, theta, &sol);
+  RepairThetaViolations(graph, theta, ShortestPathTree(graph), &sol);
+  return sol;
+}
+
+StorageSolution MpWithStorageBudget(const StorageGraph& graph, double beta) {
+  // Binary search theta: larger theta admits cheaper-storage attachments.
+  auto spt = ShortestPathTree(graph);
+  auto spt_costs = EvaluateSolution(graph, spt);
+  double lo = spt_costs.ok() ? spt_costs->max_recreation : 1.0;
+  auto mst = MinimumStorageArborescence(graph);
+  auto mst_costs = EvaluateSolution(graph, mst);
+  double hi = mst_costs.ok() ? std::max(mst_costs->max_recreation, lo) : lo;
+  // Track the best *storage-feasible* candidate; if beta is below even the
+  // minimum-storage solution, the instance is infeasible and we return the
+  // min-storage tree as the least-bad answer.
+  StorageSolution best = mst;
+  double best_max = kInf;
+  bool have_feasible = false;
+  if (spt_costs.ok() && mst_costs.ok() &&
+      spt_costs->total_storage <= beta) {
+    best = spt;  // SPT fits the budget: it has the smallest possible max R
+    best_max = spt_costs->max_recreation;
+    have_feasible = true;
+  }
+  for (int it = 0; it < 40; ++it) {
+    double theta = 0.5 * (lo + hi);
+    StorageSolution cand = MpWithRecreationThreshold(graph, theta);
+    auto costs = EvaluateSolution(graph, cand);
+    if (costs.ok() && costs->total_storage <= beta) {
+      if (costs->max_recreation < best_max) {
+        best = cand;
+        best_max = costs->max_recreation;
+        have_feasible = true;
+      }
+      hi = theta;  // afford a tighter recreation bound
+    } else {
+      lo = theta;
+    }
+  }
+  (void)have_feasible;
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// LAST
+// ---------------------------------------------------------------------------
+
+StorageSolution LastTree(const StorageGraph& graph, double alpha) {
+  const int n = graph.num_versions();
+  // Shortest-path distances (over recreation == storage in Scenario 1).
+  StorageSolution spt = ShortestPathTree(graph);
+  auto spt_costs = EvaluateSolution(graph, spt);
+  StorageSolution mst = MinimumStorageTree(graph);
+  auto mst_costs = EvaluateSolution(graph, mst);
+  if (!spt_costs.ok() || !mst_costs.ok()) return mst;
+  const std::vector<double>& d = spt_costs->recreation;
+
+  StorageSolution sol = mst;
+  // Edge recreation weight of the MST edge into v.
+  auto edge_weight = [&graph, &mst](int v) {
+    if (mst.parent[v] == StorageGraph::kDummy) {
+      return graph.MaterializationCost(v).recreation;
+    }
+    for (const auto& e : graph.InEdges(v)) {
+      if (e.from == mst.parent[v]) return e.cost.recreation;
+    }
+    return kInf;
+  };
+  std::vector<std::vector<int>> children(n);
+  std::vector<int> roots;
+  for (int v = 0; v < n; ++v) {
+    if (mst.parent[v] == StorageGraph::kDummy) {
+      roots.push_back(v);
+    } else {
+      children[mst.parent[v]].push_back(v);
+    }
+  }
+  // DFS from the dummy root, relinking any vertex whose tree path exceeds
+  // alpha times its shortest-path distance.
+  struct Frame {
+    int v;
+    double dist;
+  };
+  std::vector<Frame> stack;
+  for (int r : roots) {
+    stack.push_back({r, edge_weight(r)});
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    double dist = f.dist;
+    if (dist > alpha * d[f.v]) {
+      sol.parent[f.v] = spt.parent[f.v];
+      dist = d[f.v];
+    }
+    for (int c : children[f.v]) {
+      double w = kInf;
+      if (mst.parent[c] == StorageGraph::kDummy) {
+        w = graph.MaterializationCost(c).recreation;
+      } else {
+        for (const auto& e : graph.InEdges(c)) {
+          if (e.from == mst.parent[c]) w = e.cost.recreation;
+        }
+      }
+      stack.push_back({c, dist + w});
+    }
+  }
+  return sol;
+}
+
+}  // namespace orpheus::deltastore

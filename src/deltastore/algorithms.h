@@ -1,0 +1,48 @@
+#ifndef ORPHEUS_DELTASTORE_ALGORITHMS_H_
+#define ORPHEUS_DELTASTORE_ALGORITHMS_H_
+
+#include "deltastore/storage_graph.h"
+
+namespace orpheus::deltastore {
+
+/// Problem 7.1 (Minimize Storage): minimum spanning tree / arborescence of
+/// the augmented graph rooted at the dummy vertex, over ∆ weights. For the
+/// undirected case (symmetric deltas) `MinimumStorageTree` runs Prim; for
+/// asymmetric deltas use `MinimumStorageArborescence` (Edmonds/Chu-Liu).
+StorageSolution MinimumStorageTree(const StorageGraph& graph);
+StorageSolution MinimumStorageArborescence(const StorageGraph& graph);
+
+/// Problem 7.2 (Minimize Recreation): shortest-path tree over Φ weights
+/// from the dummy vertex (Dijkstra). Minimizes every R_i simultaneously.
+StorageSolution ShortestPathTree(const StorageGraph& graph);
+
+/// Problems 7.3/7.5 — the LMG (local-move greedy) algorithm: start from the
+/// minimum-storage solution, then repeatedly materialize the version with
+/// the best (Σ recreation reduction) / (storage increase) ratio.
+///  - LmgWithStorageBudget: maximize Σ-recreation reduction while the total
+///    storage stays <= beta (Problem 7.3).
+///  - LmgWithRecreationTarget: stop as soon as Σ R_i <= theta, minimizing
+///    storage growth along the way (Problem 7.5).
+StorageSolution LmgWithStorageBudget(const StorageGraph& graph, double beta);
+StorageSolution LmgWithRecreationTarget(const StorageGraph& graph,
+                                        double theta);
+
+/// Problems 7.4/7.6 — the MP (modified Prim's) algorithm: grow the tree in
+/// Prim fashion, minimizing the storage of the connecting edge subject to
+/// the path recreation cost staying <= theta.
+///  - MpWithRecreationThreshold solves Problem 7.6 directly.
+///  - MpWithStorageBudget binary-searches theta for Problem 7.4.
+StorageSolution MpWithRecreationThreshold(const StorageGraph& graph,
+                                          double theta);
+StorageSolution MpWithStorageBudget(const StorageGraph& graph, double beta);
+
+/// The LAST algorithm (Khuller, Raghavachari and Young), applicable in the
+/// undirected Φ = ∆ scenario: rebalances an MST so every root path is
+/// within alpha of the shortest path, yielding an
+/// (alpha, 1 + 2/(alpha - 1)) balance between SPT and MST (Table 7.1,
+/// Problems 7.4/7.6 in Scenario 1).
+StorageSolution LastTree(const StorageGraph& graph, double alpha);
+
+}  // namespace orpheus::deltastore
+
+#endif  // ORPHEUS_DELTASTORE_ALGORITHMS_H_

@@ -1,0 +1,102 @@
+#include "deltastore/dedup.h"
+
+#include "common/string_util.h"
+
+namespace orpheus::deltastore {
+
+namespace {
+
+uint64_t HashBytes(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::string> DedupStore::SplitChunks(
+    const FileContent& content) const {
+  std::vector<std::string> chunks;
+  std::string cur;
+  int lines = 0;
+  for (const auto& line : content.lines) {
+    cur += line;
+    cur += '\n';
+    ++lines;
+    // Content-defined boundary: cut when the line's hash lands in the
+    // 1/target residue class, or at the hard cap.
+    bool boundary =
+        (HashBytes(line) %
+             static_cast<uint64_t>(options_.target_chunk_lines) ==
+         0) ||
+        lines >= options_.max_chunk_lines;
+    if (boundary) {
+      chunks.push_back(std::move(cur));
+      cur.clear();
+      lines = 0;
+    }
+  }
+  if (!cur.empty()) chunks.push_back(std::move(cur));
+  return chunks;
+}
+
+int DedupStore::AddVersion(const FileContent& content) {
+  std::vector<uint64_t> list;
+  for (auto& chunk : SplitChunks(content)) {
+    uint64_t h = HashBytes(chunk);
+    chunks_.emplace(h, std::move(chunk));
+    list.push_back(h);
+  }
+  versions_.push_back(std::move(list));
+  return num_versions() - 1;
+}
+
+Result<FileContent> DedupStore::Materialize(int version) const {
+  if (version < 0 || version >= num_versions()) {
+    return Status::NotFound(StrFormat("version %d", version));
+  }
+  std::string bytes;
+  for (uint64_t h : versions_[version]) {
+    auto it = chunks_.find(h);
+    if (it == chunks_.end()) return Status::Corruption("missing chunk");
+    bytes += it->second;
+  }
+  FileContent out;
+  if (!bytes.empty()) {
+    // Split back into lines (chunks always end lines with '\n').
+    size_t start = 0;
+    while (start < bytes.size()) {
+      size_t nl = bytes.find('\n', start);
+      if (nl == std::string::npos) break;
+      out.lines.push_back(bytes.substr(start, nl - start));
+      start = nl + 1;
+    }
+  }
+  return out;
+}
+
+uint64_t DedupStore::StorageBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [h, payload] : chunks_) {
+    (void)h;
+    bytes += payload.size() + 8;  // payload + hash key
+  }
+  for (const auto& list : versions_) bytes += list.size() * 8;
+  return bytes;
+}
+
+double DedupStore::RecreationCost(int version) const {
+  if (version < 0 || version >= num_versions()) return 0.0;
+  double bytes = 0.0;
+  for (uint64_t h : versions_[version]) {
+    auto it = chunks_.find(h);
+    if (it != chunks_.end()) bytes += static_cast<double>(it->second.size());
+    bytes += 16.0;  // per-chunk lookup overhead
+  }
+  return bytes;
+}
+
+}  // namespace orpheus::deltastore

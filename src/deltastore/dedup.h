@@ -1,0 +1,63 @@
+#ifndef ORPHEUS_DELTASTORE_DEDUP_H_
+#define ORPHEUS_DELTASTORE_DEDUP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "deltastore/delta.h"
+
+namespace orpheus::deltastore {
+
+/// A chunk-based deduplicating archive in the style of Quinlan et al.'s
+/// Venti (Chapter 2 / Sec. 7.6 related work): every version is split into
+/// content-defined chunks; identical chunks across versions are stored
+/// once. This is the classic storage-only baseline the delta-based
+/// algorithms of Chapter 7 are compared against — it deduplicates well but
+/// every retrieval reads the full version's chunk list, so recreation cost
+/// is always proportional to the version size (no trade-off knob).
+class DedupStore {
+ public:
+  struct Options {
+    /// Target chunk size in lines; boundaries are content-defined (a line
+    /// hash modulo target == 0 ends a chunk), so insertions only disturb
+    /// neighbouring chunks.
+    int target_chunk_lines = 16;
+    int max_chunk_lines = 64;
+  };
+
+  DedupStore() : DedupStore(Options{}) {}
+  explicit DedupStore(const Options& options) : options_(options) {}
+
+  /// Add a version; returns its id.
+  int AddVersion(const FileContent& content);
+
+  int num_versions() const { return static_cast<int>(versions_.size()); }
+
+  /// Reconstruct a version from its chunk list (always exact).
+  Result<FileContent> Materialize(int version) const;
+
+  /// Bytes of unique chunk payloads plus per-version chunk lists.
+  uint64_t StorageBytes() const;
+
+  /// Recreation cost of a version: bytes read to rebuild it (its full
+  /// size plus a per-chunk seek overhead).
+  double RecreationCost(int version) const;
+
+  size_t num_unique_chunks() const { return chunks_.size(); }
+
+ private:
+  std::vector<std::string> SplitChunks(const FileContent& content) const;
+
+  Options options_;
+  // chunk hash -> payload (the chunk store).
+  std::map<uint64_t, std::string> chunks_;
+  // per version: ordered chunk hashes.
+  std::vector<std::vector<uint64_t>> versions_;
+};
+
+}  // namespace orpheus::deltastore
+
+#endif  // ORPHEUS_DELTASTORE_DEDUP_H_

@@ -1,0 +1,115 @@
+#include "deltastore/exact.h"
+
+#include <limits>
+#include <vector>
+
+namespace orpheus::deltastore {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Exhaustive search over parent assignments. Each version picks either
+/// materialization or one of its revealed in-edges; assignments containing
+/// cycles are rejected at evaluation time. Branch-and-bound prunes on the
+/// partial objective.
+class ExactSearch {
+ public:
+  enum class Objective { kStorage, kSumRecreation };
+  enum class Constraint { kNone, kMaxRecreation, kSumRecreation, kStorage };
+
+  ExactSearch(const StorageGraph& graph, Objective objective,
+              Constraint constraint, double bound)
+      : graph_(graph),
+        objective_(objective),
+        constraint_(constraint),
+        bound_(bound),
+        n_(graph.num_versions()) {}
+
+  std::optional<StorageSolution> Run() {
+    StorageSolution sol;
+    sol.parent.assign(n_, StorageGraph::kDummy);
+    best_value_ = kInf;
+    Recurse(&sol, 0, 0.0);
+    if (best_value_ == kInf) return std::nullopt;
+    return best_;
+  }
+
+ private:
+  // Partial objective lower bound: storage accumulates per chosen edge;
+  // recreation sums cannot be bounded incrementally without the tree, so we
+  // only prune on storage when it is the objective.
+  void Recurse(StorageSolution* sol, int v, double partial_storage) {
+    if (objective_ == Objective::kStorage && partial_storage >= best_value_) {
+      return;
+    }
+    if (v == n_) {
+      auto costs = EvaluateSolution(graph_, *sol);
+      if (!costs.ok()) return;  // cyclic assignment
+      switch (constraint_) {
+        case Constraint::kMaxRecreation:
+          if (costs->max_recreation > bound_) return;
+          break;
+        case Constraint::kSumRecreation:
+          if (costs->sum_recreation > bound_) return;
+          break;
+        case Constraint::kStorage:
+          if (costs->total_storage > bound_) return;
+          break;
+        case Constraint::kNone:
+          break;
+      }
+      double value = objective_ == Objective::kStorage
+                         ? costs->total_storage
+                         : costs->sum_recreation;
+      if (value < best_value_) {
+        best_value_ = value;
+        best_ = *sol;
+      }
+      return;
+    }
+    // Option 1: materialize v.
+    sol->parent[v] = StorageGraph::kDummy;
+    Recurse(sol, v + 1,
+            partial_storage + graph_.MaterializationCost(v).storage);
+    // Option 2: each revealed delta.
+    for (const auto& e : graph_.InEdges(v)) {
+      sol->parent[v] = e.from;
+      Recurse(sol, v + 1, partial_storage + e.cost.storage);
+    }
+    sol->parent[v] = StorageGraph::kDummy;
+  }
+
+  const StorageGraph& graph_;
+  Objective objective_;
+  Constraint constraint_;
+  double bound_;
+  int n_;
+  double best_value_ = kInf;
+  StorageSolution best_;
+};
+
+}  // namespace
+
+std::optional<StorageSolution> ExactMinStorageMaxRecreation(
+    const StorageGraph& graph, double theta) {
+  return ExactSearch(graph, ExactSearch::Objective::kStorage,
+                     ExactSearch::Constraint::kMaxRecreation, theta)
+      .Run();
+}
+
+std::optional<StorageSolution> ExactMinStorageSumRecreation(
+    const StorageGraph& graph, double theta) {
+  return ExactSearch(graph, ExactSearch::Objective::kStorage,
+                     ExactSearch::Constraint::kSumRecreation, theta)
+      .Run();
+}
+
+std::optional<StorageSolution> ExactMinSumRecreationStorageBudget(
+    const StorageGraph& graph, double beta) {
+  return ExactSearch(graph, ExactSearch::Objective::kSumRecreation,
+                     ExactSearch::Constraint::kStorage, beta)
+      .Run();
+}
+
+}  // namespace orpheus::deltastore

@@ -1,0 +1,30 @@
+#ifndef ORPHEUS_DELTASTORE_EXACT_H_
+#define ORPHEUS_DELTASTORE_EXACT_H_
+
+#include <optional>
+
+#include "deltastore/storage_graph.h"
+
+namespace orpheus::deltastore {
+
+/// Exact solvers for small instances, playing the role of the ILP of
+/// Sec. 7.2.3: branch-and-bound over each version's in-edge choice with the
+/// arborescence (acyclicity) constraint. Exponential; intended for
+/// n <= ~10 as an optimality reference.
+
+/// Problem 7.6: minimize total storage subject to max_i R_i <= theta.
+/// Returns nullopt when theta is infeasible.
+std::optional<StorageSolution> ExactMinStorageMaxRecreation(
+    const StorageGraph& graph, double theta);
+
+/// Problem 7.5: minimize total storage subject to sum_i R_i <= theta.
+std::optional<StorageSolution> ExactMinStorageSumRecreation(
+    const StorageGraph& graph, double theta);
+
+/// Problem 7.3: minimize sum_i R_i subject to total storage <= beta.
+std::optional<StorageSolution> ExactMinSumRecreationStorageBudget(
+    const StorageGraph& graph, double beta);
+
+}  // namespace orpheus::deltastore
+
+#endif  // ORPHEUS_DELTASTORE_EXACT_H_

@@ -1,0 +1,182 @@
+#include "deltastore/repository.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace orpheus::deltastore {
+
+namespace {
+
+std::string RandomLine(Xorshift* rng, int version_hint) {
+  return StrFormat("row,%d,%llu,%llu", version_hint,
+                   static_cast<unsigned long long>(rng->Next() % 100000),
+                   static_cast<unsigned long long>(rng->Next() % 100000));
+}
+
+FileContent EditFile(const FileContent& base, int edits, int version,
+                     Xorshift* rng) {
+  FileContent out = base;
+  for (int e = 0; e < edits; ++e) {
+    double dice = rng->NextDouble();
+    if (out.lines.empty() || dice < 0.45) {
+      size_t pos = out.lines.empty() ? 0 : rng->Uniform(out.lines.size() + 1);
+      out.lines.insert(out.lines.begin() + static_cast<long>(pos),
+                       RandomLine(rng, version));
+    } else if (dice < 0.85) {
+      size_t pos = rng->Uniform(out.lines.size());
+      out.lines[pos] = RandomLine(rng, version);
+    } else if (out.lines.size() > 1) {
+      size_t pos = rng->Uniform(out.lines.size());
+      out.lines.erase(out.lines.begin() + static_cast<long>(pos));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FileRepository FileRepository::Generate(const Config& config) {
+  FileRepository repo;
+  Xorshift rng(config.seed);
+
+  FileContent root;
+  root.lines.reserve(config.base_lines);
+  for (int i = 0; i < config.base_lines; ++i) {
+    root.lines.push_back(RandomLine(&rng, 0));
+  }
+  repo.files_.push_back(std::move(root));
+  repo.parents_.emplace_back();
+
+  std::vector<int> branch_heads = {0};
+  for (int v = 1; v < config.num_versions; ++v) {
+    bool spawn = static_cast<int>(branch_heads.size()) < config.num_branches &&
+                 rng.Bernoulli(0.25);
+    if (config.curated && branch_heads.size() > 1 &&
+        rng.Bernoulli(config.merge_prob)) {
+      // Merge a side branch into the mainline: union of distinct lines,
+      // mainline order first.
+      size_t bi = 1 + rng.Uniform(branch_heads.size() - 1);
+      int side = branch_heads[bi];
+      int main = branch_heads[0];
+      FileContent merged = repo.files_[main];
+      std::unordered_set<std::string> seen(merged.lines.begin(),
+                                           merged.lines.end());
+      for (const auto& l : repo.files_[side].lines) {
+        if (seen.insert(l).second) merged.lines.push_back(l);
+      }
+      repo.files_.push_back(std::move(merged));
+      repo.parents_.push_back({main, side});
+      branch_heads[0] = v;
+      branch_heads.erase(branch_heads.begin() + static_cast<long>(bi));
+      continue;
+    }
+    size_t bi;
+    if (spawn) {
+      bi = rng.Uniform(branch_heads.size());
+    } else {
+      bi = rng.Bernoulli(0.5) ? 0 : rng.Uniform(branch_heads.size());
+    }
+    int head = branch_heads[bi];
+    repo.files_.push_back(
+        EditFile(repo.files_[head], config.edits_per_version, v, &rng));
+    repo.parents_.push_back({head});
+    if (spawn) {
+      branch_heads.push_back(v);
+    } else {
+      branch_heads[bi] = v;
+    }
+  }
+  return repo;
+}
+
+StorageGraph FileRepository::BuildStorageGraph(bool undirected, PhiModel phi,
+                                               int extra_pairs,
+                                               uint64_t seed) const {
+  const int n = num_versions();
+  StorageGraph graph(n);
+  Xorshift rng(seed);
+
+  auto phi_of = [phi](const LineDelta& delta, const FileContent& target) {
+    switch (phi) {
+      case PhiModel::kProportional:
+        return static_cast<double>(delta.StorageBytes());
+      case PhiModel::kOutputBytes:
+        return static_cast<double>(target.SizeBytes()) * 0.1 +
+               static_cast<double>(delta.StorageBytes()) * 0.01;
+    }
+    return 0.0;
+  };
+
+  for (int v = 0; v < n; ++v) {
+    double size = static_cast<double>(files_[v].SizeBytes());
+    graph.SetMaterializationCost(v, {size, size});
+  }
+
+  auto reveal_pair = [&](int a, int b) {
+    LineDelta ab = ComputeLineDelta(files_[a], files_[b]);
+    LineDelta ba = ComputeLineDelta(files_[b], files_[a]);
+    if (undirected) {
+      // Symmetric two-way diff: storing either direction costs the same.
+      double storage = static_cast<double>(
+          std::max(ab.StorageBytes(), ba.StorageBytes()));
+      double phi_ab = std::max(phi_of(ab, files_[b]), phi_of(ba, files_[a]));
+      graph.AddDelta(a, b, {storage, phi_ab});
+      graph.AddDelta(b, a, {storage, phi_ab});
+    } else {
+      graph.AddDelta(a, b, {static_cast<double>(ab.StorageBytes()),
+                            phi_of(ab, files_[b])});
+      graph.AddDelta(b, a, {static_cast<double>(ba.StorageBytes()),
+                            phi_of(ba, files_[a])});
+    }
+  };
+
+  std::unordered_set<uint64_t> revealed;
+  auto key = [](int a, int b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+  };
+  for (int v = 0; v < n; ++v) {
+    for (int p : parents_[v]) {
+      if (revealed.insert(key(p, v)).second) reveal_pair(p, v);
+    }
+  }
+  for (int v = 0; v < n && extra_pairs > 0; ++v) {
+    for (int e = 0; e < extra_pairs; ++e) {
+      int other = static_cast<int>(rng.Uniform(n));
+      if (other == v) continue;
+      if (revealed.insert(key(other, v)).second) reveal_pair(other, v);
+    }
+  }
+  return graph;
+}
+
+Result<FileContent> FileRepository::Materialize(
+    const StorageSolution& solution, int v) const {
+  if (v < 0 || v >= num_versions()) {
+    return Status::NotFound(StrFormat("version %d", v));
+  }
+  // Walk up to a materialized ancestor.
+  std::vector<int> path;
+  int cur = v;
+  while (cur != StorageGraph::kDummy) {
+    path.push_back(cur);
+    if (static_cast<int>(path.size()) > num_versions()) {
+      return Status::InvalidArgument("solution contains a cycle");
+    }
+    cur = solution.parent[cur];
+  }
+  // path.back() is materialized: start from its stored bytes.
+  FileContent content = files_[path.back()];
+  for (auto it = path.rbegin() + 1; it != path.rend(); ++it) {
+    int child = *it;
+    int parent = solution.parent[child];
+    LineDelta delta = ComputeLineDelta(files_[parent], files_[child]);
+    content = ApplyLineDelta(content, delta);
+  }
+  return content;
+}
+
+}  // namespace orpheus::deltastore

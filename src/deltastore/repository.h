@@ -1,0 +1,70 @@
+#ifndef ORPHEUS_DELTASTORE_REPOSITORY_H_
+#define ORPHEUS_DELTASTORE_REPOSITORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "deltastore/delta.h"
+#include "deltastore/storage_graph.h"
+
+namespace orpheus::deltastore {
+
+/// How Φ relates to ∆ when building the storage graph (Sec. 7.2.1's
+/// scenarios).
+enum class PhiModel {
+  kProportional,  // Φ = ∆ (I/O-bound; scenarios 7.1/7.2)
+  kOutputBytes,   // Φ ∝ bytes written when applying (CPU-bound; Φ != ∆)
+};
+
+/// A synthetic repository of versioned files evolving along a branching
+/// version graph — the workload substrate for the Chapter 7 experiments.
+/// (The paper evaluates on DataHub/synthetic file collections we do not
+/// have; this generator exercises the identical code path: real deltas are
+/// computed between real file contents.)
+class FileRepository {
+ public:
+  struct Config {
+    int num_versions = 50;
+    int num_branches = 5;
+    int base_lines = 400;
+    int edits_per_version = 40;  // lines inserted/deleted/modified per commit
+    double merge_prob = 0.15;
+    bool curated = false;  // allow merges (DAG) when true
+    uint64_t seed = 42;
+  };
+
+  static FileRepository Generate(const Config& config);
+
+  int num_versions() const { return static_cast<int>(files_.size()); }
+  const FileContent& file(int v) const { return files_[v]; }
+  const std::vector<int>& parents(int v) const { return parents_[v]; }
+
+  /// Build the augmented storage graph by computing actual deltas: the
+  /// materialization cost of v is its full file size; deltas are revealed
+  /// along version-graph edges plus `extra_pairs` random non-adjacent pairs
+  /// per version (Sec. 7.2.1: "some mechanism to choose which deltas to
+  /// reveal is provided to us").
+  ///
+  /// With `undirected`, each revealed pair contributes a symmetric delta
+  /// whose cost is max(∆ij, ∆ji) (a two-way diff); otherwise both one-way
+  /// deltas are revealed with their own costs (the directed case).
+  StorageGraph BuildStorageGraph(bool undirected, PhiModel phi,
+                                 int extra_pairs = 0,
+                                 uint64_t seed = 7) const;
+
+  /// Recreate version v under the storage solution by walking parents to a
+  /// materialized version and replaying deltas; used to verify solutions
+  /// end-to-end against the original content.
+  Result<FileContent> Materialize(const StorageSolution& solution,
+                                  int v) const;
+
+ private:
+  std::vector<FileContent> files_;
+  std::vector<std::vector<int>> parents_;
+};
+
+}  // namespace orpheus::deltastore
+
+#endif  // ORPHEUS_DELTASTORE_REPOSITORY_H_

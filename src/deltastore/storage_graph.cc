@@ -1,0 +1,69 @@
+#include "deltastore/storage_graph.h"
+
+#include <deque>
+
+#include "common/string_util.h"
+
+namespace orpheus::deltastore {
+
+Result<SolutionCosts> EvaluateSolution(const StorageGraph& graph,
+                                       const StorageSolution& solution) {
+  const int n = graph.num_versions();
+  if (solution.num_versions() != n) {
+    return Status::InvalidArgument("solution arity mismatch");
+  }
+  SolutionCosts costs;
+  costs.recreation.assign(n, -1.0);
+
+  // Resolve each version's edge cost.
+  std::vector<Cost> edge(n);
+  std::vector<std::vector<int>> children(n);
+  std::deque<int> roots;
+  for (int v = 0; v < n; ++v) {
+    int p = solution.parent[v];
+    if (p == StorageGraph::kDummy) {
+      edge[v] = graph.MaterializationCost(v);
+      roots.push_back(v);
+      continue;
+    }
+    if (p < 0 || p >= n) {
+      return Status::InvalidArgument(StrFormat("bad parent %d", p));
+    }
+    bool found = false;
+    for (const auto& e : graph.InEdges(v)) {
+      if (e.from == p) {
+        edge[v] = e.cost;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          StrFormat("delta %d -> %d not revealed", p, v));
+    }
+    children[p].push_back(v);
+  }
+
+  // BFS from materialized versions accumulating recreation costs.
+  int visited = 0;
+  while (!roots.empty()) {
+    int v = roots.front();
+    roots.pop_front();
+    int p = solution.parent[v];
+    double base = p == StorageGraph::kDummy ? 0.0 : costs.recreation[p];
+    costs.recreation[v] = base + edge[v].recreation;
+    costs.total_storage += edge[v].storage;
+    ++visited;
+    for (int c : children[v]) roots.push_back(c);
+  }
+  if (visited != n) {
+    return Status::InvalidArgument("solution contains a cycle");
+  }
+  for (double r : costs.recreation) {
+    costs.sum_recreation += r;
+    if (r > costs.max_recreation) costs.max_recreation = r;
+  }
+  return costs;
+}
+
+}  // namespace orpheus::deltastore

@@ -1,0 +1,90 @@
+#ifndef ORPHEUS_DELTASTORE_STORAGE_GRAPH_H_
+#define ORPHEUS_DELTASTORE_STORAGE_GRAPH_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace orpheus::deltastore {
+
+/// Cost of storing/recreating one version or delta (Chapter 7): ∆ is bytes
+/// of storage, Φ is recreation time units.
+struct Cost {
+  double storage = 0.0;     // ∆
+  double recreation = 0.0;  // Φ
+};
+
+/// The augmented graph G of Sec. 7.2.2: versions 0..n-1 plus the implicit
+/// dummy vertex V0. An edge (i -> j) carries <∆ij, Φij>; the edge from the
+/// dummy vertex to i carries <∆ii, Φii> (materialization). Only *revealed*
+/// entries are stored; the matrices are typically sparse (Sec. 7.2.1).
+class StorageGraph {
+ public:
+  static constexpr int kDummy = -1;
+
+  explicit StorageGraph(int num_versions) : num_versions_(num_versions) {
+    materialization_.resize(num_versions);
+    in_edges_.resize(num_versions);
+  }
+
+  int num_versions() const { return num_versions_; }
+
+  /// Set <∆ii, Φii> for version i.
+  void SetMaterializationCost(int i, Cost cost) { materialization_[i] = cost; }
+  const Cost& MaterializationCost(int i) const { return materialization_[i]; }
+
+  /// Reveal the delta from i to j. In the undirected case the caller adds
+  /// both directions.
+  void AddDelta(int from, int to, Cost cost) {
+    in_edges_[to].push_back({from, cost});
+  }
+
+  struct InEdge {
+    int from;
+    Cost cost;
+  };
+  const std::vector<InEdge>& InEdges(int to) const { return in_edges_[to]; }
+
+  /// Number of revealed deltas.
+  size_t num_deltas() const {
+    size_t n = 0;
+    for (const auto& e : in_edges_) n += e.size();
+    return n;
+  }
+
+ private:
+  int num_versions_;
+  std::vector<Cost> materialization_;
+  std::vector<std::vector<InEdge>> in_edges_;
+};
+
+/// A storage solution (Sec. 7.2.1's P): for each version, either materialize
+/// it (parent == kDummy) or store the delta from `parent`. Every solution
+/// is a spanning tree of the augmented graph rooted at the dummy vertex
+/// (Lemma 7.1).
+struct StorageSolution {
+  std::vector<int> parent;  // per version; StorageGraph::kDummy => material.
+
+  int num_versions() const { return static_cast<int>(parent.size()); }
+};
+
+/// Evaluated metrics of a solution.
+struct SolutionCosts {
+  double total_storage = 0.0;             // C
+  double sum_recreation = 0.0;            // Σ R_i
+  double max_recreation = 0.0;            // max R_i
+  std::vector<double> recreation;         // R_i per version
+};
+
+/// Evaluate a solution against the graph. Fails if the solution uses an
+/// unrevealed delta or contains a cycle.
+Result<SolutionCosts> EvaluateSolution(const StorageGraph& graph,
+                                       const StorageSolution& solution);
+
+}  // namespace orpheus::deltastore
+
+#endif  // ORPHEUS_DELTASTORE_STORAGE_GRAPH_H_

@@ -1,0 +1,183 @@
+#include "minidb/column.h"
+
+namespace orpheus::minidb {
+
+void Column::EnsureValidity() {
+  if (valid_.empty()) valid_.assign(size_, 1);
+}
+
+void Column::AppendNull() {
+  EnsureValidity();
+  switch (type_) {
+    case ValueType::kInt64:
+      ints_.push_back(0);
+      break;
+    case ValueType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case ValueType::kString:
+      strings_.emplace_back();
+      break;
+    case ValueType::kIntArray:
+      arrays_.emplace_back();
+      break;
+    case ValueType::kNull:
+      break;
+  }
+  valid_.push_back(0);
+  ++size_;
+}
+
+void Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case ValueType::kInt64:
+      // Accept doubles that arrive after a type widen (paper Sec. 4.3 widens
+      // the other way; this keeps the engine forgiving in tests).
+      if (v.type() == ValueType::kDouble) {
+        AppendInt(static_cast<int64_t>(v.AsDouble()));
+      } else {
+        AppendInt(v.AsInt());
+      }
+      break;
+    case ValueType::kDouble:
+      AppendDouble(v.NumericValue());
+      break;
+    case ValueType::kString:
+      AppendString(v.AsString());
+      break;
+    case ValueType::kIntArray:
+      AppendIntArray(v.AsIntArray());
+      break;
+    case ValueType::kNull:
+      AppendNull();
+      break;
+  }
+}
+
+Value Column::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case ValueType::kInt64:
+      return Value(ints_[i]);
+    case ValueType::kDouble:
+      return Value(doubles_[i]);
+    case ValueType::kString:
+      return Value(strings_[i]);
+    case ValueType::kIntArray:
+      return Value(arrays_[i]);
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+void Column::SetValue(size_t i, const Value& v) {
+  if (v.is_null()) {
+    EnsureValidity();
+    valid_[i] = 0;
+    return;
+  }
+  if (!valid_.empty()) valid_[i] = 1;
+  switch (type_) {
+    case ValueType::kInt64:
+      ints_[i] = v.type() == ValueType::kDouble
+                     ? static_cast<int64_t>(v.AsDouble())
+                     : v.AsInt();
+      break;
+    case ValueType::kDouble:
+      doubles_[i] = v.NumericValue();
+      break;
+    case ValueType::kString:
+      strings_[i] = v.AsString();
+      break;
+    case ValueType::kIntArray:
+      arrays_[i] = v.AsIntArray();
+      break;
+    case ValueType::kNull:
+      break;
+  }
+}
+
+void Column::SwapRemove(size_t i) {
+  switch (type_) {
+    case ValueType::kInt64:
+      ints_[i] = ints_.back();
+      ints_.pop_back();
+      break;
+    case ValueType::kDouble:
+      doubles_[i] = doubles_.back();
+      doubles_.pop_back();
+      break;
+    case ValueType::kString:
+      strings_[i] = std::move(strings_.back());
+      strings_.pop_back();
+      break;
+    case ValueType::kIntArray:
+      arrays_[i] = std::move(arrays_.back());
+      arrays_.pop_back();
+      break;
+    case ValueType::kNull:
+      break;
+  }
+  if (!valid_.empty()) {
+    valid_[i] = valid_.back();
+    valid_.pop_back();
+  }
+  --size_;
+}
+
+Status Column::Widen(ValueType to) {
+  if (to == type_) return Status::OK();
+  if (type_ == ValueType::kInt64 && to == ValueType::kDouble) {
+    doubles_.reserve(ints_.size());
+    for (int64_t v : ints_) doubles_.push_back(static_cast<double>(v));
+    ints_.clear();
+    ints_.shrink_to_fit();
+    type_ = to;
+    return Status::OK();
+  }
+  if ((type_ == ValueType::kInt64 || type_ == ValueType::kDouble) &&
+      to == ValueType::kString) {
+    strings_.reserve(size_);
+    for (size_t i = 0; i < size_; ++i) {
+      strings_.push_back(type_ == ValueType::kInt64
+                             ? std::to_string(ints_[i])
+                             : std::to_string(doubles_[i]));
+    }
+    ints_.clear();
+    ints_.shrink_to_fit();
+    doubles_.clear();
+    doubles_.shrink_to_fit();
+    type_ = to;
+    return Status::OK();
+  }
+  return Status::NotSupported("unsupported column widening");
+}
+
+uint64_t Column::StorageBytes() const {
+  uint64_t bytes = 0;
+  switch (type_) {
+    case ValueType::kInt64:
+      bytes = ints_.size() * 8;
+      break;
+    case ValueType::kDouble:
+      bytes = doubles_.size() * 8;
+      break;
+    case ValueType::kString:
+      for (const auto& s : strings_) bytes += s.size() + 4;
+      break;
+    case ValueType::kIntArray:
+      for (const auto& a : arrays_) bytes += a.size() * 8 + 16;
+      break;
+    case ValueType::kNull:
+      break;
+  }
+  bytes += valid_.size();
+  return bytes;
+}
+
+}  // namespace orpheus::minidb

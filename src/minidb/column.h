@@ -1,0 +1,107 @@
+#ifndef ORPHEUS_MINIDB_COLUMN_H_
+#define ORPHEUS_MINIDB_COLUMN_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "minidb/value.h"
+
+namespace orpheus::minidb {
+
+/// A typed column vector. Tables are stored columnar (Arrow-style) so that
+/// wide integer benchmark tables cost 8 bytes per cell rather than a boxed
+/// variant, which keeps paper-scale workloads in memory.
+class Column {
+ public:
+  explicit Column(ValueType type) : type_(type) {}
+
+  ValueType type() const { return type_; }
+  size_t size() const { return size_; }
+
+  void AppendInt(int64_t v) {
+    assert(type_ == ValueType::kInt64);
+    ints_.push_back(v);
+    NoteValidAppend();
+  }
+  void AppendDouble(double v) {
+    assert(type_ == ValueType::kDouble);
+    doubles_.push_back(v);
+    NoteValidAppend();
+  }
+  void AppendString(std::string v) {
+    assert(type_ == ValueType::kString);
+    strings_.push_back(std::move(v));
+    NoteValidAppend();
+  }
+  void AppendIntArray(std::vector<int64_t> v) {
+    assert(type_ == ValueType::kIntArray);
+    arrays_.push_back(std::move(v));
+    NoteValidAppend();
+  }
+
+  /// Append a NULL cell (records a validity hole; the physical slot holds a
+  /// zero value).
+  void AppendNull();
+
+  /// Append `v`, which must match the column type or be null.
+  void AppendValue(const Value& v);
+
+  bool IsNull(size_t i) const {
+    return !valid_.empty() && valid_[i] == 0;
+  }
+
+  int64_t GetInt(size_t i) const { return ints_[i]; }
+  double GetDouble(size_t i) const { return doubles_[i]; }
+  const std::string& GetString(size_t i) const { return strings_[i]; }
+  const std::vector<int64_t>& GetIntArray(size_t i) const {
+    return arrays_[i];
+  }
+  std::vector<int64_t>& MutableIntArray(size_t i) { return arrays_[i]; }
+
+  /// Boxed accessor (respects nulls).
+  Value GetValue(size_t i) const;
+
+  /// Overwrite cell `i` with `v` (type must match; null allowed).
+  void SetValue(size_t i, const Value& v);
+
+  /// Approximate heap bytes used by this column's data, mirroring on-disk
+  /// accounting (8 bytes per numeric, string payload + length header,
+  /// 8 bytes per array element + array header).
+  uint64_t StorageBytes() const;
+
+  /// Direct access to the integer payload for tight scan loops.
+  const std::vector<int64_t>& int_data() const { return ints_; }
+
+  /// Widen the column to a more general type (paper Sec. 4.3: e.g. integer
+  /// -> decimal). Supported: int64 -> double, int64/double -> string.
+  Status Widen(ValueType to);
+
+  /// Remove cell `i` by moving the last cell into its place (O(1); row
+  /// order is not preserved).
+  void SwapRemove(size_t i);
+
+ private:
+  void EnsureValidity();
+
+  // Keep the lazily-allocated validity bitmap in sync on non-null appends.
+  void NoteValidAppend() {
+    ++size_;
+    if (!valid_.empty()) valid_.push_back(1);
+  }
+
+  ValueType type_;
+  size_t size_ = 0;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<std::vector<int64_t>> arrays_;
+  // Validity bitmap, allocated lazily on the first null; empty => all valid.
+  std::vector<uint8_t> valid_;
+};
+
+}  // namespace orpheus::minidb
+
+#endif  // ORPHEUS_MINIDB_COLUMN_H_

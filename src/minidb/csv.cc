@@ -1,0 +1,247 @@
+#include "minidb/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace orpheus::minidb {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteCell(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Split one CSV record honoring quotes. `pos` advances past the record
+/// (including the newline).
+std::vector<std::string> ParseRecord(const std::string& text, size_t* pos) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = *pos;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < n && text[i + 1] == '\n') ++i;
+      ++i;
+      break;
+    } else {
+      cur += c;
+    }
+    ++i;
+  }
+  fields.push_back(std::move(cur));
+  *pos = i;
+  return fields;
+}
+
+bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = s[0] == '-' || s[0] == '+' ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeDouble(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+Result<Value> ParseCell(const std::string& text, ValueType type) {
+  if (text.empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kInt64: {
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end != text.c_str() + text.size()) {
+        return Status::InvalidArgument(
+            StrFormat("bad int64 cell '%s'", text.c_str()));
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size()) {
+        return Status::InvalidArgument(
+            StrFormat("bad double cell '%s'", text.c_str()));
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(text);
+    default:
+      return Status::NotSupported("csv supports int64/double/string");
+  }
+}
+
+}  // namespace
+
+std::string ToCsv(const Table& table) {
+  std::string out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c) out += ',';
+    out += QuoteCell(table.schema().column(c).name);
+  }
+  out += '\n';
+  for (uint32_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c) out += ',';
+      Value v = table.GetValue(r, c);
+      if (!v.is_null()) out += QuoteCell(v.ToString());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal(StrFormat("cannot open %s", path.c_str()));
+  }
+  out << ToCsv(table);
+  return out.good() ? Status::OK()
+                    : Status::Internal("write failed: " + path);
+}
+
+Result<Schema> ParseSchemaSpec(const std::string& spec) {
+  Schema schema;
+  for (const auto& raw_line : Split(spec, '\n')) {
+    for (const auto& raw : Split(raw_line, ',')) {
+      std::string entry(Trim(raw));
+      if (entry.empty() || entry[0] == '#') continue;
+      auto parts = Split(entry, ':');
+      if (parts.size() != 2) {
+        return Status::InvalidArgument(
+            StrFormat("bad schema entry '%s' (want name:type)",
+                      entry.c_str()));
+      }
+      std::string name(Trim(parts[0]));
+      std::string type = ToLower(std::string(Trim(parts[1])));
+      ValueType vt;
+      if (type == "int" || type == "int64" || type == "integer") {
+        vt = ValueType::kInt64;
+      } else if (type == "double" || type == "decimal" || type == "float") {
+        vt = ValueType::kDouble;
+      } else if (type == "string" || type == "text" || type == "varchar") {
+        vt = ValueType::kString;
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("unknown type '%s'", type.c_str()));
+      }
+      schema.AddColumn({name, vt});
+    }
+  }
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("empty schema spec");
+  }
+  return schema;
+}
+
+Result<Table> ParseCsv(const std::string& text, const std::string& table_name,
+                       const Schema* schema) {
+  size_t pos = 0;
+  if (text.empty()) return Status::InvalidArgument("empty csv");
+  std::vector<std::string> header = ParseRecord(text, &pos);
+
+  // Collect raw records first (needed for type inference).
+  std::vector<std::vector<std::string>> records;
+  while (pos < text.size()) {
+    size_t before = pos;
+    auto rec = ParseRecord(text, &pos);
+    if (rec.size() == 1 && rec[0].empty()) continue;  // blank line
+    if (rec.size() != header.size()) {
+      return Status::InvalidArgument(
+          StrFormat("row at offset %zu has %zu fields, header has %zu",
+                    before, rec.size(), header.size()));
+    }
+    records.push_back(std::move(rec));
+  }
+
+  Schema resolved;
+  if (schema != nullptr) {
+    resolved = *schema;
+    if (resolved.num_columns() != header.size()) {
+      return Status::InvalidArgument("schema arity != csv header arity");
+    }
+  } else {
+    // Infer each column: int64 if all non-empty cells parse as ints, else
+    // double, else string.
+    for (size_t c = 0; c < header.size(); ++c) {
+      bool all_int = true;
+      bool all_double = true;
+      for (const auto& rec : records) {
+        if (rec[c].empty()) continue;
+        if (!LooksLikeInt(rec[c])) all_int = false;
+        if (!LooksLikeDouble(rec[c])) all_double = false;
+      }
+      ValueType vt = all_int ? ValueType::kInt64
+                     : all_double ? ValueType::kDouble
+                                  : ValueType::kString;
+      resolved.AddColumn({header[c], vt});
+    }
+  }
+
+  Table table(table_name, resolved);
+  for (const auto& rec : records) {
+    Row row;
+    row.reserve(rec.size());
+    for (size_t c = 0; c < rec.size(); ++c) {
+      auto v = ParseCell(rec[c], resolved.column(c).type);
+      if (!v.ok()) return v.status();
+      row.push_back(*v);
+    }
+    table.AppendRowUnchecked(row);
+  }
+  return table;
+}
+
+Result<Table> ReadCsv(const std::string& path, const std::string& table_name,
+                      const Schema* schema) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), table_name, schema);
+}
+
+}  // namespace orpheus::minidb

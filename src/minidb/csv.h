@@ -1,0 +1,38 @@
+#ifndef ORPHEUS_MINIDB_CSV_H_
+#define ORPHEUS_MINIDB_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "minidb/table.h"
+
+namespace orpheus::minidb {
+
+/// CSV import/export for the `checkout -f` / `commit -f` workflow
+/// (Sec. 3.3.1): users take versions out as CSV files, edit them in Python
+/// or R, and commit them back with a schema file.
+
+/// Write `table` to `path` with a header row. Cells containing commas,
+/// quotes or newlines are quoted.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Parse a schema description: one `name:type` pair per line (or
+/// comma-separated), where type is int64|double|string. This is the `-s`
+/// schema file of the commit command.
+Result<Schema> ParseSchemaSpec(const std::string& spec);
+
+/// Read a CSV file with a header row into a table. With `schema` null the
+/// column types are inferred from the data (int64 -> double -> string).
+Result<Table> ReadCsv(const std::string& path, const std::string& table_name,
+                      const Schema* schema = nullptr);
+
+/// Parse CSV text directly (used by tests and the CLI's in-memory mode).
+Result<Table> ParseCsv(const std::string& text, const std::string& table_name,
+                       const Schema* schema = nullptr);
+
+/// Render a table as CSV text.
+std::string ToCsv(const Table& table);
+
+}  // namespace orpheus::minidb
+
+#endif  // ORPHEUS_MINIDB_CSV_H_

@@ -1,0 +1,66 @@
+#include "minidb/database.h"
+
+#include "common/string_util.h"
+
+namespace orpheus::minidb {
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
+  if (HasTable(name)) {
+    return Status::AlreadyExists(StrFormat("table %s exists", name.c_str()));
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* ptr = table.get();
+  tables_[name] = std::move(table);
+  return ptr;
+}
+
+Result<Table*> Database::AdoptTable(Table table) {
+  const std::string name = table.name();
+  if (HasTable(name)) {
+    return Status::AlreadyExists(StrFormat("table %s exists", name.c_str()));
+  }
+  auto owned = std::make_unique<Table>(std::move(table));
+  Table* ptr = owned.get();
+  tables_[name] = std::move(owned);
+  return ptr;
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Database::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("table %s not found", name.c_str()));
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Database::ListTables() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) {
+    (void)t;
+    out.push_back(name);
+  }
+  return out;
+}
+
+uint64_t Database::TotalStorageBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [name, t] : tables_) {
+    (void)name;
+    bytes += t->StorageBytes();
+  }
+  return bytes;
+}
+
+}  // namespace orpheus::minidb

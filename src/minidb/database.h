@@ -1,0 +1,51 @@
+#ifndef ORPHEUS_MINIDB_DATABASE_H_
+#define ORPHEUS_MINIDB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "minidb/table.h"
+
+namespace orpheus::minidb {
+
+/// A named catalog of tables. OrpheusDB's middleware creates CVD backing
+/// tables and the temporary staging area (materialized checkout tables)
+/// inside one Database, exactly as it would inside one PostgreSQL database.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Create a table; fails with AlreadyExists if the name is taken.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Adopt an already-built table (used when a checkout materializes a
+  /// table constructed elsewhere).
+  Result<Table*> AdoptTable(Table table);
+
+  /// Pointer to the named table, or nullptr.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  Status DropTable(const std::string& name);
+  bool HasTable(const std::string& name) const {
+    return tables_.find(name) != tables_.end();
+  }
+
+  std::vector<std::string> ListTables() const;
+
+  /// Sum of StorageBytes() over all tables.
+  uint64_t TotalStorageBytes() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace orpheus::minidb
+
+#endif  // ORPHEUS_MINIDB_DATABASE_H_

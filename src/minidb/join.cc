@@ -1,0 +1,112 @@
+#include "minidb/join.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace orpheus::minidb {
+
+const char* JoinAlgorithmName(JoinAlgorithm algo) {
+  switch (algo) {
+    case JoinAlgorithm::kHashJoin: return "hash-join";
+    case JoinAlgorithm::kMergeJoin: return "merge-join";
+    case JoinAlgorithm::kIndexNestedLoop: return "index-nested-loop-join";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<uint32_t> HashJoin(const Table& data, int rid_col,
+                               const std::vector<int64_t>& rlist) {
+  std::unordered_set<int64_t> probe(rlist.begin(), rlist.end());
+  const auto& rids = data.column(rid_col).int_data();
+  std::vector<uint32_t> out;
+  out.reserve(rlist.size());
+  const uint32_t n = static_cast<uint32_t>(data.num_rows());
+  for (uint32_t r = 0; r < n; ++r) {
+    if (probe.count(rids[r])) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<uint32_t> MergeJoin(const Table& data, int rid_col,
+                                const std::vector<int64_t>& rlist,
+                                bool clustered_on_rid) {
+  std::vector<int64_t> sorted_rlist = rlist;
+  std::sort(sorted_rlist.begin(), sorted_rlist.end());
+
+  const auto& rids = data.column(rid_col).int_data();
+  const uint32_t n = static_cast<uint32_t>(data.num_rows());
+  std::vector<uint32_t> out;
+  out.reserve(rlist.size());
+
+  if (clustered_on_rid) {
+    // Data side already ordered: single linear merge pass.
+    uint32_t i = 0;
+    size_t j = 0;
+    while (i < n && j < sorted_rlist.size()) {
+      if (rids[i] < sorted_rlist[j]) {
+        ++i;
+      } else if (rids[i] > sorted_rlist[j]) {
+        ++j;
+      } else {
+        out.push_back(i);
+        ++i;
+        ++j;
+      }
+    }
+    return out;
+  }
+
+  // Data side unordered: sort (rid, row) pairs first — the expensive plan.
+  std::vector<std::pair<int64_t, uint32_t>> keyed(n);
+  for (uint32_t r = 0; r < n; ++r) keyed[r] = {rids[r], r};
+  std::sort(keyed.begin(), keyed.end());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < keyed.size() && j < sorted_rlist.size()) {
+    if (keyed[i].first < sorted_rlist[j]) {
+      ++i;
+    } else if (keyed[i].first > sorted_rlist[j]) {
+      ++j;
+    } else {
+      out.push_back(keyed[i].second);
+      ++i;
+      ++j;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint32_t> IndexNestedLoopJoin(const Table& data, int rid_col,
+                                          const std::vector<int64_t>& rlist) {
+  assert(data.HasUniqueIntIndex(rid_col) &&
+         "index-nested-loop join requires a rid index");
+  std::vector<uint32_t> out;
+  out.reserve(rlist.size());
+  for (int64_t rid : rlist) {
+    auto hit = data.LookupUniqueInt(rid_col, rid);
+    if (hit) out.push_back(*hit);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint32_t> JoinRids(const Table& data, int rid_col,
+                               const std::vector<int64_t>& rlist,
+                               JoinAlgorithm algo, bool clustered_on_rid) {
+  switch (algo) {
+    case JoinAlgorithm::kHashJoin:
+      return HashJoin(data, rid_col, rlist);
+    case JoinAlgorithm::kMergeJoin:
+      return MergeJoin(data, rid_col, rlist, clustered_on_rid);
+    case JoinAlgorithm::kIndexNestedLoop:
+      return IndexNestedLoopJoin(data, rid_col, rlist);
+  }
+  return {};
+}
+
+}  // namespace orpheus::minidb

@@ -1,0 +1,37 @@
+#ifndef ORPHEUS_MINIDB_JOIN_H_
+#define ORPHEUS_MINIDB_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "minidb/table.h"
+
+namespace orpheus::minidb {
+
+/// Physical join strategies for the checkout join (Sec. 5.5.5): joining the
+/// data table's rid column with the rlist fetched from the versioning table.
+enum class JoinAlgorithm {
+  kHashJoin,         // build hash table on rlist, sequential-scan data table
+  kMergeJoin,        // sort both sides (a no-op side if pre-clustered), merge
+  kIndexNestedLoop,  // per-rid point lookup on the data table's rid index
+};
+
+const char* JoinAlgorithmName(JoinAlgorithm algo);
+
+/// Return the physical row ids of `data` whose `rid_col` value appears in
+/// `rlist`, using the requested strategy.
+///
+/// - kHashJoin: hash `rlist`, then one sequential scan over `data`
+///   (PostgreSQL's choice in the paper; cost ∝ |R_k|).
+/// - kMergeJoin: if `clustered_on_rid`, the data side is already ordered so
+///   the merge is a single linear pass; otherwise the data side must be
+///   sorted first (the slower plan of Fig. 5.7(e)).
+/// - kIndexNestedLoop: requires a unique index on `rid_col`; performs
+///   |rlist| point lookups (random access; Fig. 5.7(c)/(f)).
+std::vector<uint32_t> JoinRids(const Table& data, int rid_col,
+                               const std::vector<int64_t>& rlist,
+                               JoinAlgorithm algo, bool clustered_on_rid);
+
+}  // namespace orpheus::minidb
+
+#endif  // ORPHEUS_MINIDB_JOIN_H_

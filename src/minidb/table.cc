@@ -1,0 +1,287 @@
+#include "minidb/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace orpheus::minidb {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (const auto& def : schema_.columns()) {
+    columns_.emplace_back(def.type);
+  }
+}
+
+Status Table::InsertRow(const Row& row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu != schema arity %zu in table %s", row.size(),
+                  schema_.num_columns(), name_.c_str()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    ValueType want = schema_.column(i).type;
+    ValueType got = row[i].type();
+    bool numeric_ok = (want == ValueType::kInt64 || want == ValueType::kDouble) &&
+                      (got == ValueType::kInt64 || got == ValueType::kDouble);
+    if (got != want && !numeric_ok) {
+      return Status::InvalidArgument(
+          StrFormat("column %s expects %s, got %s",
+                    schema_.column(i).name.c_str(), ValueTypeName(want),
+                    ValueTypeName(got)));
+    }
+  }
+  AppendRowUnchecked(row);
+  return Status::OK();
+}
+
+void Table::AppendRowUnchecked(const Row& row) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].AppendValue(row[i]);
+  }
+  ++num_rows_;
+  MaintainIndexesOnAppend(static_cast<uint32_t>(num_rows_ - 1));
+}
+
+void Table::AppendIntRowUnchecked(const std::vector<int64_t>& vals) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].AppendInt(vals[i]);
+  }
+  ++num_rows_;
+  MaintainIndexesOnAppend(static_cast<uint32_t>(num_rows_ - 1));
+}
+
+Row Table::GetRow(uint32_t row) const {
+  Row out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col.GetValue(row));
+  return out;
+}
+
+Status Table::BuildUniqueIntIndex(int col) {
+  if (col < 0 || static_cast<size_t>(col) >= columns_.size()) {
+    return Status::InvalidArgument("index column out of range");
+  }
+  if (columns_[col].type() != ValueType::kInt64) {
+    return Status::InvalidArgument("unique index requires an int64 column");
+  }
+  std::unordered_map<int64_t, uint32_t> idx;
+  idx.reserve(num_rows_ * 2);
+  const auto& data = columns_[col].int_data();
+  for (uint32_t r = 0; r < num_rows_; ++r) {
+    auto [it, inserted] = idx.emplace(data[r], r);
+    if (!inserted) {
+      return Status::ConstraintViolation(
+          StrFormat("duplicate key %lld in unique index on column %d",
+                    static_cast<long long>(data[r]), col));
+    }
+  }
+  indexes_[col] = std::move(idx);
+  return Status::OK();
+}
+
+std::optional<uint32_t> Table::LookupUniqueInt(int col, int64_t key) const {
+  auto it = indexes_.find(col);
+  if (it == indexes_.end()) return std::nullopt;
+  auto hit = it->second.find(key);
+  if (hit == it->second.end()) return std::nullopt;
+  return hit->second;
+}
+
+std::vector<uint32_t> Table::SelectRows(
+    const std::function<bool(const Table&, uint32_t)>& pred) const {
+  std::vector<uint32_t> out;
+  for (uint32_t r = 0; r < num_rows_; ++r) {
+    if (pred(*this, r)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<uint32_t> Table::SelectRowsArrayContains(int array_col,
+                                                     int64_t needle) const {
+  std::vector<uint32_t> out;
+  const Column& col = columns_[array_col];
+  for (uint32_t r = 0; r < num_rows_; ++r) {
+    const auto& arr = col.GetIntArray(r);
+    if (std::binary_search(arr.begin(), arr.end(), needle)) out.push_back(r);
+  }
+  return out;
+}
+
+Table Table::CopyRows(const std::vector<uint32_t>& rows,
+                      std::string new_name) const {
+  Table out(std::move(new_name), schema_);
+  out.AppendFrom(*this, rows);
+  out.pk_cols_ = pk_cols_;
+  return out;
+}
+
+Table Table::ProjectRows(const std::vector<uint32_t>& rows,
+                         const std::vector<int>& cols,
+                         std::string new_name) const {
+  std::vector<ColumnDef> defs;
+  defs.reserve(cols.size());
+  for (int c : cols) defs.push_back(schema_.column(c));
+  Table out(std::move(new_name), Schema(std::move(defs)));
+  out.AppendFrom(*this, rows, &cols);
+  return out;
+}
+
+void Table::AppendFrom(const Table& src, const std::vector<uint32_t>& rows,
+                       const std::vector<int>* src_cols) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const Column& in = src.columns_[src_cols ? (*src_cols)[c] : c];
+    Column& out = columns_[c];
+    switch (in.type()) {
+      case ValueType::kInt64:
+        for (uint32_t r : rows) {
+          if (in.IsNull(r)) {
+            out.AppendNull();
+          } else {
+            out.AppendInt(in.GetInt(r));
+          }
+        }
+        break;
+      default:
+        for (uint32_t r : rows) out.AppendValue(in.GetValue(r));
+        break;
+    }
+  }
+  size_t first_new = num_rows_;
+  num_rows_ += rows.size();
+  if (!indexes_.empty()) {
+    for (size_t r = first_new; r < num_rows_; ++r) {
+      MaintainIndexesOnAppend(static_cast<uint32_t>(r));
+    }
+  }
+}
+
+Table Table::Clone(std::string new_name) const {
+  std::vector<uint32_t> all(num_rows_);
+  std::iota(all.begin(), all.end(), 0u);
+  Table out = CopyRows(all, std::move(new_name));
+  for (const auto& [col, idx] : indexes_) {
+    Status s = out.BuildUniqueIntIndex(col);
+    (void)s;  // Clone of a valid index cannot fail.
+  }
+  return out;
+}
+
+void Table::SortByIntColumn(int col) {
+  std::vector<uint32_t> order(num_rows_);
+  std::iota(order.begin(), order.end(), 0u);
+  const auto& keys = columns_[col].int_data();
+  std::sort(order.begin(), order.end(),
+            [&keys](uint32_t a, uint32_t b) { return keys[a] < keys[b]; });
+  Table sorted = CopyRows(order, name_);
+  columns_ = std::move(sorted.columns_);
+  for (auto& [icol, idx] : indexes_) {
+    (void)idx;
+    Status s = BuildUniqueIntIndex(icol);
+    (void)s;
+  }
+}
+
+Status Table::AddColumn(ColumnDef def) {
+  if (schema_.FindColumn(def.name) >= 0) {
+    return Status::AlreadyExists(
+        StrFormat("column %s already exists", def.name.c_str()));
+  }
+  Column col(def.type);
+  for (size_t r = 0; r < num_rows_; ++r) col.AppendNull();
+  schema_.AddColumn(std::move(def));
+  columns_.push_back(std::move(col));
+  return Status::OK();
+}
+
+void Table::DeleteRows(const std::vector<uint32_t>& rows) {
+  if (rows.empty()) return;
+  // Swap-remove each doomed row, highest index first, so the cost is
+  // proportional to the number of deleted rows (like marking tuples dead),
+  // not to the table size. Physical row order is not preserved.
+  for (auto it = rows.rbegin(); it != rows.rend(); ++it) {
+    uint32_t r = *it;
+    uint32_t last = static_cast<uint32_t>(num_rows_ - 1);
+    for (auto& [col, idx] : indexes_) {
+      idx.erase(columns_[col].GetInt(r));
+      if (r != last) {
+        // The row moving down keeps its key but changes position.
+        auto moved = idx.find(columns_[col].GetInt(last));
+        if (moved != idx.end()) moved->second = r;
+      }
+    }
+    for (auto& col : columns_) col.SwapRemove(r);
+    --num_rows_;
+  }
+}
+
+Status Table::WidenColumn(int col, ValueType to) {
+  if (col < 0 || static_cast<size_t>(col) >= columns_.size()) {
+    return Status::InvalidArgument("column out of range");
+  }
+  if (indexes_.count(col)) {
+    return Status::NotSupported("cannot widen an indexed column");
+  }
+  ORPHEUS_RETURN_NOT_OK(columns_[col].Widen(to));
+  schema_.SetColumnType(static_cast<size_t>(col), to);
+  return Status::OK();
+}
+
+void Table::SetRow(uint32_t row, const Row& vals) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    // Maintain any unique index whose key cell changes.
+    auto it = indexes_.find(static_cast<int>(c));
+    if (it != indexes_.end() && !vals[c].is_null() &&
+        columns_[c].GetInt(row) != vals[c].AsInt()) {
+      it->second.erase(columns_[c].GetInt(row));
+      it->second.emplace(vals[c].AsInt(), row);
+    }
+    columns_[c].SetValue(row, vals[c]);
+  }
+}
+
+void Table::RewriteRowAppendToArray(uint32_t row, int array_col,
+                                    int64_t value) {
+  // Read the full tuple out (PostgreSQL forms the new tuple from the old).
+  Row tuple = GetRow(row);
+  auto& arr = tuple[array_col].MutableIntArray();
+  arr.push_back(value);  // arrays are append-ordered, hence stay sorted
+  // Index maintenance: an UPDATE re-enters the tuple in every index.
+  for (auto& [col, idx] : indexes_) {
+    auto it = idx.find(columns_[col].GetInt(row));
+    if (it != idx.end()) {
+      int64_t key = it->first;
+      idx.erase(it);
+      idx.emplace(key, row);
+    }
+  }
+  // Write the full tuple back.
+  SetRow(row, tuple);
+}
+
+uint64_t Table::DataBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& col : columns_) bytes += col.StorageBytes();
+  return bytes;
+}
+
+uint64_t Table::IndexBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [col, idx] : indexes_) {
+    (void)col;
+    bytes += idx.size() * 16;
+  }
+  return bytes;
+}
+
+void Table::MaintainIndexesOnAppend(uint32_t new_row) {
+  if (indexes_.empty()) return;
+  for (auto& [col, idx] : indexes_) {
+    idx.emplace(columns_[col].GetInt(new_row), new_row);
+  }
+}
+
+}  // namespace orpheus::minidb

@@ -1,0 +1,85 @@
+#ifndef ORPHEUS_MINIDB_VALUE_H_
+#define ORPHEUS_MINIDB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace orpheus::minidb {
+
+/// Column data types supported by the engine. kIntArray backs the
+/// `vlist`/`rlist` versioning attributes of Chapter 4 (PostgreSQL's int[]).
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+  kIntArray,
+};
+
+const char* ValueTypeName(ValueType t);
+
+/// A dynamically-typed cell value. Tables store data in typed column vectors
+/// (see column.h); Value is the boundary type used for row-at-a-time APIs,
+/// predicates, and query results.
+class Value {
+ public:
+  Value() : var_(std::monostate{}) {}
+  explicit Value(int64_t v) : var_(v) {}
+  explicit Value(double v) : var_(v) {}
+  explicit Value(std::string v) : var_(std::move(v)) {}
+  explicit Value(const char* v) : var_(std::string(v)) {}
+  explicit Value(std::vector<int64_t> v) : var_(std::move(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (var_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt64;
+      case 2: return ValueType::kDouble;
+      case 3: return ValueType::kString;
+      case 4: return ValueType::kIntArray;
+    }
+    return ValueType::kNull;
+  }
+
+  bool is_null() const { return var_.index() == 0; }
+  int64_t AsInt() const { return std::get<int64_t>(var_); }
+  double AsDouble() const { return std::get<double>(var_); }
+  const std::string& AsString() const { return std::get<std::string>(var_); }
+  const std::vector<int64_t>& AsIntArray() const {
+    return std::get<std::vector<int64_t>>(var_);
+  }
+  std::vector<int64_t>& MutableIntArray() {
+    return std::get<std::vector<int64_t>>(var_);
+  }
+
+  /// Numeric view: int64 and double both compare as double.
+  double NumericValue() const {
+    if (var_.index() == 1) return static_cast<double>(AsInt());
+    return AsDouble();
+  }
+
+  bool operator==(const Value& other) const { return var_ == other.var_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total ordering within a type; null sorts first, cross-numeric compares
+  /// numerically.
+  bool operator<(const Value& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string,
+               std::vector<int64_t>>
+      var_;
+};
+
+/// A materialized row: one Value per column.
+using Row = std::vector<Value>;
+
+}  // namespace orpheus::minidb
+
+#endif  // ORPHEUS_MINIDB_VALUE_H_

@@ -1,0 +1,144 @@
+#include "provenance/explanation.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace orpheus::provenance {
+
+const char* OperationName(Operation op) {
+  switch (op) {
+    case Operation::kIdentity: return "identity";
+    case Operation::kProjection: return "projection";
+    case Operation::kColumnAddition: return "column-addition";
+    case Operation::kSelection: return "selection";
+    case Operation::kAppend: return "append";
+    case Operation::kUpdate: return "update";
+    case Operation::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+// Serialize a row restricted to the given columns.
+std::string RowKey(const minidb::Table& t, uint32_t r,
+                   const std::vector<int>& cols) {
+  std::string key;
+  for (int c : cols) {
+    key += t.GetValue(r, static_cast<size_t>(c)).ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+Explanation ExplainDerivation(const minidb::Table& parent,
+                              const minidb::Table& child,
+                              const std::string& key_column) {
+  Explanation ex;
+
+  // Schema comparison.
+  std::set<std::string> pcols;
+  std::set<std::string> ccols;
+  for (const auto& def : parent.schema().columns()) pcols.insert(def.name);
+  for (const auto& def : child.schema().columns()) ccols.insert(def.name);
+  for (const auto& c : ccols) {
+    if (!pcols.count(c)) ex.columns_added.push_back(c);
+  }
+  for (const auto& c : pcols) {
+    if (!ccols.count(c)) ex.columns_removed.push_back(c);
+  }
+
+  // Common columns, in child order, mapped to positions in both tables.
+  std::vector<int> p_common;
+  std::vector<int> c_common;
+  for (const auto& def : child.schema().columns()) {
+    int pc = parent.schema().FindColumn(def.name);
+    if (pc >= 0) {
+      p_common.push_back(pc);
+      c_common.push_back(child.schema().FindColumn(def.name));
+    }
+  }
+
+  // Row comparison over the common columns.
+  std::unordered_map<std::string, int> parent_rows;
+  for (uint32_t r = 0; r < parent.num_rows(); ++r) {
+    ++parent_rows[RowKey(parent, r, p_common)];
+  }
+  int common_rows = 0;
+  std::unordered_map<std::string, int> remaining = parent_rows;
+  for (uint32_t r = 0; r < child.num_rows(); ++r) {
+    auto it = remaining.find(RowKey(child, r, c_common));
+    if (it != remaining.end() && it->second > 0) {
+      --it->second;
+      ++common_rows;
+    } else {
+      ++ex.rows_added;
+    }
+  }
+  ex.rows_removed = static_cast<int>(parent.num_rows()) - common_rows;
+
+  // Update detection on the key column.
+  if (!key_column.empty()) {
+    int pk = parent.schema().FindColumn(key_column);
+    int ck = child.schema().FindColumn(key_column);
+    if (pk >= 0 && ck >= 0) {
+      std::unordered_map<std::string, uint32_t> by_key;
+      for (uint32_t r = 0; r < parent.num_rows(); ++r) {
+        by_key.emplace(parent.GetValue(r, pk).ToString(), r);
+      }
+      std::unordered_set<std::string> parent_full;
+      for (uint32_t r = 0; r < parent.num_rows(); ++r) {
+        parent_full.insert(RowKey(parent, r, p_common));
+      }
+      for (uint32_t r = 0; r < child.num_rows(); ++r) {
+        if (parent_full.count(RowKey(child, r, c_common))) continue;
+        if (by_key.count(child.GetValue(r, ck).ToString())) {
+          ++ex.rows_modified;
+        }
+      }
+    }
+  }
+
+  // Classify. Row-preserving schema changes first (Sec. 8.5's emphasis).
+  const bool rows_preserved = ex.rows_added == 0 && ex.rows_removed == 0;
+  const bool cols_same = ex.columns_added.empty() && ex.columns_removed.empty();
+  const double total_rows =
+      std::max<double>(1.0, std::max(parent.num_rows(), child.num_rows()));
+
+  if (rows_preserved && cols_same) {
+    ex.op = Operation::kIdentity;
+    ex.confidence = 1.0;
+  } else if (rows_preserved && !ex.columns_removed.empty() &&
+             ex.columns_added.empty()) {
+    ex.op = Operation::kProjection;
+    ex.confidence = 1.0;
+  } else if (rows_preserved && !ex.columns_added.empty() &&
+             ex.columns_removed.empty()) {
+    ex.op = Operation::kColumnAddition;
+    ex.confidence = 1.0;
+  } else if (cols_same && ex.rows_modified > 0 &&
+             ex.rows_modified >= ex.rows_added - ex.rows_modified &&
+             ex.rows_modified >= ex.rows_removed - ex.rows_modified) {
+    ex.op = Operation::kUpdate;
+    ex.confidence = 1.0 - static_cast<double>(std::max(
+                              ex.rows_added - ex.rows_modified,
+                              ex.rows_removed - ex.rows_modified)) /
+                              total_rows;
+  } else if (cols_same && ex.rows_added == 0 && ex.rows_removed > 0) {
+    ex.op = Operation::kSelection;
+    ex.confidence = 1.0;
+  } else if (cols_same && ex.rows_removed == 0 && ex.rows_added > 0) {
+    ex.op = Operation::kAppend;
+    ex.confidence = 1.0;
+  } else {
+    ex.op = Operation::kUnknown;
+    ex.confidence = 0.0;
+  }
+  return ex;
+}
+
+}  // namespace orpheus::provenance

@@ -1,0 +1,45 @@
+#ifndef ORPHEUS_PROVENANCE_EXPLANATION_H_
+#define ORPHEUS_PROVENANCE_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "minidb/table.h"
+
+namespace orpheus::provenance {
+
+/// Structural explanation (Sec. 8.5): given an inferred parent/child pair,
+/// identify the data-processing operation(s) that most plausibly produced
+/// the child, with an emphasis on row-preserving operations.
+enum class Operation {
+  kIdentity,        // same rows, same columns
+  kProjection,      // columns dropped, rows preserved (row-preserving)
+  kColumnAddition,  // columns added, rows preserved (row-preserving)
+  kSelection,       // rows dropped (subset), columns same
+  kAppend,          // rows added (superset), columns same
+  kUpdate,          // same key set, some attribute values changed
+  kUnknown,
+};
+
+const char* OperationName(Operation op);
+
+struct Explanation {
+  Operation op = Operation::kUnknown;
+  double confidence = 0.0;       // fraction of evidence supporting op
+  int rows_added = 0;
+  int rows_removed = 0;
+  int rows_modified = 0;         // w.r.t. the key column (if any)
+  std::vector<std::string> columns_added;
+  std::vector<std::string> columns_removed;
+};
+
+/// Explain how `child` could derive from `parent`. `key_column` names the
+/// column identifying records across versions for update detection (empty:
+/// full-row comparison only, so updates count as remove+add).
+Explanation ExplainDerivation(const minidb::Table& parent,
+                              const minidb::Table& child,
+                              const std::string& key_column = "");
+
+}  // namespace orpheus::provenance
+
+#endif  // ORPHEUS_PROVENANCE_EXPLANATION_H_

@@ -1,0 +1,313 @@
+#include "provenance/inference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+namespace orpheus::provenance {
+
+namespace {
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Signature ComputeSignature(const minidb::Table& table) {
+  constexpr size_t kSketchSize = 32;
+  Signature sig;
+  sig.num_rows = table.num_rows();
+  for (const auto& def : table.schema().columns()) {
+    sig.columns.push_back(def.name);
+  }
+  sig.row_hashes.reserve(table.num_rows());
+  std::vector<std::vector<uint64_t>> col_hashes(table.num_columns());
+  for (uint32_t r = 0; r < table.num_rows(); ++r) {
+    uint64_t h = 0;
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      uint64_t cell = HashString(table.GetValue(r, c).ToString());
+      h = HashCombine(h, cell);
+      col_hashes[c].push_back(cell);
+    }
+    sig.row_hashes.push_back(h);
+  }
+  std::sort(sig.row_hashes.begin(), sig.row_hashes.end());
+  // Per-column min-hash sketches: the k smallest distinct value hashes.
+  sig.column_sketches.resize(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    auto& hashes = col_hashes[c];
+    std::sort(hashes.begin(), hashes.end());
+    hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+    if (hashes.size() > kSketchSize) hashes.resize(kSketchSize);
+    sig.column_sketches[c] = std::move(hashes);
+  }
+  // Row-set min-hash vector for LSH banding (Sec. 8.6).
+  constexpr size_t kMinhash = 32;
+  sig.minhash.assign(kMinhash, ~0ULL);
+  for (uint64_t h : sig.row_hashes) {
+    for (size_t k = 0; k < kMinhash; ++k) {
+      uint64_t salted = h;
+      salted ^= 0x9E3779B97F4A7C15ULL * (k + 1);
+      salted *= 0xBF58476D1CE4E5B9ULL;
+      salted ^= salted >> 31;
+      if (salted < sig.minhash[k]) sig.minhash[k] = salted;
+    }
+  }
+  return sig;
+}
+
+std::vector<std::pair<int, int>> LshCandidatePairs(
+    const std::vector<Signature>& signatures, int bands, int rows_per_band) {
+  const int n = static_cast<int>(signatures.size());
+  std::set<std::pair<int, int>> pairs;
+  // Banded min-hash buckets: versions agreeing on an entire band of
+  // min-hash values are candidates.
+  for (int b = 0; b < bands; ++b) {
+    std::unordered_map<uint64_t, std::vector<int>> buckets;
+    for (int v = 0; v < n; ++v) {
+      const auto& mh = signatures[v].minhash;
+      uint64_t key = 0xCBF29CE484222325ULL + static_cast<uint64_t>(b);
+      for (int r = 0; r < rows_per_band; ++r) {
+        size_t idx = (static_cast<size_t>(b) * rows_per_band + r) % mh.size();
+        key = HashCombine(key, mh[idx]);
+      }
+      buckets[key].push_back(v);
+    }
+    for (const auto& [key, members] : buckets) {
+      (void)key;
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          pairs.emplace(members[i], members[j]);
+        }
+      }
+    }
+  }
+  // Column-sketch buckets: identical column contents link versions even
+  // when full rows differ (projection / column addition).
+  std::unordered_map<uint64_t, std::vector<int>> col_buckets;
+  for (int v = 0; v < n; ++v) {
+    for (size_t c = 0; c < signatures[v].columns.size(); ++c) {
+      uint64_t key = HashString(signatures[v].columns[c]);
+      for (uint64_t h : signatures[v].column_sketches[c]) {
+        key = HashCombine(key, h);
+      }
+      col_buckets[key].push_back(v);
+    }
+  }
+  for (const auto& [key, members] : col_buckets) {
+    (void)key;
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (members[i] != members[j]) {
+          pairs.emplace(std::min(members[i], members[j]),
+                        std::max(members[i], members[j]));
+        }
+      }
+    }
+  }
+  return {pairs.begin(), pairs.end()};
+}
+
+namespace {
+
+uint64_t CommonRows(const Signature& a, const Signature& b) {
+  uint64_t common = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.row_hashes.size() && j < b.row_hashes.size()) {
+    if (a.row_hashes[i] < b.row_hashes[j]) {
+      ++i;
+    } else if (a.row_hashes[i] > b.row_hashes[j]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return common;
+}
+
+}  // namespace
+
+double RowJaccard(const Signature& a, const Signature& b) {
+  if (a.row_hashes.empty() && b.row_hashes.empty()) return 1.0;
+  uint64_t common = CommonRows(a, b);
+  uint64_t uni = a.row_hashes.size() + b.row_hashes.size() - common;
+  return uni == 0 ? 0.0 : static_cast<double>(common) / static_cast<double>(uni);
+}
+
+double ColumnValueSimilarity(const Signature& a, const Signature& b) {
+  if (a.columns.empty() || b.columns.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < a.columns.size(); ++i) {
+    for (size_t j = 0; j < b.columns.size(); ++j) {
+      if (a.columns[i] != b.columns[j]) continue;
+      const auto& sa = a.column_sketches[i];
+      const auto& sb = b.column_sketches[j];
+      if (sa.empty() || sb.empty()) break;
+      // Overlap of the two sketches (both sorted).
+      uint64_t common = 0;
+      size_t x = 0;
+      size_t y = 0;
+      while (x < sa.size() && y < sb.size()) {
+        if (sa[x] < sb[y]) {
+          ++x;
+        } else if (sa[x] > sb[y]) {
+          ++y;
+        } else {
+          ++common;
+          ++x;
+          ++y;
+        }
+      }
+      sum += static_cast<double>(common) /
+             static_cast<double>(std::max(sa.size(), sb.size()));
+      break;
+    }
+  }
+  return sum / static_cast<double>(std::max(a.columns.size(),
+                                            b.columns.size()));
+}
+
+double ColumnContainment(const Signature& a, const Signature& b) {
+  if (a.columns.empty()) return 1.0;
+  int present = 0;
+  for (const auto& c : a.columns) {
+    if (std::find(b.columns.begin(), b.columns.end(), c) != b.columns.end()) {
+      ++present;
+    }
+  }
+  return static_cast<double>(present) / static_cast<double>(a.columns.size());
+}
+
+InferredGraph InferLineage(const std::vector<DatasetVersion>& versions,
+                           const InferenceOptions& options) {
+  const int n = static_cast<int>(versions.size());
+  std::vector<Signature> sigs(n);
+  for (int i = 0; i < n; ++i) sigs[i] = ComputeSignature(*versions[i].table);
+
+  InferredGraph graph;
+  graph.parent.assign(n, -1);
+  graph.score.assign(n, 0.0);
+
+  // Content similarity: full-row Jaccard plus a column-content term that
+  // survives row-preserving schema operations like projection — Sec. 8.4's
+  // combination of content and schema evidence.
+  auto similarity = [&](int a, int b) {
+    double rows = RowJaccard(sigs[a], sigs[b]);
+    double col_values = ColumnValueSimilarity(sigs[a], sigs[b]);
+    return 0.7 * rows + 0.3 * col_values;
+  };
+
+  // LSH acceleration (Sec. 8.6): restrict comparisons to candidate pairs.
+  std::vector<std::vector<int>> candidates_of;
+  if (options.use_lsh) {
+    candidates_of.assign(n, {});
+    for (const auto& [i, j] : LshCandidatePairs(sigs, options.lsh_bands,
+                                                options.lsh_rows_per_band)) {
+      candidates_of[i].push_back(j);
+      candidates_of[j].push_back(i);
+    }
+  }
+
+  // Can `p` plausibly be the parent of `c`?
+  auto can_derive = [&](int p, int c) {
+    if (options.use_timestamps && versions[p].timestamp >= 0 &&
+        versions[c].timestamp >= 0) {
+      return versions[p].timestamp < versions[c].timestamp;
+    }
+    // No timestamps: orient by asymmetric containment — prefer the parent
+    // whose columns the child extends or preserves more than vice versa;
+    // break ties toward the smaller version deriving the larger one.
+    double pc = ColumnContainment(sigs[p], sigs[c]);
+    double cp = ColumnContainment(sigs[c], sigs[p]);
+    if (pc != cp) return pc > cp;
+    return sigs[p].num_rows <= sigs[c].num_rows;
+  };
+
+  std::vector<int> all_parents(n);
+  for (int p = 0; p < n; ++p) all_parents[p] = p;
+  for (int c = 0; c < n; ++c) {
+    int best = -1;
+    double best_score = options.min_similarity;
+    const std::vector<int>& pool =
+        options.use_lsh ? candidates_of[c] : all_parents;
+    for (int p : pool) {
+      if (p == c || !can_derive(p, c)) continue;
+      double s = similarity(p, c);
+      if (s > best_score) {
+        best_score = s;
+        best = p;
+      }
+    }
+    if (best >= 0) {
+      graph.parent[c] = best;
+      graph.score[c] = best_score;
+    }
+  }
+
+  // Cycle breaking (possible when timestamps are absent and containment is
+  // symmetric): walk each chain and cut the weakest edge of any cycle.
+  std::vector<int> state(n, 0);
+  for (int v = 0; v < n; ++v) {
+    if (state[v] != 0) continue;
+    std::vector<int> path;
+    int x = v;
+    while (x >= 0 && state[x] == 0) {
+      state[x] = 1;
+      path.push_back(x);
+      x = graph.parent[x];
+    }
+    if (x >= 0 && state[x] == 1) {
+      // Cut the weakest edge on the cycle.
+      int weakest = x;
+      int y = graph.parent[x];
+      while (y != x) {
+        if (graph.score[y] < graph.score[weakest]) weakest = y;
+        y = graph.parent[y];
+      }
+      graph.parent[weakest] = -1;
+      graph.score[weakest] = 0.0;
+    }
+    for (int p : path) state[p] = 2;
+  }
+  return graph;
+}
+
+EdgeQuality ScoreEdges(const InferredGraph& inferred,
+                       const std::vector<std::vector<int>>& true_parents) {
+  EdgeQuality q;
+  const int n = static_cast<int>(inferred.parent.size());
+  for (int v = 0; v < n; ++v) {
+    q.actual += static_cast<int>(true_parents[v].size());
+    if (inferred.parent[v] < 0) continue;
+    ++q.inferred;
+    for (int p : true_parents[v]) {
+      if (p == inferred.parent[v]) {
+        ++q.correct;
+        break;
+      }
+    }
+  }
+  q.precision = q.inferred == 0
+                    ? 0.0
+                    : static_cast<double>(q.correct) / q.inferred;
+  q.recall = q.actual == 0 ? 0.0
+                           : static_cast<double>(q.correct) / q.actual;
+  return q;
+}
+
+}  // namespace orpheus::provenance

@@ -1,0 +1,104 @@
+#ifndef ORPHEUS_PROVENANCE_INFERENCE_H_
+#define ORPHEUS_PROVENANCE_INFERENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "minidb/table.h"
+
+namespace orpheus::provenance {
+
+/// Chapter 8 removes the "from-scratch" assumption: dataset versions already
+/// sit in a shared repository with no registered derivation metadata. The
+/// inference engine reconstructs the version graph from content alone
+/// (edges inference, Sec. 8.4), optionally guided by file timestamps.
+
+/// One unregistered dataset version in the repository.
+struct DatasetVersion {
+  std::string name;
+  const minidb::Table* table = nullptr;
+  double timestamp = -1.0;  // -1 = unknown
+};
+
+/// A content signature used for candidate generation: hashed rows, schema,
+/// and a per-column min-hash sketch. The column sketches let the engine
+/// recognize row-preserving schema operations (projection, column
+/// addition) whose full-row hashes share nothing with the parent.
+struct Signature {
+  std::vector<uint64_t> row_hashes;     // sorted
+  std::vector<std::string> columns;     // column names
+  std::vector<std::vector<uint64_t>> column_sketches;  // sorted min-hashes
+  std::vector<uint64_t> minhash;        // k min-hash values for LSH banding
+  uint64_t num_rows = 0;
+};
+
+Signature ComputeSignature(const minidb::Table& table);
+
+/// Jaccard similarity of two signatures' row-hash sets.
+double RowJaccard(const Signature& a, const Signature& b);
+
+/// Fraction of a's columns present in b.
+double ColumnContainment(const Signature& a, const Signature& b);
+
+/// Column-content similarity: average min-hash sketch overlap of same-named
+/// columns, normalized by the larger column count. High when one version is
+/// a projection/extension of the other.
+double ColumnValueSimilarity(const Signature& a, const Signature& b);
+
+/// An inferred derivation edge.
+struct InferredEdge {
+  int parent = -1;
+  int child = -1;
+  double score = 0.0;  // similarity supporting the edge
+};
+
+struct InferredGraph {
+  std::vector<int> parent;  // per version; -1 = root (no inferred parent)
+  std::vector<double> score;
+};
+
+struct InferenceOptions {
+  /// Candidate edges require at least this row-set similarity.
+  double min_similarity = 0.05;
+  /// Use timestamps to orient edges when available.
+  bool use_timestamps = true;
+  /// Accelerate candidate generation with banded min-hashing (Sec. 8.6):
+  /// only pairs sharing an LSH bucket (or a column sketch) are compared,
+  /// avoiding the all-pairs similarity computation.
+  bool use_lsh = false;
+  int lsh_bands = 16;
+  int lsh_rows_per_band = 2;
+};
+
+/// Candidate pairs via LSH banding over row min-hashes plus column-sketch
+/// matching. Returns (i, j) pairs with i < j. Exposed for testing and for
+/// the Sec. 8.8-style acceleration benchmark.
+std::vector<std::pair<int, int>> LshCandidatePairs(
+    const std::vector<Signature>& signatures, int bands, int rows_per_band);
+
+/// Infer lineage: compute pairwise similarities over candidate pairs, then
+/// select for each version its most similar plausible parent (a maximum
+/// branching over the similarity graph, oriented by timestamp or by
+/// asymmetric containment when timestamps are missing).
+InferredGraph InferLineage(const std::vector<DatasetVersion>& versions,
+                           const InferenceOptions& options = {});
+
+/// Precision/recall of inferred parent edges against the ground truth
+/// parent array (Sec. 8.8's preliminary evaluation metric).
+struct EdgeQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  int inferred = 0;
+  int correct = 0;
+  int actual = 0;
+};
+
+EdgeQuality ScoreEdges(const InferredGraph& inferred,
+                       const std::vector<std::vector<int>>& true_parents);
+
+}  // namespace orpheus::provenance
+
+#endif  // ORPHEUS_PROVENANCE_INFERENCE_H_

@@ -1,0 +1,48 @@
+#include "vquel/ast.h"
+
+namespace orpheus::vquel {
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kAttrRef: {
+      std::string out = iterator;
+      for (const auto& p : path) {
+        out += ".";
+        out += p;
+      }
+      return out;
+    }
+    case Kind::kUpRef: {
+      std::string out = up_kind + "(" + iterator + ")";
+      for (const auto& p : path) {
+        out += ".";
+        out += p;
+      }
+      return out;
+    }
+    case Kind::kBinary:
+      return "(" + (lhs ? lhs->ToString() : "?") + " " + op + " " +
+             (rhs ? rhs->ToString() : "?") + ")";
+    case Kind::kUnary:
+      return op + "(" + (child ? child->ToString() : "?") + ")";
+    case Kind::kAggregate: {
+      std::string out = agg_func + "(";
+      if (agg_arg) out += agg_arg->ToString();
+      if (!agg_group_by.empty()) {
+        out += " group by ";
+        for (size_t i = 0; i < agg_group_by.size(); ++i) {
+          if (i) out += ", ";
+          out += agg_group_by[i];
+        }
+      }
+      if (agg_where) out += " where " + agg_where->ToString();
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace orpheus::vquel

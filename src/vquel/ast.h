@@ -1,0 +1,85 @@
+#ifndef ORPHEUS_VQUEL_AST_H_
+#define ORPHEUS_VQUEL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "minidb/value.h"
+
+namespace orpheus::vquel {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Expression node of a VQuel query (Chapter 6).
+struct Expr {
+  enum class Kind {
+    kLiteral,    // a constant value
+    kAttrRef,    // iterator.path, e.g. V.author.name, E.all
+    kUpRef,      // Version(E).id — upward reference (Sec. 6.3.3)
+    kBinary,     // and or = != < <= > >= + - * /
+    kUnary,      // not, abs
+    kAggregate,  // count/count_all/sum/avg/min/max/any(arg [group by ...]
+                 //                                       [where pred])
+  };
+
+  Kind kind = Kind::kLiteral;
+
+  minidb::Value literal;                        // kLiteral
+  std::string iterator;                         // kAttrRef / kUpRef
+  std::vector<std::string> path;                // kAttrRef / kUpRef
+  std::string up_kind;                          // kUpRef: "Version"
+  std::string op;                               // kBinary / kUnary
+  ExprPtr lhs, rhs;                             // kBinary
+  ExprPtr child;                                // kUnary
+  std::string agg_func;                         // kAggregate
+  ExprPtr agg_arg;                              // kAggregate
+  ExprPtr agg_where;                            // optional
+  std::vector<std::string> agg_group_by;        // optional
+
+  std::string ToString() const;
+};
+
+/// One step of a range path, e.g. `.Relations(name = "Employee")` or
+/// `.P(2)`.
+struct PathStep {
+  std::string name;
+  std::optional<int64_t> arg;  // P(k)/D(k)/N(k)
+  // Inline equality filters: attribute = literal.
+  std::vector<std::pair<std::string, ExprPtr>> filters;
+};
+
+/// `range of X is <root>(filters).step.step...`
+struct RangeDecl {
+  std::string var;
+  std::string root;  // "Version", another iterator, or a result-table name
+  std::vector<std::pair<std::string, ExprPtr>> root_filters;
+  std::vector<PathStep> steps;
+};
+
+/// One retrieve target, optionally aliased with `as`.
+struct Target {
+  ExprPtr expr;
+  std::string alias;
+};
+
+/// A full retrieve statement together with the range declarations in scope.
+struct Query {
+  std::vector<RangeDecl> ranges;
+  bool unique = false;
+  std::string into;  // non-empty: store the result under this name
+  std::vector<Target> targets;
+  ExprPtr where;  // may be null
+  struct SortKey {
+    ExprPtr expr;
+    bool descending = false;
+  };
+  std::vector<SortKey> sort;
+};
+
+}  // namespace orpheus::vquel
+
+#endif  // ORPHEUS_VQUEL_AST_H_

@@ -1,0 +1,46 @@
+#include "vquel/cvd_bridge.h"
+
+#include "common/string_util.h"
+
+namespace orpheus::vquel {
+
+Result<VersionStore> BuildVersionStore(const core::Cvd& cvd,
+                                       const std::string& relation_name) {
+  VersionStore store;
+  const std::string rel_name =
+      relation_name.empty() ? cvd.name() : relation_name;
+
+  for (core::VersionId vid = 1; vid <= cvd.num_versions(); ++vid) {
+    const auto& meta = cvd.version_metadata(vid);
+    VersionStore::Version version;
+    version.commit_id = StrFormat("v%d", vid);
+    version.commit_msg = meta.message;
+    version.creation_ts = meta.commit_time;
+    version.author_name = meta.author;
+    for (core::VersionId p : meta.parents) {
+      version.parents.push_back(p - 1);  // dense store indices
+    }
+
+    auto table = cvd.backend()->Checkout(vid - 1, "bridge");
+    if (!table.ok()) return table.status();
+    VersionStore::Relation relation;
+    relation.name = rel_name;
+    relation.tuples.reserve(table->num_rows());
+    for (uint32_t r = 0; r < table->num_rows(); ++r) {
+      VersionStore::Record rec;
+      rec.id = table->column(0).GetInt(r);  // _rid
+      for (size_t c = 1; c < table->num_columns(); ++c) {
+        minidb::Value v = table->GetValue(r, c);
+        if (!v.is_null()) {
+          rec.fields[table->schema().column(c).name] = std::move(v);
+        }
+      }
+      relation.tuples.push_back(std::move(rec));
+    }
+    version.relations.push_back(std::move(relation));
+    store.AddVersion(std::move(version));
+  }
+  return store;
+}
+
+}  // namespace orpheus::vquel

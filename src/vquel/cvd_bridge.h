@@ -1,0 +1,23 @@
+#ifndef ORPHEUS_VQUEL_CVD_BRIDGE_H_
+#define ORPHEUS_VQUEL_CVD_BRIDGE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/cvd.h"
+#include "vquel/store.h"
+
+namespace orpheus::vquel {
+
+/// Bridges Part 1 and Part 2 of the thesis: exports an OrpheusDB CVD into
+/// the conceptual Version/Relation/Record model so VQuel programs can query
+/// its data, versioning metadata, and version graph. Every CVD version
+/// becomes a VersionStore version holding one relation named
+/// `relation_name` (default: the CVD's name); versions are labelled
+/// "v<vid>"; record ids are the CVD's immutable rids.
+Result<VersionStore> BuildVersionStore(
+    const core::Cvd& cvd, const std::string& relation_name = "");
+
+}  // namespace orpheus::vquel
+
+#endif  // ORPHEUS_VQUEL_CVD_BRIDGE_H_

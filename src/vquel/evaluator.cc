@@ -1,0 +1,713 @@
+#include "vquel/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <set>
+
+#include "common/string_util.h"
+#include "vquel/parser.h"
+
+namespace orpheus::vquel {
+
+namespace {
+
+bool IsNavStep(const std::string& name) {
+  return name == "Relations" || name == "Tuples" || name == "parents" ||
+         name == "children" || name == "P" || name == "D" || name == "N";
+}
+
+/// A bound object: a version, a relation or record inside one, or a row of
+/// a named result table.
+struct Entity {
+  enum class Kind { kVersion, kRelation, kRecord, kResultRow };
+  Kind kind = Kind::kVersion;
+  int version = -1;
+  int relation = -1;
+  const VersionStore::Record* record = nullptr;
+  const QueryResult* table = nullptr;
+  int row = -1;
+};
+
+using Binding = std::map<std::string, Entity>;
+
+class Evaluator {
+ public:
+  Evaluator(const VersionStore* store,
+            const std::map<std::string, QueryResult>* named,
+            const std::vector<RangeDecl>* ranges)
+      : store_(store), named_(named), ranges_(ranges) {}
+
+  Result<QueryResult> Run(const Query& query);
+
+ private:
+  const RangeDecl* FindRange(const std::string& var) const {
+    for (const auto& r : *ranges_) {
+      if (r.var == var) return &r;
+    }
+    return nullptr;
+  }
+
+  // ---- attribute access ----
+
+  Result<Value> VersionAttr(int v, const std::vector<std::string>& path) const {
+    const auto& ver = store_->version(v);
+    if (path.empty()) return Value(ver.commit_id);
+    const std::string& a = path[0];
+    if (a == "id" || a == "commit_id") return Value(ver.commit_id);
+    if (a == "commit_msg" || a == "commit_message" || a == "msg") {
+      return Value(ver.commit_msg);
+    }
+    if (a == "creation_ts" || a == "commit_ts") return Value(ver.creation_ts);
+    if (a == "author") {
+      if (path.size() > 1 && path[1] == "email") return Value(ver.author_email);
+      return Value(ver.author_name);
+    }
+    if (a == "all") {
+      return Value(StrFormat("%s|%s|%g|%s", ver.commit_id.c_str(),
+                             ver.commit_msg.c_str(), ver.creation_ts,
+                             ver.author_name.c_str()));
+    }
+    return Status::InvalidArgument(
+        StrFormat("unknown Version attribute '%s'", a.c_str()));
+  }
+
+  Result<Value> Attr(const Entity& e, const std::vector<std::string>& path) const {
+    switch (e.kind) {
+      case Entity::Kind::kVersion:
+        return VersionAttr(e.version, path);
+      case Entity::Kind::kRelation: {
+        const auto& rel = store_->version(e.version).relations[e.relation];
+        if (path.empty() || path[0] == "name") return Value(rel.name);
+        if (path[0] == "changed") {
+          return Value(static_cast<int64_t>(rel.changed ? 1 : 0));
+        }
+        return Status::InvalidArgument(
+            StrFormat("unknown Relation attribute '%s'", path[0].c_str()));
+      }
+      case Entity::Kind::kRecord: {
+        const VersionStore::Record* rec = e.record;
+        if (path.empty() || path[0] == "id") {
+          return Value(static_cast<int64_t>(rec->id));
+        }
+        if (path[0] == "all") {
+          std::string s;
+          for (const auto& [k, v] : rec->fields) {
+            s += k;
+            s += "=";
+            s += v.ToString();
+            s += ";";
+          }
+          return Value(s);
+        }
+        auto it = rec->fields.find(path[0]);
+        if (it == rec->fields.end()) return Value::Null();
+        return it->second;
+      }
+      case Entity::Kind::kResultRow: {
+        if (path.empty()) {
+          return Status::InvalidArgument("result row needs an attribute");
+        }
+        int col = e.table->FindColumn(path[0]);
+        if (col < 0) {
+          return Status::InvalidArgument(
+              StrFormat("unknown result column '%s'", path[0].c_str()));
+        }
+        return e.table->rows[e.row][col];
+      }
+    }
+    return Value::Null();
+  }
+
+  // ---- set navigation ----
+
+  Result<std::vector<Entity>> ApplyStep(const Entity& e, const PathStep& step) const {
+    std::vector<Entity> out;
+    if (step.name == "Relations") {
+      if (e.kind != Entity::Kind::kVersion) {
+        return Status::InvalidArgument("Relations applies to versions");
+      }
+      const auto& ver = store_->version(e.version);
+      for (int r = 0; r < static_cast<int>(ver.relations.size()); ++r) {
+        Entity rel;
+        rel.kind = Entity::Kind::kRelation;
+        rel.version = e.version;
+        rel.relation = r;
+        out.push_back(rel);
+      }
+    } else if (step.name == "Tuples") {
+      if (e.kind != Entity::Kind::kRelation) {
+        return Status::InvalidArgument("Tuples applies to relations");
+      }
+      const auto& rel = store_->version(e.version).relations[e.relation];
+      for (const auto& rec : rel.tuples) {
+        Entity r;
+        r.kind = Entity::Kind::kRecord;
+        r.version = e.version;
+        r.relation = e.relation;
+        r.record = &rec;
+        out.push_back(r);
+      }
+    } else if (step.name == "parents" && e.kind == Entity::Kind::kRecord) {
+      for (int64_t pid : e.record->parents) {
+        const VersionStore::Record* prec = store_->FindRecord(pid);
+        if (prec == nullptr) continue;
+        Entity r;
+        r.kind = Entity::Kind::kRecord;
+        r.record = prec;
+        out.push_back(r);
+      }
+    } else if (step.name == "parents" || step.name == "children" ||
+               step.name == "P" || step.name == "D" || step.name == "N") {
+      if (e.kind != Entity::Kind::kVersion) {
+        return Status::InvalidArgument(
+            StrFormat("%s applies to versions", step.name.c_str()));
+      }
+      std::vector<int> versions;
+      if (step.name == "parents") {
+        versions = store_->version(e.version).parents;
+      } else if (step.name == "children") {
+        versions = store_->version(e.version).children;
+      } else if (step.name == "P") {
+        versions = store_->Ancestors(
+            e.version, step.arg ? static_cast<int>(*step.arg) : -1);
+      } else if (step.name == "D") {
+        versions = store_->Descendants(
+            e.version, step.arg ? static_cast<int>(*step.arg) : -1);
+      } else {
+        versions = store_->Neighborhood(
+            e.version, step.arg ? static_cast<int>(*step.arg) : 1);
+      }
+      for (int v : versions) {
+        Entity r;
+        r.kind = Entity::Kind::kVersion;
+        r.version = v;
+        out.push_back(r);
+      }
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unknown path step '%s'", step.name.c_str()));
+    }
+    // Inline filters.
+    if (!step.filters.empty()) {
+      std::vector<Entity> kept;
+      for (const Entity& cand : out) {
+        bool ok = true;
+        for (const auto& [attr, lit] : step.filters) {
+          auto v = Attr(cand, {attr});
+          if (!v.ok() || !(*v == lit->literal)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) kept.push_back(cand);
+      }
+      out = std::move(kept);
+    }
+    return out;
+  }
+
+  Result<std::vector<Entity>> Domain(const RangeDecl& decl,
+                                     const Binding& binding) const {
+    std::vector<Entity> current;
+    if (decl.root == "Version") {
+      for (int v = 0; v < store_->num_versions(); ++v) {
+        Entity e;
+        e.kind = Entity::Kind::kVersion;
+        e.version = v;
+        current.push_back(e);
+      }
+    } else if (auto it = binding.find(decl.root); it != binding.end()) {
+      current.push_back(it->second);
+    } else if (named_ != nullptr) {
+      auto nit = named_->find(decl.root);
+      if (nit == named_->end()) {
+        return Status::NotFound(
+            StrFormat("unknown range root '%s'", decl.root.c_str()));
+      }
+      for (int r = 0; r < static_cast<int>(nit->second.rows.size()); ++r) {
+        Entity e;
+        e.kind = Entity::Kind::kResultRow;
+        e.table = &nit->second;
+        e.row = r;
+        current.push_back(e);
+      }
+    } else {
+      return Status::NotFound(
+          StrFormat("unknown range root '%s'", decl.root.c_str()));
+    }
+    // Root filters.
+    if (!decl.root_filters.empty()) {
+      std::vector<Entity> kept;
+      for (const Entity& cand : current) {
+        bool ok = true;
+        for (const auto& [attr, lit] : decl.root_filters) {
+          auto v = Attr(cand, {attr});
+          if (!v.ok() || !(*v == lit->literal)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) kept.push_back(cand);
+      }
+      current = std::move(kept);
+    }
+    for (const auto& step : decl.steps) {
+      std::vector<Entity> next;
+      for (const Entity& e : current) {
+        auto stepped = ApplyStep(e, step);
+        if (!stepped.ok()) return stepped.status();
+        next.insert(next.end(), stepped->begin(), stepped->end());
+      }
+      current = std::move(next);
+    }
+    return current;
+  }
+
+  // ---- expression evaluation ----
+
+  // Iterators syntactically referenced by an expression, outside aggregates
+  // when `outside_aggregates` is set.
+  void CollectRefs(const ExprPtr& expr, bool outside_aggregates,
+                   std::set<std::string>* out) const {
+    if (!expr) return;
+    switch (expr->kind) {
+      case Expr::Kind::kAttrRef:
+      case Expr::Kind::kUpRef:
+        out->insert(expr->iterator);
+        break;
+      case Expr::Kind::kBinary:
+        CollectRefs(expr->lhs, outside_aggregates, out);
+        CollectRefs(expr->rhs, outside_aggregates, out);
+        break;
+      case Expr::Kind::kUnary:
+        CollectRefs(expr->child, outside_aggregates, out);
+        break;
+      case Expr::Kind::kAggregate:
+        if (!outside_aggregates) {
+          CollectRefs(expr->agg_arg, false, out);
+          CollectRefs(expr->agg_where, false, out);
+        } else if (expr->agg_arg &&
+                   expr->agg_arg->kind == Expr::Kind::kAttrRef &&
+                   !expr->agg_arg->path.empty() &&
+                   IsNavStep(expr->agg_arg->path.front())) {
+          // `count(P.Relations.Tuples)` aggregates the tuples *of a given
+          // P*: the navigation root participates in the outer product.
+          out->insert(expr->agg_arg->iterator);
+        }
+        break;
+      case Expr::Kind::kLiteral:
+        break;
+    }
+  }
+
+  Result<Value> Eval(const ExprPtr& expr, const Binding& binding) const {
+    switch (expr->kind) {
+      case Expr::Kind::kLiteral:
+        return expr->literal;
+      case Expr::Kind::kAttrRef: {
+        auto it = binding.find(expr->iterator);
+        if (it == binding.end()) {
+          return Status::InvalidArgument(
+              StrFormat("iterator '%s' not bound", expr->iterator.c_str()));
+        }
+        // Navigation steps inside a value expression are not directly
+        // evaluable (they denote sets); Attr handles attribute paths only.
+        return Attr(it->second, expr->path);
+      }
+      case Expr::Kind::kUpRef: {
+        auto it = binding.find(expr->iterator);
+        if (it == binding.end()) {
+          return Status::InvalidArgument(
+              StrFormat("iterator '%s' not bound", expr->iterator.c_str()));
+        }
+        Entity e = it->second;
+        if (expr->up_kind == "Version") {
+          if (e.version < 0) {
+            return Status::InvalidArgument("entity has no version context");
+          }
+          Entity ver;
+          ver.kind = Entity::Kind::kVersion;
+          ver.version = e.version;
+          return Attr(ver, expr->path);
+        }
+        if (expr->up_kind == "Relation") {
+          if (e.relation < 0) {
+            return Status::InvalidArgument("entity has no relation context");
+          }
+          Entity rel;
+          rel.kind = Entity::Kind::kRelation;
+          rel.version = e.version;
+          rel.relation = e.relation;
+          return Attr(rel, expr->path);
+        }
+        return Status::InvalidArgument("unknown upward reference");
+      }
+      case Expr::Kind::kUnary: {
+        auto v = Eval(expr->child, binding);
+        if (!v.ok()) return v;
+        if (expr->op == "not") {
+          return Value(static_cast<int64_t>(v->NumericValue() == 0 ? 1 : 0));
+        }
+        if (expr->op == "abs") {
+          return Value(std::fabs(v->NumericValue()));
+        }
+        return Status::InvalidArgument("unknown unary op");
+      }
+      case Expr::Kind::kBinary: {
+        if (expr->op == "and" || expr->op == "or") {
+          auto l = Eval(expr->lhs, binding);
+          if (!l.ok()) return l;
+          bool lv = !l->is_null() && l->NumericValue() != 0;
+          if (expr->op == "and" && !lv) return Value(int64_t{0});
+          if (expr->op == "or" && lv) return Value(int64_t{1});
+          auto r = Eval(expr->rhs, binding);
+          if (!r.ok()) return r;
+          bool rv = !r->is_null() && r->NumericValue() != 0;
+          return Value(static_cast<int64_t>(rv ? 1 : 0));
+        }
+        auto l = Eval(expr->lhs, binding);
+        if (!l.ok()) return l;
+        auto r = Eval(expr->rhs, binding);
+        if (!r.ok()) return r;
+        if (expr->op == "+" || expr->op == "-" || expr->op == "*" ||
+            expr->op == "/") {
+          double a = l->NumericValue();
+          double b = r->NumericValue();
+          double v = expr->op == "+"   ? a + b
+                     : expr->op == "-" ? a - b
+                     : expr->op == "*" ? a * b
+                                       : (b == 0 ? 0 : a / b);
+          return Value(v);
+        }
+        bool result = false;
+        if (expr->op == "=") {
+          result = ValuesEqual(*l, *r);
+        } else if (expr->op == "!=") {
+          result = !ValuesEqual(*l, *r);
+        } else if (expr->op == "<") {
+          result = *l < *r;
+        } else if (expr->op == "<=") {
+          result = !(*r < *l);
+        } else if (expr->op == ">") {
+          result = *r < *l;
+        } else if (expr->op == ">=") {
+          result = !(*l < *r);
+        } else {
+          return Status::InvalidArgument("unknown operator " + expr->op);
+        }
+        return Value(static_cast<int64_t>(result ? 1 : 0));
+      }
+      case Expr::Kind::kAggregate:
+        return EvalAggregate(expr, binding);
+    }
+    return Status::Internal("unreachable");
+  }
+
+  static bool ValuesEqual(const Value& a, const Value& b) {
+    if (a == b) return true;
+    // Numeric cross-type equality.
+    bool a_num = a.type() == minidb::ValueType::kInt64 ||
+                 a.type() == minidb::ValueType::kDouble;
+    bool b_num = b.type() == minidb::ValueType::kInt64 ||
+                 b.type() == minidb::ValueType::kDouble;
+    if (a_num && b_num) return a.NumericValue() == b.NumericValue();
+    return false;
+  }
+
+  /// Evaluate an aggregate for a fixed outer binding: enumerate the
+  /// iterators the aggregate references (fresh, even if bound — so that
+  /// e.g. `max(T.c)` ranges over all of T), accumulate over assignments
+  /// that satisfy the aggregate's where clause.
+  Result<Value> EvalAggregate(const ExprPtr& expr,
+                              const Binding& outer) const {
+    // The aggregate argument may navigate sets inline, e.g.
+    // count(V.Relations.Tuples): split it into a synthetic range plus a
+    // value expression. The navigation root (V) then stays bound to the
+    // outer assignment rather than being re-enumerated.
+    ExprPtr value_expr = expr->agg_arg;
+    std::optional<RangeDecl> synthetic;
+    if (expr->agg_arg && expr->agg_arg->kind == Expr::Kind::kAttrRef) {
+      const auto& path = expr->agg_arg->path;
+      size_t nav = 0;
+      while (nav < path.size() && IsNavStep(path[nav])) ++nav;
+      if (nav > 0) {
+        RangeDecl decl;
+        decl.var = "$agg";
+        decl.root = expr->agg_arg->iterator;
+        for (size_t i = 0; i < nav; ++i) {
+          PathStep step;
+          step.name = path[i];
+          decl.steps.push_back(step);
+        }
+        synthetic = decl;
+        auto e = std::make_shared<Expr>();
+        e->kind = Expr::Kind::kAttrRef;
+        e->iterator = "$agg";
+        e->path.assign(path.begin() + static_cast<long>(nav), path.end());
+        value_expr = e;
+      }
+    }
+
+    // Iterators the aggregate ranges over: those referenced by the value
+    // expression and the aggregate's where clause. These are enumerated
+    // fresh even if bound (so `max(T.c)` ranges over all of T).
+    std::set<std::string> refs;
+    CollectRefs(value_expr, false, &refs);
+    CollectRefs(expr->agg_where, false, &refs);
+
+    // Ranges to enumerate: declared iterators in `refs` (fresh), plus
+    // unbound dependencies of those, in declaration order; the synthetic
+    // range (if any) comes last.
+    std::vector<const RangeDecl*> to_enumerate;
+    std::set<std::string> need = refs;
+    // If the synthetic navigation is rooted at an unbound declared
+    // iterator, that iterator must be enumerated too.
+    if (synthetic && !outer.count(synthetic->root) &&
+        FindRange(synthetic->root) != nullptr) {
+      need.insert(synthetic->root);
+    }
+    // Close over dependencies: a referenced iterator whose root is a
+    // declared, unbound iterator pulls that root in too.
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const std::string& var : std::vector<std::string>(need.begin(),
+                                                             need.end())) {
+        const RangeDecl* decl = FindRange(var);
+        if (decl == nullptr) continue;
+        const RangeDecl* root_decl = FindRange(decl->root);
+        if (root_decl != nullptr && !outer.count(decl->root) &&
+            !need.count(decl->root)) {
+          need.insert(decl->root);
+          grew = true;
+        }
+      }
+    }
+    for (const auto& r : *ranges_) {
+      if (need.count(r.var)) to_enumerate.push_back(&r);
+    }
+    if (synthetic) to_enumerate.push_back(&*synthetic);
+
+    // Accumulators.
+    double sum = 0.0;
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+    int64_t count = 0;
+    bool any = false;
+
+    Status inner_error = Status::OK();
+    std::function<void(size_t, Binding&)> recurse =
+        [&](size_t idx, Binding& binding) {
+          if (!inner_error.ok()) return;
+          if (idx == to_enumerate.size()) {
+            if (expr->agg_where) {
+              auto ok = Eval(expr->agg_where, binding);
+              if (!ok.ok()) return;  // unsatisfied/unevaluable -> skip
+              if (ok->is_null() || ok->NumericValue() == 0) return;
+            }
+            Value v;
+            if (value_expr) {
+              auto r = Eval(value_expr, binding);
+              if (!r.ok()) return;
+              v = *r;
+            }
+            ++count;
+            any = true;
+            if (!v.is_null() &&
+                (v.type() == minidb::ValueType::kInt64 ||
+                 v.type() == minidb::ValueType::kDouble)) {
+              double x = v.NumericValue();
+              sum += x;
+              mn = std::min(mn, x);
+              mx = std::max(mx, x);
+            }
+            return;
+          }
+          const RangeDecl* decl = to_enumerate[idx];
+          auto domain = Domain(*decl, binding);
+          if (!domain.ok()) {
+            inner_error = domain.status();
+            return;
+          }
+          for (const Entity& e : *domain) {
+            binding[decl->var] = e;
+            recurse(idx + 1, binding);
+          }
+          binding.erase(decl->var);
+        };
+    Binding binding = outer;
+    // Referenced iterators are enumerated fresh.
+    for (const RangeDecl* d : to_enumerate) binding.erase(d->var);
+    recurse(0, binding);
+    ORPHEUS_RETURN_NOT_OK(inner_error);
+
+    const std::string& f = expr->agg_func;
+    if (f == "count" || f == "count_all") {
+      return Value(static_cast<int64_t>(count));
+    }
+    if (f == "any") return Value(static_cast<int64_t>(any ? 1 : 0));
+    if (count == 0) return Value::Null();
+    if (f == "sum") return Value(sum);
+    if (f == "avg") return Value(sum / static_cast<double>(count));
+    if (f == "min") return Value(mn);
+    if (f == "max") return Value(mx);
+    return Status::InvalidArgument("unknown aggregate " + f);
+  }
+
+ public:
+  const VersionStore* store_;
+  const std::map<std::string, QueryResult>* named_;
+  const std::vector<RangeDecl>* ranges_;
+};
+
+std::string ColumnName(const Target& t) {
+  if (!t.alias.empty()) return t.alias;
+  const ExprPtr& e = t.expr;
+  if (e->kind == Expr::Kind::kAttrRef || e->kind == Expr::Kind::kUpRef) {
+    return e->path.empty() ? e->iterator : e->path.back();
+  }
+  if (e->kind == Expr::Kind::kAggregate) return e->agg_func;
+  return e->ToString();
+}
+
+Result<QueryResult> Evaluator::Run(const Query& query) {
+  // Outer iterators: referenced outside aggregates anywhere in the query,
+  // closed over declared-root dependencies.
+  std::set<std::string> outer_refs;
+  for (const auto& t : query.targets) CollectRefs(t.expr, true, &outer_refs);
+  CollectRefs(query.where, true, &outer_refs);
+  for (const auto& s : query.sort) CollectRefs(s.expr, true, &outer_refs);
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const std::string& var :
+         std::vector<std::string>(outer_refs.begin(), outer_refs.end())) {
+      const RangeDecl* decl = FindRange(var);
+      if (decl == nullptr) continue;
+      if (FindRange(decl->root) != nullptr && !outer_refs.count(decl->root)) {
+        outer_refs.insert(decl->root);
+        grew = true;
+      }
+    }
+  }
+  std::vector<const RangeDecl*> outer_decls;
+  for (const auto& r : *ranges_) {
+    if (outer_refs.count(r.var)) outer_decls.push_back(&r);
+  }
+
+  QueryResult result;
+  for (const auto& t : query.targets) result.columns.push_back(ColumnName(t));
+
+  struct PendingRow {
+    std::vector<Value> values;
+    std::vector<Value> sort_keys;
+  };
+  std::vector<PendingRow> pending;
+
+  Status error = Status::OK();
+  std::function<void(size_t, Binding&)> recurse = [&](size_t idx,
+                                                      Binding& binding) {
+    if (!error.ok()) return;
+    if (idx == outer_decls.size()) {
+      if (query.where) {
+        auto ok = Eval(query.where, binding);
+        if (!ok.ok()) {
+          error = ok.status();
+          return;
+        }
+        if (ok->is_null() || ok->NumericValue() == 0) return;
+      }
+      PendingRow row;
+      for (const auto& t : query.targets) {
+        auto v = Eval(t.expr, binding);
+        if (!v.ok()) {
+          error = v.status();
+          return;
+        }
+        row.values.push_back(*v);
+      }
+      for (const auto& s : query.sort) {
+        auto v = Eval(s.expr, binding);
+        if (!v.ok()) {
+          error = v.status();
+          return;
+        }
+        row.sort_keys.push_back(*v);
+      }
+      pending.push_back(std::move(row));
+      return;
+    }
+    auto domain = Domain(*outer_decls[idx], binding);
+    if (!domain.ok()) {
+      error = domain.status();
+      return;
+    }
+    for (const Entity& e : *domain) {
+      binding[outer_decls[idx]->var] = e;
+      recurse(idx + 1, binding);
+    }
+    binding.erase(outer_decls[idx]->var);
+  };
+  Binding binding;
+  recurse(0, binding);
+  ORPHEUS_RETURN_NOT_OK(error);
+
+  // Sort.
+  if (!query.sort.empty()) {
+    std::stable_sort(pending.begin(), pending.end(),
+                     [&query](const PendingRow& a, const PendingRow& b) {
+                       for (size_t k = 0; k < query.sort.size(); ++k) {
+                         if (a.sort_keys[k] < b.sort_keys[k]) {
+                           return !query.sort[k].descending;
+                         }
+                         if (b.sort_keys[k] < a.sort_keys[k]) {
+                           return query.sort[k].descending;
+                         }
+                       }
+                       return false;
+                     });
+  }
+  // Unique.
+  for (auto& row : pending) {
+    if (query.unique) {
+      bool dup = false;
+      for (const auto& existing : result.rows) {
+        if (existing == row.values) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) continue;
+    }
+    result.rows.push_back(std::move(row.values));
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<std::vector<QueryResult>> Session::Execute(const std::string& program) {
+  auto queries = ParseProgram(program);
+  if (!queries.ok()) return queries.status();
+  std::vector<QueryResult> results;
+  for (const Query& q : *queries) {
+    auto r = ExecuteQuery(q);
+    if (!r.ok()) return r.status();
+    results.push_back(std::move(*r));
+  }
+  return results;
+}
+
+Result<QueryResult> Session::ExecuteQuery(const Query& query) {
+  Evaluator eval(store_, &named_results_, &query.ranges);
+  auto result = eval.Run(query);
+  if (!result.ok()) return result;
+  if (!query.into.empty()) {
+    named_results_[query.into] = *result;
+  }
+  return result;
+}
+
+}  // namespace orpheus::vquel

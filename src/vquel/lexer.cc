@@ -1,0 +1,91 @@
+#include "vquel/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace orpheus::vquel {
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      Token t;
+      t.kind = Token::Kind::kIdent;
+      t.text = input.substr(start, i - start);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        if (input[i] == '.') is_double = true;
+        ++i;
+      }
+      Token t;
+      t.kind = Token::Kind::kNumber;
+      t.text = input.substr(start, i - start);
+      t.number = std::strtod(t.text.c_str(), nullptr);
+      t.is_integer = !is_double;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      size_t end = input.find(c, i + 1);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      Token t;
+      t.kind = Token::Kind::kString;
+      t.text = input.substr(i + 1, end - i - 1);
+      out.push_back(std::move(t));
+      i = end + 1;
+      continue;
+    }
+    // Multi-char symbols first.
+    auto two = input.substr(i, 2);
+    if (two == "!=" || two == "<=" || two == ">=" || two == "<>") {
+      Token t;
+      t.kind = Token::Kind::kSymbol;
+      t.text = two == "<>" ? "!=" : two;
+      out.push_back(std::move(t));
+      i += 2;
+      continue;
+    }
+    if (std::string(".,()=<>+-*/").find(c) != std::string::npos) {
+      Token t;
+      t.kind = Token::Kind::kSymbol;
+      t.text = std::string(1, c);
+      out.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument(
+        StrFormat("unexpected character '%c' at offset %zu", c, i));
+  }
+  Token end;
+  end.kind = Token::Kind::kEnd;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace orpheus::vquel

@@ -1,0 +1,25 @@
+#ifndef ORPHEUS_VQUEL_LEXER_H_
+#define ORPHEUS_VQUEL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace orpheus::vquel {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kSymbol, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;  // identifier / symbol spelling / string payload
+  double number = 0.0;
+  bool is_integer = false;
+};
+
+/// Tokenize a VQuel program. Strings accept single or double quotes.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace orpheus::vquel
+
+#endif  // ORPHEUS_VQUEL_LEXER_H_

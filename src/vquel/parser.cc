@@ -1,0 +1,413 @@
+#include "vquel/parser.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "vquel/lexer.h"
+
+namespace orpheus::vquel {
+
+namespace {
+
+bool IsAggName(const std::string& lower) {
+  return lower == "count" || lower == "count_all" || lower == "sum" ||
+         lower == "avg" || lower == "min" || lower == "max" || lower == "any";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<Query>> Run() {
+    std::vector<Query> queries;
+    std::vector<RangeDecl> ranges;
+    while (!AtEnd()) {
+      if (PeekKeyword("range")) {
+        auto decl = ParseRange();
+        if (!decl.ok()) return decl.status();
+        // A redeclaration of the same variable replaces the old one.
+        auto it = std::find_if(ranges.begin(), ranges.end(),
+                               [&](const RangeDecl& r) {
+                                 return r.var == decl->var;
+                               });
+        if (it != ranges.end()) {
+          *it = *decl;
+        } else {
+          ranges.push_back(*decl);
+        }
+        continue;
+      }
+      if (PeekKeyword("retrieve")) {
+        auto q = ParseRetrieve();
+        if (!q.ok()) return q.status();
+        q->ranges = ranges;
+        queries.push_back(std::move(*q));
+        continue;
+      }
+      return Status::InvalidArgument(
+          StrFormat("expected 'range' or 'retrieve', got '%s'",
+                    Peek().text.c_str()));
+    }
+    return queries;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool AtEnd() const { return Peek().kind == Token::Kind::kEnd; }
+
+  bool PeekKeyword(const char* kw, int ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == Token::Kind::kIdent && ToLower(t.text) == kw;
+  }
+  bool ConsumeKeyword(const char* kw) {
+    if (PeekKeyword(kw)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  bool PeekSymbol(const char* s, int ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == Token::Kind::kSymbol && t.text == s;
+  }
+  bool ConsumeSymbol(const char* s) {
+    if (PeekSymbol(s)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(const char* what, bool ok) {
+    if (!ok) {
+      return Status::InvalidArgument(
+          StrFormat("expected %s near '%s'", what, Peek().text.c_str()));
+    }
+    return Status::OK();
+  }
+
+  // range of X is Root(filters).Step(...).Step ...
+  Result<RangeDecl> ParseRange() {
+    Next();  // range
+    ORPHEUS_RETURN_NOT_OK(Expect("'of'", ConsumeKeyword("of")));
+    RangeDecl decl;
+    ORPHEUS_RETURN_NOT_OK(
+        Expect("iterator name", Peek().kind == Token::Kind::kIdent));
+    decl.var = Next().text;
+    ORPHEUS_RETURN_NOT_OK(Expect("'is'", ConsumeKeyword("is")));
+    ORPHEUS_RETURN_NOT_OK(
+        Expect("set root", Peek().kind == Token::Kind::kIdent));
+    decl.root = Next().text;
+    if (ConsumeSymbol("(")) {
+      ORPHEUS_RETURN_NOT_OK(ParseFilters(&decl.root_filters));
+      ORPHEUS_RETURN_NOT_OK(Expect("')'", ConsumeSymbol(")")));
+    }
+    while (ConsumeSymbol(".")) {
+      PathStep step;
+      ORPHEUS_RETURN_NOT_OK(
+          Expect("path step", Peek().kind == Token::Kind::kIdent));
+      step.name = Next().text;
+      if (ConsumeSymbol("(")) {
+        if (Peek().kind == Token::Kind::kNumber) {
+          step.arg = static_cast<int64_t>(Next().number);
+        } else if (!PeekSymbol(")")) {
+          ORPHEUS_RETURN_NOT_OK(ParseFilters(&step.filters));
+        }
+        ORPHEUS_RETURN_NOT_OK(Expect("')'", ConsumeSymbol(")")));
+      }
+      decl.steps.push_back(std::move(step));
+    }
+    return decl;
+  }
+
+  Status ParseFilters(std::vector<std::pair<std::string, ExprPtr>>* filters) {
+    while (true) {
+      ORPHEUS_RETURN_NOT_OK(
+          Expect("filter attribute", Peek().kind == Token::Kind::kIdent));
+      std::string attr = Next().text;
+      ORPHEUS_RETURN_NOT_OK(Expect("'='", ConsumeSymbol("=")));
+      auto value = ParsePrimary();
+      if (!value.ok()) return value.status();
+      filters->emplace_back(attr, *value);
+      if (!ConsumeSymbol(",") && !ConsumeKeyword("and")) break;
+    }
+    return Status::OK();
+  }
+
+  // retrieve [into T] [unique] targets [where expr] [sort by keys]
+  Result<Query> ParseRetrieve() {
+    Next();  // retrieve
+    Query q;
+    if (ConsumeKeyword("into")) {
+      ORPHEUS_RETURN_NOT_OK(
+          Expect("result name", Peek().kind == Token::Kind::kIdent));
+      q.into = Next().text;
+    }
+    if (ConsumeKeyword("unique")) q.unique = true;
+    bool parenthesized = ConsumeSymbol("(");
+    while (true) {
+      auto expr = ParseExpr();
+      if (!expr.ok()) return expr.status();
+      Target t;
+      t.expr = *expr;
+      if (ConsumeKeyword("as")) {
+        ORPHEUS_RETURN_NOT_OK(
+            Expect("alias", Peek().kind == Token::Kind::kIdent));
+        t.alias = Next().text;
+      }
+      q.targets.push_back(std::move(t));
+      if (!ConsumeSymbol(",")) break;
+    }
+    if (parenthesized) {
+      ORPHEUS_RETURN_NOT_OK(Expect("')'", ConsumeSymbol(")")));
+    }
+    if (ConsumeKeyword("where")) {
+      auto expr = ParseExpr();
+      if (!expr.ok()) return expr.status();
+      q.where = *expr;
+    }
+    if (ConsumeKeyword("sort")) {
+      ORPHEUS_RETURN_NOT_OK(Expect("'by'", ConsumeKeyword("by")));
+      while (true) {
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        Query::SortKey key;
+        key.expr = *expr;
+        if (ConsumeKeyword("desc")) {
+          key.descending = true;
+        } else {
+          ConsumeKeyword("asc");
+        }
+        q.sort.push_back(std::move(key));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    return q;
+  }
+
+  // ---- Expressions (precedence climbing) ----
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    while (PeekKeyword("or")) {
+      Next();
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kBinary;
+      e->op = "or";
+      e->lhs = *lhs;
+      e->rhs = *rhs;
+      lhs = e;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    auto lhs = ParseNot();
+    if (!lhs.ok()) return lhs;
+    while (PeekKeyword("and")) {
+      Next();
+      auto rhs = ParseNot();
+      if (!rhs.ok()) return rhs;
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kBinary;
+      e->op = "and";
+      e->lhs = *lhs;
+      e->rhs = *rhs;
+      lhs = e;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (PeekKeyword("not")) {
+      Next();
+      auto child = ParseNot();
+      if (!child.ok()) return child;
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->op = "not";
+      e->child = *child;
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    auto lhs = ParseAdditive();
+    if (!lhs.ok()) return lhs;
+    static const char* kOps[] = {"=", "!=", "<=", ">=", "<", ">"};
+    for (const char* op : kOps) {
+      if (PeekSymbol(op)) {
+        Next();
+        auto rhs = ParseAdditive();
+        if (!rhs.ok()) return rhs;
+        auto e = std::make_shared<Expr>();
+        e->kind = Expr::Kind::kBinary;
+        e->op = op;
+        e->lhs = *lhs;
+        e->rhs = *rhs;
+        return Result<ExprPtr>(std::move(e));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    auto lhs = ParseMultiplicative();
+    if (!lhs.ok()) return lhs;
+    while (PeekSymbol("+") || PeekSymbol("-")) {
+      std::string op = Next().text;
+      auto rhs = ParseMultiplicative();
+      if (!rhs.ok()) return rhs;
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kBinary;
+      e->op = op;
+      e->lhs = *lhs;
+      e->rhs = *rhs;
+      lhs = e;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    auto lhs = ParsePrimary();
+    if (!lhs.ok()) return lhs;
+    while (PeekSymbol("*") || PeekSymbol("/")) {
+      std::string op = Next().text;
+      auto rhs = ParsePrimary();
+      if (!rhs.ok()) return rhs;
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kBinary;
+      e->op = op;
+      e->lhs = *lhs;
+      e->rhs = *rhs;
+      lhs = e;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.kind == Token::Kind::kNumber) {
+      Next();
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kLiteral;
+      e->literal = t.is_integer
+                       ? minidb::Value(static_cast<int64_t>(t.number))
+                       : minidb::Value(t.number);
+      return Result<ExprPtr>(std::move(e));
+    }
+    if (t.kind == Token::Kind::kString) {
+      Next();
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kLiteral;
+      e->literal = minidb::Value(t.text);
+      return Result<ExprPtr>(std::move(e));
+    }
+    if (PeekSymbol("(")) {
+      Next();
+      auto inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      ORPHEUS_RETURN_NOT_OK(Expect("')'", ConsumeSymbol(")")));
+      return inner;
+    }
+    if (t.kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument(
+          StrFormat("unexpected token '%s'", t.text.c_str()));
+    }
+    std::string lower = ToLower(t.text);
+    if (IsAggName(lower)) return ParseAggregate(lower);
+    if (lower == "abs") {
+      Next();
+      ORPHEUS_RETURN_NOT_OK(Expect("'('", ConsumeSymbol("(")));
+      auto child = ParseExpr();
+      if (!child.ok()) return child;
+      ORPHEUS_RETURN_NOT_OK(Expect("')'", ConsumeSymbol(")")));
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->op = "abs";
+      e->child = *child;
+      return Result<ExprPtr>(std::move(e));
+    }
+    // UpRef: Version(E).path
+    if ((t.text == "Version" || t.text == "Relation") && PeekSymbol("(", 1)) {
+      std::string up_kind = Next().text;
+      Next();  // (
+      ORPHEUS_RETURN_NOT_OK(
+          Expect("iterator", Peek().kind == Token::Kind::kIdent));
+      std::string it = Next().text;
+      ORPHEUS_RETURN_NOT_OK(Expect("')'", ConsumeSymbol(")")));
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kUpRef;
+      e->up_kind = up_kind;
+      e->iterator = it;
+      while (ConsumeSymbol(".")) {
+        ORPHEUS_RETURN_NOT_OK(
+            Expect("attribute", Peek().kind == Token::Kind::kIdent));
+        e->path.push_back(Next().text);
+      }
+      return Result<ExprPtr>(std::move(e));
+    }
+    // Plain attribute reference: X(.attr)*
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::kAttrRef;
+    e->iterator = Next().text;
+    while (PeekSymbol(".")) {
+      Next();
+      ORPHEUS_RETURN_NOT_OK(
+          Expect("attribute", Peek().kind == Token::Kind::kIdent));
+      e->path.push_back(Next().text);
+    }
+    return Result<ExprPtr>(std::move(e));
+  }
+
+  // agg(arg [group by a, b] [where pred])
+  Result<ExprPtr> ParseAggregate(const std::string& func) {
+    Next();  // function name
+    ORPHEUS_RETURN_NOT_OK(Expect("'('", ConsumeSymbol("(")));
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::kAggregate;
+    e->agg_func = func;
+    auto arg = ParseExpr();
+    if (!arg.ok()) return arg;
+    e->agg_arg = *arg;
+    if (ConsumeKeyword("group")) {
+      ORPHEUS_RETURN_NOT_OK(Expect("'by'", ConsumeKeyword("by")));
+      while (true) {
+        ORPHEUS_RETURN_NOT_OK(
+            Expect("group-by iterator", Peek().kind == Token::Kind::kIdent));
+        e->agg_group_by.push_back(Next().text);
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("where")) {
+      auto pred = ParseExpr();
+      if (!pred.ok()) return pred;
+      e->agg_where = *pred;
+    }
+    ORPHEUS_RETURN_NOT_OK(Expect("')'", ConsumeSymbol(")")));
+    return Result<ExprPtr>(std::move(e));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Query>> ParseProgram(const std::string& input) {
+  auto tokens = Tokenize(input);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(tokens.MoveValueOrDie());
+  return parser.Run();
+}
+
+}  // namespace orpheus::vquel

@@ -1,0 +1,20 @@
+#ifndef ORPHEUS_VQUEL_PARSER_H_
+#define ORPHEUS_VQUEL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "vquel/ast.h"
+
+namespace orpheus::vquel {
+
+/// Parse a VQuel program: a sequence of `range of ... is ...` declarations
+/// and `retrieve ...` statements. Each returned Query carries the range
+/// declarations visible to it (declarations persist across retrieves within
+/// one program, as in Quel sessions).
+Result<std::vector<Query>> ParseProgram(const std::string& input);
+
+}  // namespace orpheus::vquel
+
+#endif  // ORPHEUS_VQUEL_PARSER_H_

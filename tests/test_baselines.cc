@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "benchdata/generator.h"
+#include "core/baselines.h"
+#include "core/lyresplit.h"
+
+namespace orpheus::core {
+namespace {
+
+struct Fixture {
+  benchdata::VersionedDataset ds;
+  RecordSetView view;
+
+  explicit Fixture(int versions = 60, int branches = 6, int ops = 20)
+      : ds(benchdata::VersionedDataset::Generate(
+            benchdata::SciConfig("S", versions, branches, ops))) {
+    view.num_versions = ds.num_versions();
+    view.records_of = [this](int v) -> const std::vector<RecordId>& {
+      return ds.version(v).records;
+    };
+  }
+};
+
+void ExpectValidPartitioning(const Partitioning& p, int n) {
+  ASSERT_EQ(static_cast<int>(p.partition_of.size()), n);
+  for (int v = 0; v < n; ++v) {
+    EXPECT_GE(p.partition_of[v], 0);
+    EXPECT_LT(p.partition_of[v], p.num_partitions);
+  }
+  // Every partition id is used (dense numbering).
+  std::vector<int> used(p.num_partitions, 0);
+  for (int v = 0; v < n; ++v) used[p.partition_of[v]] = 1;
+  for (int k = 0; k < p.num_partitions; ++k) EXPECT_EQ(used[k], 1);
+}
+
+TEST(AggloTest, ProducesValidPartitioning) {
+  Fixture f;
+  AggloOptions opt;
+  Partitioning p = AggloPartition(f.view, opt);
+  ExpectValidPartitioning(p, f.ds.num_versions());
+}
+
+TEST(AggloTest, CapacityBoundsPartitionSize) {
+  Fixture f;
+  AggloOptions opt;
+  opt.capacity = 500;
+  Partitioning p = AggloPartition(f.view, opt);
+  ExpectValidPartitioning(p, f.ds.num_versions());
+  auto groups = p.Groups();
+  for (const auto& g : groups) {
+    std::unordered_set<RecordId> u;
+    for (int v : g) {
+      const auto& rs = f.view.records_of(v);
+      u.insert(rs.begin(), rs.end());
+    }
+    // Single versions can exceed BC on their own; merged groups cannot.
+    if (g.size() > 1) {
+      EXPECT_LE(u.size(), 500u);
+    }
+  }
+}
+
+TEST(AggloTest, InfiniteCapacityMergesAggressively) {
+  Fixture f;
+  AggloOptions opt;
+  opt.capacity = 0;
+  Partitioning p = AggloPartition(f.view, opt);
+  EXPECT_LT(p.num_partitions, f.ds.num_versions());
+}
+
+TEST(KmeansTest, ProducesValidPartitioningWithAtMostKParts) {
+  Fixture f;
+  KmeansOptions opt;
+  opt.k = 5;
+  Partitioning p = KmeansPartition(f.view, opt);
+  ExpectValidPartitioning(p, f.ds.num_versions());
+  EXPECT_LE(p.num_partitions, 5);
+}
+
+TEST(KmeansTest, MoreClustersMoreStorageLessCheckout) {
+  Fixture f(80, 8, 20);
+  KmeansOptions few;
+  few.k = 2;
+  KmeansOptions many;
+  many.k = 16;
+  auto cost_few = ComputeExactCosts(f.view, KmeansPartition(f.view, few));
+  auto cost_many = ComputeExactCosts(f.view, KmeansPartition(f.view, many));
+  EXPECT_LE(cost_few.storage, cost_many.storage);
+  EXPECT_GE(cost_few.checkout_avg, cost_many.checkout_avg * 0.9);
+}
+
+TEST(KmeansTest, KOneIsSinglePartition) {
+  Fixture f;
+  KmeansOptions opt;
+  opt.k = 1;
+  Partitioning p = KmeansPartition(f.view, opt);
+  EXPECT_EQ(p.num_partitions, 1);
+}
+
+TEST(BudgetSearchTest, BothBaselinesRespectGamma) {
+  Fixture f;
+  uint64_t gamma = 2 * static_cast<uint64_t>(f.ds.num_distinct_records());
+  int agglo_iters = 0;
+  Partitioning agglo = AggloForBudget(f.view, gamma, &agglo_iters);
+  EXPECT_LE(ComputeExactCosts(f.view, agglo).storage, gamma);
+  EXPECT_GT(agglo_iters, 0);
+  int kmeans_iters = 0;
+  Partitioning kmeans = KmeansForBudget(f.view, gamma, &kmeans_iters);
+  EXPECT_LE(ComputeExactCosts(f.view, kmeans).storage, gamma);
+  EXPECT_GT(kmeans_iters, 0);
+}
+
+TEST(BudgetSearchTest, LyreSplitDominatesBaselines) {
+  // The headline comparison (Fig. 5.8): at equal storage budget, LyreSplit's
+  // checkout cost is at least as good as Agglo's and KMeans'.
+  Fixture f(100, 10, 25);
+  VersionGraph g;
+  for (int v = 0; v < f.ds.num_versions(); ++v) {
+    const auto& spec = f.ds.version(v);
+    std::vector<int64_t> w;
+    for (int p : spec.parents) w.push_back(f.ds.CommonRecords(p, v));
+    g.AddVersion(spec.parents, w,
+                 static_cast<int64_t>(spec.records.size()));
+  }
+  uint64_t gamma = 2 * static_cast<uint64_t>(f.ds.num_distinct_records());
+  auto lyre = LyreSplitForBudget(g, gamma);
+  auto lyre_cost = ComputeExactCosts(f.view, lyre.partitioning);
+  auto agglo_cost = ComputeExactCosts(f.view, AggloForBudget(f.view, gamma));
+  auto kmeans_cost =
+      ComputeExactCosts(f.view, KmeansForBudget(f.view, gamma));
+  EXPECT_LE(lyre_cost.storage, gamma);
+  EXPECT_LE(lyre_cost.checkout_avg, agglo_cost.checkout_avg * 1.05);
+  EXPECT_LE(lyre_cost.checkout_avg, kmeans_cost.checkout_avg * 1.05);
+}
+
+}  // namespace
+}  // namespace orpheus::core

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "benchdata/generator.h"
+
+namespace orpheus::benchdata {
+namespace {
+
+TEST(GeneratorTest, RootVersionHasBaseRecords) {
+  GeneratorConfig cfg = SciConfig("SCI_T", 10, 2, 50);
+  VersionedDataset ds = VersionedDataset::Generate(cfg);
+  ASSERT_EQ(ds.num_versions(), 10);
+  EXPECT_TRUE(ds.version(0).parents.empty());
+  EXPECT_EQ(ds.version(0).records.size(), 500u);  // 10 * I
+}
+
+TEST(GeneratorTest, RecordsSortedAndUnique) {
+  VersionedDataset ds =
+      VersionedDataset::Generate(SciConfig("SCI_T", 50, 5, 40));
+  for (int v = 0; v < ds.num_versions(); ++v) {
+    const auto& recs = ds.version(v).records;
+    EXPECT_TRUE(std::is_sorted(recs.begin(), recs.end()));
+    EXPECT_EQ(std::unordered_set<int64_t>(recs.begin(), recs.end()).size(),
+              recs.size());
+  }
+}
+
+TEST(GeneratorTest, SciIsTree) {
+  VersionedDataset ds =
+      VersionedDataset::Generate(SciConfig("SCI_T", 100, 10, 30));
+  int roots = 0;
+  for (int v = 0; v < ds.num_versions(); ++v) {
+    EXPECT_LE(ds.version(v).parents.size(), 1u);
+    if (ds.version(v).parents.empty()) ++roots;
+    for (int p : ds.version(v).parents) EXPECT_LT(p, v);
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST(GeneratorTest, CurHasMerges) {
+  VersionedDataset ds =
+      VersionedDataset::Generate(CurConfig("CUR_T", 200, 20, 30));
+  int merges = 0;
+  for (int v = 0; v < ds.num_versions(); ++v) {
+    if (ds.version(v).parents.size() > 1) ++merges;
+  }
+  EXPECT_GT(merges, 0);
+}
+
+TEST(GeneratorTest, MergePreservesPrimaryKeyUniqueness) {
+  VersionedDataset ds =
+      VersionedDataset::Generate(CurConfig("CUR_T", 150, 15, 40));
+  for (int v = 0; v < ds.num_versions(); ++v) {
+    std::unordered_set<int64_t> pks;
+    for (int64_t rid : ds.version(v).records) {
+      EXPECT_TRUE(pks.insert(ds.PrimaryKeyOf(rid)).second)
+          << "duplicate PK in version " << v;
+    }
+  }
+}
+
+TEST(GeneratorTest, UpdatesPreservePrimaryKey) {
+  // An updated record carries the PK of the record it replaced: child and
+  // parent versions must cover a near-identical PK set.
+  VersionedDataset ds =
+      VersionedDataset::Generate(SciConfig("SCI_T", 20, 2, 50));
+  const auto& child = ds.version(1);
+  ASSERT_EQ(child.parents.size(), 1u);
+  const auto& parent = ds.version(child.parents[0]);
+  std::unordered_set<int64_t> parent_pks;
+  for (int64_t rid : parent.records) parent_pks.insert(ds.PrimaryKeyOf(rid));
+  int64_t shared_pk = 0;
+  for (int64_t rid : child.records) {
+    shared_pk += parent_pks.count(ds.PrimaryKeyOf(rid));
+  }
+  // Updates dominate: most PKs survive even though rids change.
+  EXPECT_GT(shared_pk, static_cast<int64_t>(parent.records.size() * 8 / 10));
+}
+
+TEST(GeneratorTest, PayloadDeterministicAndPkFirst) {
+  VersionedDataset ds =
+      VersionedDataset::Generate(SciConfig("SCI_T", 5, 1, 20));
+  auto p1 = ds.RecordPayload(7);
+  auto p2 = ds.RecordPayload(7);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(static_cast<int>(p1.size()), ds.num_attributes());
+  EXPECT_EQ(p1[0], ds.PrimaryKeyOf(7));
+  EXPECT_NE(ds.RecordPayload(8), p1);
+}
+
+TEST(GeneratorTest, CommonRecordsMatchesBruteForce) {
+  VersionedDataset ds =
+      VersionedDataset::Generate(SciConfig("SCI_T", 30, 3, 30));
+  const auto& a = ds.version(3).records;
+  std::unordered_set<int64_t> sa(a.begin(), a.end());
+  int64_t brute = 0;
+  for (int64_t rid : ds.version(7).records) brute += sa.count(rid);
+  EXPECT_EQ(ds.CommonRecords(3, 7), brute);
+}
+
+TEST(GeneratorTest, BipartiteEdgeCount) {
+  VersionedDataset ds =
+      VersionedDataset::Generate(SciConfig("SCI_T", 12, 2, 25));
+  uint64_t total = 0;
+  for (int v = 0; v < ds.num_versions(); ++v) {
+    total += ds.version(v).records.size();
+  }
+  EXPECT_EQ(ds.num_bipartite_edges(), total);
+}
+
+TEST(GeneratorTest, ParentChildShareMostRecords) {
+  VersionedDataset ds =
+      VersionedDataset::Generate(SciConfig("SCI_T", 40, 4, 20));
+  for (int v = 1; v < ds.num_versions(); ++v) {
+    for (int p : ds.version(v).parents) {
+      int64_t common = ds.CommonRecords(p, v);
+      // Each commit touches at most I records, so overlap is large.
+      EXPECT_GT(common, 0);
+    }
+  }
+}
+
+TEST(GeneratorTest, CurLargerThanSci) {
+  auto sci = VersionedDataset::Generate(SciConfig("S", 50, 5, 30));
+  auto cur = VersionedDataset::Generate(CurConfig("C", 50, 5, 30));
+  // CUR's base multiplier makes average version size ~3x larger.
+  EXPECT_GT(cur.num_bipartite_edges(), 2 * sci.num_bipartite_edges());
+}
+
+TEST(GeneratorTest, SeedChangesOutput) {
+  auto a = VersionedDataset::Generate(SciConfig("S", 20, 3, 20, 1));
+  auto b = VersionedDataset::Generate(SciConfig("S", 20, 3, 20, 2));
+  EXPECT_NE(a.version(5).records, b.version(5).records);
+}
+
+TEST(GeneratorTest, DeterministicForFixedSeed) {
+  auto a = VersionedDataset::Generate(CurConfig("C", 30, 4, 20, 9));
+  auto b = VersionedDataset::Generate(CurConfig("C", 30, 4, 20, 9));
+  for (int v = 0; v < a.num_versions(); ++v) {
+    EXPECT_EQ(a.version(v).records, b.version(v).records);
+    EXPECT_EQ(a.version(v).parents, b.version(v).parents);
+  }
+}
+
+}  // namespace
+}  // namespace orpheus::benchdata

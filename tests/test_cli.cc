@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cli/command_processor.h"
+#include "core/access_control.h"
+#include "common/string_util.h"
+#include "minidb/csv.h"
+
+namespace orpheus::cli {
+namespace {
+
+using minidb::Schema;
+using minidb::Table;
+using minidb::Value;
+using minidb::ValueType;
+
+class CliTest : public ::testing::Test {
+ protected:
+  std::string Ok(const std::string& line) {
+    auto r = processor_.Execute(line);
+    EXPECT_TRUE(r.ok()) << "'" << line << "': " << r.status().ToString();
+    return r.ok() ? *r : "";
+  }
+  Status Err(const std::string& line) {
+    auto r = processor_.Execute(line);
+    EXPECT_FALSE(r.ok()) << "'" << line << "' unexpectedly succeeded";
+    return r.status();
+  }
+
+  void SeedStagingTable(const std::string& name) {
+    Table t(name, Schema({{"city", ValueType::kString},
+                          {"pop", ValueType::kInt64}}));
+    ASSERT_TRUE(t.InsertRow({Value("springfield"), Value(int64_t{30000})})
+                    .ok());
+    ASSERT_TRUE(t.InsertRow({Value("shelbyville"), Value(int64_t{20000})})
+                    .ok());
+    ASSERT_TRUE(processor_.staging()->AdoptTable(std::move(t)).ok());
+  }
+
+  CommandProcessor processor_;
+};
+
+TEST_F(CliTest, UserLifecycle) {
+  EXPECT_EQ(Ok("whoami"), "<anonymous>");
+  Ok("create_user alice");
+  EXPECT_TRUE(Err("create_user alice").IsAlreadyExists());
+  EXPECT_TRUE(Err("config bob").IsNotFound());
+  Ok("config alice");
+  EXPECT_EQ(Ok("whoami"), "alice");
+}
+
+TEST_F(CliTest, InitFromStagingTable) {
+  SeedStagingTable("cities");
+  Ok("init Cities -t cities -k city");
+  EXPECT_NE(processor_.cvd("Cities"), nullptr);
+  EXPECT_TRUE(Err("init Cities -t cities").IsAlreadyExists());
+  EXPECT_TRUE(Err("init Other -t missing").IsNotFound());
+  EXPECT_NE(Ok("ls").find("Cities"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckoutCommitCycle) {
+  SeedStagingTable("cities");
+  Ok("init Cities -t cities -k city");
+  Ok("checkout Cities -v 1 -t work");
+  Table* work = processor_.staging()->GetTable("work");
+  ASSERT_NE(work, nullptr);
+  // Edit and commit.
+  auto row = work->GetRow(0);
+  row[2] = Value(int64_t{31000});
+  work->SetRow(0, row);
+  std::string out = Ok("commit -t work -m \"census update\"");
+  EXPECT_NE(out.find("version 2"), std::string::npos);
+  // Staging table gone after commit.
+  EXPECT_EQ(processor_.staging()->GetTable("work"), nullptr);
+  // Metadata recorded.
+  std::string log = Ok("log Cities");
+  EXPECT_NE(log.find("census update"), std::string::npos);
+}
+
+TEST_F(CliTest, CommitRequiresCheckoutProvenance) {
+  SeedStagingTable("cities");
+  Ok("init Cities -t cities");
+  SeedStagingTable("rogue");
+  EXPECT_TRUE(Err("commit -t rogue -m x").IsNotFound());
+}
+
+TEST_F(CliTest, AccessControlOnStagingTables) {
+  SeedStagingTable("cities");
+  Ok("create_user alice");
+  Ok("create_user bob");
+  Ok("config alice");
+  Ok("init Cities -t cities -k city");
+  Ok("checkout Cities -v 1 -t alices_work");
+  Ok("config bob");
+  // Bob cannot commit Alice's materialized table (Sec. 3.3.1).
+  auto status = Err("commit -t alices_work -m steal");
+  EXPECT_TRUE(status.IsInvalidArgument());
+  Ok("config alice");
+  Ok("commit -t alices_work -m mine");
+}
+
+TEST_F(CliTest, DiffCommand) {
+  SeedStagingTable("cities");
+  Ok("init Cities -t cities -k city");
+  Ok("checkout Cities -v 1 -t w");
+  Table* w = processor_.staging()->GetTable("w");
+  w->AppendRowUnchecked({Value::Null(), Value("ogdenville"),
+                         Value(int64_t{5000})});
+  Ok("commit -t w -m grow");
+  std::string out = Ok("diff Cities -v 2,1");
+  EXPECT_NE(out.find("ogdenville"), std::string::npos);
+  EXPECT_TRUE(Err("diff Cities -v 1").IsInvalidArgument());
+}
+
+TEST_F(CliTest, RunSqlCommand) {
+  SeedStagingTable("cities");
+  Ok("init Cities -t cities -k city");
+  std::string out = Ok(
+      "run \"SELECT city FROM VERSION 1 OF CVD Cities WHERE pop > 25000\"");
+  EXPECT_NE(out.find("springfield"), std::string::npos);
+  EXPECT_EQ(out.find("shelbyville"), std::string::npos);
+  EXPECT_TRUE(Err("run \"SELECT * FROM VERSION 1 OF CVD Ghost\"")
+                  .IsNotFound());
+}
+
+TEST_F(CliTest, CsvWorkflow) {
+  // init from csv, checkout to csv, edit the file, commit it back.
+  std::string dir = testing::TempDir();
+  std::string data_path = dir + "/cli_cities.csv";
+  {
+    std::ofstream f(data_path);
+    f << "city,pop\nspringfield,30000\nshelbyville,20000\n";
+  }
+  Ok("init Cities -f " + data_path + " -k city");
+  std::string work_path = dir + "/cli_work.csv";
+  Ok("checkout Cities -v 1 -f " + work_path);
+  // The exported file carries the hidden _rid column.
+  auto exported = minidb::ReadCsv(work_path, "w");
+  ASSERT_TRUE(exported.ok());
+  EXPECT_EQ(exported->schema().column(0).name, "_rid");
+  // Append a record (empty rid) and commit with a schema file.
+  {
+    std::ofstream f(work_path, std::ios::app);
+    f << ",ogdenville,5000\n";
+  }
+  std::string schema_path = dir + "/cli_schema.txt";
+  {
+    std::ofstream f(schema_path);
+    f << "city:string\npop:int64\n";
+  }
+  std::string out = Ok("commit -f " + work_path + " -s " + schema_path +
+                       " -m \"from csv\"");
+  EXPECT_NE(out.find("version 2"), std::string::npos);
+  // The new version contains three records; unchanged ones kept their rids.
+  auto rids = processor_.cvd("Cities")->VersionRecords(2);
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(rids->size(), 3u);
+  auto diff = processor_.cvd("Cities")->VDiff(2, 1);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->size(), 1u);
+  std::remove(data_path.c_str());
+  std::remove(work_path.c_str());
+  std::remove(schema_path.c_str());
+}
+
+TEST_F(CliTest, DropAndUnknownCommands) {
+  SeedStagingTable("cities");
+  Ok("init Cities -t cities");
+  Ok("drop Cities");
+  EXPECT_TRUE(Err("drop Cities").IsNotFound());
+  EXPECT_TRUE(Err("frobnicate").IsInvalidArgument());
+  EXPECT_EQ(Ok(""), "");
+}
+
+TEST_F(CliTest, OptimizeCommand) {
+  SeedStagingTable("cities");
+  Ok("init Cities -t cities -k city");
+  for (int i = 0; i < 5; ++i) {
+    Ok(orpheus::StrFormat("checkout Cities -v %d -t w%d", i + 1, i));
+    Table* w = processor_.staging()->GetTable(orpheus::StrFormat("w%d", i));
+    w->AppendRowUnchecked({Value::Null(), Value(orpheus::StrFormat("town%d", i)),
+                           Value(static_cast<int64_t>(100 + i))});
+    Ok(orpheus::StrFormat("commit -t w%d -m grow%d", i, i));
+  }
+  std::string out = Ok("optimize Cities -g 2");
+  EXPECT_NE(out.find("LyreSplit plan"), std::string::npos);
+  EXPECT_TRUE(Err("optimize Cities -g 0.5").IsInvalidArgument());
+}
+
+TEST(AccessControllerTest, Basics) {
+  core::AccessController ac;
+  EXPECT_TRUE(ac.CreateUser("a").ok());
+  EXPECT_TRUE(ac.CreateUser("").IsInvalidArgument());
+  EXPECT_TRUE(ac.Login("a").ok());
+  ac.GrantTable("t");
+  EXPECT_TRUE(ac.CheckTableAccess("t").ok());
+  EXPECT_TRUE(ac.CreateUser("b").ok());
+  EXPECT_TRUE(ac.Login("b").ok());
+  EXPECT_FALSE(ac.CheckTableAccess("t").ok());
+  EXPECT_TRUE(ac.CheckTableAccess("untracked").ok());
+  ac.RevokeTable("t");
+  EXPECT_TRUE(ac.CheckTableAccess("t").ok());
+  EXPECT_EQ(ac.Users().size(), 2u);
+}
+
+}  // namespace
+}  // namespace orpheus::cli

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "minidb/csv.h"
+
+namespace orpheus::minidb {
+namespace {
+
+Table SampleTable() {
+  Table t("t", Schema({{"id", ValueType::kInt64},
+                       {"name", ValueType::kString},
+                       {"ratio", ValueType::kDouble}}));
+  EXPECT_TRUE(t.InsertRow({Value(int64_t{1}), Value("plain"),
+                           Value(0.5)}).ok());
+  EXPECT_TRUE(t.InsertRow({Value(int64_t{2}), Value("has,comma"),
+                           Value(1.25)}).ok());
+  EXPECT_TRUE(t.InsertRow({Value(int64_t{3}), Value("has \"quote\""),
+                           Value(-2.0)}).ok());
+  return t;
+}
+
+TEST(CsvTest, RoundTripWithQuoting) {
+  Table t = SampleTable();
+  std::string csv = ToCsv(t);
+  auto back = ParseCsv(csv, "back", &t.schema());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), 3u);
+  EXPECT_EQ(back->GetValue(1, 1).AsString(), "has,comma");
+  EXPECT_EQ(back->GetValue(2, 1).AsString(), "has \"quote\"");
+  EXPECT_DOUBLE_EQ(back->GetValue(1, 2).AsDouble(), 1.25);
+}
+
+TEST(CsvTest, TypeInference) {
+  std::string csv = "a,b,c\n1,2.5,x\n2,3.25,y\n";
+  auto t = ParseCsv(csv, "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().column(0).type, ValueType::kInt64);
+  EXPECT_EQ(t->schema().column(1).type, ValueType::kDouble);
+  EXPECT_EQ(t->schema().column(2).type, ValueType::kString);
+}
+
+TEST(CsvTest, EmptyCellsBecomeNull) {
+  std::string csv = "a,b\n1,\n,x\n";
+  auto t = ParseCsv(csv, "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->GetValue(0, 1).is_null());
+  EXPECT_TRUE(t->GetValue(1, 0).is_null());
+}
+
+TEST(CsvTest, ArityMismatchRejected) {
+  EXPECT_FALSE(ParseCsv("a,b\n1,2,3\n", "t").ok());
+}
+
+TEST(CsvTest, BadCellForDeclaredType) {
+  Schema schema({{"a", ValueType::kInt64}});
+  EXPECT_FALSE(ParseCsv("a\nnot_a_number\n", "t", &schema).ok());
+}
+
+TEST(CsvTest, SchemaSpecParsing) {
+  auto schema = ParseSchemaSpec(
+      "protein1:string\nprotein2:string\ncoexpression:int64\n");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_columns(), 3u);
+  EXPECT_EQ(schema->column(2).type, ValueType::kInt64);
+  // Comma-separated and aliases.
+  auto alt = ParseSchemaSpec("a:integer, b:decimal, c:text");
+  ASSERT_TRUE(alt.ok());
+  EXPECT_EQ(alt->column(1).type, ValueType::kDouble);
+  EXPECT_FALSE(ParseSchemaSpec("").ok());
+  EXPECT_FALSE(ParseSchemaSpec("a=b").ok());
+  EXPECT_FALSE(ParseSchemaSpec("a:blob").ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t = SampleTable();
+  std::string path = testing::TempDir() + "/orpheus_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto back = ReadCsv(path, "back");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 3u);
+  std::remove(path.c_str());
+  EXPECT_TRUE(ReadCsv(path, "gone").status().IsNotFound());
+}
+
+TEST(CsvTest, CrlfLineEndings) {
+  auto t = ParseCsv("a,b\r\n1,2\r\n3,4\r\n", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(1, 1).AsInt(), 4);
+}
+
+TEST(CsvTest, QuotedNewlineInsideCell) {
+  auto t = ParseCsv("a,b\n\"line1\nline2\",7\n", "t");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->GetValue(0, 0).AsString(), "line1\nline2");
+}
+
+}  // namespace
+}  // namespace orpheus::minidb

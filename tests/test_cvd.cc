@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cvd.h"
+#include "minidb/database.h"
+
+namespace orpheus::core {
+namespace {
+
+using minidb::Database;
+using minidb::Row;
+using minidb::Schema;
+using minidb::Table;
+using minidb::Value;
+using minidb::ValueType;
+
+Table InteractionTable() {
+  Table t("interaction", Schema({{"protein1", ValueType::kString},
+                                 {"protein2", ValueType::kString},
+                                 {"coexpression", ValueType::kInt64}}));
+  EXPECT_TRUE(t.InsertRow({Value("ENSP273047"), Value("ENSP261890"),
+                           Value(int64_t{0})})
+                  .ok());
+  EXPECT_TRUE(t.InsertRow({Value("ENSP273047"), Value("ENSP235932"),
+                           Value(int64_t{87})})
+                  .ok());
+  EXPECT_TRUE(t.InsertRow({Value("ENSP300413"), Value("ENSP274242"),
+                           Value(int64_t{164})})
+                  .ok());
+  return t;
+}
+
+Cvd::Options PkOptions() {
+  Cvd::Options opt;
+  opt.primary_key = {"protein1", "protein2"};
+  return opt;
+}
+
+class CvdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto cvd = Cvd::Init("Interaction", InteractionTable(), PkOptions());
+    ASSERT_TRUE(cvd.ok()) << cvd.status().ToString();
+    cvd_ = cvd.MoveValueOrDie();
+  }
+
+  std::unique_ptr<Cvd> cvd_;
+  Database staging_;
+};
+
+TEST_F(CvdTest, InitCreatesVersionOne) {
+  EXPECT_EQ(cvd_->num_versions(), 1);
+  EXPECT_EQ(cvd_->latest(), 1);
+  auto rids = cvd_->VersionRecords(1);
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(rids->size(), 3u);
+  EXPECT_EQ(cvd_->version_metadata(1).num_records, 3);
+}
+
+TEST_F(CvdTest, InitRejectsBadPrimaryKey) {
+  Cvd::Options opt;
+  opt.primary_key = {"nonexistent"};
+  EXPECT_TRUE(Cvd::Init("X", InteractionTable(), opt)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(CvdTest, CheckoutMaterializesStagingTable) {
+  ASSERT_TRUE(cvd_->Checkout({1}, "my_work", &staging_).ok());
+  Table* t = staging_.GetTable("my_work");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->num_rows(), 3u);
+  EXPECT_EQ(t->schema().column(0).name, "_rid");
+  EXPECT_EQ(cvd_->StagedTables(), std::vector<std::string>{"my_work"});
+  // Duplicate checkout name is rejected.
+  EXPECT_TRUE(cvd_->Checkout({1}, "my_work", &staging_).IsAlreadyExists());
+}
+
+TEST_F(CvdTest, CommitUnchangedSharesAllRecords) {
+  ASSERT_TRUE(cvd_->Checkout({1}, "w", &staging_).ok());
+  auto v2 = cvd_->Commit("w", &staging_, "no changes");
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(*v2, 2);
+  // No new records were created; graph edge carries full weight.
+  EXPECT_EQ(cvd_->graph().EdgeWeight(0, 1), 3);
+  EXPECT_EQ(*cvd_->VersionRecords(2), *cvd_->VersionRecords(1));
+  // Staging table dropped after commit.
+  EXPECT_EQ(staging_.GetTable("w"), nullptr);
+  EXPECT_TRUE(cvd_->StagedTables().empty());
+}
+
+TEST_F(CvdTest, CommitDetectsModifiedRecords) {
+  ASSERT_TRUE(cvd_->Checkout({1}, "w", &staging_).ok());
+  Table* t = staging_.GetTable("w");
+  // Modify coexpression of the first row: same rid, new payload.
+  Row row = t->GetRow(0);
+  row[3] = Value(int64_t{999});
+  t->SetRow(0, row);
+  auto v2 = cvd_->Commit("w", &staging_, "edit");
+  ASSERT_TRUE(v2.ok());
+  // Two records survive, one is new: weight with parent is 2.
+  EXPECT_EQ(cvd_->graph().EdgeWeight(0, 1), 2);
+  auto d = cvd_->VDiff(2, 1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 1u);
+}
+
+TEST_F(CvdTest, CommitDetectsInsertedAndDeletedRecords) {
+  ASSERT_TRUE(cvd_->Checkout({1}, "w", &staging_).ok());
+  Table* t = staging_.GetTable("w");
+  // Delete row 2 and insert a brand-new record (rid NULL).
+  t->DeleteRows({2});
+  Row fresh = {Value::Null(), Value("NEW1"), Value("NEW2"),
+               Value(int64_t{50})};
+  t->AppendRowUnchecked(fresh);
+  auto v2 = cvd_->Commit("w", &staging_, "insert+delete");
+  ASSERT_TRUE(v2.ok());
+  auto rids2 = cvd_->VersionRecords(2);
+  ASSERT_TRUE(rids2.ok());
+  EXPECT_EQ(rids2->size(), 3u);
+  EXPECT_EQ(cvd_->graph().EdgeWeight(0, 1), 2);  // two kept
+}
+
+TEST_F(CvdTest, CommitEnforcesPrimaryKey) {
+  ASSERT_TRUE(cvd_->Checkout({1}, "w", &staging_).ok());
+  Table* t = staging_.GetTable("w");
+  // Duplicate the PK of row 0 in a new row.
+  Row dup = {Value::Null(), Value("ENSP273047"), Value("ENSP261890"),
+             Value(int64_t{123})};
+  t->AppendRowUnchecked(dup);
+  EXPECT_TRUE(
+      cvd_->Commit("w", &staging_, "dup").status().IsConstraintViolation());
+}
+
+TEST_F(CvdTest, CommitWithoutCheckoutRejected) {
+  EXPECT_TRUE(cvd_->Commit("ghost", &staging_, "x").status().IsNotFound());
+}
+
+TEST_F(CvdTest, BranchAndMergeWithPrecedence) {
+  // Branch A: modify record 0. Branch B: modify record 1.
+  ASSERT_TRUE(cvd_->Checkout({1}, "a", &staging_).ok());
+  Table* ta = staging_.GetTable("a");
+  Row row_a = ta->GetRow(0);
+  row_a[3] = Value(int64_t{111});
+  ta->SetRow(0, row_a);
+  ASSERT_TRUE(cvd_->Commit("a", &staging_, "branch a").ok());  // v2
+
+  ASSERT_TRUE(cvd_->Checkout({1}, "b", &staging_).ok());
+  Table* tb = staging_.GetTable("b");
+  Row row_b = tb->GetRow(0);
+  row_b[3] = Value(int64_t{222});
+  tb->SetRow(0, row_b);
+  ASSERT_TRUE(cvd_->Commit("b", &staging_, "branch b").ok());  // v3
+
+  // Merge checkout: v2 has precedence over v3 on PK conflicts.
+  ASSERT_TRUE(cvd_->Checkout({2, 3}, "m", &staging_).ok());
+  Table* tm = staging_.GetTable("m");
+  EXPECT_EQ(tm->num_rows(), 3u);  // 3 distinct PKs
+  bool saw_111 = false;
+  bool saw_222 = false;
+  for (uint32_t r = 0; r < tm->num_rows(); ++r) {
+    int64_t co = tm->column(3).GetInt(r);
+    saw_111 |= co == 111;
+    saw_222 |= co == 222;
+  }
+  EXPECT_TRUE(saw_111);
+  EXPECT_FALSE(saw_222) << "precedence order must drop v3's conflict";
+
+  auto v4 = cvd_->Commit("m", &staging_, "merge");
+  ASSERT_TRUE(v4.ok());
+  EXPECT_EQ(*v4, 4);
+  EXPECT_EQ(cvd_->Parents(4), (std::vector<VersionId>{2, 3}));
+  EXPECT_EQ(cvd_->Ancestors(4), (std::vector<VersionId>{1, 2, 3}));
+}
+
+TEST_F(CvdTest, DiffReturnsExclusiveRecords) {
+  ASSERT_TRUE(cvd_->Checkout({1}, "w", &staging_).ok());
+  Table* t = staging_.GetTable("w");
+  Row row = t->GetRow(1);
+  row[3] = Value(int64_t{4242});
+  t->SetRow(1, row);
+  ASSERT_TRUE(cvd_->Commit("w", &staging_, "edit").ok());
+  auto diff = cvd_->Diff(2, 1);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->num_rows(), 1u);
+  EXPECT_EQ(diff->GetValue(0, 3).AsInt(), 4242);
+  auto diff_rev = cvd_->Diff(1, 2);
+  ASSERT_TRUE(diff_rev.ok());
+  EXPECT_EQ(diff_rev->num_rows(), 1u);
+  EXPECT_EQ(diff_rev->GetValue(0, 3).AsInt(), 87);
+}
+
+TEST_F(CvdTest, VIntersect) {
+  ASSERT_TRUE(cvd_->Checkout({1}, "w", &staging_).ok());
+  Table* t = staging_.GetTable("w");
+  Row row = t->GetRow(0);
+  row[3] = Value(int64_t{5});
+  t->SetRow(0, row);
+  ASSERT_TRUE(cvd_->Commit("w", &staging_, "edit").ok());
+  auto common = cvd_->VIntersect({1, 2});
+  ASSERT_TRUE(common.ok());
+  EXPECT_EQ(common->size(), 2u);
+}
+
+TEST_F(CvdTest, SchemaEvolutionOnCommit) {
+  ASSERT_TRUE(cvd_->Checkout({1}, "w", &staging_).ok());
+  Table* t = staging_.GetTable("w");
+  // Add a new attribute and fill it.
+  ASSERT_TRUE(t->AddColumn({"neighborhood", ValueType::kInt64}).ok());
+  for (uint32_t r = 0; r < t->num_rows(); ++r) {
+    Row row = t->GetRow(r);
+    row[4] = Value(int64_t{r});
+    t->SetRow(r, row);
+  }
+  auto v2 = cvd_->Commit("w", &staging_, "add attribute");
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  // The CVD schema evolved; the attribute table logged the new attribute.
+  EXPECT_EQ(cvd_->backend()->data_schema().num_columns(), 4u);
+  EXPECT_EQ(cvd_->attribute_table().size(), 4u);
+  // All records are new (every payload changed by the added value).
+  auto mat = cvd_->backend()->Checkout(1, "m");
+  ASSERT_TRUE(mat.ok());
+  EXPECT_EQ(mat->num_columns(), 5u);
+}
+
+TEST_F(CvdTest, SchemaEvolutionTypeWidening) {
+  ASSERT_TRUE(cvd_->Checkout({1}, "w", &staging_).ok());
+  Table* t = staging_.GetTable("w");
+  ASSERT_TRUE(t->WidenColumn(3, ValueType::kDouble).ok());
+  auto v2 = cvd_->Commit("w", &staging_, "int -> decimal");
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(cvd_->backend()->data_schema().column(2).type,
+            ValueType::kDouble);
+  // A new attribute-table entry was created for the widened column.
+  EXPECT_EQ(cvd_->attribute_table().size(), 4u);
+  // Unchanged values (modulo the widen) are recognized: records survive.
+  EXPECT_EQ(cvd_->graph().EdgeWeight(0, 1), 3);
+}
+
+TEST_F(CvdTest, MetadataTracksCommits) {
+  ASSERT_TRUE(cvd_->Checkout({1}, "w", &staging_).ok());
+  ASSERT_TRUE(cvd_->Commit("w", &staging_, "msg two", "alice").ok());
+  const auto& meta = cvd_->version_metadata(2);
+  EXPECT_EQ(meta.message, "msg two");
+  EXPECT_EQ(meta.author, "alice");
+  EXPECT_EQ(meta.parents, std::vector<VersionId>{1});
+  EXPECT_GT(meta.commit_time, meta.checkout_time);
+}
+
+TEST_F(CvdTest, CheckoutUnknownVersion) {
+  EXPECT_TRUE(cvd_->Checkout({7}, "w", &staging_).IsNotFound());
+  EXPECT_TRUE(cvd_->Checkout({}, "w", &staging_).IsInvalidArgument());
+}
+
+class CvdAllModelsTest : public ::testing::TestWithParam<DataModelType> {};
+
+TEST_P(CvdAllModelsTest, FullRoundTrip) {
+  Cvd::Options opt = PkOptions();
+  opt.model = GetParam();
+  auto cvd = Cvd::Init("Interaction", InteractionTable(), opt);
+  ASSERT_TRUE(cvd.ok());
+  Database staging;
+  ASSERT_TRUE((*cvd)->Checkout({1}, "w", &staging).ok());
+  Table* t = staging.GetTable("w");
+  Row row = t->GetRow(0);
+  row[3] = Value(int64_t{12345});
+  t->SetRow(0, row);
+  auto v2 = (*cvd)->Commit("w", &staging, "edit");
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  ASSERT_TRUE((*cvd)->Checkout({2}, "verify", &staging).ok());
+  Table* check = staging.GetTable("verify");
+  bool found = false;
+  for (uint32_t r = 0; r < check->num_rows(); ++r) {
+    if (check->column(3).GetInt(r) == 12345) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, CvdAllModelsTest,
+    ::testing::Values(DataModelType::kATablePerVersion,
+                      DataModelType::kCombinedTable,
+                      DataModelType::kSplitByVlist,
+                      DataModelType::kSplitByRlist,
+                      DataModelType::kDeltaBased));
+
+}  // namespace
+}  // namespace orpheus::core

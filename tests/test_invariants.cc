@@ -1,0 +1,204 @@
+// Cross-cutting property tests: invariants that must hold for every random
+// input, swept with parameterized gtest.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "benchdata/generator.h"
+#include "common/random.h"
+#include "core/lyresplit.h"
+#include "deltastore/algorithms.h"
+#include "deltastore/repository.h"
+#include "minidb/join.h"
+
+namespace orpheus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// All three join strategies are interchangeable: same matches on random
+// tables regardless of clustering.
+// ---------------------------------------------------------------------------
+
+struct JoinCase {
+  uint64_t seed;
+  bool clustered;
+};
+
+class JoinAgreementTest : public ::testing::TestWithParam<JoinCase> {};
+
+TEST_P(JoinAgreementTest, AllStrategiesReturnTheSameRows) {
+  const JoinCase& param = GetParam();
+  Xorshift rng(param.seed);
+  minidb::Table t("t", minidb::Schema({{"rid", minidb::ValueType::kInt64},
+                                       {"a", minidb::ValueType::kInt64}}));
+  std::set<int64_t> rids;
+  while (rids.size() < 500) {
+    rids.insert(static_cast<int64_t>(rng.Uniform(5000)));
+  }
+  for (int64_t rid : rids) {
+    t.AppendIntRowUnchecked({rid, static_cast<int64_t>(rng.Uniform(100))});
+  }
+  if (!param.clustered) t.SortByIntColumn(1);
+  ASSERT_TRUE(t.BuildUniqueIntIndex(0).ok());
+
+  std::vector<int64_t> rlist;
+  for (int i = 0; i < 200; ++i) {
+    rlist.push_back(static_cast<int64_t>(rng.Uniform(5000)));
+  }
+  std::sort(rlist.begin(), rlist.end());
+  rlist.erase(std::unique(rlist.begin(), rlist.end()), rlist.end());
+
+  auto collect = [&t, &rlist, &param](minidb::JoinAlgorithm algo) {
+    auto rows = minidb::JoinRids(t, 0, rlist, algo, param.clustered);
+    std::vector<int64_t> out;
+    for (uint32_t r : rows) out.push_back(t.column(0).GetInt(r));
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  auto hash = collect(minidb::JoinAlgorithm::kHashJoin);
+  auto merge = collect(minidb::JoinAlgorithm::kMergeJoin);
+  auto inl = collect(minidb::JoinAlgorithm::kIndexNestedLoop);
+  EXPECT_EQ(hash, merge);
+  EXPECT_EQ(hash, inl);
+  // Sanity: the matches are exactly rlist ∩ rids.
+  for (int64_t v : hash) {
+    EXPECT_TRUE(std::binary_search(rlist.begin(), rlist.end(), v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JoinAgreementTest,
+    ::testing::Values(JoinCase{1, true}, JoinCase{1, false}, JoinCase{2, true},
+                      JoinCase{2, false}, JoinCase{3, true},
+                      JoinCase{3, false}),
+    [](const auto& info) {
+      return "Seed" + std::to_string(info.param.seed) +
+             (info.param.clustered ? "Rid" : "Pk");
+    });
+
+// ---------------------------------------------------------------------------
+// Chapter 7 heuristics: monotonicity in their budgets on random
+// repositories.
+// ---------------------------------------------------------------------------
+
+class DeltastoreMonotonicityTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  deltastore::StorageGraph MakeGraph() {
+    deltastore::FileRepository::Config cfg;
+    cfg.num_versions = 40;
+    cfg.seed = GetParam();
+    auto repo = deltastore::FileRepository::Generate(cfg);
+    return repo.BuildStorageGraph(false, deltastore::PhiModel::kProportional,
+                                  2, GetParam());
+  }
+};
+
+TEST_P(DeltastoreMonotonicityTest, LmgSumRecreationFallsAsBudgetGrows) {
+  auto g = MakeGraph();
+  auto mst = EvaluateSolution(g, deltastore::MinimumStorageArborescence(g));
+  ASSERT_TRUE(mst.ok());
+  double prev = std::numeric_limits<double>::infinity();
+  for (double beta_factor : {1.2, 1.5, 2.0, 3.0, 5.0}) {
+    auto sol = deltastore::LmgWithStorageBudget(
+        g, beta_factor * mst->total_storage);
+    auto costs = EvaluateSolution(g, sol);
+    ASSERT_TRUE(costs.ok());
+    EXPECT_LE(costs->total_storage,
+              beta_factor * mst->total_storage + 1e-6);
+    EXPECT_LE(costs->sum_recreation, prev + 1e-6);
+    prev = costs->sum_recreation;
+  }
+}
+
+TEST_P(DeltastoreMonotonicityTest, MpObeysThetaAcrossSweep) {
+  auto g = MakeGraph();
+  auto spt = EvaluateSolution(g, deltastore::ShortestPathTree(g));
+  ASSERT_TRUE(spt.ok());
+  for (double theta_factor : {1.1, 1.5, 2.0, 4.0}) {
+    double theta = theta_factor * spt->max_recreation;
+    auto sol = deltastore::MpWithRecreationThreshold(g, theta);
+    auto costs = EvaluateSolution(g, sol);
+    ASSERT_TRUE(costs.ok());
+    EXPECT_LE(costs->max_recreation, theta + 1e-6);
+  }
+}
+
+TEST_P(DeltastoreMonotonicityTest, SptIsRecreationLowerBound) {
+  auto g = MakeGraph();
+  auto spt = EvaluateSolution(g, deltastore::ShortestPathTree(g));
+  auto mst = EvaluateSolution(g, deltastore::MinimumStorageArborescence(g));
+  ASSERT_TRUE(spt.ok());
+  ASSERT_TRUE(mst.ok());
+  // SPT minimizes every R_i simultaneously; MST minimizes storage.
+  for (int v = 0; v < g.num_versions(); ++v) {
+    EXPECT_LE(spt->recreation[v], mst->recreation[v] + 1e-6);
+  }
+  EXPECT_LE(mst->total_storage, spt->total_storage + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltastoreMonotonicityTest,
+                         ::testing::Values(101u, 202u, 303u));
+
+// ---------------------------------------------------------------------------
+// LyreSplit budget sweep: feasibility and monotone checkout improvement on
+// random workloads.
+// ---------------------------------------------------------------------------
+
+class LyreSplitSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LyreSplitSweepTest, BudgetSweepIsFeasibleAndMonotone) {
+  auto ds = benchdata::VersionedDataset::Generate(
+      benchdata::SciConfig("S", 150, 15, 20, GetParam()));
+  core::VersionGraph g;
+  for (int v = 0; v < ds.num_versions(); ++v) {
+    const auto& spec = ds.version(v);
+    std::vector<int64_t> w;
+    for (int p : spec.parents) w.push_back(ds.CommonRecords(p, v));
+    g.AddVersion(spec.parents, w,
+                 static_cast<int64_t>(spec.records.size()));
+  }
+  double prev_checkout = std::numeric_limits<double>::infinity();
+  for (double factor : {1.2, 1.5, 2.0, 3.0}) {
+    uint64_t gamma = static_cast<uint64_t>(
+        factor * static_cast<double>(ds.num_distinct_records()));
+    auto r = core::LyreSplitForBudget(g, gamma);
+    EXPECT_LE(r.estimated.storage, gamma);
+    // More budget can only help (best feasible kept by the search).
+    EXPECT_LE(r.estimated.checkout_avg, prev_checkout * 1.0001);
+    prev_checkout = r.estimated.checkout_avg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LyreSplitSweepTest,
+                         ::testing::Values(7u, 8u, 9u));
+
+// ---------------------------------------------------------------------------
+// Benchmark generator invariants.
+// ---------------------------------------------------------------------------
+
+class GeneratorInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorInvariantTest, CommitTouchesAtMostIRecords) {
+  auto ds = benchdata::VersionedDataset::Generate(
+      benchdata::SciConfig("S", 60, 6, 25, GetParam()));
+  const int64_t kI = 25;
+  for (int v = 1; v < ds.num_versions(); ++v) {
+    for (int p : ds.version(v).parents) {
+      int64_t common = ds.CommonRecords(p, v);
+      int64_t child = static_cast<int64_t>(ds.version(v).records.size());
+      int64_t parent = static_cast<int64_t>(ds.version(p).records.size());
+      // Records added or removed vs the parent are bounded by I ops.
+      EXPECT_LE(child - common, kI);
+      EXPECT_LE(parent - common, kI);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorInvariantTest,
+                         ::testing::Values(41u, 42u, 43u));
+
+}  // namespace
+}  // namespace orpheus

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "benchdata/generator.h"
+#include "core/lyresplit.h"
+#include "core/partitioning.h"
+
+namespace orpheus::core {
+namespace {
+
+// Version graph from the generated benchmark dataset.
+VersionGraph GraphOf(const benchdata::VersionedDataset& ds) {
+  VersionGraph g;
+  for (int v = 0; v < ds.num_versions(); ++v) {
+    const auto& spec = ds.version(v);
+    std::vector<int64_t> weights;
+    for (int p : spec.parents) weights.push_back(ds.CommonRecords(p, v));
+    g.AddVersion(spec.parents, weights,
+                 static_cast<int64_t>(spec.records.size()));
+  }
+  return g;
+}
+
+RecordSetView ViewOf(const benchdata::VersionedDataset& ds) {
+  RecordSetView view;
+  view.num_versions = ds.num_versions();
+  view.records_of = [&ds](int v) -> const std::vector<RecordId>& {
+    return ds.version(v).records;
+  };
+  return view;
+}
+
+// The Figure 5.4 example tree (δ = 0.5): 7 versions.
+// v1(30 recs) -> v2(12), v3(10); v2 -> v4(6), v5(8); v3 -> v6(8), v7(7)
+// weights: (1,2)=10, (1,3)=8, (2,4)=6, (2,5)=6, (3,6)=8, (3,7)=7.
+VersionGraph Fig54Graph() {
+  VersionGraph g;
+  g.AddVersion({}, {}, 30);
+  g.AddVersion({0}, {10}, 12);
+  g.AddVersion({0}, {8}, 10);
+  g.AddVersion({1}, {6}, 6);
+  g.AddVersion({1}, {6}, 8);
+  g.AddVersion({2}, {8}, 8);
+  g.AddVersion({2}, {7}, 7);
+  return g;
+}
+
+TEST(PartitioningTest, ExtremePartitionings) {
+  auto ds = benchdata::VersionedDataset::Generate(
+      benchdata::SciConfig("S", 60, 6, 30));
+  auto view = ViewOf(ds);
+  // Single partition: storage = |R|, the union of all versions' records
+  // (Observation 5.2). Note ds.num_distinct_records() over-counts rids that
+  // were created and deleted within a single commit.
+  std::unordered_set<RecordId> all;
+  for (int v = 0; v < ds.num_versions(); ++v) {
+    const auto& rs = ds.version(v).records;
+    all.insert(rs.begin(), rs.end());
+  }
+  auto single = ComputeExactCosts(
+      view, Partitioning::SinglePartition(ds.num_versions()));
+  EXPECT_EQ(single.storage, all.size());
+  EXPECT_DOUBLE_EQ(single.checkout_avg, static_cast<double>(single.storage));
+  // One partition per version: checkout = |E|/|V| (Observation 5.1).
+  auto split =
+      ComputeExactCosts(view, Partitioning::OnePerVersion(ds.num_versions()));
+  EXPECT_EQ(split.storage, ds.num_bipartite_edges());
+  EXPECT_DOUBLE_EQ(split.checkout_avg,
+                   static_cast<double>(ds.num_bipartite_edges()) /
+                       ds.num_versions());
+}
+
+TEST(PartitioningTest, TreeEstimateMatchesExactOnTree) {
+  // For a tree workload (SCI), the no-cross-version-diff estimate is exact.
+  auto ds = benchdata::VersionedDataset::Generate(
+      benchdata::SciConfig("S", 80, 8, 25));
+  VersionGraph g = GraphOf(ds);
+  auto tree = g.ToTree();
+  auto view = ViewOf(ds);
+  LyreSplitResult r = LyreSplitWithDelta(g, 0.3);
+  auto est = ComputeTreeEstimatedCosts(g, tree, r.partitioning);
+  auto exact = ComputeExactCosts(view, r.partitioning);
+  EXPECT_EQ(est.storage, exact.storage);
+  EXPECT_DOUBLE_EQ(est.checkout_avg, exact.checkout_avg);
+}
+
+TEST(LyreSplitTest, PartitionsAreConnectedTreeComponents) {
+  auto ds = benchdata::VersionedDataset::Generate(
+      benchdata::SciConfig("S", 100, 10, 20));
+  VersionGraph g = GraphOf(ds);
+  LyreSplitResult r = LyreSplitWithDelta(g, 0.4);
+  auto tree = g.ToTree();
+  // Every version is assigned; component roots are where the parent lies in
+  // another partition.
+  for (int v = 0; v < g.num_versions(); ++v) {
+    EXPECT_GE(r.partitioning.partition_of[v], 0);
+    EXPECT_LT(r.partitioning.partition_of[v], r.partitioning.num_partitions);
+  }
+  // Each partition's members must form one connected subtree: count roots.
+  std::vector<int> roots(r.partitioning.num_partitions, 0);
+  for (int v = 0; v < g.num_versions(); ++v) {
+    int part = r.partitioning.partition_of[v];
+    if (tree[v] < 0 || r.partitioning.partition_of[tree[v]] != part) {
+      ++roots[part];
+    }
+  }
+  for (int part = 0; part < r.partitioning.num_partitions; ++part) {
+    EXPECT_EQ(roots[part], 1) << "partition " << part << " disconnected";
+  }
+}
+
+TEST(LyreSplitTest, TheoremGuarantees) {
+  // Theorem 5.2: C_avg <= (1/δ) |E|/|V| and S <= (1+δ)^ℓ (|R|+|R̂|).
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto ds = benchdata::VersionedDataset::Generate(
+        benchdata::SciConfig("S", 120, 12, 20, seed));
+    VersionGraph g = GraphOf(ds);
+    for (double delta : {0.2, 0.5, 0.8}) {
+      LyreSplitResult r = LyreSplitWithDelta(g, delta);
+      auto view = ViewOf(ds);
+      auto costs = ComputeExactCosts(view, r.partitioning);
+      double bound_c = (1.0 / delta) *
+                       static_cast<double>(g.TotalBipartiteEdges()) /
+                       g.num_versions();
+      EXPECT_LE(costs.checkout_avg, bound_c + 1e-6)
+          << "delta=" << delta << " seed=" << seed;
+      double bound_s = std::pow(1.0 + delta, r.recursion_levels) *
+                       static_cast<double>(ds.num_distinct_records());
+      EXPECT_LE(static_cast<double>(costs.storage), bound_s + 1e-6);
+    }
+  }
+}
+
+TEST(LyreSplitTest, MonotoneInDelta) {
+  // Larger δ => more partitions, more storage, lower checkout cost
+  // (superset property of Sec. 5.2).
+  auto ds = benchdata::VersionedDataset::Generate(
+      benchdata::SciConfig("S", 150, 15, 20));
+  VersionGraph g = GraphOf(ds);
+  LyreSplitResult small = LyreSplitWithDelta(g, 0.1);
+  LyreSplitResult big = LyreSplitWithDelta(g, 0.9);
+  EXPECT_LE(small.partitioning.num_partitions,
+            big.partitioning.num_partitions);
+  EXPECT_LE(small.estimated.storage, big.estimated.storage);
+  EXPECT_GE(small.estimated.checkout_avg, big.estimated.checkout_avg);
+}
+
+TEST(LyreSplitTest, BudgetSearchRespectsGamma) {
+  for (bool curated : {false, true}) {
+    auto ds = benchdata::VersionedDataset::Generate(
+        curated ? benchdata::CurConfig("C", 80, 8, 25)
+                : benchdata::SciConfig("S", 80, 8, 25));
+    VersionGraph g = GraphOf(ds);
+    uint64_t gamma = 2 * static_cast<uint64_t>(ds.num_distinct_records());
+    LyreSplitResult r = LyreSplitForBudget(g, gamma);
+    EXPECT_LE(r.estimated.storage, gamma);
+    EXPECT_GT(r.search_iterations, 0);
+    // Partitioning must beat the single-partition checkout cost.
+    auto single = ComputeTreeEstimatedCosts(
+        g, g.ToTree(), Partitioning::SinglePartition(g.num_versions()));
+    EXPECT_LT(r.estimated.checkout_avg, single.checkout_avg);
+  }
+}
+
+TEST(LyreSplitTest, Fig54SplitsIntoMultipleParts) {
+  VersionGraph g = Fig54Graph();
+  LyreSplitResult r = LyreSplitWithDelta(g, 0.5);
+  // The example terminates with three partitions at δ = 0.5 (Fig. 5.4c).
+  EXPECT_EQ(r.partitioning.num_partitions, 3);
+}
+
+TEST(LyreSplitTest, SingleVersionGraph) {
+  VersionGraph g;
+  g.AddVersion({}, {}, 10);
+  LyreSplitResult r = LyreSplitWithDelta(g, 0.5);
+  EXPECT_EQ(r.partitioning.num_partitions, 1);
+  EXPECT_EQ(r.estimated.storage, 10u);
+}
+
+TEST(LyreSplitTest, DagInputUsesTreeReduction) {
+  auto ds = benchdata::VersionedDataset::Generate(
+      benchdata::CurConfig("C", 100, 10, 20));
+  VersionGraph g = GraphOf(ds);
+  ASSERT_TRUE(g.IsDag());
+  LyreSplitResult r = LyreSplitWithDelta(g, 0.5);
+  EXPECT_GT(r.partitioning.num_partitions, 1);
+  auto view = ViewOf(ds);
+  auto exact = ComputeExactCosts(view, r.partitioning);
+  // Post-processing (real record sets) only improves on the estimate
+  // because R̂ duplicates collapse (Sec. 5.3.1).
+  EXPECT_LE(exact.storage, r.estimated.storage);
+}
+
+TEST(LyreSplitTest, WeightedFavorsHotVersions) {
+  auto ds = benchdata::VersionedDataset::Generate(
+      benchdata::SciConfig("S", 60, 6, 25));
+  VersionGraph g = GraphOf(ds);
+  std::vector<int64_t> freq(g.num_versions(), 1);
+  // Recent versions checked out 20x more often.
+  for (int v = g.num_versions() - 10; v < g.num_versions(); ++v) {
+    freq[v] = 20;
+  }
+  LyreSplitResult weighted = LyreSplitWeighted(g, freq, 0.5);
+  LyreSplitResult plain = LyreSplitWithDelta(g, 0.5);
+  auto view = ViewOf(ds);
+  auto wcost = PerVersionCheckoutCost(view, weighted.partitioning);
+  auto pcost = PerVersionCheckoutCost(view, plain.partitioning);
+  auto weighted_avg = [&freq](const std::vector<uint64_t>& c) {
+    double num = 0;
+    double den = 0;
+    for (size_t i = 0; i < c.size(); ++i) {
+      num += static_cast<double>(freq[i]) * static_cast<double>(c[i]);
+      den += static_cast<double>(freq[i]);
+    }
+    return num / den;
+  };
+  // The weighted variant should not be worse on the weighted objective.
+  EXPECT_LE(weighted_avg(wcost), weighted_avg(pcost) * 1.25);
+}
+
+TEST(LyreSplitTest, SchemaAwareVariantRuns) {
+  VersionGraph g = Fig54Graph();
+  std::vector<int> attrs(g.num_versions(), 5);
+  std::vector<int> common(g.num_versions(), 4);
+  LyreSplitResult r = LyreSplitSchemaAware(g, attrs, common, 5, 0.5);
+  EXPECT_GE(r.partitioning.num_partitions, 1);
+  for (int part : r.partitioning.partition_of) EXPECT_GE(part, 0);
+}
+
+}  // namespace
+}  // namespace orpheus::core

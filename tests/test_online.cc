@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "benchdata/generator.h"
+#include "core/online.h"
+
+namespace orpheus::core {
+namespace {
+
+struct StreamFixture {
+  benchdata::VersionedDataset ds;
+  VersionGraph graph;  // grows as versions are fed
+
+  explicit StreamFixture(int versions = 200, int ops = 15)
+      : ds(benchdata::VersionedDataset::Generate(
+            benchdata::SciConfig("S", versions, 10, ops))) {}
+
+  void Feed(int v) {
+    const auto& spec = ds.version(v);
+    std::vector<int64_t> w;
+    for (int p : spec.parents) w.push_back(ds.CommonRecords(p, v));
+    graph.AddVersion(spec.parents, w,
+                     static_cast<int64_t>(spec.records.size()));
+  }
+};
+
+TEST(OnlineMaintainerTest, PlacesEveryVersion) {
+  StreamFixture f(120);
+  OnlineMaintainer::Options opt;
+  opt.mu = 1.5;
+  opt.replan_every = 10;
+  OnlineMaintainer maint(&f.graph, opt);
+
+  const int warm = 30;
+  for (int v = 0; v < warm; ++v) f.Feed(v);
+  uint64_t gamma = static_cast<uint64_t>(
+      opt.gamma_factor * f.graph.TotalBipartiteEdges());
+  (void)gamma;
+  maint.Bootstrap(LyreSplitForBudget(
+      f.graph, static_cast<uint64_t>(2.0 * f.ds.num_distinct_records())));
+
+  int migrations = 0;
+  for (int v = warm; v < f.ds.num_versions(); ++v) {
+    f.Feed(v);
+    bool migrate = false;
+    int part = maint.OnCommit(v, &migrate);
+    EXPECT_GE(part, 0);
+    EXPECT_EQ(maint.current().partition_of[v], part);
+    if (migrate) {
+      maint.OnMigrated();
+      ++migrations;
+    }
+  }
+  EXPECT_EQ(maint.versions_seen(), f.ds.num_versions());
+  // The tolerance mechanism keeps divergence bounded.
+  EXPECT_LE(maint.current_checkout_cost(),
+            opt.mu * maint.best_checkout_cost() * 1.5 + 1);
+  // Migration should be rare relative to the number of commits (Fig. 5.17).
+  EXPECT_LT(migrations, (f.ds.num_versions() - warm) / 4);
+}
+
+TEST(OnlineMaintainerTest, MigrationResetsToBestPlan) {
+  StreamFixture f(80);
+  OnlineMaintainer::Options opt;
+  opt.replan_every = 5;
+  OnlineMaintainer maint(&f.graph, opt);
+  for (int v = 0; v < 40; ++v) f.Feed(v);
+  maint.Bootstrap(LyreSplitForBudget(
+      f.graph, static_cast<uint64_t>(2.0 * f.ds.num_distinct_records())));
+  for (int v = 40; v < 80; ++v) {
+    f.Feed(v);
+    bool migrate = false;
+    maint.OnCommit(v, &migrate);
+  }
+  maint.OnMigrated();
+  // After migration the current cost equals the best plan's cost.
+  EXPECT_NEAR(maint.current_checkout_cost(), maint.best_checkout_cost(),
+              1e-6);
+}
+
+TEST(OnlineMaintainerTest, HigherMuMigratesLessOften) {
+  auto run = [](double mu) {
+    StreamFixture f(200);
+    OnlineMaintainer::Options opt;
+    opt.mu = mu;
+    opt.replan_every = 5;
+    OnlineMaintainer maint(&f.graph, opt);
+    for (int v = 0; v < 30; ++v) f.Feed(v);
+    maint.Bootstrap(LyreSplitForBudget(
+        f.graph, static_cast<uint64_t>(2.0 * f.ds.num_distinct_records())));
+    int migrations = 0;
+    for (int v = 30; v < f.ds.num_versions(); ++v) {
+      f.Feed(v);
+      bool migrate = false;
+      maint.OnCommit(v, &migrate);
+      if (migrate) {
+        maint.OnMigrated();
+        ++migrations;
+      }
+    }
+    return migrations;
+  };
+  EXPECT_LE(run(2.0), run(1.2));
+}
+
+TEST(OnlineMaintainerTest, StorageGrowsMonotonically) {
+  StreamFixture f(60);
+  OnlineMaintainer maint(&f.graph, {});
+  for (int v = 0; v < 20; ++v) f.Feed(v);
+  maint.Bootstrap(LyreSplitForBudget(
+      f.graph, static_cast<uint64_t>(2.0 * f.ds.num_distinct_records())));
+  uint64_t last = maint.current_storage();
+  for (int v = 20; v < 60; ++v) {
+    f.Feed(v);
+    bool migrate = false;
+    maint.OnCommit(v, &migrate);
+    EXPECT_GE(maint.current_storage(), last);
+    last = maint.current_storage();
+  }
+}
+
+}  // namespace
+}  // namespace orpheus::core

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "benchdata/generator.h"
+#include "core/lyresplit.h"
+#include "core/partition_store.h"
+
+namespace orpheus::core {
+namespace {
+
+struct Fixture {
+  benchdata::VersionedDataset ds;
+  DatasetAccessor accessor;
+  RecordSetView view;
+  VersionGraph graph;
+
+  explicit Fixture(int versions = 50, int ops = 20, bool curated = false)
+      : ds(benchdata::VersionedDataset::Generate(
+            curated ? benchdata::CurConfig("C", versions, 5, ops)
+                    : benchdata::SciConfig("S", versions, 5, ops))) {
+    accessor.num_versions = ds.num_versions();
+    accessor.num_attributes = ds.num_attributes();
+    accessor.records_of = [this](int v) -> const std::vector<RecordId>& {
+      return ds.version(v).records;
+    };
+    accessor.payload_of = [this](RecordId rid, std::vector<int64_t>* out) {
+      *out = ds.RecordPayload(rid);
+    };
+    view.num_versions = ds.num_versions();
+    view.records_of = accessor.records_of;
+    for (int v = 0; v < ds.num_versions(); ++v) {
+      const auto& spec = ds.version(v);
+      std::vector<int64_t> w;
+      for (int p : spec.parents) w.push_back(ds.CommonRecords(p, v));
+      graph.AddVersion(spec.parents, w,
+                       static_cast<int64_t>(spec.records.size()));
+    }
+  }
+
+  // Build a store limited to the first `n` versions.
+  Partitioning Plan(uint64_t gamma_factor = 2) {
+    uint64_t gamma = gamma_factor *
+                     static_cast<uint64_t>(ds.num_distinct_records());
+    return LyreSplitForBudget(graph, gamma).partitioning;
+  }
+};
+
+TEST(PartitionedStoreTest, CheckoutRecoversExactVersion) {
+  Fixture f;
+  PartitionedStore store =
+      PartitionedStore::Build(f.accessor, f.Plan());
+  for (int v : {0, 10, 25, f.ds.num_versions() - 1}) {
+    auto t = store.Checkout(v);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    std::vector<RecordId> rids(t->column(0).int_data().begin(),
+                               t->column(0).int_data().end());
+    std::sort(rids.begin(), rids.end());
+    EXPECT_EQ(rids, f.ds.version(v).records);
+    // Payload spot check.
+    std::vector<int64_t> payload = f.ds.RecordPayload(rids[0]);
+    bool found = false;
+    for (uint32_t r = 0; r < t->num_rows(); ++r) {
+      if (t->column(0).GetInt(r) == rids[0]) {
+        for (int a = 0; a < f.ds.num_attributes(); ++a) {
+          EXPECT_EQ(t->column(a + 1).GetInt(r), payload[a]);
+        }
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(PartitionedStoreTest, StorageMatchesPartitionCosts) {
+  Fixture f;
+  Partitioning plan = f.Plan();
+  PartitionedStore store = PartitionedStore::Build(f.accessor, plan);
+  auto costs = ComputeExactCosts(f.view, plan);
+  EXPECT_EQ(store.TotalDataRecords(), costs.storage);
+  EXPECT_GT(store.StorageBytes(), 0u);
+  for (int v = 0; v < f.ds.num_versions(); ++v) {
+    EXPECT_EQ(store.partition_of(v), plan.partition_of[v]);
+  }
+}
+
+TEST(PartitionedStoreTest, PartitioningShrinksCheckoutWork) {
+  Fixture f(80, 25);
+  PartitionedStore whole = PartitionedStore::Build(
+      f.accessor, Partitioning::SinglePartition(f.ds.num_versions()));
+  PartitionedStore parts = PartitionedStore::Build(f.accessor, f.Plan());
+  // Per-version scan work drops for at least most versions.
+  uint64_t improved = 0;
+  for (int v = 0; v < f.ds.num_versions(); ++v) {
+    if (parts.PartitionRecords(v) < whole.PartitionRecords(v)) ++improved;
+  }
+  EXPECT_GT(improved, static_cast<uint64_t>(f.ds.num_versions() / 2));
+}
+
+TEST(PartitionedStoreTest, CheckoutUnknownVersion) {
+  Fixture f;
+  PartitionedStore store = PartitionedStore::Build(f.accessor, f.Plan());
+  EXPECT_TRUE(store.Checkout(-1).status().IsNotFound());
+  EXPECT_TRUE(store.Checkout(10000).status().IsNotFound());
+}
+
+TEST(PartitionedStoreTest, MigrationReachesTargetIntelligent) {
+  Fixture f;
+  Partitioning initial = Partitioning::SinglePartition(f.ds.num_versions());
+  PartitionedStore store = PartitionedStore::Build(f.accessor, initial);
+  Partitioning target = f.Plan();
+  uint64_t work = store.MigrateTo(f.accessor, target, /*intelligent=*/true);
+  EXPECT_GT(work, 0u);
+  EXPECT_EQ(store.num_partitions(), target.num_partitions);
+  // Post-migration checkouts are still exact.
+  for (int v : {3, 17, 44}) {
+    auto t = store.Checkout(v);
+    ASSERT_TRUE(t.ok());
+    std::vector<RecordId> rids(t->column(0).int_data().begin(),
+                               t->column(0).int_data().end());
+    std::sort(rids.begin(), rids.end());
+    EXPECT_EQ(rids, f.ds.version(v).records);
+  }
+  auto costs = ComputeExactCosts(f.view, target);
+  EXPECT_EQ(store.TotalDataRecords(), costs.storage);
+}
+
+TEST(PartitionedStoreTest, IntelligentMigrationCheaperThanNaive) {
+  Fixture f(60, 25);
+  Partitioning coarse = LyreSplitWithDelta(f.graph, 0.2).partitioning;
+  Partitioning fine = LyreSplitWithDelta(f.graph, 0.35).partitioning;
+  PartitionedStore a = PartitionedStore::Build(f.accessor, coarse);
+  PartitionedStore b = PartitionedStore::Build(f.accessor, coarse);
+  uint64_t intelligent = a.MigrateTo(f.accessor, fine, true);
+  uint64_t naive = b.MigrateTo(f.accessor, fine, false);
+  EXPECT_LT(intelligent, naive);
+  // Both end in the same state.
+  EXPECT_EQ(a.TotalDataRecords(), b.TotalDataRecords());
+}
+
+TEST(PartitionedStoreTest, NaiveMigrationWorkEqualsRebuild) {
+  Fixture f;
+  Partitioning target = f.Plan();
+  PartitionedStore store = PartitionedStore::Build(
+      f.accessor, Partitioning::SinglePartition(f.ds.num_versions()));
+  uint64_t work = store.MigrateTo(f.accessor, target, false);
+  EXPECT_EQ(work, store.TotalDataRecords());
+}
+
+TEST(PartitionedStoreTest, OnlineAddVersionToExistingPartition) {
+  Fixture f;
+  const int warm = 40;
+  Partitioning partial;
+  partial.partition_of.assign(warm, 0);
+  partial.num_partitions = 1;
+  DatasetAccessor head = f.accessor;
+  head.num_versions = warm;
+  PartitionedStore store = PartitionedStore::Build(head, partial);
+  // Stream the remaining versions into partition 0 or new partitions.
+  for (int v = warm; v < f.ds.num_versions(); ++v) {
+    auto part = store.AddVersion(f.accessor, v, v % 2 == 0 ? 0 : -1);
+    ASSERT_TRUE(part.ok());
+    auto t = store.Checkout(v);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t->num_rows(), f.ds.version(v).records.size());
+  }
+  EXPECT_GT(store.num_partitions(), 1);
+}
+
+TEST(PartitionedStoreTest, OnlineAddVersionValidation) {
+  Fixture f;
+  DatasetAccessor head = f.accessor;
+  head.num_versions = 10;
+  Partitioning partial;
+  partial.partition_of.assign(10, 0);
+  partial.num_partitions = 1;
+  PartitionedStore store = PartitionedStore::Build(head, partial);
+  EXPECT_TRUE(store.AddVersion(f.accessor, 12, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(store.AddVersion(f.accessor, 10, 7).status().IsInvalidArgument());
+}
+
+TEST(PartitionedStoreTest, CuratedDatasetRoundTrip) {
+  Fixture f(60, 20, /*curated=*/true);
+  PartitionedStore store = PartitionedStore::Build(f.accessor, f.Plan());
+  for (int v : {5, 30, 59}) {
+    auto t = store.Checkout(v);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t->num_rows(), f.ds.version(v).records.size());
+  }
+}
+
+}  // namespace
+}  // namespace orpheus::core

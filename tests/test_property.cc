@@ -1,0 +1,282 @@
+// Model-based property tests: a randomized sequence of version-control
+// operations is replayed both against each physical data-model backend and
+// against a trivially-correct in-memory reference model; every observable
+// (membership, payloads, checkout contents, diffs) must agree, for every
+// backend, across many random histories.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "core/cvd.h"
+#include "core/data_models.h"
+#include "minidb/database.h"
+
+namespace orpheus::core {
+namespace {
+
+using minidb::Row;
+using minidb::Schema;
+using minidb::Table;
+using minidb::Value;
+using minidb::ValueType;
+
+Schema DataSchema() {
+  return Schema({{"k", ValueType::kInt64},
+                 {"payload", ValueType::kString},
+                 {"weight", ValueType::kInt64}});
+}
+
+Row MakePayload(int64_t key, Xorshift* rng) {
+  return {Value(key), Value("p" + std::to_string(rng->Uniform(100000))),
+          Value(static_cast<int64_t>(rng->Uniform(1000)))};
+}
+
+/// The reference model: version -> set of records, record -> payload.
+struct Model {
+  std::map<RecordId, Row> payloads;
+  std::vector<std::vector<RecordId>> versions;  // sorted rid lists
+  std::vector<std::vector<int>> parents;
+};
+
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+class ModelCheckTest : public ::testing::TestWithParam<DataModelType> {};
+
+TEST_P(ModelCheckTest, RandomHistoriesAgreeWithReferenceModel) {
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    Xorshift rng(seed);
+    auto backend = DataModelBackend::Create(GetParam(), DataSchema());
+    Model model;
+    RecordId next_rid = 0;
+    int64_t next_key = 0;
+
+    // Root version with 30 records.
+    {
+      std::vector<NewRecord> fresh;
+      std::vector<RecordId> rids;
+      for (int i = 0; i < 30; ++i) {
+        Row payload = MakePayload(next_key++, &rng);
+        model.payloads[next_rid] = payload;
+        fresh.push_back({next_rid, payload});
+        rids.push_back(next_rid);
+        ++next_rid;
+      }
+      ASSERT_TRUE(backend->AddVersion(0, rids, fresh, {}).ok());
+      model.versions.push_back(rids);
+      model.parents.push_back({});
+    }
+
+    // 25 random commits: derive from a random version (occasionally two),
+    // apply random inserts/updates/deletes.
+    for (int v = 1; v <= 25; ++v) {
+      int p1 = static_cast<int>(rng.Uniform(model.versions.size()));
+      std::vector<int> parents = {p1};
+      std::set<RecordId> working(model.versions[p1].begin(),
+                                 model.versions[p1].end());
+      if (rng.Bernoulli(0.2) && model.versions.size() > 1) {
+        int p2 = static_cast<int>(rng.Uniform(model.versions.size()));
+        if (p2 != p1) {
+          parents.push_back(p2);
+          // Merge by union (rid-level; key conflicts don't matter to the
+          // backend contract).
+          working.insert(model.versions[p2].begin(),
+                         model.versions[p2].end());
+        }
+      }
+      std::set<RecordId> created_now;
+      int edits = 1 + static_cast<int>(rng.Uniform(8));
+      for (int e = 0; e < edits; ++e) {
+        double dice = rng.NextDouble();
+        if (dice < 0.4 || working.empty()) {
+          // Insert a brand-new record.
+          model.payloads[next_rid] = MakePayload(next_key++, &rng);
+          created_now.insert(next_rid);
+          working.insert(next_rid);
+          ++next_rid;
+        } else if (dice < 0.75) {
+          // Update: replace a random record with a fresh rid.
+          auto it = working.begin();
+          std::advance(it, rng.Uniform(working.size()));
+          working.erase(it);
+          model.payloads[next_rid] = MakePayload(next_key++, &rng);
+          created_now.insert(next_rid);
+          working.insert(next_rid);
+          ++next_rid;
+        } else {
+          // Delete (possibly a record created earlier in this same commit;
+          // such a record never reaches the backend at all — the
+          // AddVersion contract requires every new record to be in rids).
+          auto it = working.begin();
+          std::advance(it, rng.Uniform(working.size()));
+          working.erase(it);
+        }
+      }
+      std::vector<NewRecord> fresh;
+      for (RecordId rid : created_now) {
+        if (working.count(rid)) fresh.push_back({rid, model.payloads[rid]});
+      }
+      std::vector<RecordId> rids(working.begin(), working.end());
+      std::sort(fresh.begin(), fresh.end(),
+                [](const NewRecord& a, const NewRecord& b) {
+                  return a.rid < b.rid;
+                });
+      ASSERT_TRUE(backend->AddVersion(v, rids, fresh, parents).ok())
+          << "seed " << seed << " version " << v;
+      model.versions.push_back(rids);
+      model.parents.push_back(parents);
+    }
+
+    // Invariant 1: membership agrees for every version.
+    for (size_t v = 0; v < model.versions.size(); ++v) {
+      auto rids = backend->VersionRecords(static_cast<int>(v));
+      ASSERT_TRUE(rids.ok());
+      EXPECT_EQ(*rids, model.versions[v]) << "seed " << seed << " v" << v;
+    }
+
+    // Invariant 2: checkout materializes exactly the right payloads.
+    for (size_t v = 0; v < model.versions.size(); v += 3) {
+      auto table = backend->Checkout(static_cast<int>(v), "chk");
+      ASSERT_TRUE(table.ok());
+      ASSERT_EQ(table->num_rows(), model.versions[v].size());
+      for (uint32_t r = 0; r < table->num_rows(); ++r) {
+        RecordId rid = table->column(0).GetInt(r);
+        Row got = table->GetRow(r);
+        got.erase(got.begin());
+        ASSERT_TRUE(model.payloads.count(rid));
+        EXPECT_TRUE(RowsEqual(got, model.payloads[rid]))
+            << "seed " << seed << " v" << v << " rid " << rid;
+      }
+    }
+
+    // Invariant 3: random point lookups agree.
+    for (int probe = 0; probe < 20; ++probe) {
+      RecordId rid = static_cast<RecordId>(rng.Uniform(next_rid));
+      auto payload = backend->GetRecordPayload(
+          rid, static_cast<int>(model.versions.size()) - 1);
+      // A record created and deleted within one commit never enters the
+      // backend; both must then agree it is unknown — but every rid in our
+      // model was live in some version, so it must be found.
+      bool live = false;
+      for (const auto& vr : model.versions) {
+        if (std::binary_search(vr.begin(), vr.end(), rid)) live = true;
+      }
+      if (live) {
+        ASSERT_TRUE(payload.ok()) << "rid " << rid;
+        EXPECT_TRUE(RowsEqual(*payload, model.payloads[rid]));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelCheckTest,
+    ::testing::Values(DataModelType::kATablePerVersion,
+                      DataModelType::kCombinedTable,
+                      DataModelType::kSplitByVlist,
+                      DataModelType::kSplitByRlist,
+                      DataModelType::kDeltaBased),
+    [](const auto& info) {
+      switch (info.param) {
+        case DataModelType::kATablePerVersion: return "TablePerVersion";
+        case DataModelType::kCombinedTable: return "Combined";
+        case DataModelType::kSplitByVlist: return "SplitByVlist";
+        case DataModelType::kSplitByRlist: return "SplitByRlist";
+        case DataModelType::kDeltaBased: return "DeltaBased";
+      }
+      return "Unknown";
+    });
+
+// End-to-end model check at the CVD layer: random checkout/edit/commit
+// cycles; the reference is a map from version to its expected row multiset.
+TEST(CvdModelCheckTest, RandomEditSessions) {
+  for (uint64_t seed : {5u, 6u}) {
+    Xorshift rng(seed);
+    Table initial("init", DataSchema());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(initial
+                      .InsertRow({Value(static_cast<int64_t>(i)),
+                                  Value("base"),
+                                  Value(static_cast<int64_t>(i * 7))})
+                      .ok());
+    }
+    Cvd::Options options;
+    options.primary_key = {"k"};
+    auto cvd = Cvd::Init("Prop", initial, options);
+    ASSERT_TRUE(cvd.ok());
+    minidb::Database staging;
+
+    // Expected contents per version: sorted (k, payload, weight) triples.
+    std::vector<std::vector<std::string>> expected;
+    auto snapshot = [](const Table& t) {
+      std::vector<std::string> rows;
+      for (uint32_t r = 0; r < t.num_rows(); ++r) {
+        std::string s;
+        for (size_t c = 1; c < t.num_columns(); ++c) {
+          s += t.GetValue(r, c).ToString();
+          s += '|';
+        }
+        rows.push_back(s);
+      }
+      std::sort(rows.begin(), rows.end());
+      return rows;
+    };
+
+    {
+      auto t = (*cvd)->backend()->Checkout(0, "snap");
+      ASSERT_TRUE(t.ok());
+      expected.push_back(snapshot(*t));
+    }
+    int64_t next_key = 1000;
+    for (int round = 0; round < 12; ++round) {
+      VersionId base = static_cast<VersionId>(
+          1 + rng.Uniform((*cvd)->num_versions()));
+      std::string work = "w" + std::to_string(round);
+      ASSERT_TRUE((*cvd)->Checkout({base}, work, &staging).ok());
+      Table* t = staging.GetTable(work);
+      int edits = 1 + static_cast<int>(rng.Uniform(4));
+      for (int e = 0; e < edits; ++e) {
+        double dice = rng.NextDouble();
+        if (dice < 0.4 || t->num_rows() == 0) {
+          t->AppendRowUnchecked({Value::Null(),
+                                 Value(static_cast<int64_t>(next_key++)),
+                                 Value("ins"), Value(int64_t{1})});
+        } else if (dice < 0.75) {
+          uint32_t r = static_cast<uint32_t>(rng.Uniform(t->num_rows()));
+          Row row = t->GetRow(r);
+          row[2] = Value("upd" + std::to_string(round));
+          t->SetRow(r, row);
+        } else {
+          uint32_t r = static_cast<uint32_t>(rng.Uniform(t->num_rows()));
+          t->DeleteRows({r});
+        }
+      }
+      expected.push_back(snapshot(*t));
+      auto vid = (*cvd)->Commit(work, &staging, "round");
+      ASSERT_TRUE(vid.ok()) << vid.status().ToString();
+    }
+
+    // Every version must check out to exactly its expected contents.
+    for (int v = 1; v <= (*cvd)->num_versions(); ++v) {
+      std::string name = "verify" + std::to_string(v);
+      ASSERT_TRUE((*cvd)->Checkout({static_cast<VersionId>(v)}, name,
+                                   &staging)
+                      .ok());
+      Table* t = staging.GetTable(name);
+      EXPECT_EQ(snapshot(*t), expected[v - 1]) << "seed " << seed << " v"
+                                               << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace orpheus::core

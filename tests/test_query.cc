@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "core/cvd.h"
+#include "core/query.h"
+#include "minidb/database.h"
+
+namespace orpheus::core {
+namespace {
+
+using minidb::Database;
+using minidb::Row;
+using minidb::Schema;
+using minidb::Table;
+using minidb::Value;
+using minidb::ValueType;
+
+// Interaction CVD with two versions: v1 = 4 base records, v2 edits one
+// coexpression value to 90.
+std::unique_ptr<Cvd> MakeCvd(Database* staging) {
+  Table t("interaction", Schema({{"protein1", ValueType::kString},
+                                 {"protein2", ValueType::kString},
+                                 {"coexpression", ValueType::kInt64}}));
+  auto add = [&t](const char* a, const char* b, int64_t co) {
+    EXPECT_TRUE(t.InsertRow({Value(a), Value(b), Value(co)}).ok());
+  };
+  add("A", "B", 10);
+  add("A", "C", 85);
+  add("D", "E", 95);
+  add("F", "G", 40);
+  Cvd::Options opt;
+  opt.primary_key = {"protein1", "protein2"};
+  auto cvd = Cvd::Init("Interaction", t, opt);
+  EXPECT_TRUE(cvd.ok());
+  auto owned = cvd.MoveValueOrDie();
+  EXPECT_TRUE(owned->Checkout({1}, "w", staging).ok());
+  Table* staged = staging->GetTable("w");
+  Row row = staged->GetRow(0);
+  row[3] = Value(int64_t{90});
+  staged->SetRow(0, row);
+  EXPECT_TRUE(owned->Commit("w", staging, "bump").ok());
+  return owned;
+}
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { cvd_ = MakeCvd(&staging_); }
+  Database staging_;
+  std::unique_ptr<Cvd> cvd_;
+};
+
+TEST_F(QueryTest, SelectFromSingleVersion) {
+  auto r = RunQuery(*cvd_, "SELECT * FROM VERSION 1 OF CVD Interaction "
+                           "WHERE coexpression > 80");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 2u);  // 85 and 95
+  EXPECT_EQ(r->schema().column(0).name, "vid");
+}
+
+TEST_F(QueryTest, SelectFromMultipleVersions) {
+  auto r = RunQuery(*cvd_, "SELECT * FROM VERSION 1, 2 OF CVD Interaction "
+                           "WHERE coexpression > 80");
+  ASSERT_TRUE(r.ok());
+  // v1 contributes 2 matches, v2 contributes 3 (10 -> 90).
+  EXPECT_EQ(r->num_rows(), 5u);
+}
+
+TEST_F(QueryTest, LimitClause) {
+  auto r = RunQuery(*cvd_, "SELECT * FROM VERSION 1, 2 OF CVD Interaction "
+                           "WHERE coexpression > 80 LIMIT 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 3u);
+}
+
+TEST_F(QueryTest, ProjectionColumns) {
+  auto r = RunQuery(*cvd_,
+                    "SELECT protein1, coexpression FROM VERSION 1 OF CVD "
+                    "Interaction WHERE protein1 = 'D'");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->num_columns(), 3u);  // vid + 2
+  EXPECT_EQ(r->GetValue(0, 1).AsString(), "D");
+  EXPECT_EQ(r->GetValue(0, 2).AsInt(), 95);
+}
+
+TEST_F(QueryTest, MultipleConditions) {
+  auto r = RunQuery(*cvd_,
+                    "SELECT * FROM VERSION 2 OF CVD Interaction WHERE "
+                    "coexpression >= 85 AND coexpression <= 90");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);  // 85 and 90
+}
+
+TEST_F(QueryTest, AggregateCountGroupByVid) {
+  auto r = RunQuery(*cvd_, "SELECT vid, COUNT(*) FROM CVD Interaction "
+                           "WHERE coexpression > 80 GROUP BY vid");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->GetValue(0, 0).AsInt(), 1);
+  EXPECT_DOUBLE_EQ(r->GetValue(0, 1).AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(r->GetValue(1, 1).AsDouble(), 3.0);
+}
+
+TEST_F(QueryTest, AggregateAvg) {
+  auto r = RunQuery(*cvd_,
+                    "SELECT vid, AVG(coexpression) FROM CVD Interaction "
+                    "GROUP BY vid");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(r->GetValue(0, 1).AsDouble(), (10 + 85 + 95 + 40) / 4.0);
+  EXPECT_DOUBLE_EQ(r->GetValue(1, 1).AsDouble(), (90 + 85 + 95 + 40) / 4.0);
+}
+
+TEST_F(QueryTest, AggregateMinMaxSum) {
+  auto mx = RunQuery(*cvd_, "SELECT vid, MAX(coexpression) FROM CVD "
+                            "Interaction GROUP BY vid");
+  ASSERT_TRUE(mx.ok());
+  EXPECT_DOUBLE_EQ(mx->GetValue(0, 1).AsDouble(), 95.0);
+  auto mn = RunQuery(*cvd_, "SELECT vid, MIN(coexpression) FROM CVD "
+                            "Interaction GROUP BY vid");
+  ASSERT_TRUE(mn.ok());
+  EXPECT_DOUBLE_EQ(mn->GetValue(1, 1).AsDouble(), 40.0);
+  auto sm = RunQuery(*cvd_, "SELECT vid, SUM(coexpression) FROM CVD "
+                            "Interaction GROUP BY vid");
+  ASSERT_TRUE(sm.ok());
+  EXPECT_DOUBLE_EQ(sm->GetValue(0, 1).AsDouble(), 230.0);
+}
+
+TEST_F(QueryTest, StringEquality) {
+  auto r = RunQuery(*cvd_, "SELECT * FROM VERSION 1 OF CVD Interaction "
+                           "WHERE protein2 = 'C'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 1u);
+}
+
+TEST_F(QueryTest, NotEqualOperator) {
+  auto r = RunQuery(*cvd_, "SELECT * FROM VERSION 1 OF CVD Interaction "
+                           "WHERE protein1 != 'A'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+}
+
+TEST_F(QueryTest, Errors) {
+  EXPECT_FALSE(RunQuery(*cvd_, "DELETE FROM x").ok());
+  EXPECT_FALSE(RunQuery(*cvd_, "SELECT * FROM VERSION 9 OF CVD Interaction")
+                   .ok());
+  EXPECT_FALSE(
+      RunQuery(*cvd_, "SELECT * FROM VERSION 1 OF CVD WrongName").ok());
+  EXPECT_FALSE(RunQuery(*cvd_,
+                        "SELECT nope FROM VERSION 1 OF CVD Interaction")
+                   .ok());
+  EXPECT_FALSE(RunQuery(*cvd_, "SELECT vid, COUNT(*) FROM CVD Interaction")
+                   .ok());  // missing GROUP BY
+}
+
+TEST_F(QueryTest, ProgrammaticConditionSemantics) {
+  Condition c;
+  c.column = "x";
+  c.op = Condition::Op::kGe;
+  c.value = Value(int64_t{5});
+  EXPECT_TRUE(c.Matches(Value(int64_t{5})));
+  EXPECT_TRUE(c.Matches(Value(int64_t{6})));
+  EXPECT_FALSE(c.Matches(Value(int64_t{4})));
+  EXPECT_FALSE(c.Matches(Value::Null()));
+}
+
+}  // namespace
+}  // namespace orpheus::core

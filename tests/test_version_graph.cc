@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/version_graph.h"
+
+namespace orpheus::core {
+namespace {
+
+// Builds the paper's Fig. 4.2 graph: v1 -> {v2, v3}, v2+v3 -> v4 (merge).
+// Node sizes: v1=3, v2=3, v3=4, v4=6; weights: (v1,v2)=2, (v1,v3)=1,
+// (v2,v4)=3, (v3,v4)=4.
+VersionGraph Fig42Graph() {
+  VersionGraph g;
+  g.AddVersion({}, {}, 3);          // v1 = index 0
+  g.AddVersion({0}, {2}, 3);        // v2 = index 1
+  g.AddVersion({0}, {1}, 4);        // v3 = index 2
+  g.AddVersion({1, 2}, {3, 4}, 6);  // v4 = index 3
+  return g;
+}
+
+TEST(VersionGraphTest, ParentsAndChildren) {
+  VersionGraph g = Fig42Graph();
+  EXPECT_TRUE(g.parents(0).empty());
+  EXPECT_EQ(g.children(0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(g.parents(3), (std::vector<int>{1, 2}));
+  EXPECT_EQ(g.num_records(3), 6);
+}
+
+TEST(VersionGraphTest, EdgeWeight) {
+  VersionGraph g = Fig42Graph();
+  EXPECT_EQ(g.EdgeWeight(0, 1), 2);
+  EXPECT_EQ(g.EdgeWeight(2, 3), 4);
+  EXPECT_EQ(g.EdgeWeight(1, 0), -1);  // no such edge
+}
+
+TEST(VersionGraphTest, AncestorsDescendants) {
+  VersionGraph g = Fig42Graph();
+  EXPECT_EQ(g.Ancestors(3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(g.Ancestors(3, 1), (std::vector<int>{1, 2}));
+  EXPECT_EQ(g.Descendants(0), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(g.Descendants(1), (std::vector<int>{3}));
+  EXPECT_TRUE(g.Ancestors(0).empty());
+}
+
+TEST(VersionGraphTest, Neighborhood) {
+  VersionGraph g = Fig42Graph();
+  EXPECT_EQ(g.Neighborhood(1, 1), (std::vector<int>{0, 3}));
+  EXPECT_EQ(g.Neighborhood(1, 2), (std::vector<int>{0, 2, 3}));
+}
+
+TEST(VersionGraphTest, TopologicalLevels) {
+  VersionGraph g = Fig42Graph();
+  auto levels = g.TopologicalLevels();
+  EXPECT_EQ(levels[0], 1);
+  EXPECT_EQ(levels[1], 2);
+  EXPECT_EQ(levels[2], 2);
+  EXPECT_EQ(levels[3], 3);
+}
+
+TEST(VersionGraphTest, IsDag) {
+  VersionGraph g = Fig42Graph();
+  EXPECT_TRUE(g.IsDag());
+  VersionGraph chain;
+  chain.AddVersion({}, {}, 1);
+  chain.AddVersion({0}, {1}, 1);
+  EXPECT_FALSE(chain.IsDag());
+}
+
+TEST(VersionGraphTest, ToTreeKeepsHeaviestEdge) {
+  // Sec. 5.3.1's example: v4 keeps the edge from v3 (weight 4 > 3) and
+  // conceptually duplicates 6 - 4 = 2 records (Fig. 5.5's r̂2, r̂4).
+  VersionGraph g = Fig42Graph();
+  int64_t dup = 0;
+  auto tree = g.ToTree(&dup);
+  EXPECT_EQ(tree[0], -1);
+  EXPECT_EQ(tree[1], 0);
+  EXPECT_EQ(tree[2], 0);
+  EXPECT_EQ(tree[3], 2);
+  EXPECT_EQ(dup, 2);
+}
+
+TEST(VersionGraphTest, TotalBipartiteEdges) {
+  VersionGraph g = Fig42Graph();
+  EXPECT_EQ(g.TotalBipartiteEdges(), 16u);  // 3+3+4+6
+}
+
+TEST(VersionGraphTest, DeepChainAncestors) {
+  VersionGraph g;
+  g.AddVersion({}, {}, 10);
+  for (int i = 1; i < 100; ++i) g.AddVersion({i - 1}, {9}, 10);
+  EXPECT_EQ(g.Ancestors(99).size(), 99u);
+  EXPECT_EQ(g.Ancestors(99, 3), (std::vector<int>{96, 97, 98}));
+  EXPECT_EQ(g.TopologicalLevels()[99], 100);
+}
+
+}  // namespace
+}  // namespace orpheus::core

@@ -1,0 +1,410 @@
+#include <gtest/gtest.h>
+
+#include "vquel/evaluator.h"
+#include "vquel/lexer.h"
+#include "vquel/parser.h"
+#include "vquel/cvd_bridge.h"
+#include "vquel/store.h"
+
+namespace orpheus::vquel {
+namespace {
+
+using minidb::Value;
+
+// Builds the Fig. 6.1(b)-style store:
+//   v01 (Alice): Employee {e1,e2,e3}, Department {d1,d2}
+//   v02 (Bob, from v01): Employee {e1,e2,e3,e4}, Department {d1,d2}
+//   v03 (Alice, from v02): Employee {e1,e2',e4} (e2 modified, e3 removed)
+// Record-level provenance: e2' derives from e2.
+VersionStore MakeStore() {
+  VersionStore store;
+
+  auto employee = [](int64_t id, const std::string& eid,
+                     const std::string& last, int64_t age) {
+    VersionStore::Record r;
+    r.id = id;
+    r.fields["employee_id"] = Value(eid);
+    r.fields["last_name"] = Value(last);
+    r.fields["age"] = Value(age);
+    return r;
+  };
+  auto department = [](int64_t id, const std::string& name) {
+    VersionStore::Record r;
+    r.id = id;
+    r.fields["dept_name"] = Value(name);
+    return r;
+  };
+
+  VersionStore::Version v1;
+  v1.commit_id = "v01";
+  v1.commit_msg = "initial import";
+  v1.creation_ts = 100;
+  v1.author_name = "Alice";
+  v1.author_email = "alice@example.org";
+  v1.relations.push_back(
+      {"Employee", false,
+       {employee(1, "e01", "Smith", 34), employee(2, "e02", "Jones", 28),
+        employee(3, "e03", "Smith", 61)}});
+  v1.relations.push_back(
+      {"Department", false, {department(4, "Sales"), department(5, "R&D")}});
+  store.AddVersion(v1);
+
+  VersionStore::Version v2;
+  v2.commit_id = "v02";
+  v2.commit_msg = "add new hire";
+  v2.creation_ts = 200;
+  v2.author_name = "Bob";
+  v2.author_email = "bob@example.org";
+  v2.parents = {0};
+  v2.relations.push_back(
+      {"Employee", false,
+       {employee(1, "e01", "Smith", 34), employee(2, "e02", "Jones", 28),
+        employee(3, "e03", "Smith", 61), employee(6, "e04", "Brown", 45)}});
+  v2.relations.push_back(
+      {"Department", false, {department(4, "Sales"), department(5, "R&D")}});
+  store.AddVersion(v2);
+
+  VersionStore::Version v3;
+  v3.commit_id = "v03";
+  v3.commit_msg = "cleanup";
+  v3.creation_ts = 300;
+  v3.author_name = "Alice";
+  v3.author_email = "alice@example.org";
+  v3.parents = {1};
+  VersionStore::Record e2p = employee(7, "e02", "Jones-Lee", 29);
+  e2p.parents = {2};  // record-level provenance
+  v3.relations.push_back(
+      {"Employee", false,
+       {employee(1, "e01", "Smith", 34), e2p, employee(6, "e04", "Brown", 45)}});
+  v3.relations.push_back(
+      {"Department", false, {department(4, "Sales"), department(5, "R&D")}});
+  store.AddVersion(v3);
+  return store;
+}
+
+class VquelTest : public ::testing::Test {
+ protected:
+  VquelTest() : store_(MakeStore()), session_(&store_) {}
+
+  QueryResult RunOne(const std::string& program) {
+    auto results = session_.Execute(program);
+    EXPECT_TRUE(results.ok()) << results.status().ToString();
+    if (!results.ok() || results->empty()) return QueryResult();
+    return results->back();
+  }
+
+  VersionStore store_;
+  Session session_;
+};
+
+// Query 6.1: Who is the author of version "v01"?
+TEST_F(VquelTest, Query61Author) {
+  auto r = RunOne(R"(
+      range of V is Version
+      retrieve V.author.name where V.id = "v01")");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Alice");
+}
+
+// Query 6.2: What commits did Alice make after ts 150?
+TEST_F(VquelTest, Query62CommitsByAuthorAfterTime) {
+  auto r = RunOne(R"(
+      range of V is Version
+      retrieve V.all
+      where V.author.name = "Alice" and V.creation_ts >= 150)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_NE(r.rows[0][0].AsString().find("v03"), std::string::npos);
+}
+
+// Query 6.3: commit timestamps of versions containing the Employee relation.
+TEST_F(VquelTest, Query63VersionsWithRelation) {
+  auto r = RunOne(R"(
+      range of V is Version
+      range of R is V.Relations
+      retrieve V.creation_ts where R.name = "Employee")");
+  ASSERT_EQ(r.rows.size(), 3u);
+}
+
+// Query 6.4: commit history of Employee in reverse chronological order.
+TEST_F(VquelTest, Query64SortDescending) {
+  auto r = RunOne(R"(
+      range of V is Version
+      range of R is V.Relations
+      retrieve V.creation_ts, V.author.name
+      where R.name = "Employee" and R.changed = 1
+      sort by V.creation_ts desc)");
+  ASSERT_EQ(r.rows.size(), 3u);  // all three versions changed Employee
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 300.0);
+  EXPECT_DOUBLE_EQ(r.rows[2][0].AsDouble(), 100.0);
+}
+
+// Query 6.5: history of tuple e01.
+TEST_F(VquelTest, Query65TupleHistory) {
+  auto r = RunOne(R"(
+      range of V is Version
+      range of R is V.Relations
+      range of E is R.Tuples
+      retrieve E.all, V.id, V.creation_ts
+      where E.employee_id = "e01" and R.name = "Employee"
+      sort by V.creation_ts)");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][1].AsString(), "v01");
+  EXPECT_EQ(r.rows[2][1].AsString(), "v03");
+}
+
+// Shorthand range with inline filters (Sec. 6.3.2).
+TEST_F(VquelTest, Query66InlineFilterShorthand) {
+  auto r = RunOne(R"(
+      range of E1 is Version(id = "v01").Relations(name = "Employee").Tuples
+      range of E2 is Version(id = "v03").Relations(name = "Employee").Tuples
+      retrieve E1.all
+      where E1.employee_id = E2.employee_id and E1.all != E2.all)");
+  // e02 differs between v01 and v03 (e01 identical; e03/e04 don't join).
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_NE(r.rows[0][0].AsString().find("e02"), std::string::npos);
+}
+
+// Query 6.7: for each version, count the relations inside it.
+TEST_F(VquelTest, Query67CountPerVersion) {
+  auto r = RunOne(R"(
+      range of V is Version
+      range of R is V.Relations
+      retrieve V.id, count(R))");
+  ASSERT_EQ(r.rows.size(), 3u);
+  for (const auto& row : r.rows) {
+    EXPECT_DOUBLE_EQ(row[1].NumericValue(), 2.0);
+  }
+}
+
+// Query 6.8: versions containing exactly 2 Smiths.
+TEST_F(VquelTest, Query68CountWithPredicate) {
+  auto r = RunOne(R"(
+      range of V is Version
+      range of E is V.Relations(name = "Employee").Tuples
+      retrieve V.id
+      where count(E.employee_id where E.last_name = "Smith") = 2)");
+  ASSERT_EQ(r.rows.size(), 2u);  // v01 and v02 have e01+e03 Smith
+  EXPECT_EQ(r.rows[0][0].AsString(), "v01");
+  EXPECT_EQ(r.rows[1][0].AsString(), "v02");
+}
+
+// Query 6.9: count_all with group by is equivalent here.
+TEST_F(VquelTest, Query69CountAllEquivalent) {
+  auto r = RunOne(R"(
+      range of V is Version
+      range of R is V.Relations(name = "Employee")
+      range of E is R.Tuples
+      retrieve V.id
+      where count_all(E.employee_id group by R, V
+                      where E.last_name = "Smith") = 2)");
+  ASSERT_EQ(r.rows.size(), 2u);
+}
+
+// Query 6.10: versions whose relations hold exactly 5 tuples total.
+TEST_F(VquelTest, Query610TotalTuplesPerVersion) {
+  auto r = RunOne(R"(
+      range of V is Version
+      range of R is V.Relations
+      range of T is R.Tuples
+      retrieve V.id where count_all(T group by V) = 5)");
+  // v01: 3+2 = 5; v03: 3+2 = 5; v02: 4+2 = 6.
+  ASSERT_EQ(r.rows.size(), 2u);
+}
+
+// Query 6.11: the version with the most employees above age 40, via
+// retrieve into + a second query over the named result.
+TEST_F(VquelTest, Query611RetrieveInto) {
+  auto r = RunOne(R"(
+      range of V is Version
+      range of E is V.Relations(name = "Employee").Tuples
+      retrieve into T (V.id as id, count(E.id where E.age > 40) as c)
+      range of T2 is T
+      retrieve T2.id where T2.c = max(T2.c))");
+  // v02 has two employees over 40 (e03 age 61, e04 age 45).
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "v02");
+}
+
+// Query 6.13: versions within 2 hops of v01 with fewer than 4 employees.
+TEST_F(VquelTest, Query613NeighborhoodTraversal) {
+  auto r = RunOne(R"(
+      range of V is Version(id = "v01")
+      range of N is V.N(2)
+      range of E is N.Relations(name = "Employee").Tuples
+      retrieve N.id where count(E) < 4)");
+  // Neighbors of v01 within 2 hops: v02 (4 employees), v03 (3).
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "v03");
+}
+
+// Query 6.14: versions whose delta from the previous version exceeds 0
+// tuples (abs of count difference).
+TEST_F(VquelTest, Query614DeltaFromParent) {
+  auto r = RunOne(R"(
+      range of V is Version
+      range of P is V.P(1)
+      retrieve unique V.id
+      where abs(count(V.Relations.Tuples) - count(P.Relations.Tuples)) >= 1)");
+  // v02 adds one tuple vs v01; v03 drops one vs v02.
+  ASSERT_EQ(r.rows.size(), 2u);
+}
+
+// Query 6.15-style: the parent version where each v03 employee first
+// appeared with the same payload is not needed — we check the ancestor walk.
+TEST_F(VquelTest, AncestorWalkUnbounded) {
+  auto r = RunOne(R"(
+      range of V is Version(id = "v03")
+      range of P is V.P()
+      retrieve P.id sort by P.id)");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "v01");
+  EXPECT_EQ(r.rows[1][0].AsString(), "v02");
+}
+
+// Query 6.16: record-level provenance — parents of the modified e02.
+TEST_F(VquelTest, Query616RecordProvenance) {
+  auto r = RunOne(R"(
+      range of E is Version(id = "v03").Relations(name = "Employee").Tuples
+      range of P is E.parents
+      retrieve E.id, P.id where E.employee_id = "e02")");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 7);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+}
+
+// Descendant traversal.
+TEST_F(VquelTest, DescendantTraversal) {
+  auto r = RunOne(R"(
+      range of V is Version(id = "v01")
+      range of D is V.D()
+      retrieve D.id sort by D.id)");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "v02");
+}
+
+// Upward reference Version(E).id.
+TEST_F(VquelTest, UpwardReference) {
+  auto r = RunOne(R"(
+      range of E is Version(id = "v02").Relations(name = "Employee").Tuples
+      retrieve E.employee_id, Version(E).id
+      where E.employee_id = "e04")");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][1].AsString(), "v02");
+}
+
+TEST_F(VquelTest, UniqueDeduplicates) {
+  auto r = RunOne(R"(
+      range of V is Version
+      range of R is V.Relations
+      retrieve unique R.name sort by R.name)");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Department");
+  EXPECT_EQ(r.rows[1][0].AsString(), "Employee");
+}
+
+TEST_F(VquelTest, ParseErrors) {
+  EXPECT_FALSE(session_.Execute("range broken").ok());
+  EXPECT_FALSE(session_.Execute("retrieve X.id").ok());  // unknown iterator
+  EXPECT_FALSE(session_.Execute("range of V is Nope retrieve V.id").ok());
+}
+
+TEST_F(VquelTest, LexerBasics) {
+  auto tokens = Tokenize("retrieve V.id where x >= 1.5 # comment");
+  ASSERT_TRUE(tokens.ok());
+  // retrieve V . id where x >= 1.5 END
+  EXPECT_EQ(tokens->size(), 9u);
+  EXPECT_EQ((*tokens)[6].text, ">=");
+  EXPECT_FALSE((*tokens)[7].is_integer);
+}
+
+TEST(VquelStoreTest, ChangedFlagDerivation) {
+  VersionStore store = MakeStore();
+  // v02: Employee changed (new tuple), Department unchanged.
+  const auto& v2 = store.version(1);
+  EXPECT_TRUE(v2.relations[0].changed);
+  EXPECT_FALSE(v2.relations[1].changed);
+}
+
+TEST(VquelStoreTest, FindHelpers) {
+  VersionStore store = MakeStore();
+  EXPECT_EQ(store.FindVersion("v02"), 1);
+  EXPECT_EQ(store.FindVersion("nope"), -1);
+  ASSERT_NE(store.FindRecord(7), nullptr);
+  EXPECT_EQ(store.FindRecord(7)->fields.at("last_name").AsString(),
+            "Jones-Lee");
+  EXPECT_EQ(store.FindRecord(999), nullptr);
+}
+
+
+// ---- CVD bridge (Part 1 <-> Part 2 integration) ----
+
+TEST(CvdBridgeTest, VquelQueriesOverACvdHistory) {
+  using orpheus::core::Cvd;
+  using orpheus::minidb::Database;
+  using orpheus::minidb::Schema;
+  using orpheus::minidb::Table;
+  using orpheus::minidb::ValueType;
+
+  Table t("genes", Schema({{"gene", ValueType::kString},
+                           {"expr", ValueType::kInt64}}));
+  ASSERT_TRUE(t.InsertRow({Value("BRCA1"), Value(int64_t{10})}).ok());
+  ASSERT_TRUE(t.InsertRow({Value("TP53"), Value(int64_t{20})}).ok());
+  Cvd::Options opt;
+  opt.primary_key = {"gene"};
+  auto cvd = Cvd::Init("Genes", t, opt);
+  ASSERT_TRUE(cvd.ok());
+  Database staging;
+  ASSERT_TRUE((*cvd)->Checkout({1}, "w", &staging).ok());
+  Table* w = staging.GetTable("w");
+  auto row = w->GetRow(1);
+  row[2] = Value(int64_t{25});
+  w->SetRow(1, row);
+  ASSERT_TRUE((*cvd)->Commit("w", &staging, "bump TP53", "ana").ok());
+
+  auto store = BuildVersionStore(**cvd);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_EQ(store->num_versions(), 2);
+
+  Session session(&*store);
+  // Which versions have TP53 expression above 22?
+  auto r = session.Execute(R"(
+      range of V is Version
+      range of E is V.Relations(name = "Genes").Tuples
+      retrieve V.id
+      where count(E.gene where E.expr > 22) = 1)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->back().rows.size(), 1u);
+  EXPECT_EQ(r->back().rows[0][0].AsString(), "v2");
+
+  // Version metadata flows through (author, parents).
+  auto meta = session.Execute(R"(
+      range of V is Version(id = "v2")
+      range of P is V.parents
+      retrieve V.author.name, P.id)");
+  ASSERT_TRUE(meta.ok());
+  ASSERT_EQ(meta->back().rows.size(), 1u);
+  EXPECT_EQ(meta->back().rows[0][0].AsString(), "ana");
+  EXPECT_EQ(meta->back().rows[0][1].AsString(), "v1");
+}
+
+TEST(CvdBridgeTest, RecordIdentityIsPreserved) {
+  using orpheus::core::Cvd;
+  using orpheus::minidb::Schema;
+  using orpheus::minidb::Table;
+  using orpheus::minidb::ValueType;
+  Table t("d", Schema({{"k", ValueType::kInt64}}));
+  ASSERT_TRUE(t.InsertRow({Value(int64_t{1})}).ok());
+  auto cvd = Cvd::Init("D", t, {});
+  ASSERT_TRUE(cvd.ok());
+  auto store = BuildVersionStore(**cvd, "Data");
+  ASSERT_TRUE(store.ok());
+  const auto& rel = store->version(0).relations[0];
+  EXPECT_EQ(rel.name, "Data");
+  auto rids = (*cvd)->VersionRecords(1);
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(rel.tuples[0].id, (*rids)[0]);
+}
+
+}  // namespace
+}  // namespace orpheus::vquel
+
