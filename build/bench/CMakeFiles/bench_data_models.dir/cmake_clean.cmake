@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_models.dir/bench_data_models.cc.o"
+  "CMakeFiles/bench_data_models.dir/bench_data_models.cc.o.d"
+  "bench_data_models"
+  "bench_data_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

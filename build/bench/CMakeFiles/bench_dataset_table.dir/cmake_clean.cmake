@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataset_table.dir/bench_dataset_table.cc.o"
+  "CMakeFiles/bench_dataset_table.dir/bench_dataset_table.cc.o.d"
+  "bench_dataset_table"
+  "bench_dataset_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataset_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deltastore.dir/bench_deltastore.cc.o"
+  "CMakeFiles/bench_deltastore.dir/bench_deltastore.cc.o.d"
+  "bench_deltastore"
+  "bench_deltastore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deltastore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_maintenance.dir/bench_online_maintenance.cc.o"
+  "CMakeFiles/bench_online_maintenance.dir/bench_online_maintenance.cc.o.d"
+  "bench_online_maintenance"
+  "bench_online_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

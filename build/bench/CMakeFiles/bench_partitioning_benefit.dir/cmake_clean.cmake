@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioning_benefit.dir/bench_partitioning_benefit.cc.o"
+  "CMakeFiles/bench_partitioning_benefit.dir/bench_partitioning_benefit.cc.o.d"
+  "bench_partitioning_benefit"
+  "bench_partitioning_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioning_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

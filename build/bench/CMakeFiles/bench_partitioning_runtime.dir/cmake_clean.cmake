@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioning_runtime.dir/bench_partitioning_runtime.cc.o"
+  "CMakeFiles/bench_partitioning_runtime.dir/bench_partitioning_runtime.cc.o.d"
+  "bench_partitioning_runtime"
+  "bench_partitioning_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioning_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioning_tradeoff.dir/bench_partitioning_tradeoff.cc.o"
+  "CMakeFiles/bench_partitioning_tradeoff.dir/bench_partitioning_tradeoff.cc.o.d"
+  "bench_partitioning_tradeoff"
+  "bench_partitioning_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioning_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_provenance.dir/bench_provenance.cc.o"
+  "CMakeFiles/bench_provenance.dir/bench_provenance.cc.o.d"
+  "bench_provenance"
+  "bench_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lineage_detective.dir/lineage_detective.cpp.o"
+  "CMakeFiles/lineage_detective.dir/lineage_detective.cpp.o.d"
+  "lineage_detective"
+  "lineage_detective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lineage_detective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

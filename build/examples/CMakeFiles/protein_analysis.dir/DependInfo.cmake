@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/protein_analysis.cpp" "examples/CMakeFiles/protein_analysis.dir/protein_analysis.cpp.o" "gcc" "examples/CMakeFiles/protein_analysis.dir/protein_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vquel/CMakeFiles/orpheus_vquel.dir/DependInfo.cmake"
+  "/root/repo/build/src/deltastore/CMakeFiles/orpheus_deltastore.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/orpheus_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/orpheus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchdata/CMakeFiles/orpheus_benchdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/minidb/CMakeFiles/orpheus_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/orpheus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_analysis.dir/protein_analysis.cpp.o"
+  "CMakeFiles/protein_analysis.dir/protein_analysis.cpp.o.d"
+  "protein_analysis"
+  "protein_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/team_workflow.dir/team_workflow.cpp.o"
+  "CMakeFiles/team_workflow.dir/team_workflow.cpp.o.d"
+  "team_workflow"
+  "team_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/team_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

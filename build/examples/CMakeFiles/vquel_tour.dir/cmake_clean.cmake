@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vquel_tour.dir/vquel_tour.cpp.o"
+  "CMakeFiles/vquel_tour.dir/vquel_tour.cpp.o.d"
+  "vquel_tour"
+  "vquel_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vquel_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_benchdata.dir/generator.cc.o"
+  "CMakeFiles/orpheus_benchdata.dir/generator.cc.o.d"
+  "liborpheus_benchdata.a"
+  "liborpheus_benchdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_benchdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for orpheus_benchdata.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus.dir/main.cc.o"
+  "CMakeFiles/orpheus.dir/main.cc.o.d"
+  "orpheus"
+  "orpheus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_cli.dir/command_processor.cc.o"
+  "CMakeFiles/orpheus_cli.dir/command_processor.cc.o.d"
+  "liborpheus_cli.a"
+  "liborpheus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

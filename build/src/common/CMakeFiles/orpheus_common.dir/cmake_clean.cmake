@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_common.dir/status.cc.o"
+  "CMakeFiles/orpheus_common.dir/status.cc.o.d"
+  "CMakeFiles/orpheus_common.dir/string_util.cc.o"
+  "CMakeFiles/orpheus_common.dir/string_util.cc.o.d"
+  "CMakeFiles/orpheus_common.dir/table_printer.cc.o"
+  "CMakeFiles/orpheus_common.dir/table_printer.cc.o.d"
+  "liborpheus_common.a"
+  "liborpheus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liborpheus_common.a"
+)

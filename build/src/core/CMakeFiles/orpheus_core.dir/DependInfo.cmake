@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_control.cc" "src/core/CMakeFiles/orpheus_core.dir/access_control.cc.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/access_control.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/orpheus_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/cvd.cc" "src/core/CMakeFiles/orpheus_core.dir/cvd.cc.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/cvd.cc.o.d"
+  "/root/repo/src/core/data_models.cc" "src/core/CMakeFiles/orpheus_core.dir/data_models.cc.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/data_models.cc.o.d"
+  "/root/repo/src/core/lyresplit.cc" "src/core/CMakeFiles/orpheus_core.dir/lyresplit.cc.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/lyresplit.cc.o.d"
+  "/root/repo/src/core/online.cc" "src/core/CMakeFiles/orpheus_core.dir/online.cc.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/online.cc.o.d"
+  "/root/repo/src/core/partition_store.cc" "src/core/CMakeFiles/orpheus_core.dir/partition_store.cc.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/partition_store.cc.o.d"
+  "/root/repo/src/core/partitioning.cc" "src/core/CMakeFiles/orpheus_core.dir/partitioning.cc.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/partitioning.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/orpheus_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/query.cc.o.d"
+  "/root/repo/src/core/version_graph.cc" "src/core/CMakeFiles/orpheus_core.dir/version_graph.cc.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/version_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/orpheus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/minidb/CMakeFiles/orpheus_minidb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_core.dir/access_control.cc.o"
+  "CMakeFiles/orpheus_core.dir/access_control.cc.o.d"
+  "CMakeFiles/orpheus_core.dir/baselines.cc.o"
+  "CMakeFiles/orpheus_core.dir/baselines.cc.o.d"
+  "CMakeFiles/orpheus_core.dir/cvd.cc.o"
+  "CMakeFiles/orpheus_core.dir/cvd.cc.o.d"
+  "CMakeFiles/orpheus_core.dir/data_models.cc.o"
+  "CMakeFiles/orpheus_core.dir/data_models.cc.o.d"
+  "CMakeFiles/orpheus_core.dir/lyresplit.cc.o"
+  "CMakeFiles/orpheus_core.dir/lyresplit.cc.o.d"
+  "CMakeFiles/orpheus_core.dir/online.cc.o"
+  "CMakeFiles/orpheus_core.dir/online.cc.o.d"
+  "CMakeFiles/orpheus_core.dir/partition_store.cc.o"
+  "CMakeFiles/orpheus_core.dir/partition_store.cc.o.d"
+  "CMakeFiles/orpheus_core.dir/partitioning.cc.o"
+  "CMakeFiles/orpheus_core.dir/partitioning.cc.o.d"
+  "CMakeFiles/orpheus_core.dir/query.cc.o"
+  "CMakeFiles/orpheus_core.dir/query.cc.o.d"
+  "CMakeFiles/orpheus_core.dir/version_graph.cc.o"
+  "CMakeFiles/orpheus_core.dir/version_graph.cc.o.d"
+  "liborpheus_core.a"
+  "liborpheus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deltastore/algorithms.cc" "src/deltastore/CMakeFiles/orpheus_deltastore.dir/algorithms.cc.o" "gcc" "src/deltastore/CMakeFiles/orpheus_deltastore.dir/algorithms.cc.o.d"
+  "/root/repo/src/deltastore/dedup.cc" "src/deltastore/CMakeFiles/orpheus_deltastore.dir/dedup.cc.o" "gcc" "src/deltastore/CMakeFiles/orpheus_deltastore.dir/dedup.cc.o.d"
+  "/root/repo/src/deltastore/delta.cc" "src/deltastore/CMakeFiles/orpheus_deltastore.dir/delta.cc.o" "gcc" "src/deltastore/CMakeFiles/orpheus_deltastore.dir/delta.cc.o.d"
+  "/root/repo/src/deltastore/exact.cc" "src/deltastore/CMakeFiles/orpheus_deltastore.dir/exact.cc.o" "gcc" "src/deltastore/CMakeFiles/orpheus_deltastore.dir/exact.cc.o.d"
+  "/root/repo/src/deltastore/repository.cc" "src/deltastore/CMakeFiles/orpheus_deltastore.dir/repository.cc.o" "gcc" "src/deltastore/CMakeFiles/orpheus_deltastore.dir/repository.cc.o.d"
+  "/root/repo/src/deltastore/storage_graph.cc" "src/deltastore/CMakeFiles/orpheus_deltastore.dir/storage_graph.cc.o" "gcc" "src/deltastore/CMakeFiles/orpheus_deltastore.dir/storage_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/orpheus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

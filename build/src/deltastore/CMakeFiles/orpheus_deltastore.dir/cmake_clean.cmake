@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_deltastore.dir/algorithms.cc.o"
+  "CMakeFiles/orpheus_deltastore.dir/algorithms.cc.o.d"
+  "CMakeFiles/orpheus_deltastore.dir/dedup.cc.o"
+  "CMakeFiles/orpheus_deltastore.dir/dedup.cc.o.d"
+  "CMakeFiles/orpheus_deltastore.dir/delta.cc.o"
+  "CMakeFiles/orpheus_deltastore.dir/delta.cc.o.d"
+  "CMakeFiles/orpheus_deltastore.dir/exact.cc.o"
+  "CMakeFiles/orpheus_deltastore.dir/exact.cc.o.d"
+  "CMakeFiles/orpheus_deltastore.dir/repository.cc.o"
+  "CMakeFiles/orpheus_deltastore.dir/repository.cc.o.d"
+  "CMakeFiles/orpheus_deltastore.dir/storage_graph.cc.o"
+  "CMakeFiles/orpheus_deltastore.dir/storage_graph.cc.o.d"
+  "liborpheus_deltastore.a"
+  "liborpheus_deltastore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_deltastore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

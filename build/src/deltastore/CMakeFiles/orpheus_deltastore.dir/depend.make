@@ -1,0 +1,2 @@
+# Empty dependencies file for orpheus_deltastore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minidb/column.cc" "src/minidb/CMakeFiles/orpheus_minidb.dir/column.cc.o" "gcc" "src/minidb/CMakeFiles/orpheus_minidb.dir/column.cc.o.d"
+  "/root/repo/src/minidb/csv.cc" "src/minidb/CMakeFiles/orpheus_minidb.dir/csv.cc.o" "gcc" "src/minidb/CMakeFiles/orpheus_minidb.dir/csv.cc.o.d"
+  "/root/repo/src/minidb/database.cc" "src/minidb/CMakeFiles/orpheus_minidb.dir/database.cc.o" "gcc" "src/minidb/CMakeFiles/orpheus_minidb.dir/database.cc.o.d"
+  "/root/repo/src/minidb/join.cc" "src/minidb/CMakeFiles/orpheus_minidb.dir/join.cc.o" "gcc" "src/minidb/CMakeFiles/orpheus_minidb.dir/join.cc.o.d"
+  "/root/repo/src/minidb/table.cc" "src/minidb/CMakeFiles/orpheus_minidb.dir/table.cc.o" "gcc" "src/minidb/CMakeFiles/orpheus_minidb.dir/table.cc.o.d"
+  "/root/repo/src/minidb/value.cc" "src/minidb/CMakeFiles/orpheus_minidb.dir/value.cc.o" "gcc" "src/minidb/CMakeFiles/orpheus_minidb.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/orpheus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_minidb.dir/column.cc.o"
+  "CMakeFiles/orpheus_minidb.dir/column.cc.o.d"
+  "CMakeFiles/orpheus_minidb.dir/csv.cc.o"
+  "CMakeFiles/orpheus_minidb.dir/csv.cc.o.d"
+  "CMakeFiles/orpheus_minidb.dir/database.cc.o"
+  "CMakeFiles/orpheus_minidb.dir/database.cc.o.d"
+  "CMakeFiles/orpheus_minidb.dir/join.cc.o"
+  "CMakeFiles/orpheus_minidb.dir/join.cc.o.d"
+  "CMakeFiles/orpheus_minidb.dir/table.cc.o"
+  "CMakeFiles/orpheus_minidb.dir/table.cc.o.d"
+  "CMakeFiles/orpheus_minidb.dir/value.cc.o"
+  "CMakeFiles/orpheus_minidb.dir/value.cc.o.d"
+  "liborpheus_minidb.a"
+  "liborpheus_minidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_minidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

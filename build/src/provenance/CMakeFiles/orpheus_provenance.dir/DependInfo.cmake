@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/provenance/explanation.cc" "src/provenance/CMakeFiles/orpheus_provenance.dir/explanation.cc.o" "gcc" "src/provenance/CMakeFiles/orpheus_provenance.dir/explanation.cc.o.d"
+  "/root/repo/src/provenance/inference.cc" "src/provenance/CMakeFiles/orpheus_provenance.dir/inference.cc.o" "gcc" "src/provenance/CMakeFiles/orpheus_provenance.dir/inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/orpheus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/minidb/CMakeFiles/orpheus_minidb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_provenance.dir/explanation.cc.o"
+  "CMakeFiles/orpheus_provenance.dir/explanation.cc.o.d"
+  "CMakeFiles/orpheus_provenance.dir/inference.cc.o"
+  "CMakeFiles/orpheus_provenance.dir/inference.cc.o.d"
+  "liborpheus_provenance.a"
+  "liborpheus_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

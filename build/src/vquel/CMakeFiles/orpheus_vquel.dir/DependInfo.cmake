@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vquel/ast.cc" "src/vquel/CMakeFiles/orpheus_vquel.dir/ast.cc.o" "gcc" "src/vquel/CMakeFiles/orpheus_vquel.dir/ast.cc.o.d"
+  "/root/repo/src/vquel/cvd_bridge.cc" "src/vquel/CMakeFiles/orpheus_vquel.dir/cvd_bridge.cc.o" "gcc" "src/vquel/CMakeFiles/orpheus_vquel.dir/cvd_bridge.cc.o.d"
+  "/root/repo/src/vquel/evaluator.cc" "src/vquel/CMakeFiles/orpheus_vquel.dir/evaluator.cc.o" "gcc" "src/vquel/CMakeFiles/orpheus_vquel.dir/evaluator.cc.o.d"
+  "/root/repo/src/vquel/lexer.cc" "src/vquel/CMakeFiles/orpheus_vquel.dir/lexer.cc.o" "gcc" "src/vquel/CMakeFiles/orpheus_vquel.dir/lexer.cc.o.d"
+  "/root/repo/src/vquel/parser.cc" "src/vquel/CMakeFiles/orpheus_vquel.dir/parser.cc.o" "gcc" "src/vquel/CMakeFiles/orpheus_vquel.dir/parser.cc.o.d"
+  "/root/repo/src/vquel/store.cc" "src/vquel/CMakeFiles/orpheus_vquel.dir/store.cc.o" "gcc" "src/vquel/CMakeFiles/orpheus_vquel.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/orpheus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/minidb/CMakeFiles/orpheus_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/orpheus_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_vquel.dir/ast.cc.o"
+  "CMakeFiles/orpheus_vquel.dir/ast.cc.o.d"
+  "CMakeFiles/orpheus_vquel.dir/cvd_bridge.cc.o"
+  "CMakeFiles/orpheus_vquel.dir/cvd_bridge.cc.o.d"
+  "CMakeFiles/orpheus_vquel.dir/evaluator.cc.o"
+  "CMakeFiles/orpheus_vquel.dir/evaluator.cc.o.d"
+  "CMakeFiles/orpheus_vquel.dir/lexer.cc.o"
+  "CMakeFiles/orpheus_vquel.dir/lexer.cc.o.d"
+  "CMakeFiles/orpheus_vquel.dir/parser.cc.o"
+  "CMakeFiles/orpheus_vquel.dir/parser.cc.o.d"
+  "CMakeFiles/orpheus_vquel.dir/store.cc.o"
+  "CMakeFiles/orpheus_vquel.dir/store.cc.o.d"
+  "liborpheus_vquel.a"
+  "liborpheus_vquel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_vquel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for orpheus_vquel.
+# This may be replaced when dependencies are built.

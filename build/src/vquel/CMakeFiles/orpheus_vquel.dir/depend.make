@@ -1,0 +1,2 @@
+# Empty dependencies file for orpheus_vquel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchdata.dir/test_benchdata.cc.o"
+  "CMakeFiles/test_benchdata.dir/test_benchdata.cc.o.d"
+  "test_benchdata"
+  "test_benchdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cvd.dir/test_cvd.cc.o"
+  "CMakeFiles/test_cvd.dir/test_cvd.cc.o.d"
+  "test_cvd"
+  "test_cvd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

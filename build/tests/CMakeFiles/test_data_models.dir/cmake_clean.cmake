@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_models.dir/test_data_models.cc.o"
+  "CMakeFiles/test_data_models.dir/test_data_models.cc.o.d"
+  "test_data_models"
+  "test_data_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

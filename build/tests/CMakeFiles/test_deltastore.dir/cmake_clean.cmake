@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deltastore.dir/test_deltastore.cc.o"
+  "CMakeFiles/test_deltastore.dir/test_deltastore.cc.o.d"
+  "test_deltastore"
+  "test_deltastore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deltastore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

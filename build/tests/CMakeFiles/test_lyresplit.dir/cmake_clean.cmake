@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lyresplit.dir/test_lyresplit.cc.o"
+  "CMakeFiles/test_lyresplit.dir/test_lyresplit.cc.o.d"
+  "test_lyresplit"
+  "test_lyresplit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lyresplit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

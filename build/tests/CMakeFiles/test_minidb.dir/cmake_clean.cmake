@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minidb.dir/test_minidb.cc.o"
+  "CMakeFiles/test_minidb.dir/test_minidb.cc.o.d"
+  "test_minidb"
+  "test_minidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

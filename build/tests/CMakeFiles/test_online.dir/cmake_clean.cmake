@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online.dir/test_online.cc.o"
+  "CMakeFiles/test_online.dir/test_online.cc.o.d"
+  "test_online"
+  "test_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_store.dir/test_partition_store.cc.o"
+  "CMakeFiles/test_partition_store.dir/test_partition_store.cc.o.d"
+  "test_partition_store"
+  "test_partition_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

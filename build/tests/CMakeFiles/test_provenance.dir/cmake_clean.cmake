@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_provenance.dir/test_provenance.cc.o"
+  "CMakeFiles/test_provenance.dir/test_provenance.cc.o.d"
+  "test_provenance"
+  "test_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

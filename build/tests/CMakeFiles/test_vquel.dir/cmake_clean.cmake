@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vquel.dir/test_vquel.cc.o"
+  "CMakeFiles/test_vquel.dir/test_vquel.cc.o.d"
+  "test_vquel"
+  "test_vquel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vquel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
