@@ -10,8 +10,10 @@
 
 #include <algorithm>
 #include <iostream>
+#include <thread>
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 #include "minidb/join.h"
 
 namespace orpheus::bench {
@@ -127,6 +129,39 @@ void Run(int argc, char** argv) {
       table.Print(std::cout);
     }
   }
+
+  // Thread-scaling section: the hash-join probe and the materialization
+  // copy both fan out across the pool, so the same checkout is timed at
+  // degree 1 and degree N (outputs are byte-identical — see
+  // test_determinism).
+  const int n_threads = std::max(
+      2, static_cast<int>(std::thread::hardware_concurrency()));
+  const int64_t rk = rk_sizes.back();
+  std::cerr << "building data table |Rk|=" << rk
+            << " (rid-clustered, thread scaling)\n";
+  Table data = BuildDataTable(rk, /*clustered_on_rid=*/true, 17);
+  TablePrinter scaling({"|rlist|", "threads=1",
+                        StrFormat("threads=%d", n_threads), "speedup"});
+  for (int64_t rl : rlist_sizes) {
+    Xorshift rng(41);
+    auto sample = rng.SampleWithoutReplacement(static_cast<uint64_t>(rk),
+                                               static_cast<uint64_t>(rl));
+    std::vector<int64_t> rlist(sample.begin(), sample.end());
+    std::sort(rlist.begin(), rlist.end());
+    double secs[2];
+    for (int mode = 0; mode < 2; ++mode) {
+      ThreadPool::Global().SetDegree(mode == 0 ? 1 : n_threads);
+      secs[mode] =
+          TimeCheckout(data, rlist, JoinAlgorithm::kHashJoin, true);
+    }
+    ThreadPool::Global().SetDegree(1);
+    scaling.AddRow({StrFormat("%lldK", static_cast<long long>(rl / 1000)),
+                    HumanSeconds(secs[0]), HumanSeconds(secs[1]),
+                    StrFormat("%.2fx", secs[0] / std::max(1e-9, secs[1]))});
+  }
+  std::cout << "\n=== Hash-join checkout, threads=1 vs threads=" << n_threads
+            << " (|Rk|=" << StrFormat("%.2fM", rk / 1e6) << ") ===\n";
+  scaling.Print(std::cout);
 }
 
 }  // namespace

@@ -8,13 +8,69 @@
 // graph); KMeans is the slowest and hits the cutoff on larger datasets.
 
 #include <iostream>
+#include <thread>
 
 #include "bench/bench_util.h"
+#include "common/scoped_timer.h"
+#include "common/thread_pool.h"
 #include "core/baselines.h"
 #include "core/lyresplit.h"
 
 namespace orpheus::bench {
 namespace {
+
+// Thread-scaling section: materialize the store and migrate it at degree 1
+// and degree N and report both, plus the engine's own stage breakdown.
+void RunThreadScaling(int scale) {
+  const int n_threads = std::max(
+      2, static_cast<int>(std::thread::hardware_concurrency()));
+  TablePrinter table({"dataset", "stage", "threads=1",
+                      StrFormat("threads=%d", n_threads), "speedup"});
+  for (const auto& named : Table52Configs(scale, /*include_large=*/false)) {
+    if (named.paper_name != "SCI_1M" && named.paper_name != "CUR_1M") continue;
+    std::cerr << "generating " << named.paper_name << " (thread scaling)...\n";
+    auto ds = benchdata::VersionedDataset::Generate(named.config);
+    auto graph = GraphOf(ds);
+    auto accessor = AccessorOf(ds);
+    uint64_t gamma = 2ull * static_cast<uint64_t>(ds.num_distinct_records());
+    core::Partitioning plan =
+        core::LyreSplitForBudget(graph, gamma).partitioning;
+    core::Partitioning single =
+        core::Partitioning::SinglePartition(ds.num_versions());
+
+    double build_s[2];
+    double migrate_s[2];
+    for (int mode = 0; mode < 2; ++mode) {
+      ThreadPool::Global().SetDegree(mode == 0 ? 1 : n_threads);
+      Timer build_timer;
+      auto store = core::PartitionedStore::Build(accessor, single);
+      build_s[mode] = build_timer.ElapsedSeconds();
+      Timer migrate_timer;
+      store.MigrateTo(accessor, plan, /*intelligent=*/true);
+      migrate_s[mode] = migrate_timer.ElapsedSeconds();
+    }
+    ThreadPool::Global().SetDegree(1);
+    table.AddRow({named.paper_name, "build", HumanSeconds(build_s[0]),
+                  HumanSeconds(build_s[1]),
+                  StrFormat("%.2fx", build_s[0] / std::max(1e-9, build_s[1]))});
+    table.AddRow({named.paper_name, "migrate", HumanSeconds(migrate_s[0]),
+                  HumanSeconds(migrate_s[1]),
+                  StrFormat("%.2fx",
+                            migrate_s[0] / std::max(1e-9, migrate_s[1]))});
+  }
+  std::cout << "\n=== Parallel execution: partition store build/migrate, "
+               "threads=1 vs threads="
+            << n_threads << " ===\n";
+  table.Print(std::cout);
+
+  TablePrinter stages({"stage", "total", "calls"});
+  for (const auto& e : StageTimes::Snapshot()) {
+    stages.AddRow({e.stage, HumanSeconds(e.seconds),
+                   StrFormat("%llu", static_cast<unsigned long long>(e.calls))});
+  }
+  std::cout << "\n=== Engine stage breakdown (both runs) ===\n";
+  stages.Print(std::cout);
+}
 
 void Run(int argc, char** argv) {
   int scale = ParseScale(argc, argv);
@@ -77,6 +133,9 @@ void Run(int argc, char** argv) {
   std::cout << "\n=== Figures 5.10(b)/5.12(b): running time per binary "
                "search iteration ===\n";
   per_iter.Print(std::cout);
+
+  StageTimes::Reset();
+  RunThreadScaling(scale);
 }
 
 }  // namespace

@@ -1,0 +1,85 @@
+#ifndef ORPHEUS_COMMON_SCOPED_TIMER_H_
+#define ORPHEUS_COMMON_SCOPED_TIMER_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace orpheus {
+
+/// Process-wide per-stage wall-time accumulator. Engine hot paths record
+/// coarse stages ("partition_store.build", "partition_store.checkout", ...)
+/// through ScopedTimer; benches snapshot the totals to report per-stage
+/// breakdowns next to end-to-end numbers. Thread-safe; overhead is one
+/// mutexed map update per stage exit, negligible at stage granularity.
+class StageTimes {
+ public:
+  static void Record(const std::string& stage, double seconds) {
+    std::lock_guard<std::mutex> lock(Mutex());
+    auto& entry = Map()[stage];
+    entry.first += seconds;
+    entry.second += 1;
+  }
+
+  /// Accumulated seconds for one stage (0 if never recorded).
+  static double Total(const std::string& stage) {
+    std::lock_guard<std::mutex> lock(Mutex());
+    auto it = Map().find(stage);
+    return it == Map().end() ? 0.0 : it->second.first;
+  }
+
+  /// (stage, total seconds, call count) tuples, sorted by stage name.
+  struct Entry {
+    std::string stage;
+    double seconds = 0.0;
+    uint64_t calls = 0;
+  };
+  static std::vector<Entry> Snapshot() {
+    std::lock_guard<std::mutex> lock(Mutex());
+    std::vector<Entry> out;
+    out.reserve(Map().size());
+    for (const auto& [stage, acc] : Map()) {
+      out.push_back({stage, acc.first, acc.second});
+    }
+    return out;
+  }
+
+  static void Reset() {
+    std::lock_guard<std::mutex> lock(Mutex());
+    Map().clear();
+  }
+
+ private:
+  using Acc = std::pair<double, uint64_t>;  // seconds, calls
+  static std::map<std::string, Acc>& Map() {
+    static std::map<std::string, Acc> map;
+    return map;
+  }
+  static std::mutex& Mutex() {
+    static std::mutex mu;
+    return mu;
+  }
+};
+
+/// RAII stage timer: accumulates the enclosing scope's wall time into
+/// StageTimes under `stage`.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string stage) : stage_(std::move(stage)) {}
+  ~ScopedTimer() { StageTimes::Record(stage_, timer_.ElapsedSeconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string stage_;
+  Timer timer_;
+};
+
+}  // namespace orpheus
+
+#endif  // ORPHEUS_COMMON_SCOPED_TIMER_H_

@@ -1,6 +1,20 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace orpheus {
+
+namespace internal {
+
+void CheckOkFailed(const Status& status, const char* expr, const char* file,
+                   int line) {
+  std::fprintf(stderr, "%s:%d: ORPHEUS_CHECK_OK(%s) failed: %s\n", file, line,
+               expr, status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
 
 namespace {
 

@@ -86,6 +86,25 @@ class Status {
     if (!_s.ok()) return _s;                   \
   } while (0)
 
+namespace internal {
+/// Prints the failed expression and status, then aborts. Out-of-line so the
+/// macro below stays cheap at every call site.
+[[noreturn]] void CheckOkFailed(const Status& status, const char* expr,
+                                const char* file, int line);
+}  // namespace internal
+
+/// Abort on a non-OK Status in contexts where failure indicates a broken
+/// invariant rather than bad input (e.g. building a unique index on a table
+/// that is empty by construction). Unlike `(void)s`, a violated assumption
+/// crashes loudly instead of silently corrupting downstream state.
+#define ORPHEUS_CHECK_OK(expr)                                          \
+  do {                                                                  \
+    ::orpheus::Status _s = (expr);                                      \
+    if (!_s.ok()) {                                                     \
+      ::orpheus::internal::CheckOkFailed(_s, #expr, __FILE__, __LINE__); \
+    }                                                                   \
+  } while (0)
+
 }  // namespace orpheus
 
 #endif  // ORPHEUS_COMMON_STATUS_H_

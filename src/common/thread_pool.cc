@@ -1,0 +1,160 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace orpheus {
+
+namespace {
+
+// Set while a thread is executing inside WorkerLoop; lets nested parallel
+// constructs detect that they are already on a pool worker.
+thread_local const ThreadPool* g_worker_of = nullptr;
+
+int DegreeFromEnv() {
+  if (const char* env = std::getenv("ORPHEUS_THREADS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DegreeFromEnv());
+  return *pool;
+}
+
+ThreadPool::ThreadPool(int degree) { StartWorkers(std::max(1, degree)); }
+
+ThreadPool::~ThreadPool() { StopWorkers(); }
+
+void ThreadPool::SetDegree(int degree) {
+  degree = std::max(1, degree);
+  if (degree == degree_) return;
+  StopWorkers();
+  StartWorkers(degree);
+}
+
+bool ThreadPool::InWorker() const { return g_worker_of == this; }
+
+void ThreadPool::StartWorkers(int degree) {
+  degree_ = degree;
+  stopping_ = false;
+  // The submitting thread helps in Wait(), so degree d needs d-1 workers.
+  workers_.reserve(degree - 1);
+  for (int i = 0; i < degree - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+void ThreadPool::WorkerLoop() {
+  g_worker_of = this;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task.fn();
+    FinishTask(task.group);
+  }
+}
+
+bool ThreadPool::RunOneTask() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task.fn();
+  FinishTask(task.group);
+  return true;
+}
+
+void ThreadPool::FinishTask(TaskGroup* group) {
+  // Notify while still holding the group's mutex: the moment a waiter can
+  // observe pending_ == 0 it may destroy the group, so the condition
+  // variable must not be touched after the lock is released.
+  std::lock_guard<std::mutex> lock(group->mu_);
+  if (--group->pending_ == 0) group->done_cv_.notify_all();
+}
+
+ThreadPool::TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+ThreadPool::TaskGroup::~TaskGroup() { Wait(); }
+
+void ThreadPool::TaskGroup::Submit(std::function<void()> fn) {
+  // Serial pool or nested fan-out: run right here, in submission order.
+  if (pool_->degree_ <= 1 || pool_->InWorker()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_->mu_);
+    pool_->queue_.push_back({std::move(fn), this});
+  }
+  pool_->work_cv_.notify_one();
+}
+
+void ThreadPool::TaskGroup::Wait() {
+  // Help drain the pool while our tasks are outstanding. We may execute
+  // tasks belonging to other groups; that only speeds them up.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_ == 0) return;
+    }
+    if (!pool_->RunOneTask()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [this] { return pending_ == 0; });
+      return;
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  grain = std::max<size_t>(1, grain);
+  if (degree_ <= 1 || InWorker() || n <= grain) {
+    fn(begin, end);
+    return;
+  }
+  // At most 4 chunks per thread keeps scheduling overhead bounded while
+  // still smoothing imbalance; chunking is a pure function of the inputs so
+  // results are stitched identically at every degree.
+  const size_t max_chunks = static_cast<size_t>(degree_) * 4;
+  const size_t num_chunks = std::min((n + grain - 1) / grain, max_chunks);
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  TaskGroup group(this);
+  for (size_t lo = begin; lo < end; lo += chunk) {
+    const size_t hi = std::min(lo + chunk, end);
+    group.Submit([&fn, lo, hi] { fn(lo, hi); });
+  }
+  group.Wait();
+}
+
+}  // namespace orpheus

@@ -1,0 +1,153 @@
+#ifndef ORPHEUS_COMMON_THREAD_POOL_H_
+#define ORPHEUS_COMMON_THREAD_POOL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace orpheus {
+
+/// A fixed-size thread pool shared by all engine hot paths (partition
+/// build, checkout joins, migration, delta materialization).
+///
+/// Design constraints, in priority order:
+///   1. Determinism: every parallel construct in the engine writes into
+///      pre-assigned output slots and stitches them in input order, so the
+///      result is byte-identical for any degree. Degree 1 runs everything
+///      inline on the calling thread — exact serial execution, used by the
+///      determinism tests as the reference.
+///   2. No nested fan-out: a task that itself calls ParallelFor/Submit runs
+///      that work inline (pool workers never re-submit), which bounds the
+///      task graph and makes Wait() deadlock-free by construction.
+///   3. Helping: a thread blocked in Wait() drains queued tasks instead of
+///      sleeping, so the caller participates in its own fan-out.
+///
+/// The global pool's degree comes from the ORPHEUS_THREADS environment
+/// variable, defaulting to std::thread::hardware_concurrency(). Benches and
+/// tests may override it at a quiescent point with SetDegree().
+class ThreadPool {
+ public:
+  /// The process-wide pool. Constructed (and ORPHEUS_THREADS read) on first
+  /// use.
+  static ThreadPool& Global();
+
+  explicit ThreadPool(int degree);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Parallelism degree (>= 1). Degree d runs d-1 worker threads plus the
+  /// submitting thread (which helps while waiting).
+  int degree() const { return degree_; }
+
+  /// Re-size the pool. Must only be called while no tasks are in flight
+  /// (benches/tests switching between threads=1 and threads=N runs).
+  void SetDegree(int degree);
+
+  /// True when the calling thread is one of this pool's workers; parallel
+  /// constructs use this to degrade nested fan-out to inline execution.
+  bool InWorker() const;
+
+  /// A group of tasks that can be awaited together (the Submit/Wait API).
+  /// Submission order is preserved in the queue but tasks run concurrently;
+  /// callers must not depend on execution order.
+  class TaskGroup {
+   public:
+    explicit TaskGroup(ThreadPool* pool);
+    /// Waits for all submitted tasks.
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Schedule `fn`. Runs inline immediately when the pool is serial
+    /// (degree 1) or the caller is already a pool worker.
+    void Submit(std::function<void()> fn);
+
+    /// Block until every submitted task has finished, helping to drain the
+    /// pool's queue while waiting.
+    void Wait();
+
+   private:
+    friend class ThreadPool;
+    ThreadPool* pool_;
+    std::mutex mu_;
+    std::condition_variable done_cv_;
+    int pending_ = 0;
+  };
+
+  /// Split [begin, end) into chunks of at least `grain` indices and invoke
+  /// `fn(chunk_begin, chunk_end)` on each, in parallel. Chunk boundaries
+  /// depend only on (begin, end, grain, degree()), never on timing; with
+  /// degree 1 (or a range no larger than grain) this is exactly
+  /// `fn(begin, end)` on the calling thread.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group;
+  };
+
+  void StartWorkers(int degree);
+  void StopWorkers();
+  void WorkerLoop();
+  /// Pop and run one queued task; false if the queue was empty.
+  bool RunOneTask();
+  static void FinishTask(TaskGroup* group);
+
+  int degree_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+};
+
+/// Shorthand for ThreadPool::Global().ParallelFor(...).
+inline void ParallelFor(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t)>& fn) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, fn);
+}
+
+/// Parallel order-preserving collect: run `fn(lo, hi, &chunk_out)` over
+/// chunks of [0, n) and return the chunk outputs concatenated in index
+/// order. Because consecutive ranges are stitched back in order, the result
+/// equals the serial single-chunk run for any filter/map-style `fn` —
+/// byte-identical at every pool degree. This is the "probe per-chunk,
+/// stitch in order" primitive behind the parallel hash-join scans.
+template <typename T, typename Fn>
+std::vector<T> ParallelCollect(size_t n, size_t grain, Fn fn) {
+  std::mutex mu;
+  std::vector<std::pair<size_t, std::vector<T>>> chunks;
+  ThreadPool::Global().ParallelFor(0, n, grain,
+                                   [&](size_t lo, size_t hi) {
+                                     std::vector<T> local;
+                                     fn(lo, hi, &local);
+                                     std::lock_guard<std::mutex> lock(mu);
+                                     chunks.emplace_back(lo, std::move(local));
+                                   });
+  std::sort(chunks.begin(), chunks.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t total = 0;
+  for (const auto& [lo, v] : chunks) total += v.size();
+  std::vector<T> out;
+  out.reserve(total);
+  for (auto& [lo, v] : chunks) {
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+}  // namespace orpheus
+
+#endif  // ORPHEUS_COMMON_THREAD_POOL_H_

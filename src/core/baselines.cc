@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 
 namespace orpheus::core {
 
@@ -64,12 +65,17 @@ Partitioning AggloPartition(const RecordSetView& view,
     bool alive = true;
   };
   std::vector<Part> parts(n);
-  for (int v = 0; v < n; ++v) {
-    parts[v].versions = {v};
-    parts[v].records = view.records_of(v);
-    parts[v].signature =
-        Shingles(parts[v].records, options.num_shingles, options.seed);
-  }
+  // Signature construction (hash + sort per version) dominates setup for
+  // large datasets; each iteration writes only its own slot.
+  ParallelFor(0, static_cast<size_t>(n), 16,
+              [&parts, &view, &options](size_t lo, size_t hi) {
+                for (size_t v = lo; v < hi; ++v) {
+                  parts[v].versions = {static_cast<int>(v)};
+                  parts[v].records = view.records_of(static_cast<int>(v));
+                  parts[v].signature = Shingles(
+                      parts[v].records, options.num_shingles, options.seed);
+                }
+              });
 
   // Threshold τ: sampled median of pairwise shingle overlaps (the paper
   // sets τ via uniform sampling).
@@ -177,33 +183,62 @@ Partitioning KmeansPartition(const RecordSetView& view,
 
   std::vector<int> assign(n, 0);
   for (int iter = 0; iter < options.iterations; ++iter) {
-    std::vector<uint64_t> part_sizes(k, 0);
-    // Assignment: nearest centroid by common-record count.
-    for (int v = 0; v < n; ++v) {
-      const auto& rs = view.records_of(v);
-      int best = 0;
-      int64_t best_common = -1;
-      for (int c = 0; c < k; ++c) {
-        int64_t common = 0;
-        for (RecordId r : rs) common += centroids[c].count(r);
-        if (common > best_common) {
-          if (options.capacity > 0 &&
-              part_sizes[c] + rs.size() > options.capacity) {
-            continue;
+    if (options.capacity == 0) {
+      // Uncapacitated assignment depends only on the (frozen) centroids, so
+      // versions score independently; each writes its own assign slot.
+      ParallelFor(0, static_cast<size_t>(n), 4,
+                  [&view, &centroids, &assign, k](size_t lo, size_t hi) {
+                    for (size_t v = lo; v < hi; ++v) {
+                      const auto& rs = view.records_of(static_cast<int>(v));
+                      int best = 0;
+                      int64_t best_common = -1;
+                      for (int c = 0; c < k; ++c) {
+                        int64_t common = 0;
+                        for (RecordId r : rs) common += centroids[c].count(r);
+                        if (common > best_common) {
+                          best_common = common;
+                          best = c;
+                        }
+                      }
+                      assign[v] = best;
+                    }
+                  });
+    } else {
+      // Capacitated assignment is inherently sequential: each placement
+      // consumes capacity that constrains later versions.
+      std::vector<uint64_t> part_sizes(k, 0);
+      for (int v = 0; v < n; ++v) {
+        const auto& rs = view.records_of(v);
+        int best = 0;
+        int64_t best_common = -1;
+        for (int c = 0; c < k; ++c) {
+          int64_t common = 0;
+          for (RecordId r : rs) common += centroids[c].count(r);
+          if (common > best_common) {
+            if (part_sizes[c] + rs.size() > options.capacity) continue;
+            best_common = common;
+            best = c;
           }
-          best_common = common;
-          best = c;
         }
+        assign[v] = best;
+        part_sizes[best] += rs.size();
       }
-      assign[v] = best;
-      part_sizes[best] += rs.size();
     }
-    // Update: centroid becomes the union of its members.
-    for (auto& c : centroids) c.clear();
-    for (int v = 0; v < n; ++v) {
-      const auto& rs = view.records_of(v);
-      centroids[assign[v]].insert(rs.begin(), rs.end());
-    }
+    // Update: centroid becomes the union of its members. Group members
+    // serially (cheap), then rebuild each centroid in parallel — clusters
+    // touch disjoint sets, and set contents are order-insensitive.
+    std::vector<std::vector<int>> members(k);
+    for (int v = 0; v < n; ++v) members[assign[v]].push_back(v);
+    ParallelFor(0, static_cast<size_t>(k), 1,
+                [&centroids, &members, &view](size_t lo, size_t hi) {
+                  for (size_t c = lo; c < hi; ++c) {
+                    centroids[c].clear();
+                    for (int v : members[c]) {
+                      const auto& rs = view.records_of(v);
+                      centroids[c].insert(rs.begin(), rs.end());
+                    }
+                  }
+                });
   }
 
   // Renumber non-empty clusters densely.

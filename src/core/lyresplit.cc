@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "common/thread_pool.h"
+
 namespace orpheus::core {
 
 namespace {
@@ -144,35 +146,65 @@ class Splitter {
     }
 
     // Candidate edges: weight (or a*w in the schema-aware variant) at most
-    // δ|R| (resp. δ|A||R|).
+    // δ|R| (resp. δ|A||R|). The sweep only reads the per-node aggregates, so
+    // it fans out across the pool for large components; each chunk computes
+    // its local winner and the chunk winners fold in component order with
+    // the same strict comparisons, which reproduces the serial first-minimum
+    // tie-break exactly.
     const double threshold =
         delta_ * ctx_.ThresholdScale() * static_cast<double>(comp_r);
-    int best = -1;
-    uint64_t best_v_gap = std::numeric_limits<uint64_t>::max();
-    uint64_t best_r_gap = std::numeric_limits<uint64_t>::max();
-    int fallback = -1;
-    int64_t fallback_w = std::numeric_limits<int64_t>::max();
-    for (int v : order) {
-      if (v == root) continue;
-      int64_t score = ctx_.EdgeScore(v);
-      if (score < fallback_w) {
-        fallback_w = score;
-        fallback = v;
+    struct SweepBest {
+      int best = -1;
+      uint64_t v_gap = std::numeric_limits<uint64_t>::max();
+      uint64_t r_gap = std::numeric_limits<uint64_t>::max();
+      int fallback = -1;
+      int64_t fallback_w = std::numeric_limits<int64_t>::max();
+    };
+    std::vector<SweepBest> chunk_bests = ParallelCollect<SweepBest>(
+        order.size(), 1 << 12,
+        [this, &order, root, threshold, comp_v, comp_r](
+            size_t lo, size_t hi, std::vector<SweepBest>* out) {
+          SweepBest local;
+          for (size_t i = lo; i < hi; ++i) {
+            int v = order[i];
+            if (v == root) continue;
+            int64_t score = ctx_.EdgeScore(v);
+            if (score < local.fallback_w) {
+              local.fallback_w = score;
+              local.fallback = v;
+            }
+            if (static_cast<double>(score) > threshold) continue;
+            // Prefer the split balancing version counts; tie-break on
+            // records (Sec. 5.2's experimental policy).
+            uint64_t v_gap = sub_v_[v] * 2 > comp_v ? sub_v_[v] * 2 - comp_v
+                                                    : comp_v - sub_v_[v] * 2;
+            uint64_t r_gap = sub_r_[v] * 2 > comp_r ? sub_r_[v] * 2 - comp_r
+                                                    : comp_r - sub_r_[v] * 2;
+            if (v_gap < local.v_gap ||
+                (v_gap == local.v_gap && r_gap < local.r_gap)) {
+              local.best = v;
+              local.v_gap = v_gap;
+              local.r_gap = r_gap;
+            }
+          }
+          out->push_back(local);
+        });
+    SweepBest sweep;
+    for (const SweepBest& c : chunk_bests) {
+      if (c.fallback_w < sweep.fallback_w) {
+        sweep.fallback_w = c.fallback_w;
+        sweep.fallback = c.fallback;
       }
-      if (static_cast<double>(score) > threshold) continue;
-      // Prefer the split balancing version counts; tie-break on records
-      // (Sec. 5.2's experimental policy).
-      uint64_t v_gap = sub_v_[v] * 2 > comp_v ? sub_v_[v] * 2 - comp_v
-                                              : comp_v - sub_v_[v] * 2;
-      uint64_t r_gap = sub_r_[v] * 2 > comp_r ? sub_r_[v] * 2 - comp_r
-                                              : comp_r - sub_r_[v] * 2;
-      if (v_gap < best_v_gap || (v_gap == best_v_gap && r_gap < best_r_gap)) {
-        best = v;
-        best_v_gap = v_gap;
-        best_r_gap = r_gap;
+      if (c.best >= 0 &&
+          (c.v_gap < sweep.v_gap ||
+           (c.v_gap == sweep.v_gap && c.r_gap < sweep.r_gap))) {
+        sweep.best = c.best;
+        sweep.v_gap = c.v_gap;
+        sweep.r_gap = c.r_gap;
       }
     }
-    if (best < 0) best = fallback;  // guard; Lemma 5.1 makes this rare
+    int best = sweep.best;
+    if (best < 0) best = sweep.fallback;  // guard; Lemma 5.1 makes this rare
     if (best < 0) {
       int part = next_partition_++;
       for (int v : nodes) partition_of_[v] = part;

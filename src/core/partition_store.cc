@@ -4,7 +4,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/scoped_timer.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "minidb/join.h"
 
 namespace orpheus::core {
@@ -13,6 +15,28 @@ using minidb::ColumnDef;
 using minidb::Schema;
 using minidb::Table;
 using minidb::ValueType;
+
+namespace {
+
+// Below this row count the fixed cost of fanning a payload copy out to the
+// pool exceeds the copy itself.
+constexpr size_t kParallelPayloadCutoff = 4096;
+
+// Run fn(k) for every k in [0, n) on the pool. Index 0 runs inline on the
+// calling thread: when there is a single partition (the whole-dataset
+// store), the nested per-row parallelism inside the fill can then still
+// fan out instead of being serialized onto one worker.
+template <typename Fn>
+void RunPerPartition(size_t n, Fn fn) {
+  ThreadPool::TaskGroup group(&ThreadPool::Global());
+  for (size_t k = 1; k < n; ++k) {
+    group.Submit([&fn, k] { fn(k); });
+  }
+  if (n > 0) fn(0);
+  group.Wait();
+}
+
+}  // namespace
 
 minidb::Schema PartitionedStore::DataSchema(int num_attributes) {
   std::vector<ColumnDef> cols;
@@ -29,22 +53,52 @@ PartitionedStore::Part::Part(const std::string& name, int num_attributes)
       versioning(name + "_versioning",
                  Schema({{"vid", ValueType::kInt64},
                          {"rlist", ValueType::kIntArray}})) {
-  Status s = data.BuildUniqueIntIndex(0);
-  (void)s;
-  s = versioning.BuildUniqueIntIndex(0);
-  (void)s;
+  // Indexing a freshly built empty table cannot hit duplicates; a failure
+  // here is a broken invariant, not an input error.
+  ORPHEUS_CHECK_OK(data.BuildUniqueIntIndex(0));
+  ORPHEUS_CHECK_OK(versioning.BuildUniqueIntIndex(0));
 }
 
 void PartitionedStore::AppendVersionRecords(
     const DatasetAccessor& ds, int version,
     const std::vector<RecordId>& missing, Part* part) {
-  std::vector<int64_t> row(ds.num_attributes + 1);
-  std::vector<int64_t> payload(ds.num_attributes);
-  for (RecordId rid : missing) {
-    ds.payload_of(rid, &payload);
-    row[0] = rid;
-    for (int a = 0; a < ds.num_attributes; ++a) row[a + 1] = payload[a];
-    part->data.AppendIntRowUnchecked(row);
+  const size_t n = missing.size();
+  const size_t width = static_cast<size_t>(ds.num_attributes) + 1;
+  // Clustering survives the append only if the new rids extend the
+  // ascending run (commits append fresh, increasing rids, so this is the
+  // common case online).
+  if (!missing.empty()) {
+    const auto& rids = part->data.column(0).int_data();
+    const bool extends = rids.empty() || missing.front() > rids.back();
+    part->rid_clustered =
+        part->rid_clustered && extends &&
+        std::is_sorted(missing.begin(), missing.end());
+  }
+  if (n >= kParallelPayloadCutoff && ThreadPool::Global().degree() > 1 &&
+      !ThreadPool::Global().InWorker()) {
+    // Gather payloads into a row-major staging buffer in parallel, then
+    // bulk-append: the appends (and index maintenance) stay in row order,
+    // so the table is identical to the serial fill.
+    std::vector<int64_t> buf(n * width);
+    ParallelFor(0, n, 1024, [&](size_t lo, size_t hi) {
+      std::vector<int64_t> payload(ds.num_attributes);
+      for (size_t i = lo; i < hi; ++i) {
+        ds.payload_of(missing[i], &payload);
+        int64_t* row = &buf[i * width];
+        row[0] = missing[i];
+        for (int a = 0; a < ds.num_attributes; ++a) row[a + 1] = payload[a];
+      }
+    });
+    part->data.AppendIntRows(buf.data(), n);
+  } else {
+    std::vector<int64_t> row(width);
+    std::vector<int64_t> payload(ds.num_attributes);
+    for (RecordId rid : missing) {
+      ds.payload_of(rid, &payload);
+      row[0] = rid;
+      for (int a = 0; a < ds.num_attributes; ++a) row[a + 1] = payload[a];
+      part->data.AppendIntRowUnchecked(row);
+    }
   }
   const auto& rids = ds.records_of(version);
   minidb::Row vrow;
@@ -65,8 +119,17 @@ void PartitionedStore::FillPartition(const DatasetAccessor& ds,
   }
 }
 
+void PartitionedStore::ClusterOnRid(Part* part) {
+  const auto& rids = part->data.column(0).int_data();
+  if (!std::is_sorted(rids.begin(), rids.end())) {
+    part->data.SortByIntColumn(0);
+  }
+  part->rid_clustered = true;
+}
+
 PartitionedStore PartitionedStore::Build(const DatasetAccessor& ds,
                                          const Partitioning& partitioning) {
+  ScopedTimer stage("partition_store.build");
   PartitionedStore store;
   store.partition_of_ = partitioning.partition_of;
   store.num_attributes_ = ds.num_attributes;
@@ -74,8 +137,13 @@ PartitionedStore PartitionedStore::Build(const DatasetAccessor& ds,
   store.parts_.reserve(groups.size());
   for (int k = 0; k < static_cast<int>(groups.size()); ++k) {
     store.parts_.emplace_back(StrFormat("p%d", k), ds.num_attributes);
-    FillPartition(ds, groups[k], &store.parts_.back());
   }
+  // Each partition is filled (and clustered) independently; the fan-out is
+  // the dominant build parallelism.
+  RunPerPartition(groups.size(), [&store, &ds, &groups](size_t k) {
+    FillPartition(ds, groups[k], &store.parts_[k]);
+    ClusterOnRid(&store.parts_[k]);
+  });
   return store;
 }
 
@@ -83,13 +151,25 @@ Result<minidb::Table> PartitionedStore::Checkout(int version) const {
   if (version < 0 || version >= num_versions()) {
     return Status::NotFound(StrFormat("version %d", version));
   }
+  ScopedTimer stage("partition_store.checkout");
   const Part& part = parts_[partition_of_[version]];
   auto row = part.versioning.LookupUniqueInt(0, version);
   if (!row) return Status::Corruption("version missing from its partition");
   const auto& rlist = part.versioning.column(1).GetIntArray(*row);
-  std::vector<uint32_t> rows =
-      minidb::JoinRids(part.data, 0, rlist, minidb::JoinAlgorithm::kHashJoin,
-                       /*clustered_on_rid=*/false);
+  // Stored rlists are sorted and the partition is kept rid-clustered, so
+  // the join is normally a single linear merge pass (the fast plan of
+  // Fig. 5.7(b)); the hash join remains as the fallback for partitions
+  // whose clustering was broken by online appends.
+  std::vector<uint32_t> rows;
+  if (part.rid_clustered && std::is_sorted(rlist.begin(), rlist.end())) {
+    rows = minidb::JoinRids(part.data, 0, rlist,
+                            minidb::JoinAlgorithm::kMergeJoin,
+                            /*clustered_on_rid=*/true);
+  } else {
+    rows = minidb::JoinRids(part.data, 0, rlist,
+                            minidb::JoinAlgorithm::kHashJoin,
+                            /*clustered_on_rid=*/false);
+  }
   return part.data.CopyRows(rows, StrFormat("checkout_v%d", version));
 }
 
@@ -114,18 +194,23 @@ uint64_t PartitionedStore::PartitionRecords(int version) const {
 uint64_t PartitionedStore::MigrateTo(const DatasetAccessor& ds,
                                      const Partitioning& target,
                                      bool intelligent) {
-  uint64_t work = 0;
+  ScopedTimer stage("partition_store.migrate");
   auto groups = target.Groups();
 
   if (!intelligent) {
-    // Naive: drop everything, rebuild every partition from scratch.
+    // Naive: drop everything, rebuild every partition from scratch — but
+    // all rebuilds run concurrently.
     std::vector<Part> fresh;
     fresh.reserve(groups.size());
     for (int k = 0; k < static_cast<int>(groups.size()); ++k) {
       fresh.emplace_back(StrFormat("p%d", k), ds.num_attributes);
-      FillPartition(ds, groups[k], &fresh.back());
-      work += fresh.back().data.num_rows();
     }
+    RunPerPartition(groups.size(), [&fresh, &ds, &groups](size_t k) {
+      FillPartition(ds, groups[k], &fresh[k]);
+      ClusterOnRid(&fresh[k]);
+    });
+    uint64_t work = 0;
+    for (const auto& p : fresh) work += p.data.num_rows();
     parts_ = std::move(fresh);
     partition_of_ = target.partition_of;
     return work;
@@ -134,20 +219,24 @@ uint64_t PartitionedStore::MigrateTo(const DatasetAccessor& ds,
   // Intelligent migration: match each target partition to the existing
   // partition with the smallest modification cost, computed from the
   // common versions, then patch it with record-level inserts/deletes.
+  // The match assignment is serial (it is a global greedy over a shared
+  // cost ranking); the per-partition patching that follows is not.
   const int old_n = num_partitions();
   std::vector<char> old_used(old_n, 0);
 
-  // Record unions per target partition.
+  // Record unions per target partition (independent per target).
   std::vector<std::vector<RecordId>> target_records(groups.size());
-  for (size_t k = 0; k < groups.size(); ++k) {
-    std::unordered_set<RecordId> u;
-    for (int v : groups[k]) {
-      const auto& rs = ds.records_of(v);
-      u.insert(rs.begin(), rs.end());
+  ParallelFor(0, groups.size(), 1, [&](size_t klo, size_t khi) {
+    for (size_t k = klo; k < khi; ++k) {
+      std::unordered_set<RecordId> u;
+      for (int v : groups[k]) {
+        const auto& rs = ds.records_of(v);
+        u.insert(rs.begin(), rs.end());
+      }
+      target_records[k].assign(u.begin(), u.end());
+      std::sort(target_records[k].begin(), target_records[k].end());
     }
-    target_records[k].assign(u.begin(), u.end());
-    std::sort(target_records[k].begin(), target_records[k].end());
-  }
+  });
 
   // Candidate old partitions per target: those currently holding one of its
   // versions (partitions sharing no version share few records). Old rid
@@ -158,7 +247,9 @@ uint64_t PartitionedStore::MigrateTo(const DatasetAccessor& ds,
     if (!old_sorted_ready[oldk]) {
       const auto& col = parts_[oldk].data.column(0).int_data();
       old_sorted[oldk].assign(col.begin(), col.end());
-      std::sort(old_sorted[oldk].begin(), old_sorted[oldk].end());
+      if (!parts_[oldk].rid_clustered) {
+        std::sort(old_sorted[oldk].begin(), old_sorted[oldk].end());
+      }
       old_sorted_ready[oldk] = 1;
     }
     return old_sorted[oldk];
@@ -211,33 +302,42 @@ uint64_t PartitionedStore::MigrateTo(const DatasetAccessor& ds,
     old_used[m.old] = 1;
   }
 
+  // Patch/rebuild phase: every target partition touches either a scratch
+  // table or its uniquely matched old partition, so all targets proceed
+  // concurrently.
   std::vector<Part> fresh;
   fresh.reserve(groups.size());
   for (size_t k = 0; k < groups.size(); ++k) {
+    fresh.emplace_back(StrFormat("p%zu", k),
+                       matched_old[k] < 0 ? ds.num_attributes : 0);
+  }
+  std::vector<uint64_t> work_of(groups.size(), 0);
+  RunPerPartition(groups.size(), [&](size_t k) {
     if (matched_old[k] < 0) {
       // Build from scratch.
-      fresh.emplace_back(StrFormat("p%zu", k), ds.num_attributes);
-      FillPartition(ds, groups[k], &fresh.back());
-      work += fresh.back().data.num_rows();
-      continue;
+      FillPartition(ds, groups[k], &fresh[k]);
+      ClusterOnRid(&fresh[k]);
+      work_of[k] = fresh[k].data.num_rows();
+      return;
     }
     Part& old_part = parts_[matched_old[k]];
-    // Deletes: rows whose rid is not needed anymore (binary search against
-    // the sorted target set — no extra hash table).
-    const auto& target = target_records[k];
+    // Deletes: rows whose rid is not needed anymore (binary search
+    // against the sorted target set — no extra hash table).
+    const auto& target_rids = target_records[k];
     std::vector<uint32_t> dead;
     const auto& rids = old_part.data.column(0).int_data();
     for (uint32_t r = 0; r < old_part.data.num_rows(); ++r) {
-      if (!std::binary_search(target.begin(), target.end(), rids[r])) {
+      if (!std::binary_search(target_rids.begin(), target_rids.end(),
+                              rids[r])) {
         dead.push_back(r);
       }
     }
     // Inserts: needed rids the old partition lacks.
     std::vector<RecordId> missing;
-    for (RecordId rid : target) {
+    for (RecordId rid : target_rids) {
       if (!old_part.data.LookupUniqueInt(0, rid)) missing.push_back(rid);
     }
-    work += dead.size() + missing.size();
+    work_of[k] = dead.size() + missing.size();
     if (!dead.empty()) old_part.data.DeleteRows(dead);
     std::vector<int64_t> row(ds.num_attributes + 1);
     std::vector<int64_t> payload(ds.num_attributes);
@@ -248,17 +348,21 @@ uint64_t PartitionedStore::MigrateTo(const DatasetAccessor& ds,
       old_part.data.AppendIntRowUnchecked(row);
     }
     // The versioning table is rebuilt (cheap: one rlist row per version).
-    Part patched(StrFormat("p%zu", k), 0);
-    patched.data = std::move(old_part.data);
+    fresh[k].data = std::move(old_part.data);
     for (int v : groups[k]) {
       const auto& vr = ds.records_of(v);
       minidb::Row vrow;
       vrow.emplace_back(static_cast<int64_t>(v));
       vrow.emplace_back(std::vector<int64_t>(vr.begin(), vr.end()));
-      patched.versioning.AppendRowUnchecked(vrow);
+      fresh[k].versioning.AppendRowUnchecked(vrow);
     }
-    fresh.push_back(std::move(patched));
-  }
+    // Swap-removes and appends disturbed the physical order; restore the
+    // rid clustering the checkout fast path relies on.
+    fresh[k].rid_clustered = false;
+    ClusterOnRid(&fresh[k]);
+  });
+  uint64_t work = 0;
+  for (uint64_t w : work_of) work += w;
   parts_ = std::move(fresh);
   partition_of_ = target.partition_of;
   return work;

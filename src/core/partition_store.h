@@ -15,6 +15,11 @@ namespace orpheus::core {
 
 /// Full access to a versioned dataset's membership and payloads, decoupled
 /// from where it lives (benchmark generator or CVD backend).
+///
+/// Both accessors must be safe to call concurrently from multiple threads:
+/// Build/MigrateTo fan partition fills out across the global thread pool.
+/// (Read-only views over an immutable dataset — the only accessors the
+/// repo constructs — satisfy this trivially.)
 struct DatasetAccessor {
   int num_versions = 0;
   int num_attributes = 0;  // data attributes per record
@@ -66,6 +71,11 @@ class PartitionedStore {
   struct Part {
     minidb::Table data;        // [_rid, attrs...]
     minidb::Table versioning;  // [vid, rlist]
+    /// True while the data table is physically ordered by rid (the paper's
+    /// preferred clustering, Sec. 5.5.5); enables the sorted-merge checkout
+    /// join. Build/MigrateTo sort and set it; appends clear it when they
+    /// break the ascending run.
+    bool rid_clustered = true;  // empty table is trivially ordered
     Part(const std::string& name, int num_attributes);
   };
 
@@ -75,6 +85,9 @@ class PartitionedStore {
   static void AppendVersionRecords(const DatasetAccessor& ds, int version,
                                    const std::vector<RecordId>& missing,
                                    Part* part);
+  /// Physically re-cluster a partition's data table on rid (no-op when
+  /// already ordered) and mark it clustered.
+  static void ClusterOnRid(Part* part);
 
   std::vector<Part> parts_;
   std::vector<int> partition_of_;

@@ -5,6 +5,7 @@
 
 #include "common/random.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace orpheus::deltastore {
 
@@ -177,6 +178,30 @@ Result<FileContent> FileRepository::Materialize(
     content = ApplyLineDelta(content, delta);
   }
   return content;
+}
+
+Result<std::vector<FileContent>> FileRepository::MaterializeMany(
+    const StorageSolution& solution, const std::vector<int>& versions) const {
+  // Each chain replay only reads the repository and the solution, so the
+  // requested versions materialize concurrently into pre-assigned slots.
+  std::vector<FileContent> out(versions.size());
+  std::vector<Status> errors(versions.size(), Status::OK());
+  ParallelFor(0, versions.size(), 1,
+              [this, &solution, &versions, &out, &errors](size_t lo,
+                                                          size_t hi) {
+                for (size_t i = lo; i < hi; ++i) {
+                  Result<FileContent> r = Materialize(solution, versions[i]);
+                  if (r.ok()) {
+                    out[i] = r.MoveValueOrDie();
+                  } else {
+                    errors[i] = r.status();
+                  }
+                }
+              });
+  for (const Status& s : errors) {
+    if (!s.ok()) return s;
+  }
+  return out;
 }
 
 }  // namespace orpheus::deltastore

@@ -60,6 +60,13 @@ class FileRepository {
   Result<FileContent> Materialize(const StorageSolution& solution,
                                   int v) const;
 
+  /// Materialize every version in `versions`, replaying the independent
+  /// delta chains concurrently on the global thread pool. Returns the
+  /// contents in input order, or the lowest-indexed failure (so the error
+  /// reported does not depend on scheduling).
+  Result<std::vector<FileContent>> MaterializeMany(
+      const StorageSolution& solution, const std::vector<int>& versions) const;
+
  private:
   std::vector<FileContent> files_;
   std::vector<std::vector<int>> parents_;

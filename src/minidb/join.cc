@@ -4,6 +4,8 @@
 #include <cassert>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
+
 namespace orpheus::minidb {
 
 const char* JoinAlgorithmName(JoinAlgorithm algo) {
@@ -17,24 +19,40 @@ const char* JoinAlgorithmName(JoinAlgorithm algo) {
 
 namespace {
 
+// The scan half of the hash join: the probe set is built once, then the
+// data table's rid column is scanned in parallel chunks, each chunk
+// emitting its matches in physical order; chunks are stitched back in index
+// order, so the output is identical to the serial scan at any pool degree.
+constexpr size_t kScanGrain = 1 << 16;
+
 std::vector<uint32_t> HashJoin(const Table& data, int rid_col,
                                const std::vector<int64_t>& rlist) {
   std::unordered_set<int64_t> probe(rlist.begin(), rlist.end());
   const auto& rids = data.column(rid_col).int_data();
-  std::vector<uint32_t> out;
-  out.reserve(rlist.size());
-  const uint32_t n = static_cast<uint32_t>(data.num_rows());
-  for (uint32_t r = 0; r < n; ++r) {
-    if (probe.count(rids[r])) out.push_back(r);
-  }
-  return out;
+  const size_t n = data.num_rows();
+  return ParallelCollect<uint32_t>(
+      n, kScanGrain,
+      [&probe, &rids](size_t lo, size_t hi, std::vector<uint32_t>* out) {
+        for (size_t r = lo; r < hi; ++r) {
+          if (probe.count(rids[r])) out->push_back(static_cast<uint32_t>(r));
+        }
+      });
 }
 
 std::vector<uint32_t> MergeJoin(const Table& data, int rid_col,
                                 const std::vector<int64_t>& rlist,
                                 bool clustered_on_rid) {
-  std::vector<int64_t> sorted_rlist = rlist;
-  std::sort(sorted_rlist.begin(), sorted_rlist.end());
+  // Sorted-merge fast path: checkout rlists are stored sorted, so the sort
+  // of the probe side is usually a no-op — detect that instead of paying an
+  // unconditional copy + sort.
+  std::vector<int64_t> sorted_storage;
+  const std::vector<int64_t>* sorted_rlist_ptr = &rlist;
+  if (!std::is_sorted(rlist.begin(), rlist.end())) {
+    sorted_storage = rlist;
+    std::sort(sorted_storage.begin(), sorted_storage.end());
+    sorted_rlist_ptr = &sorted_storage;
+  }
+  const std::vector<int64_t>& sorted_rlist = *sorted_rlist_ptr;
 
   const auto& rids = data.column(rid_col).int_data();
   const uint32_t n = static_cast<uint32_t>(data.num_rows());

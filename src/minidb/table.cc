@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace orpheus::minidb {
 
@@ -54,6 +55,24 @@ void Table::AppendIntRowUnchecked(const std::vector<int64_t>& vals) {
   MaintainIndexesOnAppend(static_cast<uint32_t>(num_rows_ - 1));
 }
 
+void Table::AppendIntRows(const int64_t* rows, size_t nrows) {
+  const size_t ncols = columns_.size();
+  ParallelFor(0, ncols, 1, [this, rows, nrows, ncols](size_t lo, size_t hi) {
+    for (size_t c = lo; c < hi; ++c) {
+      for (size_t r = 0; r < nrows; ++r) {
+        columns_[c].AppendInt(rows[r * ncols + c]);
+      }
+    }
+  });
+  const size_t first_new = num_rows_;
+  num_rows_ += nrows;
+  if (!indexes_.empty()) {
+    for (size_t r = first_new; r < num_rows_; ++r) {
+      MaintainIndexesOnAppend(static_cast<uint32_t>(r));
+    }
+  }
+}
+
 Row Table::GetRow(uint32_t row) const {
   Row out;
   out.reserve(columns_.size());
@@ -102,13 +121,20 @@ std::vector<uint32_t> Table::SelectRows(
 
 std::vector<uint32_t> Table::SelectRowsArrayContains(int array_col,
                                                      int64_t needle) const {
-  std::vector<uint32_t> out;
   const Column& col = columns_[array_col];
-  for (uint32_t r = 0; r < num_rows_; ++r) {
-    const auto& arr = col.GetIntArray(r);
-    if (std::binary_search(arr.begin(), arr.end(), needle)) out.push_back(r);
-  }
-  return out;
+  // Still a full-table scan (the combined-table checkout plan), but the
+  // per-row binary searches fan out across the pool; chunk outputs are
+  // stitched in row order so the result matches the serial scan exactly.
+  return ParallelCollect<uint32_t>(
+      num_rows_, 1 << 13,
+      [&col, needle](size_t lo, size_t hi, std::vector<uint32_t>* out) {
+        for (size_t r = lo; r < hi; ++r) {
+          const auto& arr = col.GetIntArray(r);
+          if (std::binary_search(arr.begin(), arr.end(), needle)) {
+            out->push_back(static_cast<uint32_t>(r));
+          }
+        }
+      });
 }
 
 Table Table::CopyRows(const std::vector<uint32_t>& rows,
@@ -132,7 +158,11 @@ Table Table::ProjectRows(const std::vector<uint32_t>& rows,
 
 void Table::AppendFrom(const Table& src, const std::vector<uint32_t>& rows,
                        const std::vector<int>* src_cols) {
-  for (size_t c = 0; c < columns_.size(); ++c) {
+  // Column fills are independent, so materialization (the copy half of a
+  // checkout) parallelizes across columns. Row order within each column is
+  // preserved, so the result is layout-identical to the serial fill.
+  const size_t ncols = columns_.size();
+  auto fill_column = [this, &src, &rows, src_cols](size_t c) {
     const Column& in = src.columns_[src_cols ? (*src_cols)[c] : c];
     Column& out = columns_[c];
     switch (in.type()) {
@@ -149,6 +179,13 @@ void Table::AppendFrom(const Table& src, const std::vector<uint32_t>& rows,
         for (uint32_t r : rows) out.AppendValue(in.GetValue(r));
         break;
     }
+  };
+  if (rows.size() >= 4096 && ncols > 1) {
+    ParallelFor(0, ncols, 1, [&fill_column](size_t lo, size_t hi) {
+      for (size_t c = lo; c < hi; ++c) fill_column(c);
+    });
+  } else {
+    for (size_t c = 0; c < ncols; ++c) fill_column(c);
   }
   size_t first_new = num_rows_;
   num_rows_ += rows.size();
@@ -164,8 +201,8 @@ Table Table::Clone(std::string new_name) const {
   std::iota(all.begin(), all.end(), 0u);
   Table out = CopyRows(all, std::move(new_name));
   for (const auto& [col, idx] : indexes_) {
-    Status s = out.BuildUniqueIntIndex(col);
-    (void)s;  // Clone of a valid index cannot fail.
+    // Clone of a valid unique index cannot find duplicates.
+    ORPHEUS_CHECK_OK(out.BuildUniqueIntIndex(col));
   }
   return out;
 }
@@ -180,8 +217,8 @@ void Table::SortByIntColumn(int col) {
   columns_ = std::move(sorted.columns_);
   for (auto& [icol, idx] : indexes_) {
     (void)idx;
-    Status s = BuildUniqueIntIndex(icol);
-    (void)s;
+    // Re-clustering permutes rows but keeps keys unique.
+    ORPHEUS_CHECK_OK(BuildUniqueIntIndex(icol));
   }
 }
 

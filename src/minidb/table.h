@@ -52,6 +52,12 @@ class Table {
   /// tables). `vals` must have exactly num_columns() entries.
   void AppendIntRowUnchecked(const std::vector<int64_t>& vals);
 
+  /// Bulk append of `nrows` all-int64 rows laid out row-major in `rows`
+  /// (nrows * num_columns() values). Column fills run in parallel on the
+  /// global thread pool; index maintenance is serial and in row order, so
+  /// the result is identical to nrows AppendIntRowUnchecked calls.
+  void AppendIntRows(const int64_t* rows, size_t nrows);
+
   Value GetValue(uint32_t row, size_t col) const {
     return columns_[col].GetValue(row);
   }

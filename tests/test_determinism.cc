@@ -1,0 +1,206 @@
+// Determinism across pool degrees: every parallel construct in the engine
+// must produce byte-identical results whether it runs serially (degree 1,
+// the reference semantics) or fanned out (degree 8 on however many cores
+// the machine has). These tests re-run whole engine operations at both
+// degrees and compare exact outputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "benchdata/generator.h"
+#include "common/thread_pool.h"
+#include "core/baselines.h"
+#include "core/lyresplit.h"
+#include "core/partition_store.h"
+#include "deltastore/algorithms.h"
+#include "deltastore/delta.h"
+#include "deltastore/repository.h"
+#include "deltastore/storage_graph.h"
+#include "minidb/join.h"
+
+namespace orpheus::core {
+namespace {
+
+struct Fixture {
+  benchdata::VersionedDataset ds;
+  DatasetAccessor accessor;
+  RecordSetView view;
+  VersionGraph graph;
+
+  explicit Fixture(int versions = 40, int ops = 15)
+      : ds(benchdata::VersionedDataset::Generate(
+            benchdata::SciConfig("S", versions, 5, ops))) {
+    accessor.num_versions = ds.num_versions();
+    accessor.num_attributes = ds.num_attributes();
+    accessor.records_of = [this](int v) -> const std::vector<RecordId>& {
+      return ds.version(v).records;
+    };
+    accessor.payload_of = [this](RecordId rid, std::vector<int64_t>* out) {
+      *out = ds.RecordPayload(rid);
+    };
+    view.num_versions = ds.num_versions();
+    view.records_of = accessor.records_of;
+    for (int v = 0; v < ds.num_versions(); ++v) {
+      const auto& spec = ds.version(v);
+      std::vector<int64_t> w;
+      for (int p : spec.parents) w.push_back(ds.CommonRecords(p, v));
+      graph.AddVersion(spec.parents, w,
+                       static_cast<int64_t>(spec.records.size()));
+    }
+  }
+};
+
+// Every cell of an all-int64 table, row-major: equal vectors <=> identical
+// physical layout.
+std::vector<int64_t> Flatten(const minidb::Table& t) {
+  std::vector<int64_t> out;
+  out.reserve(t.num_rows() * t.num_columns());
+  for (uint32_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      out.push_back(t.column(c).GetInt(r));
+    }
+  }
+  return out;
+}
+
+// Run `fn` once at degree 1 and once at degree 8; returns the two results.
+template <typename Fn>
+auto AtBothDegrees(Fn fn) {
+  ThreadPool::Global().SetDegree(1);
+  auto serial = fn();
+  ThreadPool::Global().SetDegree(8);
+  auto parallel = fn();
+  ThreadPool::Global().SetDegree(1);
+  return std::make_pair(std::move(serial), std::move(parallel));
+}
+
+TEST(DeterminismTest, BuildAndCheckoutIdenticalAcrossDegrees) {
+  Fixture f;
+  Partitioning plan = LyreSplitWithDelta(f.graph, 0.3).partitioning;
+  auto run = [&f, &plan] {
+    PartitionedStore store = PartitionedStore::Build(f.accessor, plan);
+    std::vector<std::vector<int64_t>> checkouts;
+    for (int v = 0; v < f.ds.num_versions(); ++v) {
+      auto t = store.Checkout(v);
+      EXPECT_TRUE(t.ok()) << t.status().ToString();
+      checkouts.push_back(Flatten(*t));
+    }
+    checkouts.push_back({static_cast<int64_t>(store.TotalDataRecords()),
+                         static_cast<int64_t>(store.StorageBytes())});
+    return checkouts;
+  };
+  auto [serial, parallel] = AtBothDegrees(run);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(DeterminismTest, MigrationIdenticalAcrossDegrees) {
+  Fixture f;
+  Partitioning coarse = LyreSplitWithDelta(f.graph, 0.15).partitioning;
+  Partitioning fine = LyreSplitWithDelta(f.graph, 0.35).partitioning;
+  for (bool intelligent : {false, true}) {
+    auto run = [&f, &coarse, &fine, intelligent] {
+      PartitionedStore store = PartitionedStore::Build(f.accessor, coarse);
+      uint64_t work = store.MigrateTo(f.accessor, fine, intelligent);
+      std::vector<std::vector<int64_t>> state;
+      state.push_back({static_cast<int64_t>(work),
+                       static_cast<int64_t>(store.TotalDataRecords())});
+      for (int v = 0; v < f.ds.num_versions(); ++v) {
+        auto t = store.Checkout(v);
+        EXPECT_TRUE(t.ok());
+        state.push_back(Flatten(*t));
+      }
+      return state;
+    };
+    auto [serial, parallel] = AtBothDegrees(run);
+    EXPECT_EQ(serial, parallel) << "intelligent=" << intelligent;
+  }
+}
+
+TEST(DeterminismTest, JoinsIdenticalAcrossDegrees) {
+  // A table whose rid column is deliberately unordered, probed with both
+  // sorted and unsorted rlists under each algorithm.
+  minidb::Table t("t", minidb::Schema({{"_rid", minidb::ValueType::kInt64},
+                                       {"a", minidb::ValueType::kInt64}}));
+  for (int64_t i = 0; i < 20000; ++i) {
+    t.AppendIntRowUnchecked({(i * 7919) % 20011, i});
+  }
+  ASSERT_TRUE(t.BuildUniqueIntIndex(0).ok());
+  std::vector<int64_t> sorted_rlist;
+  for (int64_t r = 0; r < 20011; r += 3) sorted_rlist.push_back(r);
+  std::vector<int64_t> unsorted_rlist(sorted_rlist.rbegin(),
+                                      sorted_rlist.rend());
+  for (auto algo : {minidb::JoinAlgorithm::kHashJoin,
+                    minidb::JoinAlgorithm::kMergeJoin,
+                    minidb::JoinAlgorithm::kIndexNestedLoop}) {
+    for (const auto* rlist : {&sorted_rlist, &unsorted_rlist}) {
+      auto run = [&t, rlist, algo] {
+        return minidb::JoinRids(t, 0, *rlist, algo,
+                                /*clustered_on_rid=*/false);
+      };
+      auto [serial, parallel] = AtBothDegrees(run);
+      EXPECT_EQ(serial, parallel)
+          << minidb::JoinAlgorithmName(algo) << " sorted="
+          << (rlist == &sorted_rlist);
+    }
+  }
+}
+
+TEST(DeterminismTest, PartitionersIdenticalAcrossDegrees) {
+  Fixture f;
+  {
+    auto run = [&f] {
+      return LyreSplitForBudget(f.graph, 2 * f.ds.num_distinct_records())
+          .partitioning.partition_of;
+    };
+    auto [serial, parallel] = AtBothDegrees(run);
+    EXPECT_EQ(serial, parallel) << "lyresplit";
+  }
+  {
+    auto run = [&f] {
+      return KmeansPartition(f.view, KmeansOptions{}).partition_of;
+    };
+    auto [serial, parallel] = AtBothDegrees(run);
+    EXPECT_EQ(serial, parallel) << "kmeans";
+  }
+  {
+    auto run = [&f] {
+      return AggloPartition(f.view, AggloOptions{}).partition_of;
+    };
+    auto [serial, parallel] = AtBothDegrees(run);
+    EXPECT_EQ(serial, parallel) << "agglo";
+  }
+}
+
+TEST(DeterminismTest, DeltaMaterializationIdenticalAcrossDegrees) {
+  using deltastore::FileRepository;
+  FileRepository::Config config;
+  config.num_versions = 30;
+  FileRepository repo = FileRepository::Generate(config);
+  deltastore::StorageGraph graph =
+      repo.BuildStorageGraph(/*undirected=*/false,
+                             deltastore::PhiModel::kProportional);
+  deltastore::StorageSolution solution =
+      deltastore::MinimumStorageArborescence(graph);
+  std::vector<int> versions(repo.num_versions());
+  for (int v = 0; v < repo.num_versions(); ++v) versions[v] = v;
+  auto run = [&repo, &solution, &versions] {
+    auto many = repo.MaterializeMany(solution, versions);
+    EXPECT_TRUE(many.ok());
+    std::vector<std::vector<std::string>> lines;
+    for (const auto& f : *many) lines.push_back(f.lines);
+    return lines;
+  };
+  auto [serial, parallel] = AtBothDegrees(run);
+  EXPECT_EQ(serial, parallel);
+  // And the batch path agrees with the one-at-a-time path.
+  for (int v : versions) {
+    auto one = repo.Materialize(solution, v);
+    ASSERT_TRUE(one.ok());
+    EXPECT_EQ(one->lines, serial[v]);
+  }
+}
+
+}  // namespace
+}  // namespace orpheus::core
