@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "core/lyresplit.h"
 #include "core/query.h"
+#include "core/validate.h"
 #include "minidb/csv.h"
 
 namespace orpheus::cli {
@@ -166,6 +167,7 @@ Result<std::string> CommandProcessor::Execute(const std::string& line) {
   if (cmd == "log") return Log(args);
   if (cmd == "run") return RunSql(args);
   if (cmd == "optimize") return Optimize(args);
+  if (cmd == "fsck") return Fsck(args);
   if (cmd == "tables") {
     std::string out;
     for (const auto& name : staging_.ListTables()) {
@@ -447,6 +449,33 @@ Result<std::string> CommandProcessor::Optimize(const Args& args) {
       static_cast<unsigned long long>(plan.estimated.storage),
       static_cast<unsigned long long>(gamma), plan.estimated.checkout_avg,
       single.checkout_avg);
+}
+
+Result<std::string> CommandProcessor::Fsck(const Args& args) {
+  ValidationReport report;
+  int checked = 0;
+  if (!args.positional.empty()) {
+    auto cvd = FindCvd(args.positional[0]);
+    if (!cvd.ok()) return cvd.status();
+    core::ValidateCvd(**cvd, &report);
+    ++checked;
+  } else {
+    for (const auto& [name, cvd] : cvds_) {
+      (void)name;
+      core::ValidateCvd(*cvd, &report);
+      ++checked;
+    }
+    for (const auto& name : staging_.ListTables()) {
+      const Table* table = staging_.GetTable(name);
+      if (table != nullptr) table->ValidateIndexes(&report);
+    }
+  }
+  if (report.ok()) {
+    return StrFormat("fsck: %d CVD(s) checked, no violations found", checked);
+  }
+  return StrFormat("fsck: %d violation(s) found\n%s",
+                   static_cast<int>(report.num_violations()),
+                   report.ToString().c_str());
 }
 
 }  // namespace orpheus::cli

@@ -34,6 +34,10 @@ namespace orpheus::cli {
 ///   run "<sql>"                     versioned SQL (Sec. 3.3.2)
 ///   optimize <cvd> [-g <factor>]    run the partition optimizer (Ch. 5)
 ///   tables                          list staging tables
+///   fsck [cvd]                      check structural invariants; with no
+///                                   argument checks every CVD and the
+///                                   staging tables, reporting every
+///                                   violation found
 class CommandProcessor {
  public:
   CommandProcessor() = default;
@@ -71,6 +75,7 @@ class CommandProcessor {
   Result<std::string> Log(const Args& args);
   Result<std::string> RunSql(const Args& args);
   Result<std::string> Optimize(const Args& args);
+  Result<std::string> Fsck(const Args& args);
 
   Result<core::Cvd*> FindCvd(const std::string& name);
   /// The CVD that owns staging table `table`, or an error.

@@ -1,7 +1,6 @@
 #ifndef ORPHEUS_COMMON_RESULT_H_
 #define ORPHEUS_COMMON_RESULT_H_
 
-#include <cassert>
 #include <utility>
 #include <variant>
 
@@ -15,36 +14,47 @@ namespace orpheus {
 ///   Result<VersionId> r = cvd.Commit(...);
 ///   if (!r.ok()) return r.status();
 ///   VersionId vid = r.ValueOrDie();
+///
+/// Result is [[nodiscard]] (see Status); value access on an error result
+/// aborts with the contained error message in every build mode — an
+/// unchecked ValueOrDie never degrades to undefined behavior in release
+/// builds.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
-  /// Implicit construction from a non-OK status (failure).
+  /// Implicit construction from a non-OK status (failure). Wrapping an OK
+  /// status would leave the error arm claiming success; it aborts.
   Result(Status status) : var_(std::move(status)) {  // NOLINT
-    assert(!std::get<Status>(var_).ok());
+    if (std::get<Status>(var_).ok()) {
+      internal::ResultBadAccess(std::get<Status>(var_),
+                                "constructed from OK status");
+    }
   }
 
   bool ok() const { return std::holds_alternative<T>(var_); }
 
+  /// The contained error, or a shared OK constant for successful results.
+  /// The constant is namespace-level (common/status.h), safe under
+  /// concurrent access from multiple threads.
   const Status& status() const {
-    static const Status kOk = Status::OK();
-    if (ok()) return kOk;
+    if (ok()) return internal::kOkStatus;
     return std::get<Status>(var_);
   }
 
   const T& ValueOrDie() const {
-    assert(ok());
+    DieUnlessOk("ValueOrDie");
     return std::get<T>(var_);
   }
   T& ValueOrDie() {
-    assert(ok());
+    DieUnlessOk("ValueOrDie");
     return std::get<T>(var_);
   }
 
   /// Move the contained value out; only valid when ok().
   T MoveValueOrDie() {
-    assert(ok());
+    DieUnlessOk("MoveValueOrDie");
     return std::move(std::get<T>(var_));
   }
 
@@ -54,6 +64,10 @@ class Result {
   T* operator->() { return &ValueOrDie(); }
 
  private:
+  void DieUnlessOk(const char* op) const {
+    if (!ok()) internal::ResultBadAccess(std::get<Status>(var_), op);
+  }
+
   std::variant<T, Status> var_;
 };
 

@@ -14,6 +14,12 @@ void CheckOkFailed(const Status& status, const char* expr, const char* file,
   std::abort();
 }
 
+void ResultBadAccess(const Status& status, const char* op) {
+  std::fprintf(stderr, "Result<T> misuse (%s); contained status: %s\n", op,
+               status.ToString().c_str());
+  std::abort();
+}
+
 }  // namespace internal
 
 namespace {

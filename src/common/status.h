@@ -26,7 +26,12 @@ enum class StatusCode {
 /// Usage:
 ///   Status s = cvd.Commit(...);
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// Status is [[nodiscard]]: every call returning one must be checked,
+/// propagated (ORPHEUS_RETURN_NOT_OK), asserted (ORPHEUS_CHECK_OK), or
+/// explicitly dropped (ORPHEUS_IGNORE_ERROR) — silent discards are a
+/// compile error under -Werror=unused-result.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg)
@@ -91,6 +96,18 @@ namespace internal {
 /// macro below stays cheap at every call site.
 [[noreturn]] void CheckOkFailed(const Status& status, const char* expr,
                                 const char* file, int line);
+
+/// Prints the offending operation and the contained error, then aborts.
+/// Called by Result<T> accessors on misuse (value access on an error, or
+/// wrapping an OK status as an error); active in all build modes so release
+/// builds fail loudly instead of reading a moved-from variant.
+[[noreturn]] void ResultBadAccess(const Status& status, const char* op);
+
+/// The shared OK constant returned by Result<T>::status() for successful
+/// results. A namespace-level inline constant (initialized during static
+/// initialization) rather than a function-local static, so concurrent
+/// readers never touch an initialization guard.
+inline const Status kOkStatus = Status::OK();
 }  // namespace internal
 
 /// Abort on a non-OK Status in contexts where failure indicates a broken
@@ -104,6 +121,11 @@ namespace internal {
       ::orpheus::internal::CheckOkFailed(_s, #expr, __FILE__, __LINE__); \
     }                                                                   \
   } while (0)
+
+/// Deliberately drop a Status/Result. The only sanctioned way to ignore an
+/// error (tools/lint.py rejects raw `(void)` casts of calls): it documents
+/// intent at the call site and keeps discards greppable.
+#define ORPHEUS_IGNORE_ERROR(expr) static_cast<void>(expr)
 
 }  // namespace orpheus
 

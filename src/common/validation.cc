@@ -1,0 +1,47 @@
+#include "common/validation.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace orpheus {
+
+std::string Violation::ToString() const {
+  std::string out = component;
+  if (!context.empty()) {
+    out += " [";
+    out += context;
+    out += "]";
+  }
+  out += ": ";
+  out += message;
+  return out;
+}
+
+std::string ValidationReport::ToString() const {
+  if (ok()) return "ok";
+  std::string out;
+  for (const Violation& v : violations_) {
+    out += v.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+bool ValidationEnabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("ORPHEUS_VALIDATE");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+  }();
+  return enabled;
+}
+
+void DieIfViolations(const ValidationReport& report, const char* where) {
+  if (report.ok()) return;
+  std::fprintf(stderr,
+               "ORPHEUS_VALIDATE: %zu invariant violation(s) after %s:\n%s",
+               report.num_violations(), where, report.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace orpheus

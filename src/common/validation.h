@@ -1,0 +1,52 @@
+#ifndef ORPHEUS_COMMON_VALIDATION_H_
+#define ORPHEUS_COMMON_VALIDATION_H_
+
+#include <string>
+#include <vector>
+
+namespace orpheus {
+
+/// One broken invariant, with enough context to locate it: the subsystem
+/// ("version_graph", "partition_store", ...), the object inside it
+/// ("partition 3", "version 7"), and what is wrong.
+struct Violation {
+  std::string component;
+  std::string context;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// Accumulator for invariant violations. Validators append every violation
+/// they find instead of stopping at the first, so `fsck` can present the
+/// complete damage picture of a corrupted store in one pass.
+class ValidationReport {
+ public:
+  void Add(std::string component, std::string context, std::string message) {
+    violations_.push_back(
+        {std::move(component), std::move(context), std::move(message)});
+  }
+
+  bool ok() const { return violations_.empty(); }
+  size_t num_violations() const { return violations_.size(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /// All violations, one per line; "ok" when clean.
+  std::string ToString() const;
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+/// True when ORPHEUS_VALIDATE=1 (or any nonempty value other than "0") is
+/// set in the environment: mutating operations then re-validate their
+/// structures and abort on the first broken invariant. Read once at startup.
+bool ValidationEnabled();
+
+/// Abort with the full report when it contains violations (no-op when
+/// clean). `where` names the operation whose post-state failed validation.
+void DieIfViolations(const ValidationReport& report, const char* where);
+
+}  // namespace orpheus
+
+#endif  // ORPHEUS_COMMON_VALIDATION_H_

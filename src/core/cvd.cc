@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "core/validate.h"
 
 namespace orpheus::core {
 
@@ -36,6 +37,19 @@ Value CoerceValue(const Value& v, ValueType to) {
     return Value(v.ToString());
   }
   return v;
+}
+
+}  // namespace
+
+namespace {
+
+// With ORPHEUS_VALIDATE set, re-check the CVD's invariants after a mutating
+// operation and abort on damage (see core/validate.h).
+void MaybeValidate(const Cvd& cvd, const char* op) {
+  if (!ValidationEnabled()) return;
+  ValidationReport report;
+  ValidateCvd(cvd, &report);
+  DieIfViolations(report, op);
 }
 
 }  // namespace
@@ -146,6 +160,7 @@ Status Cvd::Checkout(const std::vector<VersionId>& vids,
   if (!adopted.ok()) return adopted.status();
   logical_clock_ += 1.0;
   staging_[table_name] = StagingInfo{vids, logical_clock_};
+  MaybeValidate(*this, "Cvd::Checkout");
   return Status::OK();
 }
 
@@ -316,6 +331,7 @@ Result<VersionId> Cvd::CommitTable(const Table& table,
   meta.attributes = current_attr_ids_;
   meta.num_records = static_cast<int64_t>(rids.size());
   metadata_.push_back(std::move(meta));
+  MaybeValidate(*this, "Cvd::CommitTable");
   return PublicId(dense);
 }
 
@@ -340,6 +356,7 @@ Result<VersionId> Cvd::Commit(const std::string& table_name,
   // Cleanup: the record manager removes the table from the staging area.
   ORPHEUS_RETURN_NOT_OK(staging->DropTable(table_name));
   staging_.erase(it);
+  MaybeValidate(*this, "Cvd::Commit");
   return vid;
 }
 

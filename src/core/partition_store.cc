@@ -7,6 +7,7 @@
 #include "common/scoped_timer.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/validate.h"
 #include "minidb/join.h"
 
 namespace orpheus::core {
@@ -34,6 +35,15 @@ void RunPerPartition(size_t n, Fn fn) {
   }
   if (n > 0) fn(0);
   group.Wait();
+}
+
+// With ORPHEUS_VALIDATE set, re-check every structural invariant after a
+// mutating operation and abort on damage (see core/validate.h).
+void MaybeValidate(const PartitionedStore& store, const char* op) {
+  if (!ValidationEnabled()) return;
+  ValidationReport report;
+  ValidatePartitionedStore(store, &report);
+  DieIfViolations(report, op);
 }
 
 }  // namespace
@@ -144,6 +154,7 @@ PartitionedStore PartitionedStore::Build(const DatasetAccessor& ds,
     FillPartition(ds, groups[k], &store.parts_[k]);
     ClusterOnRid(&store.parts_[k]);
   });
+  MaybeValidate(store, "PartitionedStore::Build");
   return store;
 }
 
@@ -213,6 +224,7 @@ uint64_t PartitionedStore::MigrateTo(const DatasetAccessor& ds,
     for (const auto& p : fresh) work += p.data.num_rows();
     parts_ = std::move(fresh);
     partition_of_ = target.partition_of;
+    MaybeValidate(*this, "PartitionedStore::MigrateTo");
     return work;
   }
 
@@ -365,6 +377,7 @@ uint64_t PartitionedStore::MigrateTo(const DatasetAccessor& ds,
   for (uint64_t w : work_of) work += w;
   parts_ = std::move(fresh);
   partition_of_ = target.partition_of;
+  MaybeValidate(*this, "PartitionedStore::MigrateTo");
   return work;
 }
 
@@ -388,6 +401,7 @@ Result<int> PartitionedStore::AddVersion(const DatasetAccessor& ds,
   }
   AppendVersionRecords(ds, version, missing, &part);
   partition_of_.push_back(partition);
+  MaybeValidate(*this, "PartitionedStore::AddVersion");
   return partition;
 }
 

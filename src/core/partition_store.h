@@ -67,7 +67,23 @@ class PartitionedStore {
   Result<int> AddVersion(const DatasetAccessor& ds, int version,
                          int partition);
 
+  /// Read-only introspection for the invariant validator and fsck
+  /// (core/validate.h).
+  const minidb::Table& partition_data_table(int p) const {
+    return parts_[p].data;
+  }
+  const minidb::Table& partition_versioning_table(int p) const {
+    return parts_[p].versioning;
+  }
+  bool partition_rid_clustered(int p) const {
+    return parts_[p].rid_clustered;
+  }
+
  private:
+  /// Test-only backdoor: the validator tests corrupt a store through this
+  /// to verify each seeded violation is detected. Defined in the tests.
+  friend struct PartitionedStoreTestAccess;
+
   struct Part {
     minidb::Table data;        // [_rid, attrs...]
     minidb::Table versioning;  // [vid, rlist]

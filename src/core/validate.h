@@ -1,0 +1,44 @@
+#ifndef ORPHEUS_CORE_VALIDATE_H_
+#define ORPHEUS_CORE_VALIDATE_H_
+
+#include "common/validation.h"
+#include "core/cvd.h"
+#include "core/partition_store.h"
+#include "core/version_graph.h"
+
+namespace orpheus::core {
+
+/// Structural invariant checks for the core data structures (the validator
+/// subsystem behind `fsck` and ORPHEUS_VALIDATE). Every checker appends all
+/// the violations it finds to `report` instead of stopping at the first.
+///
+/// Invariant catalog (see DESIGN.md):
+///  - version graph: edges in range, no self edges or duplicate parents,
+///    parent/child adjacency symmetric, acyclic, edge weights recorded and
+///    bounded by both endpoint record counts;
+///  - partition store: every version in exactly one partition (disjoint and
+///    covering), versioning rows agree with the version->partition map,
+///    rlists sorted/unique and contained in the partition's data table, no
+///    orphan or duplicate data records, the rid_clustered flag only set when
+///    the data table is physically rid-ordered, unique indexes agree with
+///    the payload (minidb::Table::ValidateIndexes);
+///  - CVD: metadata/version-graph/backend agreement (vid numbering, parent
+///    validity, record counts), per-version rid lists sorted and unique,
+///    edge weights equal to the true record overlap (the bipartite
+///    version--record consistency), attribute ids within the attribute
+///    table, staging registrations referencing live versions.
+
+/// Check the version graph G = (V, E).
+void ValidateVersionGraph(const VersionGraph& graph, ValidationReport* report);
+
+/// Check a partitioned store (Sec. 5.1) in isolation.
+void ValidatePartitionedStore(const PartitionedStore& store,
+                              ValidationReport* report);
+
+/// Check a CVD end to end: version graph, metadata, backend record sets,
+/// and staging registrations.
+void ValidateCvd(const Cvd& cvd, ValidationReport* report);
+
+}  // namespace orpheus::core
+
+#endif  // ORPHEUS_CORE_VALIDATE_H_

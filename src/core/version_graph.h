@@ -59,6 +59,10 @@ class VersionGraph {
   uint64_t TotalBipartiteEdges() const;
 
  private:
+  /// Test-only backdoor: the validator tests seed cycles and adjacency
+  /// asymmetries through this to verify detection. Defined in the tests.
+  friend struct VersionGraphTestAccess;
+
   std::vector<std::vector<int>> parents_;
   std::vector<std::vector<int>> children_;
   std::vector<std::vector<int64_t>> parent_weights_;

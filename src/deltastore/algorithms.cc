@@ -6,11 +6,27 @@
 #include <queue>
 #include <vector>
 
+#include "common/validation.h"
+#include "deltastore/validate.h"
+
 namespace orpheus::deltastore {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Solver postcondition, enforced when ORPHEUS_VALIDATE is set: every
+// produced solution must be a spanning forest of revealed deltas rooted at
+// the dummy vertex (deltastore/validate.h). Aborts on a violation.
+StorageSolution Checked(const StorageGraph& graph, StorageSolution sol,
+                        const char* op) {
+  if (ValidationEnabled()) {
+    ValidationReport report;
+    ValidateStorageSolution(graph, sol, &report);
+    DieIfViolations(report, op);
+  }
+  return sol;
+}
 
 struct OutEdge {
   int to;
@@ -62,7 +78,7 @@ StorageSolution MinimumStorageTree(const StorageGraph& graph) {
       }
     }
   }
-  return sol;
+  return Checked(graph, std::move(sol), "MinimumStorageTree");
 }
 
 // ---------------------------------------------------------------------------
@@ -210,7 +226,7 @@ StorageSolution MinimumStorageArborescence(const StorageGraph& graph) {
   for (int id : chosen) {
     sol.parent[endpoint[id].second] = endpoint[id].first;
   }
-  return sol;
+  return Checked(graph, std::move(sol), "MinimumStorageArborescence");
 }
 
 StorageSolution ShortestPathTree(const StorageGraph& graph) {
@@ -241,7 +257,7 @@ StorageSolution ShortestPathTree(const StorageGraph& graph) {
   }
   StorageSolution sol;
   sol.parent = std::move(parent);
-  return sol;
+  return Checked(graph, std::move(sol), "ShortestPathTree");
 }
 
 // ---------------------------------------------------------------------------
@@ -284,8 +300,6 @@ StorageSolution RunLmg(const StorageGraph& graph, double beta, double theta) {
 
     int best = -1;
     double best_ratio = 0.0;
-    double best_gain = 0.0;
-    double best_dstorage = 0.0;
     for (int v = 0; v < n; ++v) {
       if (sol.parent[v] == StorageGraph::kDummy) continue;
       double gain = (costs->recreation[v] -
@@ -302,12 +316,8 @@ StorageSolution RunLmg(const StorageGraph& graph, double beta, double theta) {
       if (best < 0 || ratio > best_ratio) {
         best = v;
         best_ratio = ratio;
-        best_gain = gain;
-        best_dstorage = dstorage;
       }
     }
-    (void)best_gain;
-    (void)best_dstorage;
     if (best < 0) return sol;
     sol.parent[best] = StorageGraph::kDummy;
   }
@@ -316,12 +326,14 @@ StorageSolution RunLmg(const StorageGraph& graph, double beta, double theta) {
 }  // namespace
 
 StorageSolution LmgWithStorageBudget(const StorageGraph& graph, double beta) {
-  return RunLmg(graph, beta, /*theta=*/-1.0);
+  return Checked(graph, RunLmg(graph, beta, /*theta=*/-1.0),
+                 "LmgWithStorageBudget");
 }
 
 StorageSolution LmgWithRecreationTarget(const StorageGraph& graph,
                                         double theta) {
-  return RunLmg(graph, /*beta=*/-1.0, theta);
+  return Checked(graph, RunLmg(graph, /*beta=*/-1.0, theta),
+                 "LmgWithRecreationTarget");
 }
 
 // ---------------------------------------------------------------------------
@@ -466,7 +478,7 @@ StorageSolution MpWithRecreationThreshold(const StorageGraph& graph,
   }
   ImproveParents(graph, theta, &sol);
   RepairThetaViolations(graph, theta, ShortestPathTree(graph), &sol);
-  return sol;
+  return Checked(graph, std::move(sol), "MpWithRecreationThreshold");
 }
 
 StorageSolution MpWithStorageBudget(const StorageGraph& graph, double beta) {
@@ -482,12 +494,10 @@ StorageSolution MpWithStorageBudget(const StorageGraph& graph, double beta) {
   // min-storage tree as the least-bad answer.
   StorageSolution best = mst;
   double best_max = kInf;
-  bool have_feasible = false;
   if (spt_costs.ok() && mst_costs.ok() &&
       spt_costs->total_storage <= beta) {
     best = spt;  // SPT fits the budget: it has the smallest possible max R
     best_max = spt_costs->max_recreation;
-    have_feasible = true;
   }
   for (int it = 0; it < 40; ++it) {
     double theta = 0.5 * (lo + hi);
@@ -497,15 +507,13 @@ StorageSolution MpWithStorageBudget(const StorageGraph& graph, double beta) {
       if (costs->max_recreation < best_max) {
         best = cand;
         best_max = costs->max_recreation;
-        have_feasible = true;
       }
       hi = theta;  // afford a tighter recreation bound
     } else {
       lo = theta;
     }
   }
-  (void)have_feasible;
-  return best;
+  return Checked(graph, std::move(best), "MpWithStorageBudget");
 }
 
 // ---------------------------------------------------------------------------
@@ -519,7 +527,9 @@ StorageSolution LastTree(const StorageGraph& graph, double alpha) {
   auto spt_costs = EvaluateSolution(graph, spt);
   StorageSolution mst = MinimumStorageTree(graph);
   auto mst_costs = EvaluateSolution(graph, mst);
-  if (!spt_costs.ok() || !mst_costs.ok()) return mst;
+  if (!spt_costs.ok() || !mst_costs.ok()) {
+    return Checked(graph, std::move(mst), "LastTree");
+  }
   const std::vector<double>& d = spt_costs->recreation;
 
   StorageSolution sol = mst;
@@ -572,7 +582,7 @@ StorageSolution LastTree(const StorageGraph& graph, double alpha) {
       stack.push_back({c, dist + w});
     }
   }
-  return sol;
+  return Checked(graph, std::move(sol), "LastTree");
 }
 
 }  // namespace orpheus::deltastore

@@ -159,10 +159,19 @@ Result<FileContent> FileRepository::Materialize(
   if (v < 0 || v >= num_versions()) {
     return Status::NotFound(StrFormat("version %d", v));
   }
+  if (solution.num_versions() != num_versions()) {
+    return Status::InvalidArgument(
+        StrFormat("solution covers %d versions, repository has %d",
+                  solution.num_versions(), num_versions()));
+  }
   // Walk up to a materialized ancestor.
   std::vector<int> path;
   int cur = v;
   while (cur != StorageGraph::kDummy) {
+    if (cur < 0 || cur >= num_versions()) {
+      return Status::InvalidArgument(
+          StrFormat("solution parent %d out of range", cur));
+    }
     path.push_back(cur);
     if (static_cast<int>(path.size()) > num_versions()) {
       return Status::InvalidArgument("solution contains a cycle");

@@ -1,0 +1,93 @@
+#include "deltastore/validate.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace orpheus::deltastore {
+
+namespace {
+constexpr char kComponent[] = "deltastore.solution";
+}  // namespace
+
+void ValidateStorageSolution(const StorageGraph& graph,
+                             const StorageSolution& solution,
+                             ValidationReport* report) {
+  const int n = graph.num_versions();
+  if (solution.num_versions() != n) {
+    report->Add(kComponent, "",
+                StrFormat("solution covers %d versions, graph has %d",
+                          solution.num_versions(), n));
+    return;  // per-version checks below would index out of bounds
+  }
+  if (n == 0) return;
+
+  bool any_materialized = false;
+  for (int v = 0; v < n; ++v) {
+    int p = solution.parent[v];
+    if (p == StorageGraph::kDummy) {
+      any_materialized = true;
+      continue;
+    }
+    if (p < 0 || p >= n) {
+      report->Add(kComponent, StrFormat("version %d", v),
+                  StrFormat("parent %d out of range [0, %d)", p, n));
+      continue;
+    }
+    if (p == v) {
+      report->Add(kComponent, StrFormat("version %d", v),
+                  "stores a delta against itself");
+      continue;
+    }
+    bool revealed = false;
+    for (const auto& e : graph.InEdges(v)) {
+      if (e.from == p) {
+        revealed = true;
+        break;
+      }
+    }
+    if (!revealed) {
+      report->Add(kComponent, StrFormat("version %d", v),
+                  StrFormat("delta from %d was never revealed", p));
+    }
+  }
+  if (!any_materialized) {
+    report->Add(kComponent, "",
+                "no version is materialized (no root for any delta chain)");
+  }
+
+  // Every version must reach the dummy root by following parents: a chain
+  // that never reaches it sits on (or hangs off) a cycle. Memoized walk;
+  // 0 = unknown, 1 = reaches the root, 2 = does not.
+  std::vector<char> state(n, 0);
+  for (int v = 0; v < n; ++v) {
+    if (state[v] != 0) continue;
+    std::vector<int> chain;
+    int cur = v;
+    char verdict = 0;
+    while (true) {
+      if (cur == StorageGraph::kDummy) {
+        verdict = 1;
+        break;
+      }
+      if (cur < 0 || cur >= n || state[cur] != 0 ||
+          std::count(chain.begin(), chain.end(), cur) > 0) {
+        // Out-of-range parents were reported above; a known state resolves
+        // the chain; revisiting a chain member means a cycle.
+        verdict = (cur >= 0 && cur < n && state[cur] == 1) ? 1 : 2;
+        break;
+      }
+      chain.push_back(cur);
+      cur = solution.parent[cur];
+    }
+    for (int u : chain) state[u] = verdict;
+    if (verdict == 2) {
+      report->Add(kComponent, StrFormat("version %d", v),
+                  "delta chain never reaches a materialized version "
+                  "(broken or cyclic chain)");
+    }
+  }
+}
+
+}  // namespace orpheus::deltastore

@@ -1,0 +1,21 @@
+#ifndef ORPHEUS_DELTASTORE_VALIDATE_H_
+#define ORPHEUS_DELTASTORE_VALIDATE_H_
+
+#include "common/validation.h"
+#include "deltastore/storage_graph.h"
+
+namespace orpheus::deltastore {
+
+/// Structural invariant checks for a delta storage solution (Chapter 7):
+/// the parent assignment must cover every version, reference only revealed
+/// deltas, materialize at least one version, and form a forest rooted at
+/// the dummy vertex — every version reaches a materialization root without
+/// cycles (Lemma 7.1's spanning-tree property). All violations found are
+/// appended to `report`.
+void ValidateStorageSolution(const StorageGraph& graph,
+                             const StorageSolution& solution,
+                             ValidationReport* report);
+
+}  // namespace orpheus::deltastore
+
+#endif  // ORPHEUS_DELTASTORE_VALIDATE_H_

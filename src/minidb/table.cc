@@ -299,6 +299,37 @@ void Table::RewriteRowAppendToArray(uint32_t row, int array_col,
   SetRow(row, tuple);
 }
 
+void Table::ValidateIndexes(ValidationReport* report) const {
+  for (const auto& [col, idx] : indexes_) {
+    const std::string ctx = StrFormat("table %s col %d", name_.c_str(), col);
+    if (idx.size() != num_rows_) {
+      report->Add("minidb.index", ctx,
+                  StrFormat("index holds %zu entries for %zu rows",
+                            idx.size(), num_rows_));
+    }
+    for (uint32_t r = 0; r < num_rows_; ++r) {
+      if (columns_[col].IsNull(r)) {
+        report->Add("minidb.index", ctx,
+                    StrFormat("row %u has NULL in a uniquely indexed column",
+                              r));
+        continue;
+      }
+      auto it = idx.find(columns_[col].GetInt(r));
+      if (it == idx.end()) {
+        report->Add("minidb.index", ctx,
+                    StrFormat("row %u key %lld missing from the index", r,
+                              static_cast<long long>(columns_[col].GetInt(r))));
+      } else if (it->second != r) {
+        report->Add("minidb.index", ctx,
+                    StrFormat("key %lld resolves to row %u, expected row %u "
+                              "(index/payload disagreement)",
+                              static_cast<long long>(it->first), it->second,
+                              r));
+      }
+    }
+  }
+}
+
 uint64_t Table::DataBytes() const {
   uint64_t bytes = 0;
   for (const auto& col : columns_) bytes += col.StorageBytes();

@@ -11,6 +11,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/validation.h"
 #include "minidb/column.h"
 #include "minidb/schema.h"
 
@@ -139,6 +140,11 @@ class Table {
   /// makes combined-table/split-by-vlist commits expensive (Fig. 4.1b).
   void RewriteRowAppendToArray(uint32_t row, int array_col, int64_t value);
 
+  /// Check every unique index against the column data: the index holds
+  /// exactly one entry per row, each row's key resolves back to that row,
+  /// and no phantom entries remain. Appends violations to `report`.
+  void ValidateIndexes(ValidationReport* report) const;
+
   /// Bytes of table data (all columns), mirroring on-disk accounting.
   uint64_t DataBytes() const;
   /// Bytes of index structures (16 bytes per indexed row, roughly a btree
@@ -148,6 +154,10 @@ class Table {
   uint64_t StorageBytes() const { return DataBytes() + IndexBytes(); }
 
  private:
+  /// Test-only backdoor for the validator tests: corrupts internal state to
+  /// verify that ValidateIndexes detects the damage. Defined in the tests.
+  friend struct TableTestAccess;
+
   void MaintainIndexesOnAppend(uint32_t new_row);
 
   std::string name_;

@@ -1,0 +1,431 @@
+// Tests for the invariant validator subsystem (core/validate.h,
+// deltastore/validate.h) and the fsck CLI command: every seeded corruption
+// must be detected and reported, and clean stores must validate clean.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "benchdata/generator.h"
+#include "cli/command_processor.h"
+#include "common/validation.h"
+#include "core/cvd.h"
+#include "core/lyresplit.h"
+#include "core/partition_store.h"
+#include "core/validate.h"
+#include "deltastore/algorithms.h"
+#include "deltastore/repository.h"
+#include "deltastore/validate.h"
+#include "minidb/table.h"
+
+namespace orpheus::core {
+
+// Test-only corruption backdoors (friends of the production classes): seed
+// exactly one broken invariant without touching any public mutation path.
+struct VersionGraphTestAccess {
+  static void AddRawEdge(VersionGraph* g, int parent, int child, int64_t w) {
+    g->children_[parent].push_back(child);
+    g->parents_[child].push_back(parent);
+    g->parent_weights_[child].push_back(w);
+  }
+  static void AddChildOnly(VersionGraph* g, int parent, int child) {
+    g->children_[parent].push_back(child);
+  }
+};
+
+struct PartitionedStoreTestAccess {
+  static minidb::Table* data(PartitionedStore* s, int p) {
+    return &s->parts_[p].data;
+  }
+  static minidb::Table* versioning(PartitionedStore* s, int p) {
+    return &s->parts_[p].versioning;
+  }
+  static void set_partition_of(PartitionedStore* s, int v, int p) {
+    s->partition_of_[v] = p;
+  }
+};
+
+}  // namespace orpheus::core
+
+namespace orpheus::minidb {
+
+struct TableTestAccess {
+  static void PointIndexEntryAt(Table* t, int col, int64_t key,
+                                uint32_t row) {
+    t->indexes_[col][key] = row;
+  }
+  static void EraseIndexEntry(Table* t, int col, int64_t key) {
+    t->indexes_[col].erase(key);
+  }
+};
+
+}  // namespace orpheus::minidb
+
+namespace orpheus {
+namespace {
+
+using core::Cvd;
+using core::DatasetAccessor;
+using core::PartitionedStore;
+using core::PartitionedStoreTestAccess;
+using core::Partitioning;
+using core::RecordId;
+using core::VersionGraph;
+using core::VersionGraphTestAccess;
+using deltastore::FileRepository;
+using deltastore::PhiModel;
+using deltastore::StorageGraph;
+using deltastore::StorageSolution;
+
+bool Mentions(const ValidationReport& report, const std::string& needle) {
+  return report.ToString().find(needle) != std::string::npos;
+}
+
+VersionGraph ChainGraph(int n) {
+  VersionGraph g;
+  g.AddVersion({}, {}, 10);
+  for (int v = 1; v < n; ++v) g.AddVersion({v - 1}, {8}, 10);
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Version graph.
+// ---------------------------------------------------------------------------
+
+TEST(ValidateVersionGraphTest, CleanChainHasNoViolations) {
+  VersionGraph g = ChainGraph(5);
+  ValidationReport report;
+  core::ValidateVersionGraph(g, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(ValidateVersionGraphTest, DetectsCycle) {
+  VersionGraph g = ChainGraph(3);
+  // Close the chain 0 -> 1 -> 2 back onto 0. Symmetric adjacency and a
+  // legal weight, so the *only* broken invariant is acyclicity.
+  VersionGraphTestAccess::AddRawEdge(&g, 2, 0, 0);
+  ValidationReport report;
+  core::ValidateVersionGraph(g, &report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(Mentions(report, "cycle")) << report.ToString();
+  EXPECT_EQ(report.num_violations(), 1u) << report.ToString();
+}
+
+TEST(ValidateVersionGraphTest, DetectsAdjacencyAsymmetry) {
+  VersionGraph g = ChainGraph(3);
+  VersionGraphTestAccess::AddChildOnly(&g, 0, 2);
+  ValidationReport report;
+  core::ValidateVersionGraph(g, &report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(Mentions(report, "does not list 0 as a parent"))
+      << report.ToString();
+}
+
+TEST(ValidateVersionGraphTest, DetectsOverweightEdge) {
+  VersionGraph g;
+  g.AddVersion({}, {}, 10);
+  g.AddVersion({}, {}, 10);  // unconnected: the raw edge is the only one
+  VersionGraphTestAccess::AddRawEdge(&g, 0, 1, 999);  // > both record counts
+  ValidationReport report;
+  core::ValidateVersionGraph(g, &report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(Mentions(report, "exceeds an endpoint")) << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Partition store. The fixture mirrors test_partition_store.cc: a generated
+// benchmark dataset partitioned by LyreSplit.
+// ---------------------------------------------------------------------------
+
+struct StoreFixture {
+  benchdata::VersionedDataset ds;
+  DatasetAccessor accessor;
+  VersionGraph graph;
+
+  StoreFixture()
+      : ds(benchdata::VersionedDataset::Generate(
+            benchdata::SciConfig("S", 40, 5, 20))) {
+    accessor.num_versions = ds.num_versions();
+    accessor.num_attributes = ds.num_attributes();
+    accessor.records_of = [this](int v) -> const std::vector<RecordId>& {
+      return ds.version(v).records;
+    };
+    accessor.payload_of = [this](RecordId rid, std::vector<int64_t>* out) {
+      *out = ds.RecordPayload(rid);
+    };
+    for (int v = 0; v < ds.num_versions(); ++v) {
+      const auto& spec = ds.version(v);
+      std::vector<int64_t> w;
+      for (int p : spec.parents) w.push_back(ds.CommonRecords(p, v));
+      graph.AddVersion(spec.parents, w,
+                       static_cast<int64_t>(spec.records.size()));
+    }
+  }
+
+  PartitionedStore BuildStore(uint64_t gamma_factor = 2) {
+    uint64_t gamma = gamma_factor *
+                     static_cast<uint64_t>(ds.num_distinct_records());
+    Partitioning plan = core::LyreSplitForBudget(graph, gamma).partitioning;
+    return PartitionedStore::Build(accessor, plan);
+  }
+};
+
+TEST(ValidatePartitionedStoreTest, CleanBenchdataStoreHasNoViolations) {
+  StoreFixture f;
+  PartitionedStore store = f.BuildStore();
+  ValidationReport report;
+  core::ValidatePartitionedStore(store, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(ValidatePartitionedStoreTest, DetectsOverlappingPartitions) {
+  StoreFixture f;
+  PartitionedStore store = f.BuildStore(1);  // tight budget => >1 partition
+  ASSERT_GE(store.num_partitions(), 2);
+  // Duplicate partition 1's first versioning row into partition 0: that
+  // version is now claimed by two partitions.
+  minidb::Table* v0 = PartitionedStoreTestAccess::versioning(&store, 0);
+  minidb::Table* v1 = PartitionedStoreTestAccess::versioning(&store, 1);
+  v0->AppendFrom(*v1, {0});
+  ValidationReport report;
+  core::ValidatePartitionedStore(store, &report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(Mentions(report, "partitions not disjoint"))
+      << report.ToString();
+}
+
+TEST(ValidatePartitionedStoreTest, DetectsWrongPartitionMapping) {
+  StoreFixture f;
+  PartitionedStore store = f.BuildStore(1);
+  ASSERT_GE(store.num_partitions(), 2);
+  // Find a version stored in partition 0 and remap it to partition 1.
+  const minidb::Table& v0 =
+      store.partition_versioning_table(0);
+  ASSERT_GT(v0.num_rows(), 0u);
+  int victim = static_cast<int>(v0.column(0).GetInt(0));
+  PartitionedStoreTestAccess::set_partition_of(&store, victim, 1);
+  ValidationReport report;
+  core::ValidatePartitionedStore(store, &report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(Mentions(report, "stored here but mapped to partition"))
+      << report.ToString();
+}
+
+TEST(ValidatePartitionedStoreTest, DetectsStaleRidClusteredFlag) {
+  StoreFixture f;
+  PartitionedStore store = f.BuildStore();
+  ASSERT_TRUE(store.partition_rid_clustered(0));
+  // Physically re-cluster the data table on an attribute column. Indexes
+  // are rebuilt (so they stay consistent) but the rid order is destroyed
+  // while the flag still claims rid clustering.
+  minidb::Table* data = PartitionedStoreTestAccess::data(&store, 0);
+  ASSERT_GT(data->num_columns(), 1u);
+  data->SortByIntColumn(1);
+  const auto& rids = data->column(0).int_data();
+  ASSERT_FALSE(std::is_sorted(rids.begin(), rids.end()))
+      << "attribute sort left rids ordered; pick another column";
+  ValidationReport report;
+  core::ValidatePartitionedStore(store, &report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(Mentions(report, "rid_clustered flag set"))
+      << report.ToString();
+  EXPECT_EQ(report.num_violations(), 1u) << report.ToString();
+}
+
+TEST(ValidatePartitionedStoreTest, DetectsCorruptedIndex) {
+  StoreFixture f;
+  PartitionedStore store = f.BuildStore();
+  minidb::Table* data = PartitionedStoreTestAccess::data(&store, 0);
+  ASSERT_GE(data->num_rows(), 2u);
+  int64_t key = data->column(0).GetInt(0);
+  minidb::TableTestAccess::PointIndexEntryAt(data, 0, key, 1);
+  ValidationReport report;
+  core::ValidatePartitionedStore(store, &report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(Mentions(report, "minidb.index")) << report.ToString();
+}
+
+TEST(ValidateTableIndexTest, DetectsMissingIndexEntry) {
+  minidb::Table t("t", minidb::Schema({{"rid", minidb::ValueType::kInt64}}));
+  t.AppendIntRowUnchecked({7});
+  t.AppendIntRowUnchecked({9});
+  ASSERT_TRUE(t.BuildUniqueIntIndex(0).ok());
+  minidb::TableTestAccess::EraseIndexEntry(&t, 0, 9);
+  ValidationReport report;
+  t.ValidateIndexes(&report);
+  ASSERT_FALSE(report.ok());
+  // Both the entry-count mismatch and the missing key are reported.
+  EXPECT_TRUE(Mentions(report, "missing from the index"))
+      << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// CVD end-to-end validation.
+// ---------------------------------------------------------------------------
+
+TEST(ValidateCvdTest, CleanCvdAfterCommitsHasNoViolations) {
+  minidb::Table t("prot", minidb::Schema({{"a", minidb::ValueType::kInt64},
+                                          {"b", minidb::ValueType::kInt64}}));
+  for (int64_t i = 0; i < 20; ++i) t.AppendIntRowUnchecked({i, i * 3});
+  Cvd::Options options;
+  auto cvd = Cvd::Init("P", t, options);
+  ASSERT_TRUE(cvd.ok()) << cvd.status().ToString();
+
+  minidb::Database staging;
+  ASSERT_TRUE((*cvd)->Checkout({1}, "work", &staging).ok());
+  minidb::Table* work = staging.GetTable("work");
+  ASSERT_NE(work, nullptr);
+  work->AppendIntRowUnchecked({0, 99, 99});  // _rid=0 is a modification
+  auto v2 = (*cvd)->Commit("work", &staging, "edit");
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+
+  ValidationReport report;
+  core::ValidateCvd(**cvd, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Delta storage solutions.
+// ---------------------------------------------------------------------------
+
+struct DeltaFixture {
+  FileRepository repo;
+  StorageGraph graph;
+
+  DeltaFixture()
+      : repo(FileRepository::Generate({.num_versions = 24,
+                                       .num_branches = 4,
+                                       .base_lines = 120,
+                                       .edits_per_version = 15,
+                                       .seed = 11})),
+        graph(repo.BuildStorageGraph(true, PhiModel::kProportional)) {}
+};
+
+TEST(ValidateStorageSolutionTest, SolverOutputsAreClean) {
+  DeltaFixture f;
+  for (const StorageSolution& sol :
+       {deltastore::MinimumStorageTree(f.graph),
+        deltastore::ShortestPathTree(f.graph),
+        deltastore::LastTree(f.graph, 2.0)}) {
+    ValidationReport report;
+    deltastore::ValidateStorageSolution(f.graph, sol, &report);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+  }
+}
+
+TEST(ValidateStorageSolutionTest, DetectsBrokenDeltaChain) {
+  DeltaFixture f;
+  StorageSolution sol = deltastore::MinimumStorageTree(f.graph);
+  // Find a delta edge v -> parent p and point p back at v: a two-cycle that
+  // never reaches a materialized version. Both directions are revealed
+  // (undirected graph), so chain reachability is the only broken invariant.
+  int v = -1;
+  for (int i = 0; i < sol.num_versions(); ++i) {
+    if (sol.parent[i] != StorageGraph::kDummy) {
+      v = i;
+      break;
+    }
+  }
+  ASSERT_GE(v, 0);
+  sol.parent[sol.parent[v]] = v;
+  ValidationReport report;
+  deltastore::ValidateStorageSolution(f.graph, sol, &report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(Mentions(report, "delta chain never reaches a materialized"))
+      << report.ToString();
+
+  // The repository must refuse (not crash on) materialization through the
+  // cyclic chain.
+  auto content = f.repo.Materialize(sol, v);
+  EXPECT_FALSE(content.ok());
+}
+
+TEST(ValidateStorageSolutionTest, DetectsUnrevealedDelta) {
+  DeltaFixture f;
+  StorageSolution sol = deltastore::MinimumStorageTree(f.graph);
+  // Point some version at a node with no revealed delta between them.
+  int v = -1;
+  int q = -1;
+  for (int i = 0; i < sol.num_versions() && v < 0; ++i) {
+    for (int cand = 0; cand < sol.num_versions(); ++cand) {
+      if (cand == i) continue;
+      bool revealed = false;
+      for (const auto& e : f.graph.InEdges(i)) {
+        if (e.from == cand) {
+          revealed = true;
+          break;
+        }
+      }
+      if (!revealed) {
+        v = i;
+        q = cand;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(v, 0) << "every pair revealed; enlarge the repository";
+  sol.parent[v] = q;
+  ValidationReport report;
+  deltastore::ValidateStorageSolution(f.graph, sol, &report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(Mentions(report, "never revealed")) << report.ToString();
+}
+
+TEST(ValidateStorageSolutionTest, DetectsSizeMismatch) {
+  DeltaFixture f;
+  StorageSolution sol = deltastore::MinimumStorageTree(f.graph);
+  sol.parent.pop_back();
+  ValidationReport report;
+  deltastore::ValidateStorageSolution(f.graph, sol, &report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(Mentions(report, "solution covers")) << report.ToString();
+
+  // Materialize must reject the short solution instead of reading past it.
+  EXPECT_FALSE(f.repo.Materialize(sol, f.repo.num_versions() - 1).ok());
+}
+
+// ---------------------------------------------------------------------------
+// fsck CLI.
+// ---------------------------------------------------------------------------
+
+TEST(FsckCliTest, ReportsCleanSession) {
+  cli::CommandProcessor processor;
+  minidb::Table t("cities", minidb::Schema({{"id", minidb::ValueType::kInt64},
+                                            {"pop",
+                                             minidb::ValueType::kInt64}}));
+  for (int64_t i = 0; i < 10; ++i) t.AppendIntRowUnchecked({i, 1000 * i});
+  ASSERT_TRUE(processor.staging()->AdoptTable(std::move(t)).ok());
+  auto init = processor.Execute("init Cities -t cities -k id");
+  ASSERT_TRUE(init.ok()) << init.status().ToString();
+
+  auto out = processor.Execute("fsck");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("no violations"), std::string::npos) << *out;
+
+  auto one = processor.Execute("fsck Cities");
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  EXPECT_NE(one->find("no violations"), std::string::npos) << *one;
+
+  auto missing = processor.Execute("fsck Nope");
+  EXPECT_FALSE(missing.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Result<T>::status() lifetime (regression: it used to return a reference
+// to a function-local static that was re-created per call site).
+// ---------------------------------------------------------------------------
+
+TEST(ResultStatusTest, OkStatusReferenceOutlivesResult) {
+  const Status* s = nullptr;
+  {
+    Result<int> r(7);
+    s = &r.status();
+    EXPECT_TRUE(s->ok());
+  }
+  EXPECT_TRUE(s->ok());  // refers to the process-wide OK constant
+}
+
+}  // namespace
+}  // namespace orpheus

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Repository lint: rules the compiler and clang-tidy do not enforce.
+
+Run from the repository root (the CMake `lint` target does):
+
+    python3 tools/lint.py [paths...]
+
+With no arguments, lints every .h/.cc file under src/ and tests/.
+
+Rules
+-----
+void-cast
+    `(void)` applied to a call expression. With [[nodiscard]] Status/Result
+    this silently swallows errors; use ORPHEUS_IGNORE_ERROR(...) to discard
+    a fallible call on purpose. `(void)name;` on a plain identifier (unused
+    structured bindings or parameters) stays allowed.
+
+include-guard
+    Header guards must be ORPHEUS_<PATH>_H_ derived from the path under
+    src/ (e.g. src/core/validate.h -> ORPHEUS_CORE_VALIDATE_H_).
+
+bare-thread
+    std::thread / std::jthread outside src/common/thread_pool.*. All
+    parallelism goes through the shared pool (ThreadPool / ParallelFor) so
+    thread counts and shutdown stay centrally controlled.
+
+nondeterminism
+    rand() / srand() / std::random_device / time(NULL) inside src/. Core
+    algorithms must be reproducible: take a uint64 seed and use
+    common/random.h (Xorshift).
+
+Exit status: 0 when clean, 1 when any violation is found.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_DIRS = ("src", "tests")
+
+# (void) followed by something that ends in a call. Bare identifiers
+# ((void)name;) do not match because of the trailing '('.
+VOID_CAST_CALL = re.compile(
+    r"\(\s*void\s*\)\s*[A-Za-z_][A-Za-z0-9_]*"
+    r"(?:(?:::|\.|->)[A-Za-z_][A-Za-z0-9_]*|<[^;()]*>)*\s*\(")
+
+# std::thread::id etc. is fine anywhere; only thread construction is banned.
+BARE_THREAD = re.compile(r"\bstd::j?thread\b(?!\s*::)")
+THREAD_ALLOWED = ("src/common/thread_pool.h", "src/common/thread_pool.cc")
+
+NONDETERMINISM = re.compile(
+    r"(?<![A-Za-z0-9_:])(?:s?rand\s*\(|std::random_device"
+    r"|time\s*\(\s*(?:NULL|nullptr|0)\s*\))")
+NONDETERMINISM_ALLOWED = ("src/common/random.h",)
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line breaks."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":  # unterminated; bail out of the literal
+                    break
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def expected_guard(rel):
+    """src/core/validate.h -> ORPHEUS_CORE_VALIDATE_H_"""
+    inner = rel[len("src/"):] if rel.startswith("src/") else rel
+    return "ORPHEUS_" + re.sub(r"[^A-Za-z0-9]", "_", inner).upper() + "_"
+
+
+def lint_file(rel, violations):
+    path = os.path.join(REPO_ROOT, rel)
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    code = strip_comments_and_strings(raw)
+    lines = code.splitlines()
+
+    for lineno, line in enumerate(lines, 1):
+        if VOID_CAST_CALL.search(line):
+            violations.append(
+                (rel, lineno, "void-cast",
+                 "raw (void) cast of a call; use ORPHEUS_IGNORE_ERROR(...)"))
+        if rel not in THREAD_ALLOWED and BARE_THREAD.search(line):
+            violations.append(
+                (rel, lineno, "bare-thread",
+                 "std::thread outside common/thread_pool; use ThreadPool "
+                 "or ParallelFor"))
+        if (rel.startswith("src/") and rel not in NONDETERMINISM_ALLOWED
+                and NONDETERMINISM.search(line)):
+            violations.append(
+                (rel, lineno, "nondeterminism",
+                 "banned nondeterminism source; seed a common/random.h "
+                 "Xorshift instead"))
+
+    if rel.startswith("src/") and rel.endswith(".h"):
+        guard = expected_guard(rel)
+        m = re.search(r"^#ifndef\s+(\S+)", code, re.MULTILINE)
+        if m is None:
+            violations.append((rel, 1, "include-guard",
+                               "missing include guard %s" % guard))
+        elif m.group(1) != guard:
+            lineno = code[:m.start()].count("\n") + 1
+            violations.append(
+                (rel, lineno, "include-guard",
+                 "guard %s should be %s" % (m.group(1), guard)))
+
+
+def collect_files(argv):
+    if argv:
+        rels = []
+        for a in argv:
+            rels.append(os.path.relpath(os.path.abspath(a), REPO_ROOT))
+        return rels
+    rels = []
+    for d in DEFAULT_DIRS:
+        for root, _, names in os.walk(os.path.join(REPO_ROOT, d)):
+            for name in sorted(names):
+                if name.endswith((".h", ".cc")):
+                    rels.append(
+                        os.path.relpath(os.path.join(root, name), REPO_ROOT))
+    return sorted(rels)
+
+
+def main(argv):
+    violations = []
+    files = collect_files(argv)
+    for rel in files:
+        lint_file(rel.replace(os.sep, "/"), violations)
+    for rel, lineno, rule, msg in violations:
+        print("%s:%d: [%s] %s" % (rel, lineno, rule, msg))
+    if violations:
+        print("lint: %d violation(s) in %d file(s) checked"
+              % (len(violations), len(files)))
+        return 1
+    print("lint: %d file(s) clean" % len(files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
