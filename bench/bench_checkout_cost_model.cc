@@ -167,4 +167,7 @@ void Run(int argc, char** argv) {
 }  // namespace
 }  // namespace orpheus::bench
 
-int main(int argc, char** argv) { orpheus::bench::Run(argc, argv); }
+int main(int argc, char** argv) {
+  orpheus::bench::Run(argc, argv);
+  orpheus::bench::ExportMetrics(argc, argv);
+}

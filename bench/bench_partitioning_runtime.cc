@@ -11,7 +11,7 @@
 #include <thread>
 
 #include "bench/bench_util.h"
-#include "common/scoped_timer.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/baselines.h"
 #include "core/lyresplit.h"
@@ -63,10 +63,13 @@ void RunThreadScaling(int scale) {
             << n_threads << " ===\n";
   table.Print(std::cout);
 
-  TablePrinter stages({"stage", "total", "calls"});
-  for (const auto& e : StageTimes::Snapshot()) {
-    stages.AddRow({e.stage, HumanSeconds(e.seconds),
-                   StrFormat("%llu", static_cast<unsigned long long>(e.calls))});
+  TablePrinter stages({"stage", "total", "self", "calls", "p95"});
+  const auto snap = MetricsRegistry::Global().TakeSnapshot();
+  for (const auto& s : snap.spans) {
+    stages.AddRow({s.path, HumanSeconds(s.total_us * 1e-6),
+                   HumanSeconds(s.self_us * 1e-6),
+                   StrFormat("%llu", static_cast<unsigned long long>(s.count)),
+                   HumanSeconds(s.latency_us.p95 * 1e-6)});
   }
   std::cout << "\n=== Engine stage breakdown (both runs) ===\n";
   stages.Print(std::cout);
@@ -134,11 +137,14 @@ void Run(int argc, char** argv) {
                "search iteration ===\n";
   per_iter.Print(std::cout);
 
-  StageTimes::Reset();
+  MetricsRegistry::Global().Reset();
   RunThreadScaling(scale);
 }
 
 }  // namespace
 }  // namespace orpheus::bench
 
-int main(int argc, char** argv) { orpheus::bench::Run(argc, argv); }
+int main(int argc, char** argv) {
+  orpheus::bench::Run(argc, argv);
+  orpheus::bench::ExportMetrics(argc, argv);
+}

@@ -2,11 +2,14 @@
 #define ORPHEUS_BENCH_BENCH_UTIL_H_
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "benchdata/generator.h"
+#include "common/env.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
@@ -25,7 +28,14 @@ inline int ParseScale(int argc, char** argv, int def = 1) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (StartsWith(arg, "--scale=")) {
-      return std::max(1, atoi(arg.c_str() + 8));
+      // Checked parse: --scale=8abc aborts instead of silently running at
+      // a truncated (or default) scale and mislabeling the results.
+      auto parsed = ParseIntStrict(arg.substr(8));
+      if (!parsed || *parsed < 1) {
+        std::cerr << "bad " << arg << " (want --scale=<positive int>)\n";
+        std::exit(2);
+      }
+      return static_cast<int>(*parsed);
     }
   }
   return def;
@@ -36,6 +46,37 @@ inline bool HasFlag(int argc, char** argv, const char* flag) {
     if (std::string(argv[i]) == flag) return true;
   }
   return false;
+}
+
+/// Path given via `--metrics-json <path>` or `--metrics-json=<path>`, or
+/// empty if the flag is absent.
+inline std::string MetricsJsonPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics-json" && i + 1 < argc) return argv[i + 1];
+    if (StartsWith(arg, "--metrics-json=")) return arg.substr(15);
+  }
+  return std::string();
+}
+
+/// Every bench main calls this last: with `--metrics-json <path>` on the
+/// command line, the process-wide metrics snapshot (per-stage spans,
+/// counters, histograms — see DESIGN.md §8) is written as JSON so the
+/// BENCH_* tables gain a machine-readable per-stage breakdown.
+inline void ExportMetrics(int argc, char** argv) {
+  const std::string path = MetricsJsonPath(argc, argv);
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for --metrics-json\n";
+    std::exit(2);
+  }
+  out << MetricsRegistry::Global().ToJson();
+  if (!out.good()) {
+    std::cerr << "write failed: " << path << "\n";
+    std::exit(2);
+  }
+  std::cerr << "metrics written to " << path << "\n";
 }
 
 /// The Table 5.2 datasets, scaled down ~25x by default (I and |R| shrink

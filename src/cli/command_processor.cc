@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/lyresplit.h"
 #include "core/query.h"
@@ -168,6 +169,7 @@ Result<std::string> CommandProcessor::Execute(const std::string& line) {
   if (cmd == "run") return RunSql(args);
   if (cmd == "optimize") return Optimize(args);
   if (cmd == "fsck") return Fsck(args);
+  if (cmd == "stats") return Stats(args);
   if (cmd == "tables") {
     std::string out;
     for (const auto& name : staging_.ListTables()) {
@@ -476,6 +478,38 @@ Result<std::string> CommandProcessor::Fsck(const Args& args) {
   return StrFormat("fsck: %d violation(s) found\n%s",
                    static_cast<int>(report.num_violations()),
                    report.ToString().c_str());
+}
+
+Result<std::string> CommandProcessor::Stats(const Args& args) {
+  auto& registry = MetricsRegistry::Global();
+  bool as_json = false;
+  bool reset = false;
+  for (const std::string& arg : args.positional) {
+    std::string a = ToLower(arg);
+    if (a == "json") {
+      as_json = true;
+    } else if (a == "reset") {
+      reset = true;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("usage: stats [json] [reset] [-j <file>]; got '%s'",
+                    arg.c_str()));
+    }
+  }
+  std::string out;
+  if (const std::string* path = args.Flag("j")) {
+    std::ofstream file(*path);
+    if (!file) {
+      return Status::Internal(StrFormat("cannot open %s", path->c_str()));
+    }
+    file << registry.ToJson();
+    if (!file.good()) return Status::Internal("write failed: " + *path);
+    out = StrFormat("metrics written to %s", path->c_str());
+  } else {
+    out = as_json ? registry.ToJson() : registry.ToText();
+  }
+  if (reset) registry.Reset();
+  return out;
 }
 
 }  // namespace orpheus::cli

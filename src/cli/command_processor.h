@@ -38,6 +38,11 @@ namespace orpheus::cli {
 ///                                   argument checks every CVD and the
 ///                                   staging tables, reporting every
 ///                                   violation found
+///   stats [json] [reset] [-j file]  metrics snapshot (DESIGN.md §8):
+///                                   plaintext by default, `json` for the
+///                                   JSON form, `-j <file>` to write the
+///                                   JSON to a file, `reset` to zero every
+///                                   counter/histogram/span afterwards
 class CommandProcessor {
  public:
   CommandProcessor() = default;
@@ -76,6 +81,7 @@ class CommandProcessor {
   Result<std::string> RunSql(const Args& args);
   Result<std::string> Optimize(const Args& args);
   Result<std::string> Fsck(const Args& args);
+  Result<std::string> Stats(const Args& args);
 
   Result<core::Cvd*> FindCvd(const std::string& name);
   /// The CVD that owns staging table `table`, or an error.

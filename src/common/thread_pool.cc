@@ -1,7 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "common/env.h"
+#include "common/metrics.h"
 
 namespace orpheus {
 
@@ -12,12 +14,12 @@ namespace {
 thread_local const ThreadPool* g_worker_of = nullptr;
 
 int DegreeFromEnv() {
-  if (const char* env = std::getenv("ORPHEUS_THREADS")) {
-    int n = std::atoi(env);
-    if (n >= 1) return n;
-  }
   unsigned hw = std::thread::hardware_concurrency();
-  return hw >= 1 ? static_cast<int>(hw) : 1;
+  const int fallback = hw >= 1 ? static_cast<int>(hw) : 1;
+  // Checked parse: "8abc", "-3", or "0" fall back to hardware concurrency
+  // with a warning instead of silently configuring a nonsense degree.
+  return static_cast<int>(
+      ParseEnvInt("ORPHEUS_THREADS", fallback, 1, 4096));
 }
 
 }  // namespace
@@ -73,6 +75,7 @@ void ThreadPool::WorkerLoop() {
     }
     task.fn();
     FinishTask(task.group);
+    ORPHEUS_COUNTER_ADD("pool.tasks_executed", 1);
   }
 }
 
@@ -104,9 +107,11 @@ ThreadPool::TaskGroup::~TaskGroup() { Wait(); }
 void ThreadPool::TaskGroup::Submit(std::function<void()> fn) {
   // Serial pool or nested fan-out: run right here, in submission order.
   if (pool_->degree_ <= 1 || pool_->InWorker()) {
+    ORPHEUS_COUNTER_ADD("pool.tasks_inline", 1);
     fn();
     return;
   }
+  ORPHEUS_COUNTER_ADD("pool.tasks_queued", 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++pending_;
@@ -127,10 +132,15 @@ void ThreadPool::TaskGroup::Wait() {
       if (pending_ == 0) return;
     }
     if (!pool_->RunOneTask()) {
+      // Out of tasks to steal: block until our own finish. The wait time is
+      // the pool's idle tail — the imbalance the chunking tries to smooth.
+      Timer wait_timer;
       std::unique_lock<std::mutex> lock(mu_);
       done_cv_.wait(lock, [this] { return pending_ == 0; });
+      ORPHEUS_HISTOGRAM_RECORD("pool.wait_us", wait_timer.ElapsedMicros());
       return;
     }
+    ORPHEUS_COUNTER_ADD("pool.tasks_helped", 1);
   }
 }
 

@@ -2,6 +2,7 @@
 #define ORPHEUS_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace orpheus {
 
@@ -18,6 +19,14 @@ class Timer {
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed whole microseconds; the unit used by the metrics layer.
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

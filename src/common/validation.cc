@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/env.h"
+
 namespace orpheus {
 
 std::string Violation::ToString() const {
@@ -28,11 +30,7 @@ std::string ValidationReport::ToString() const {
 }
 
 bool ValidationEnabled() {
-  static const bool enabled = [] {
-    const char* env = std::getenv("ORPHEUS_VALIDATE");
-    return env != nullptr && env[0] != '\0' &&
-           !(env[0] == '0' && env[1] == '\0');
-  }();
+  static const bool enabled = ParseEnvBool("ORPHEUS_VALIDATE", false);
   return enabled;
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 
@@ -57,6 +58,7 @@ int64_t CommonSorted(const std::vector<uint64_t>& a,
 
 Partitioning AggloPartition(const RecordSetView& view,
                             const AggloOptions& options) {
+  ORPHEUS_TRACE_SPAN("agglo.partition");
   const int n = view.num_versions;
   struct Part {
     std::vector<int> versions;
@@ -103,8 +105,11 @@ Partitioning AggloPartition(const RecordSetView& view,
   });
 
   bool merged_any = true;
+  uint64_t merges = 0;
+  uint64_t rounds = 0;
   while (merged_any) {
     merged_any = false;
+    ++rounds;
     for (size_t i = 0; i < order.size(); ++i) {
       int pi = order[i];
       if (!parts[pi].alive) continue;
@@ -147,9 +152,12 @@ Partitioning AggloPartition(const RecordSetView& view,
         b.alive = false;
         b.records.clear();
         merged_any = true;
+        ++merges;
       }
     }
   }
+  ORPHEUS_COUNTER_ADD("agglo.merges", merges);
+  ORPHEUS_COUNTER_ADD("agglo.merge_rounds", rounds);
 
   Partitioning out;
   out.partition_of.assign(n, -1);
@@ -163,6 +171,7 @@ Partitioning AggloPartition(const RecordSetView& view,
 
 Partitioning KmeansPartition(const RecordSetView& view,
                              const KmeansOptions& options) {
+  ORPHEUS_TRACE_SPAN("kmeans.partition");
   const int n = view.num_versions;
   const int k = std::min(options.k, n);
   Xorshift rng(options.seed);
@@ -241,6 +250,9 @@ Partitioning KmeansPartition(const RecordSetView& view,
                 });
   }
 
+  ORPHEUS_COUNTER_ADD("kmeans.iterations",
+                      static_cast<uint64_t>(options.iterations));
+
   // Renumber non-empty clusters densely.
   Partitioning out;
   out.partition_of.assign(n, -1);
@@ -285,6 +297,8 @@ Partitioning SearchParameter(const RecordSetView& view, uint64_t gamma,
     if (iterations >= 12) break;
   }
   if (iterations_out) *iterations_out = iterations;
+  ORPHEUS_COUNTER_ADD("agglo.search_iterations",
+                      static_cast<uint64_t>(iterations));
   return best;
 }
 
@@ -344,6 +358,8 @@ Partitioning KmeansForBudget(const RecordSetView& view, uint64_t gamma_records,
     if (iterations >= 12) break;
   }
   if (iterations_out) *iterations_out = iterations;
+  ORPHEUS_COUNTER_ADD("kmeans.search_iterations",
+                      static_cast<uint64_t>(iterations));
   return best;
 }
 

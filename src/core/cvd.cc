@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/validate.h"
 
@@ -117,6 +118,9 @@ Status Cvd::Checkout(const std::vector<VersionId>& vids,
   }
   for (VersionId vid : vids) ORPHEUS_RETURN_NOT_OK(ValidateVersion(vid));
 
+  ORPHEUS_TRACE_SPAN("cvd.checkout");
+  ORPHEUS_COUNTER_ADD("cvd.checkout.versions_merged", vids.size());
+
   // Materialize the first (highest-precedence) version.
   auto first = backend_->Checkout(DenseId(vids[0]), table_name);
   if (!first.ok()) return first.status();
@@ -139,23 +143,31 @@ Status Cvd::Checkout(const std::vector<VersionId>& vids,
       }
       return key;
     };
+    ORPHEUS_TRACE_SPAN("cvd.merge");
     std::unordered_set<std::string> seen;
     seen.reserve(merged.num_rows() * 2);
     for (uint32_t r = 0; r < merged.num_rows(); ++r) {
       seen.insert(key_of(merged, r));
     }
+    uint64_t scanned = merged.num_rows();
+    uint64_t deduped = 0;
     for (size_t i = 1; i < vids.size(); ++i) {
       auto next = backend_->Checkout(DenseId(vids[i]), "tmp");
       if (!next.ok()) return next.status();
       const Table& t = *next;
+      scanned += t.num_rows();
       std::vector<uint32_t> keep;
       for (uint32_t r = 0; r < t.num_rows(); ++r) {
         if (seen.insert(key_of(t, r)).second) keep.push_back(r);
       }
+      deduped += t.num_rows() - keep.size();
       merged.AppendFrom(t, keep);
     }
+    ORPHEUS_COUNTER_ADD("cvd.merge.rows_scanned", scanned);
+    ORPHEUS_COUNTER_ADD("cvd.merge.rows_deduped", deduped);
   }
 
+  ORPHEUS_COUNTER_ADD("cvd.checkout.records_materialized", merged.num_rows());
   auto adopted = staging->AdoptTable(std::move(merged));
   if (!adopted.ok()) return adopted.status();
   logical_clock_ += 1.0;
@@ -210,6 +222,9 @@ Result<VersionId> Cvd::CommitTable(const Table& table,
                                    const std::string& message,
                                    const std::string& author) {
   for (VersionId p : parents) ORPHEUS_RETURN_NOT_OK(ValidateVersion(p));
+
+  ORPHEUS_TRACE_SPAN("cvd.commit");
+  ORPHEUS_COUNTER_ADD("cvd.commit.rows_scanned", table.num_rows());
 
   const bool has_rid_col = table.schema().num_columns() > 0 &&
                            table.schema().column(0).name == "_rid";
@@ -290,6 +305,9 @@ Result<VersionId> Cvd::CommitTable(const Table& table,
 
   std::sort(rids.begin(), rids.end());
   // new_records were assigned increasing rids in row order => sorted already.
+  ORPHEUS_COUNTER_ADD("cvd.commit.records_new", new_records.size());
+  ORPHEUS_COUNTER_ADD("cvd.commit.records_kept",
+                      rids.size() - new_records.size());
 
   std::vector<int> dense_parents;
   std::vector<int64_t> weights;
@@ -363,6 +381,7 @@ Result<VersionId> Cvd::Commit(const std::string& table_name,
 Result<minidb::Table> Cvd::Diff(VersionId a, VersionId b) const {
   ORPHEUS_RETURN_NOT_OK(ValidateVersion(a));
   ORPHEUS_RETURN_NOT_OK(ValidateVersion(b));
+  ORPHEUS_TRACE_SPAN("cvd.diff");
   auto only = VDiff(a, b);
   if (!only.ok()) return only.status();
   std::unordered_set<RecordId> keep(only->begin(), only->end());
@@ -374,6 +393,8 @@ Result<minidb::Table> Cvd::Diff(VersionId a, VersionId b) const {
   for (uint32_t r = 0; r < t.num_rows(); ++r) {
     if (keep.count(rids[r])) rows.push_back(r);
   }
+  ORPHEUS_COUNTER_ADD("cvd.diff.rows_scanned", t.num_rows());
+  ORPHEUS_COUNTER_ADD("cvd.diff.rows_out", rows.size());
   return t.CopyRows(rows, StrFormat("diff_%d_%d", a, b));
 }
 
@@ -406,14 +427,17 @@ Result<std::vector<RecordId>> Cvd::VIntersect(
   auto acc = VersionRecords(vids[0]);
   if (!acc.ok()) return acc.status();
   std::vector<RecordId> cur = acc.MoveValueOrDie();
+  uint64_t scanned = cur.size();
   for (size_t i = 1; i < vids.size(); ++i) {
     auto next = VersionRecords(vids[i]);
     if (!next.ok()) return next.status();
+    scanned += next->size();
     std::vector<RecordId> merged;
     std::set_intersection(cur.begin(), cur.end(), next->begin(), next->end(),
                           std::back_inserter(merged));
     cur = std::move(merged);
   }
+  ORPHEUS_COUNTER_ADD("cvd.setop.records_scanned", scanned);
   return cur;
 }
 
@@ -425,6 +449,7 @@ Result<std::vector<RecordId>> Cvd::VDiff(VersionId a, VersionId b) const {
   std::vector<RecordId> out;
   std::set_difference(ra->begin(), ra->end(), rb->begin(), rb->end(),
                       std::back_inserter(out));
+  ORPHEUS_COUNTER_ADD("cvd.setop.records_scanned", ra->size() + rb->size());
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <limits>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 
 namespace orpheus::core {
@@ -248,12 +249,15 @@ class Splitter {
 };
 
 LyreSplitResult RunWithCtx(const TreeCtx& ctx, double delta) {
+  ORPHEUS_TRACE_SPAN("lyresplit.split");
   LyreSplitResult result;
   Splitter splitter(ctx, delta);
   result.partitioning = splitter.Run(&result.recursion_levels);
   result.delta = delta;
   result.estimated = ComputeTreeEstimatedCosts(*ctx.graph, ctx.tree_parent,
                                                result.partitioning);
+  ORPHEUS_HISTOGRAM_RECORD("lyresplit.recursion_levels",
+                           static_cast<uint64_t>(result.recursion_levels));
   return result;
 }
 
@@ -267,6 +271,7 @@ LyreSplitResult LyreSplitWithDelta(const VersionGraph& graph, double delta) {
 
 LyreSplitResult LyreSplitForBudget(const VersionGraph& graph,
                                    uint64_t gamma_records) {
+  ORPHEUS_TRACE_SPAN("lyresplit.budget_search");
   TreeCtx ctx;
   ctx.Build(graph);
 
@@ -306,6 +311,8 @@ LyreSplitResult LyreSplitForBudget(const VersionGraph& graph,
     }
   }
   best.search_iterations = iterations;
+  ORPHEUS_COUNTER_ADD("lyresplit.search_iterations",
+                      static_cast<uint64_t>(iterations));
   return best;
 }
 

@@ -4,7 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "common/scoped_timer.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/validate.h"
@@ -115,6 +115,8 @@ void PartitionedStore::AppendVersionRecords(
   vrow.emplace_back(static_cast<int64_t>(version));
   vrow.emplace_back(std::vector<int64_t>(rids.begin(), rids.end()));
   part->versioning.AppendRowUnchecked(vrow);
+  ORPHEUS_COUNTER_ADD("pstore.records_appended", n);
+  ORPHEUS_COUNTER_ADD("pstore.versions_added", 1);
 }
 
 void PartitionedStore::FillPartition(const DatasetAccessor& ds,
@@ -139,7 +141,7 @@ void PartitionedStore::ClusterOnRid(Part* part) {
 
 PartitionedStore PartitionedStore::Build(const DatasetAccessor& ds,
                                          const Partitioning& partitioning) {
-  ScopedTimer stage("partition_store.build");
+  ORPHEUS_TRACE_SPAN("pstore.build");
   PartitionedStore store;
   store.partition_of_ = partitioning.partition_of;
   store.num_attributes_ = ds.num_attributes;
@@ -154,6 +156,8 @@ PartitionedStore PartitionedStore::Build(const DatasetAccessor& ds,
     FillPartition(ds, groups[k], &store.parts_[k]);
     ClusterOnRid(&store.parts_[k]);
   });
+  ORPHEUS_GAUGE_SET("pstore.partitions",
+                    static_cast<int64_t>(store.parts_.size()));
   MaybeValidate(store, "PartitionedStore::Build");
   return store;
 }
@@ -162,7 +166,7 @@ Result<minidb::Table> PartitionedStore::Checkout(int version) const {
   if (version < 0 || version >= num_versions()) {
     return Status::NotFound(StrFormat("version %d", version));
   }
-  ScopedTimer stage("partition_store.checkout");
+  ORPHEUS_TRACE_SPAN("pstore.checkout");
   const Part& part = parts_[partition_of_[version]];
   auto row = part.versioning.LookupUniqueInt(0, version);
   if (!row) return Status::Corruption("version missing from its partition");
@@ -173,14 +177,18 @@ Result<minidb::Table> PartitionedStore::Checkout(int version) const {
   // whose clustering was broken by online appends.
   std::vector<uint32_t> rows;
   if (part.rid_clustered && std::is_sorted(rlist.begin(), rlist.end())) {
+    ORPHEUS_COUNTER_ADD("pstore.checkout.merge_joins", 1);
     rows = minidb::JoinRids(part.data, 0, rlist,
                             minidb::JoinAlgorithm::kMergeJoin,
                             /*clustered_on_rid=*/true);
   } else {
+    ORPHEUS_COUNTER_ADD("pstore.checkout.hash_joins", 1);
     rows = minidb::JoinRids(part.data, 0, rlist,
                             minidb::JoinAlgorithm::kHashJoin,
                             /*clustered_on_rid=*/false);
   }
+  ORPHEUS_COUNTER_ADD("pstore.checkout.rows_out", rows.size());
+  ORPHEUS_COUNTER_ADD("pstore.checkout.rows_scanned", part.data.num_rows());
   return part.data.CopyRows(rows, StrFormat("checkout_v%d", version));
 }
 
@@ -205,7 +213,7 @@ uint64_t PartitionedStore::PartitionRecords(int version) const {
 uint64_t PartitionedStore::MigrateTo(const DatasetAccessor& ds,
                                      const Partitioning& target,
                                      bool intelligent) {
-  ScopedTimer stage("partition_store.migrate");
+  ORPHEUS_TRACE_SPAN("pstore.migrate");
   auto groups = target.Groups();
 
   if (!intelligent) {
@@ -224,6 +232,9 @@ uint64_t PartitionedStore::MigrateTo(const DatasetAccessor& ds,
     for (const auto& p : fresh) work += p.data.num_rows();
     parts_ = std::move(fresh);
     partition_of_ = target.partition_of;
+    ORPHEUS_COUNTER_ADD("pstore.records_moved", work);
+    ORPHEUS_GAUGE_SET("pstore.partitions",
+                      static_cast<int64_t>(parts_.size()));
     MaybeValidate(*this, "PartitionedStore::MigrateTo");
     return work;
   }
@@ -377,6 +388,8 @@ uint64_t PartitionedStore::MigrateTo(const DatasetAccessor& ds,
   for (uint64_t w : work_of) work += w;
   parts_ = std::move(fresh);
   partition_of_ = target.partition_of;
+  ORPHEUS_COUNTER_ADD("pstore.records_moved", work);
+  ORPHEUS_GAUGE_SET("pstore.partitions", static_cast<int64_t>(parts_.size()));
   MaybeValidate(*this, "PartitionedStore::MigrateTo");
   return work;
 }
@@ -389,6 +402,7 @@ Result<int> PartitionedStore::AddVersion(const DatasetAccessor& ds,
   if (partition >= num_partitions()) {
     return Status::InvalidArgument("no such partition");
   }
+  ORPHEUS_TRACE_SPAN("pstore.add_version");
   if (partition < 0) {
     parts_.emplace_back(StrFormat("p%d", num_partitions()),
                         num_attributes_);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -178,14 +179,21 @@ Result<FileContent> FileRepository::Materialize(
     }
     cur = solution.parent[cur];
   }
+  ORPHEUS_TRACE_SPAN("delta.materialize");
+  ORPHEUS_HISTOGRAM_RECORD("delta.chain_len",
+                           static_cast<uint64_t>(path.size() - 1));
   // path.back() is materialized: start from its stored bytes.
   FileContent content = files_[path.back()];
+  uint64_t lines_decoded = 0;
   for (auto it = path.rbegin() + 1; it != path.rend(); ++it) {
     int child = *it;
     int parent = solution.parent[child];
     LineDelta delta = ComputeLineDelta(files_[parent], files_[child]);
     content = ApplyLineDelta(content, delta);
+    lines_decoded += content.lines.size();
   }
+  ORPHEUS_COUNTER_ADD("delta.lines_decoded", lines_decoded);
+  ORPHEUS_COUNTER_ADD("delta.bytes_materialized", content.SizeBytes());
   return content;
 }
 

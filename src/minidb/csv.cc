@@ -1,10 +1,11 @@
 #include "minidb/csv.h"
 
-#include <cctype>
-#include <cstdlib>
+#include <charconv>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
+#include "common/env.h"
 #include "common/string_util.h"
 
 namespace orpheus::minidb {
@@ -27,12 +28,20 @@ std::string QuoteCell(const std::string& s) {
 }
 
 /// Split one CSV record honoring quotes. `pos` advances past the record
-/// (including the newline).
-std::vector<std::string> ParseRecord(const std::string& text, size_t* pos) {
+/// (including the terminator: \n, \r\n, or a lone \r). `line` is the
+/// 1-based physical line where the record starts; it advances past every
+/// newline consumed, including newlines embedded in quoted cells. A quote
+/// still open at end of input is an error (the file was truncated or the
+/// quoting is broken) rather than a silently shortened dataset.
+Result<std::vector<std::string>> ParseRecord(const std::string& text,
+                                             size_t* pos, size_t* line) {
   std::vector<std::string> fields;
   std::string cur;
   bool in_quotes = false;
+  size_t quote_line = 0;
+  size_t quote_col = 0;
   size_t i = *pos;
+  size_t col = 1;  // 1-based column on the current physical line
   const size_t n = text.size();
   while (i < n) {
     char c = text[i];
@@ -41,68 +50,93 @@ std::vector<std::string> ParseRecord(const std::string& text, size_t* pos) {
         if (i + 1 < n && text[i + 1] == '"') {
           cur += '"';
           ++i;
+          ++col;
         } else {
           in_quotes = false;
         }
       } else {
         cur += c;
+        if (c == '\n') {
+          ++*line;
+          col = 0;  // the ++col below makes the next char column 1
+        }
       }
     } else if (c == '"') {
       in_quotes = true;
+      quote_line = *line;
+      quote_col = col;
     } else if (c == ',') {
       fields.push_back(std::move(cur));
       cur.clear();
     } else if (c == '\n' || c == '\r') {
       if (c == '\r' && i + 1 < n && text[i + 1] == '\n') ++i;
       ++i;
+      ++*line;
       break;
     } else {
       cur += c;
     }
     ++i;
+    ++col;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument(
+        StrFormat("unterminated quoted field: quote opened at line %zu, "
+                  "column %zu is still open at end of input",
+                  quote_line, quote_col));
   }
   fields.push_back(std::move(cur));
   *pos = i;
   return fields;
 }
 
+// Inference predicates delegate to the same strict parsers used by
+// ParseCell, so a column can never be inferred as a type its cells then
+// fail (or change value) under: an integer overflowing int64 is not "int",
+// it widens to double (or string).
 bool LooksLikeInt(const std::string& s) {
-  if (s.empty()) return false;
-  size_t i = s[0] == '-' || s[0] == '+' ? 1 : 0;
-  if (i == s.size()) return false;
-  for (; i < s.size(); ++i) {
-    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
-  }
-  return true;
+  return ParseIntStrict(s).has_value();
+}
+
+// Locale-independent double parse via std::from_chars: strtod honors
+// LC_NUMERIC, so under a de_DE locale "1.5" stops parsing at the '.' and a
+// double column silently degrades to string (or worse, "1,5" cells change
+// meaning). from_chars always uses the C locale. A single leading '+' is
+// allowed for strtod compatibility (from_chars rejects it).
+std::optional<double> ParseDoubleStrict(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  const size_t begin = s[0] == '+' ? 1 : 0;
+  if (begin == s.size()) return std::nullopt;
+  double v = 0.0;
+  const char* first = s.data() + begin;
+  const char* last = s.data() + s.size();
+  auto [end, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc() || end != last) return std::nullopt;
+  return v;
 }
 
 bool LooksLikeDouble(const std::string& s) {
-  if (s.empty()) return false;
-  char* end = nullptr;
-  std::strtod(s.c_str(), &end);
-  return end == s.c_str() + s.size();
+  return ParseDoubleStrict(s).has_value();
 }
 
 Result<Value> ParseCell(const std::string& text, ValueType type) {
   if (text.empty()) return Value::Null();
   switch (type) {
     case ValueType::kInt64: {
-      char* end = nullptr;
-      long long v = std::strtoll(text.c_str(), &end, 10);
-      if (end != text.c_str() + text.size()) {
+      std::optional<int64_t> v = ParseIntStrict(text);
+      if (!v) {
         return Status::InvalidArgument(
             StrFormat("bad int64 cell '%s'", text.c_str()));
       }
-      return Value(static_cast<int64_t>(v));
+      return Value(*v);
     }
     case ValueType::kDouble: {
-      char* end = nullptr;
-      double v = std::strtod(text.c_str(), &end);
-      if (end != text.c_str() + text.size()) {
+      std::optional<double> v = ParseDoubleStrict(text);
+      if (!v) {
         return Status::InvalidArgument(
             StrFormat("bad double cell '%s'", text.c_str()));
       }
-      return Value(v);
+      return Value(*v);
     }
     case ValueType::kString:
       return Value(text);
@@ -178,19 +212,24 @@ Result<Schema> ParseSchemaSpec(const std::string& spec) {
 Result<Table> ParseCsv(const std::string& text, const std::string& table_name,
                        const Schema* schema) {
   size_t pos = 0;
+  size_t line = 1;
   if (text.empty()) return Status::InvalidArgument("empty csv");
-  std::vector<std::string> header = ParseRecord(text, &pos);
+  auto header_or = ParseRecord(text, &pos, &line);
+  if (!header_or.ok()) return header_or.status();
+  std::vector<std::string> header = header_or.MoveValueOrDie();
 
   // Collect raw records first (needed for type inference).
   std::vector<std::vector<std::string>> records;
   while (pos < text.size()) {
-    size_t before = pos;
-    auto rec = ParseRecord(text, &pos);
+    const size_t record_line = line;
+    auto rec_or = ParseRecord(text, &pos, &line);
+    if (!rec_or.ok()) return rec_or.status();
+    auto rec = rec_or.MoveValueOrDie();
     if (rec.size() == 1 && rec[0].empty()) continue;  // blank line
     if (rec.size() != header.size()) {
       return Status::InvalidArgument(
-          StrFormat("row at offset %zu has %zu fields, header has %zu",
-                    before, rec.size(), header.size()));
+          StrFormat("row at line %zu has %zu fields, header has %zu",
+                    record_line, rec.size(), header.size()));
     }
     records.push_back(std::move(rec));
   }

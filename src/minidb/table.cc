@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 
@@ -45,6 +46,7 @@ void Table::AppendRowUnchecked(const Row& row) {
   }
   ++num_rows_;
   MaintainIndexesOnAppend(static_cast<uint32_t>(num_rows_ - 1));
+  ORPHEUS_COUNTER_ADD("minidb.rows_appended", 1);
 }
 
 void Table::AppendIntRowUnchecked(const std::vector<int64_t>& vals) {
@@ -53,6 +55,7 @@ void Table::AppendIntRowUnchecked(const std::vector<int64_t>& vals) {
   }
   ++num_rows_;
   MaintainIndexesOnAppend(static_cast<uint32_t>(num_rows_ - 1));
+  ORPHEUS_COUNTER_ADD("minidb.rows_appended", 1);
 }
 
 void Table::AppendIntRows(const int64_t* rows, size_t nrows) {
@@ -71,6 +74,7 @@ void Table::AppendIntRows(const int64_t* rows, size_t nrows) {
       MaintainIndexesOnAppend(static_cast<uint32_t>(r));
     }
   }
+  ORPHEUS_COUNTER_ADD("minidb.rows_appended", nrows);
 }
 
 Row Table::GetRow(uint32_t row) const {
@@ -99,10 +103,12 @@ Status Table::BuildUniqueIntIndex(int col) {
     }
   }
   indexes_[col] = std::move(idx);
+  ORPHEUS_COUNTER_ADD("minidb.index_builds", 1);
   return Status::OK();
 }
 
 std::optional<uint32_t> Table::LookupUniqueInt(int col, int64_t key) const {
+  ORPHEUS_COUNTER_ADD("minidb.index_lookups", 1);
   auto it = indexes_.find(col);
   if (it == indexes_.end()) return std::nullopt;
   auto hit = it->second.find(key);
@@ -194,6 +200,7 @@ void Table::AppendFrom(const Table& src, const std::vector<uint32_t>& rows,
       MaintainIndexesOnAppend(static_cast<uint32_t>(r));
     }
   }
+  ORPHEUS_COUNTER_ADD("minidb.rows_copied", rows.size());
 }
 
 Table Table::Clone(std::string new_name) const {
@@ -208,6 +215,7 @@ Table Table::Clone(std::string new_name) const {
 }
 
 void Table::SortByIntColumn(int col) {
+  ORPHEUS_COUNTER_ADD("minidb.sorts", 1);
   std::vector<uint32_t> order(num_rows_);
   std::iota(order.begin(), order.end(), 0u);
   const auto& keys = columns_[col].int_data();
@@ -236,6 +244,7 @@ Status Table::AddColumn(ColumnDef def) {
 
 void Table::DeleteRows(const std::vector<uint32_t>& rows) {
   if (rows.empty()) return;
+  ORPHEUS_COUNTER_ADD("minidb.rows_deleted", rows.size());
   // Swap-remove each doomed row, highest index first, so the cost is
   // proportional to the number of deleted rows (like marking tuples dead),
   // not to the table size. Physical row order is not preserved.

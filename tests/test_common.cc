@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 #include <sstream>
 
+#include "common/env.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -165,6 +167,55 @@ TEST(StringUtilTest, HumanSeconds) {
 TEST(StringUtilTest, StrFormat) {
   EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
   EXPECT_EQ(StrFormat("%.2f", 1.239), "1.24");
+}
+
+TEST(ParseIntStrictTest, AcceptsOnlyCleanIntegers) {
+  EXPECT_EQ(ParseIntStrict("0"), 0);
+  EXPECT_EQ(ParseIntStrict("-3"), -3);
+  EXPECT_EQ(ParseIntStrict("+8"), 8);
+  EXPECT_EQ(ParseIntStrict("9223372036854775807"), INT64_MAX);
+  EXPECT_FALSE(ParseIntStrict("").has_value());
+  EXPECT_FALSE(ParseIntStrict("8abc").has_value());
+  EXPECT_FALSE(ParseIntStrict(" 8").has_value());
+  EXPECT_FALSE(ParseIntStrict("8 ").has_value());
+  EXPECT_FALSE(ParseIntStrict("1.5").has_value());
+  EXPECT_FALSE(ParseIntStrict("+").has_value());
+  EXPECT_FALSE(ParseIntStrict("0x10").has_value());
+  // Overflow is a failure, not a clamp (atoi/strtoll behavior).
+  EXPECT_FALSE(ParseIntStrict("9223372036854775808").has_value());
+}
+
+TEST(ParseEnvIntTest, FallsBackOnGarbageAndRange) {
+  // Regression: ORPHEUS_THREADS="8abc" used to atoi() to 8 silently; any
+  // malformed value now falls back to the default (with one warning).
+  setenv("ORPHEUS_TEST_INT", "8abc", 1);
+  EXPECT_EQ(ParseEnvInt("ORPHEUS_TEST_INT", 4, 1, 4096), 4);
+  setenv("ORPHEUS_TEST_INT", "-3", 1);
+  EXPECT_EQ(ParseEnvInt("ORPHEUS_TEST_INT", 4, 1, 4096), 4);
+  setenv("ORPHEUS_TEST_INT", "", 1);
+  EXPECT_EQ(ParseEnvInt("ORPHEUS_TEST_INT", 4, 1, 4096), 4);
+  setenv("ORPHEUS_TEST_INT", "99999", 1);
+  EXPECT_EQ(ParseEnvInt("ORPHEUS_TEST_INT", 4, 1, 4096), 4);
+  setenv("ORPHEUS_TEST_INT", "16", 1);
+  EXPECT_EQ(ParseEnvInt("ORPHEUS_TEST_INT", 4, 1, 4096), 16);
+  unsetenv("ORPHEUS_TEST_INT");
+  EXPECT_EQ(ParseEnvInt("ORPHEUS_TEST_INT", 4, 1, 4096), 4);
+}
+
+TEST(ParseEnvBoolTest, AcceptsCommonSpellings) {
+  for (const char* on : {"1", "true", "TRUE", "yes", "on", "On"}) {
+    setenv("ORPHEUS_TEST_BOOL", on, 1);
+    EXPECT_TRUE(ParseEnvBool("ORPHEUS_TEST_BOOL", false)) << on;
+  }
+  for (const char* off : {"0", "false", "no", "OFF"}) {
+    setenv("ORPHEUS_TEST_BOOL", off, 1);
+    EXPECT_FALSE(ParseEnvBool("ORPHEUS_TEST_BOOL", true)) << off;
+  }
+  setenv("ORPHEUS_TEST_BOOL", "maybe", 1);
+  EXPECT_TRUE(ParseEnvBool("ORPHEUS_TEST_BOOL", true));
+  EXPECT_FALSE(ParseEnvBool("ORPHEUS_TEST_BOOL", false));
+  unsetenv("ORPHEUS_TEST_BOOL");
+  EXPECT_TRUE(ParseEnvBool("ORPHEUS_TEST_BOOL", true));
 }
 
 TEST(TablePrinterTest, AlignsColumns) {

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <locale>
+#include <stdexcept>
 
 #include "minidb/csv.h"
 
@@ -96,6 +98,93 @@ TEST(CsvTest, QuotedNewlineInsideCell) {
   ASSERT_TRUE(t.ok());
   ASSERT_EQ(t->num_rows(), 1u);
   EXPECT_EQ(t->GetValue(0, 0).AsString(), "line1\nline2");
+}
+
+// Regression: a quote still open at end of input used to be accepted,
+// silently folding the rest of the file into one cell of the last row.
+// It is now an error that points at the offending quote.
+TEST(CsvTest, UnterminatedQuoteAtEofRejected) {
+  auto t = ParseCsv("a,b\n1,\"oops\n2,3\n", "t");
+  ASSERT_FALSE(t.ok());
+  EXPECT_TRUE(t.status().IsInvalidArgument());
+  // The quote opens on line 2, column 3 (1-based).
+  EXPECT_NE(t.status().ToString().find("line 2"), std::string::npos)
+      << t.status().ToString();
+  EXPECT_NE(t.status().ToString().find("column 3"), std::string::npos)
+      << t.status().ToString();
+}
+
+TEST(CsvTest, UnterminatedQuoteAfterEmbeddedNewline) {
+  // The open quote is on line 2; the error must report where it opened,
+  // not where the input ended.
+  auto t = ParseCsv("a\n\"first\nsecond\n", "t");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().ToString().find("line 2, column 1"),
+            std::string::npos)
+      << t.status().ToString();
+}
+
+TEST(CsvTest, UnterminatedQuoteInHeaderRejected) {
+  EXPECT_FALSE(ParseCsv("\"a,b\n1,2\n", "t").ok());
+}
+
+TEST(CsvTest, CrOnlyLineEndings) {
+  // Classic Mac line endings: a lone \r terminates the record.
+  auto t = ParseCsv("a,b\r1,2\r3,4\r", "t");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(1, 0).AsInt(), 3);
+}
+
+TEST(CsvTest, NoTrailingNewline) {
+  auto t = ParseCsv("a,b\n1,2\n3,4", "t");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(1, 1).AsInt(), 4);
+}
+
+TEST(CsvTest, ArityErrorReportsLine) {
+  auto t = ParseCsv("a,b\n1,2\n1,2,3\n", "t");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().ToString().find("line 3"), std::string::npos)
+      << t.status().ToString();
+}
+
+// Regression: double parsing used strtod, which honors LC_NUMERIC — under
+// a comma-decimal locale "1.5" stopped parsing at the '.' and double
+// columns silently degraded to string. std::from_chars is locale-free.
+TEST(CsvTest, DoubleParsingIsLocaleIndependent) {
+  std::locale original;
+  try {
+    std::locale::global(std::locale("de_DE.UTF-8"));
+  } catch (const std::runtime_error&) {
+    GTEST_SKIP() << "de_DE.UTF-8 locale not available";
+  }
+  auto t = ParseCsv("x\n1.5\n2.25\n", "t");
+  std::locale::global(original);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().column(0).type, ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(t->GetValue(0, 0).AsDouble(), 1.5);
+}
+
+TEST(CsvTest, StrictNumericCells) {
+  // Trailing junk is not a number; the column falls back to string.
+  auto t = ParseCsv("x\n1.5abc\n2\n", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().column(0).type, ValueType::kString);
+  // A leading '+' is still accepted (strtod compatibility).
+  auto plus = ParseCsv("x\n+3\n+4.5\n", "t");
+  ASSERT_TRUE(plus.ok());
+  EXPECT_EQ(plus->schema().column(0).type, ValueType::kDouble);
+}
+
+TEST(CsvTest, Int64OverflowWidensToDouble) {
+  // 2^63 does not fit int64; the column must not be inferred as int (the
+  // old strtoll path clamped it to INT64_MAX).
+  auto t = ParseCsv("x\n9223372036854775808\n1\n", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().column(0).type, ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(t->GetValue(0, 0).AsDouble(), 9223372036854775808.0);
 }
 
 }  // namespace

@@ -1,0 +1,184 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace orpheus {
+namespace {
+
+// Every test runs against the global registry (that is what the engine
+// instruments), so each resets it first and uses test-unique metric names.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::Global().Reset(); }
+};
+
+TEST_F(MetricsTest, CounterAddAndReset) {
+  auto& c = MetricsRegistry::Global().counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Reset zeroes the value but the handle stays valid (names are never
+  // erased, so function-local static references survive).
+  MetricsRegistry::Global().Reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.Add(7);
+  EXPECT_EQ(MetricsRegistry::Global().counter("test.counter").value(), 7u);
+  EXPECT_EQ(&MetricsRegistry::Global().counter("test.counter"), &c);
+}
+
+TEST_F(MetricsTest, GaugeSetAndAdd) {
+  auto& g = MetricsRegistry::Global().gauge("test.gauge");
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.Set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST_F(MetricsTest, HistogramExactStatsApproxPercentiles) {
+  auto& h = MetricsRegistry::Global().histogram("test.hist");
+  for (uint64_t v : {0ull, 1ull, 2ull, 100ull, 1000ull}) h.Record(v);
+  auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 1103u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 1000u);
+  // Power-of-two buckets: percentiles are bucket upper edges clamped to
+  // [min, max], so they are within 2x of the true value and ordered.
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+  EXPECT_GE(snap.p50, snap.min);
+  EXPECT_LE(snap.p99, snap.max);
+  EXPECT_GE(snap.p99, 512u);  // true p99 is 1000; bucket edge is >= 512
+}
+
+TEST_F(MetricsTest, HistogramEmptySnapshotIsZero) {
+  auto snap = MetricsRegistry::Global().histogram("test.empty").TakeSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.p99, 0u);
+}
+
+TEST_F(MetricsTest, CountersAreExactUnderThreadPool) {
+  ThreadPool pool(8);
+  auto& c = MetricsRegistry::Global().counter("test.pool_counter");
+  auto& h = MetricsRegistry::Global().histogram("test.pool_hist");
+  constexpr int kTasks = 64;
+  constexpr int kAddsPerTask = 1000;
+  {
+    ThreadPool::TaskGroup group(&pool);
+    for (int t = 0; t < kTasks; ++t) {
+      group.Submit([&c, &h] {
+        for (int i = 0; i < kAddsPerTask; ++i) {
+          c.Add();
+          h.Record(static_cast<uint64_t>(i));
+        }
+      });
+    }
+  }  // TaskGroup dtor waits
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kTasks) * kAddsPerTask);
+  auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kTasks) * kAddsPerTask);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, static_cast<uint64_t>(kAddsPerTask - 1));
+}
+
+TEST_F(MetricsTest, SpanPathsNest) {
+  if (!MetricsEnabled()) GTEST_SKIP() << "metrics disabled via env/build";
+  {
+    TraceSpan outer("outer");
+    EXPECT_EQ(outer.path(), "outer");
+    {
+      TraceSpan inner("inner");
+      EXPECT_EQ(inner.path(), "outer/inner");
+    }
+  }
+  auto snap = MetricsRegistry::Global().TakeSnapshot();
+  const MetricsRegistry::Snapshot::Span* outer = nullptr;
+  const MetricsRegistry::Snapshot::Span* inner = nullptr;
+  for (const auto& s : snap.spans) {
+    if (s.path == "outer") outer = &s;
+    if (s.path == "outer/inner") inner = &s;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(inner->count, 1u);
+  // The inner span's time was charged to the outer's child_us, so outer
+  // self time excludes it: self = total - child <= total.
+  EXPECT_LE(outer->self_us, outer->total_us);
+  EXPECT_GE(outer->total_us, inner->total_us);
+}
+
+TEST_F(MetricsTest, SpansAggregateAcrossPoolThreads) {
+  if (!MetricsEnabled()) GTEST_SKIP() << "metrics disabled via env/build";
+  ThreadPool pool(8);
+  constexpr int kTasks = 32;
+  {
+    ThreadPool::TaskGroup group(&pool);
+    for (int t = 0; t < kTasks; ++t) {
+      group.Submit([] {
+        TraceSpan span("test.pool_span");
+        ORPHEUS_COUNTER_ADD("test.span_body", 1);
+      });
+    }
+  }
+  auto snap = MetricsRegistry::Global().TakeSnapshot();
+  uint64_t count = 0;
+  for (const auto& s : snap.spans) {
+    // Spans nest per thread: a task running inside a worker that is not
+    // itself traced records at the root path.
+    if (s.path == "test.pool_span") count += s.count;
+  }
+  EXPECT_EQ(count, static_cast<uint64_t>(kTasks));
+}
+
+TEST_F(MetricsTest, SnapshotSortedAndTextRendering) {
+  MetricsRegistry::Global().counter("test.b").Add(2);
+  MetricsRegistry::Global().counter("test.a").Add(1);
+  MetricsRegistry::Global().gauge("test.g").Set(3);
+  auto snap = MetricsRegistry::Global().TakeSnapshot();
+  std::vector<std::string> names;
+  for (const auto& [name, value] : snap.counters) names.push_back(name);
+  ASSERT_GE(names.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  std::string text = MetricsRegistry::Global().ToText();
+  EXPECT_NE(text.find("test.a"), std::string::npos);
+  EXPECT_NE(text.find("test.g"), std::string::npos);
+}
+
+TEST_F(MetricsTest, JsonExportShape) {
+  MetricsRegistry::Global().counter("test.json_counter").Add(5);
+  MetricsRegistry::Global().histogram("test.json_hist").Record(16);
+  std::string json = MetricsRegistry::Global().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_counter\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, MacrosCacheHandles) {
+  if (!MetricsEnabled()) GTEST_SKIP() << "metrics disabled via env/build";
+  for (int i = 0; i < 3; ++i) ORPHEUS_COUNTER_ADD("test.macro_counter", 2);
+  EXPECT_EQ(MetricsRegistry::Global().counter("test.macro_counter").value(),
+            6u);
+  ORPHEUS_GAUGE_SET("test.macro_gauge", 9);
+  EXPECT_EQ(MetricsRegistry::Global().gauge("test.macro_gauge").value(), 9);
+  ORPHEUS_HISTOGRAM_RECORD("test.macro_hist", 4);
+  EXPECT_EQ(
+      MetricsRegistry::Global().histogram("test.macro_hist").TakeSnapshot()
+          .count,
+      1u);
+}
+
+}  // namespace
+}  // namespace orpheus

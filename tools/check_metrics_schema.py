@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validate a --metrics-json file against tools/metrics_schema.json.
+
+Usage: python3 tools/check_metrics_schema.py <metrics.json> [schema.json]
+
+Implements only the JSON-Schema subset the schema uses — type, properties,
+required, additionalProperties, minimum — with no third-party dependencies,
+so CI can run it on a bare python3. Exit status: 0 valid, 1 invalid or
+unreadable.
+"""
+
+import json
+import os
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def validate(value, schema, path, errors):
+    expected = schema.get("type")
+    if expected is not None:
+        py_type = TYPES[expected]
+        ok = isinstance(value, py_type)
+        # bool is a subclass of int in Python; "integer" must not accept it.
+        if ok and expected in ("integer", "number") and isinstance(value, bool):
+            ok = False
+        if not ok:
+            errors.append("%s: expected %s, got %s"
+                          % (path, expected, type(value).__name__))
+            return
+
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append("%s: %r below minimum %r"
+                          % (path, value, schema["minimum"]))
+
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append("%s: missing required key %r" % (path, name))
+        additional = schema.get("additionalProperties", True)
+        for name, child in value.items():
+            child_path = "%s.%s" % (path, name)
+            if name in props:
+                validate(child, props[name], child_path, errors)
+            elif isinstance(additional, dict):
+                validate(child, additional, child_path, errors)
+            elif additional is False:
+                errors.append("%s: unexpected key %r" % (path, name))
+
+
+def main(argv):
+    if len(argv) < 1:
+        print(__doc__.strip())
+        return 1
+    default_schema = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                  "metrics_schema.json")
+    schema_path = argv[1] if len(argv) > 1 else default_schema
+    try:
+        with open(argv[0], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print("%s: %s" % (argv[0], e))
+        return 1
+    with open(schema_path, encoding="utf-8") as f:
+        schema = json.load(f)
+
+    errors = []
+    validate(doc, schema, "$", errors)
+    for e in errors:
+        print(e)
+    if errors:
+        print("%s: INVALID (%d error(s))" % (argv[0], len(errors)))
+        return 1
+    print("%s: ok (%d counters, %d gauges, %d histograms, %d spans)"
+          % (argv[0], len(doc.get("counters", {})), len(doc.get("gauges", {})),
+             len(doc.get("histograms", {})), len(doc.get("spans", {}))))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -29,6 +29,16 @@ nondeterminism
     algorithms must be reproducible: take a uint64 seed and use
     common/random.h (Xorshift).
 
+raw-env
+    getenv() / atoi() outside src/common/env.cc. Raw getenv+atoi silently
+    maps garbage ("8abc", "") to a number; go through ParseEnvInt /
+    ParseEnvBool (common/env.h), which validate and warn once.
+
+raw-clock
+    std::chrono::steady_clock outside src/common/. Timing goes through
+    Timer (common/timer.h) or TraceSpan (common/metrics.h) so every
+    measurement lands in the metrics registry and stays mockable.
+
 Exit status: 0 when clean, 1 when any violation is found.
 """
 
@@ -37,7 +47,7 @@ import re
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_DIRS = ("src", "tests")
+DEFAULT_DIRS = ("src", "tests", "bench")
 
 # (void) followed by something that ends in a call. Bare identifiers
 # ((void)name;) do not match because of the trailing '('.
@@ -53,6 +63,14 @@ NONDETERMINISM = re.compile(
     r"(?<![A-Za-z0-9_:])(?:s?rand\s*\(|std::random_device"
     r"|time\s*\(\s*(?:NULL|nullptr|0)\s*\))")
 NONDETERMINISM_ALLOWED = ("src/common/random.h",)
+
+# getenv / atoi anywhere except the env shim. `std::getenv` and plain
+# `getenv` both match; `ParseEnvInt` etc. do not (lookbehind).
+RAW_ENV = re.compile(r"(?<![A-Za-z0-9_])(?:std::)?(?:getenv|atoi)\s*\(")
+RAW_ENV_ALLOWED = ("src/common/env.cc",)
+
+RAW_CLOCK = re.compile(r"\bsteady_clock\b")
+RAW_CLOCK_ALLOWED_PREFIX = "src/common/"
 
 
 def strip_comments_and_strings(text):
@@ -116,6 +134,17 @@ def lint_file(rel, violations):
                 (rel, lineno, "nondeterminism",
                  "banned nondeterminism source; seed a common/random.h "
                  "Xorshift instead"))
+        if rel not in RAW_ENV_ALLOWED and RAW_ENV.search(line):
+            violations.append(
+                (rel, lineno, "raw-env",
+                 "raw getenv/atoi; use ParseEnvInt / ParseEnvBool from "
+                 "common/env.h"))
+        if (not rel.startswith(RAW_CLOCK_ALLOWED_PREFIX)
+                and RAW_CLOCK.search(line)):
+            violations.append(
+                (rel, lineno, "raw-clock",
+                 "direct steady_clock use; go through Timer "
+                 "(common/timer.h) or TraceSpan (common/metrics.h)"))
 
     if rel.startswith("src/") and rel.endswith(".h"):
         guard = expected_guard(rel)
