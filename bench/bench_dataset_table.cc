@@ -40,6 +40,8 @@ void Run(int argc, char** argv) {
 }  // namespace orpheus::bench
 
 int main(int argc, char** argv) {
+  orpheus::bench::MaybeStartTrace(argc, argv);
   orpheus::bench::Run(argc, argv);
   orpheus::bench::ExportMetrics(argc, argv);
+  orpheus::bench::ExportTrace(argc, argv);
 }

@@ -14,6 +14,7 @@
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/cvd.h"
 #include "core/partition_store.h"
 #include "core/partitioning.h"
@@ -24,15 +25,21 @@ namespace orpheus::bench {
 /// All harnesses run the paper's workloads at a reduced default scale (the
 /// substrate is an in-memory engine, not a provisioned PostgreSQL box); pass
 /// --scale=N (default 1) to multiply workload sizes toward paper scale.
+/// The named aliases small/medium/large map to 1/4/16 for CI recipes.
 inline int ParseScale(int argc, char** argv, int def = 1) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (StartsWith(arg, "--scale=")) {
+      const std::string value = arg.substr(8);
+      if (value == "small") return 1;
+      if (value == "medium") return 4;
+      if (value == "large") return 16;
       // Checked parse: --scale=8abc aborts instead of silently running at
       // a truncated (or default) scale and mislabeling the results.
-      auto parsed = ParseIntStrict(arg.substr(8));
+      auto parsed = ParseIntStrict(value);
       if (!parsed || *parsed < 1) {
-        std::cerr << "bad " << arg << " (want --scale=<positive int>)\n";
+        std::cerr << "bad " << arg
+                  << " (want --scale=<positive int>|small|medium|large)\n";
         std::exit(2);
       }
       return static_cast<int>(*parsed);
@@ -77,6 +84,50 @@ inline void ExportMetrics(int argc, char** argv) {
     std::exit(2);
   }
   std::cerr << "metrics written to " << path << "\n";
+}
+
+/// Path given via `--trace-out <path>` or `--trace-out=<path>`, or empty if
+/// the flag is absent.
+inline std::string TraceOutPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--trace-out" && i + 1 < argc) return argv[i + 1];
+    if (StartsWith(arg, "--trace-out=")) return arg.substr(12);
+  }
+  return std::string();
+}
+
+/// Every bench main calls this first: with `--trace-out <path>` on the
+/// command line, the flight recorder (DESIGN.md §9) is armed so the whole
+/// run is captured into the per-thread ring buffers.
+inline void MaybeStartTrace(int argc, char** argv) {
+  trace::SetCurrentThreadName("main");
+  if (TraceOutPath(argc, argv).empty()) return;
+  if (!MetricsEnabled()) {
+    std::cerr << "--trace-out requires a build with ORPHEUS_METRICS=ON\n";
+    std::exit(2);
+  }
+  trace::Start();
+}
+
+/// Every bench main calls this last: with `--trace-out <path>`, the merged
+/// trace is written as Chrome trace-event JSON (chrome://tracing, Perfetto).
+inline void ExportTrace(int argc, char** argv) {
+  const std::string path = TraceOutPath(argc, argv);
+  if (path.empty()) return;
+  trace::Stop();
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for --trace-out\n";
+    std::exit(2);
+  }
+  out << trace::ToChromeJson();
+  if (!out.good()) {
+    std::cerr << "write failed: " << path << "\n";
+    std::exit(2);
+  }
+  std::cerr << "trace written to " << path << " ("
+            << trace::NumBufferedEvents() << " events buffered)\n";
 }
 
 /// The Table 5.2 datasets, scaled down ~25x by default (I and |R| shrink

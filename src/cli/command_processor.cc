@@ -5,6 +5,7 @@
 
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "core/lyresplit.h"
 #include "core/query.h"
 #include "core/validate.h"
@@ -134,6 +135,14 @@ Result<Cvd*> CommandProcessor::CvdOfStagingTable(const std::string& table) {
 }
 
 Result<std::string> CommandProcessor::Execute(const std::string& line) {
+  // `profile` wraps the rest of the line, which must reach the inner
+  // Execute verbatim (quotes intact), so it is peeled off before
+  // tokenization.
+  std::string_view trimmed = Trim(line);
+  if (trimmed.size() > 8 && ToLower(std::string(trimmed.substr(0, 8))) ==
+                                "profile ") {
+    return Profile(std::string(Trim(trimmed.substr(8))));
+  }
   auto args_result = ParseArgs(line);
   if (!args_result.ok()) return args_result.status();
   Args args = args_result.MoveValueOrDie();
@@ -170,6 +179,7 @@ Result<std::string> CommandProcessor::Execute(const std::string& line) {
   if (cmd == "optimize") return Optimize(args);
   if (cmd == "fsck") return Fsck(args);
   if (cmd == "stats") return Stats(args);
+  if (cmd == "trace") return Trace(args);
   if (cmd == "tables") {
     std::string out;
     for (const auto& name : staging_.ListTables()) {
@@ -509,6 +519,78 @@ Result<std::string> CommandProcessor::Stats(const Args& args) {
     out = as_json ? registry.ToJson() : registry.ToText();
   }
   if (reset) registry.Reset();
+  return out;
+}
+
+Result<std::string> CommandProcessor::Trace(const Args& args) {
+  if (args.positional.empty()) {
+    return Status::InvalidArgument(
+        "usage: trace start|stop|status|dump <file>");
+  }
+  const std::string sub = ToLower(args.positional[0]);
+  if (sub == "start") {
+    if (!MetricsEnabled()) {
+      return Status::NotSupported(
+          "tracing requires metrics (built with ORPHEUS_METRICS=ON and not "
+          "disabled via the ORPHEUS_METRICS environment variable)");
+    }
+    trace::SetCurrentThreadName("main");
+    trace::Clear();
+    trace::Start();
+    return std::string("tracing started (fresh buffers)");
+  }
+  if (sub == "stop") {
+    trace::Stop();
+    return StrFormat("tracing stopped (%zu event(s) buffered)",
+                     trace::NumBufferedEvents());
+  }
+  if (sub == "status") {
+    return StrFormat("tracing %s, %zu event(s) buffered, ring capacity %zu",
+                     trace::IsActive() ? "active" : "inactive",
+                     trace::NumBufferedEvents(), trace::RingCapacity());
+  }
+  if (sub == "dump") {
+    if (args.positional.size() < 2) {
+      return Status::InvalidArgument("usage: trace dump <file>");
+    }
+    const std::string& path = args.positional[1];
+    std::ofstream file(path);
+    if (!file) {
+      return Status::Internal(StrFormat("cannot open %s", path.c_str()));
+    }
+    file << trace::ToChromeJson();
+    if (!file.good()) return Status::Internal("write failed: " + path);
+    return StrFormat("trace written to %s (%zu event(s)); load it in "
+                     "chrome://tracing or https://ui.perfetto.dev",
+                     path.c_str(), trace::NumBufferedEvents());
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown trace subcommand '%s' (want start|stop|status|dump)",
+                sub.c_str()));
+}
+
+Result<std::string> CommandProcessor::Profile(const std::string& command) {
+  if (command.empty()) {
+    return Status::InvalidArgument("usage: profile <command...>");
+  }
+  if (!MetricsEnabled()) {
+    return Status::NotSupported(
+        "profiling requires metrics (built with ORPHEUS_METRICS=ON and not "
+        "disabled via the ORPHEUS_METRICS environment variable)");
+  }
+  // Fresh recording covering exactly the wrapped command; any recording in
+  // progress is restarted afterwards with its buffers cleared.
+  const bool was_active = trace::IsActive();
+  trace::SetCurrentThreadName("main");
+  trace::Clear();
+  trace::Start();
+  auto result = Execute(command);
+  if (!was_active) trace::Stop();
+  if (!result.ok()) return result.status();
+  std::string out = *result;
+  if (!out.empty() && out.back() != '\n') out += '\n';
+  out += StrFormat("--- profile: %s ---\n", command.c_str());
+  out += trace::ProfileReport();
   return out;
 }
 

@@ -43,6 +43,14 @@ namespace orpheus::cli {
 ///                                   JSON form, `-j <file>` to write the
 ///                                   JSON to a file, `reset` to zero every
 ///                                   counter/histogram/span afterwards
+///   trace start|stop|status         flight recorder (DESIGN.md §9):
+///   trace dump <file>               record span begin/end events into the
+///                                   per-thread ring buffers; dump writes
+///                                   Chrome trace-event JSON loadable in
+///                                   chrome://tracing or Perfetto
+///   profile <command...>            run any single command under a fresh
+///                                   trace and render its per-stage tree
+///                                   (count, total, self, p95)
 class CommandProcessor {
  public:
   CommandProcessor() = default;
@@ -82,6 +90,8 @@ class CommandProcessor {
   Result<std::string> Optimize(const Args& args);
   Result<std::string> Fsck(const Args& args);
   Result<std::string> Stats(const Args& args);
+  Result<std::string> Trace(const Args& args);
+  Result<std::string> Profile(const std::string& command);
 
   Result<core::Cvd*> FindCvd(const std::string& name);
   /// The CVD that owns staging table `table`, or an error.

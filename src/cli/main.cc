@@ -7,7 +7,9 @@
 #include <string>
 
 #include "cli/command_processor.h"
+#include "common/log.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace {
 
@@ -33,12 +35,13 @@ int RunStream(orpheus::cli::CommandProcessor* processor, std::istream& in,
 }  // namespace
 
 int main(int argc, char** argv) {
+  orpheus::trace::SetCurrentThreadName("main");
   orpheus::cli::CommandProcessor processor;
   if (argc > 1) {
     for (int i = 1; i < argc; ++i) {
       std::ifstream file(argv[i]);
       if (!file) {
-        std::cerr << "cannot open " << argv[i] << "\n";
+        LOG_ERROR("cannot open command file", {{"path", argv[i]}});
         return 1;
       }
       RunStream(&processor, file, /*interactive=*/false);

@@ -1,11 +1,12 @@
 #include "common/env.h"
 
 #include <charconv>
-#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <set>
 #include <string>
+
+#include "common/log.h"
 
 namespace orpheus {
 
@@ -16,10 +17,12 @@ namespace {
 void WarnOnce(const char* name, const char* raw, const std::string& why) {
   static std::mutex mu;
   static std::set<std::string>* warned = new std::set<std::string>();
-  std::lock_guard<std::mutex> lock(mu);
-  if (!warned->insert(std::string(name) + "=" + raw).second) return;
-  std::fprintf(stderr, "warning: ignoring %s='%s' (%s)\n", name, raw,
-               why.c_str());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!warned->insert(std::string(name) + "=" + raw).second) return;
+  }
+  LOG_WARN("ignoring environment variable",
+           {{"var", name}, {"value", raw}, {"why", why}});
 }
 
 std::string ToLowerAscii(std::string_view s) {
@@ -71,5 +74,7 @@ bool ParseEnvBool(const char* name, bool fallback) {
   WarnOnce(name, raw, "not a boolean (want 0/1/true/false); using default");
   return fallback;
 }
+
+const char* RawEnv(const char* name) { return std::getenv(name); }
 
 }  // namespace orpheus

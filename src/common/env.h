@@ -29,6 +29,11 @@ int64_t ParseEnvInt(const char* name, int64_t fallback, int64_t min_value,
 /// with a warning to stderr.
 bool ParseEnvBool(const char* name, bool fallback);
 
+/// Raw getenv passthrough for string-valued variables (log sinks, file
+/// paths) that need no validation. nullptr when unset. Exists so raw
+/// getenv stays confined to common/env.cc (tools/lint.py raw-env rule).
+const char* RawEnv(const char* name);
+
 }  // namespace orpheus
 
 #endif  // ORPHEUS_COMMON_ENV_H_

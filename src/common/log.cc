@@ -1,0 +1,273 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <ctime>
+#include <chrono>
+#include <mutex>
+
+#include "common/env.h"
+#include "common/string_util.h"
+
+namespace orpheus::log {
+
+namespace {
+
+const char* LevelLetter(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "D";
+    case Level::kInfo:
+      return "I";
+    case Level::kWarn:
+      return "W";
+    case Level::kError:
+      return "E";
+    case Level::kOff:
+      break;
+  }
+  return "?";
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "debug";
+    case Level::kInfo:
+      return "info";
+    case Level::kWarn:
+      return "warn";
+    case Level::kError:
+      return "error";
+    case Level::kOff:
+      break;
+  }
+  return "off";
+}
+
+/// "/abs/path/to/repo/src/cli/main.cc" -> "cli/main.cc"; otherwise the
+/// path's last two components.
+std::string_view ShortFile(const char* file) {
+  if (file == nullptr) return "?";
+  std::string_view f(file);
+  size_t src = f.rfind("src/");
+  if (src != std::string_view::npos) return f.substr(src + 4);
+  size_t slash = f.rfind('/');
+  if (slash == std::string_view::npos) return f;
+  size_t slash2 = f.rfind('/', slash - 1);
+  return slash2 == std::string_view::npos ? f.substr(slash + 1)
+                                          : f.substr(slash2 + 1);
+}
+
+/// Wall-clock UTC timestamp, second resolution: diagnostics need "when",
+/// not the metrics layer's precision (that is what trace timestamps are
+/// for).
+void AppendTimestamp(std::string& out) {
+  const std::time_t now = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  out += buf;
+}
+
+bool NeedsQuoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (char c : v) {
+    if (c == ' ' || c == '=' || c == '"' || c == '\\' ||
+        static_cast<unsigned char>(c) < 0x20) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class Logger {
+ public:
+  static Logger& Global() {
+    // Leaked, like the other common/ singletons: logging from static
+    // destructors and abort handlers must stay safe.
+    static Logger* logger = new Logger();
+    return *logger;
+  }
+
+  Level level() const { return level_; }
+  void set_level(Level level) { level_ = level; }
+  void set_capture(std::string* capture) {
+    std::lock_guard<std::mutex> lock(mu_);
+    capture_ = capture;
+  }
+
+  void Write(Level level, const char* file, int line, std::string_view msg,
+             const Field* fields, size_t num_fields) {
+    std::string record;
+    record.reserve(96 + msg.size() + 24 * num_fields);
+    if (json_) {
+      RenderJson(record, level, file, line, msg, fields, num_fields);
+    } else {
+      RenderText(record, level, file, line, msg, fields, num_fields);
+    }
+    record += '\n';
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!config_warning_.empty()) {
+      // A warning produced while this logger configured itself (bad
+      // ORPHEUS_LOG value, unwritable ORPHEUS_LOG_FILE) could not be
+      // logged recursively; emit it ahead of the first real record.
+      std::string pending;
+      pending.swap(config_warning_);
+      if (capture_ != nullptr) {
+        *capture_ += pending;
+      } else {
+        std::fputs(pending.c_str(), sink_);
+      }
+    }
+    if (capture_ != nullptr) {
+      *capture_ += record;
+      return;
+    }
+    std::fputs(record.c_str(), sink_);
+    std::fflush(sink_);
+  }
+
+ private:
+  Logger() {
+    // Configure from the environment. String-valued variables never warn,
+    // so reading them here cannot recurse into the logger; anything worth
+    // complaining about is stashed in config_warning_ and emitted with the
+    // first record.
+    if (const char* raw = RawEnv("ORPHEUS_LOG")) {
+      std::string v = ToLower(raw);
+      if (v == "debug") {
+        level_ = Level::kDebug;
+      } else if (v == "info" || v.empty()) {
+        level_ = Level::kInfo;
+      } else if (v == "warn" || v == "warning") {
+        level_ = Level::kWarn;
+      } else if (v == "error") {
+        level_ = Level::kError;
+      } else if (v == "off" || v == "none" || v == "quiet") {
+        level_ = Level::kOff;
+      } else {
+        config_warning_ += "warning: ignoring ORPHEUS_LOG='" + std::string(raw) +
+                           "' (want debug/info/warn/error/off)\n";
+      }
+    }
+    if (const char* raw = RawEnv("ORPHEUS_LOG_FORMAT")) {
+      std::string v = ToLower(raw);
+      if (v == "json") {
+        json_ = true;
+      } else if (v != "text" && !v.empty()) {
+        config_warning_ += "warning: ignoring ORPHEUS_LOG_FORMAT='" +
+                           std::string(raw) + "' (want text/json)\n";
+      }
+    }
+    if (const char* raw = RawEnv("ORPHEUS_LOG_FILE")) {
+      if (raw[0] != '\0') {
+        FILE* f = std::fopen(raw, "a");
+        if (f != nullptr) {
+          sink_ = f;
+        } else {
+          config_warning_ += "warning: cannot open ORPHEUS_LOG_FILE='" +
+                             std::string(raw) + "'; logging to stderr\n";
+        }
+      }
+    }
+  }
+
+  void RenderText(std::string& out, Level level, const char* file, int line,
+                  std::string_view msg, const Field* fields,
+                  size_t num_fields) {
+    out += '[';
+    AppendTimestamp(out);
+    out += "] ";
+    out += LevelLetter(level);
+    out += ' ';
+    out += ShortFile(file);
+    out += ':';
+    out += std::to_string(line);
+    out += ' ';
+    out += msg;
+    for (size_t i = 0; i < num_fields; ++i) {
+      out += ' ';
+      out += fields[i].key;
+      out += '=';
+      if (fields[i].quoted && NeedsQuoting(fields[i].value)) {
+        AppendJsonEscaped(out, fields[i].value);
+      } else {
+        out += fields[i].value;
+      }
+    }
+  }
+
+  void RenderJson(std::string& out, Level level, const char* file, int line,
+                  std::string_view msg, const Field* fields,
+                  size_t num_fields) {
+    out += "{\"ts\":\"";
+    AppendTimestamp(out);
+    out += "\",\"level\":\"";
+    out += LevelName(level);
+    out += "\",\"src\":\"";
+    out += ShortFile(file);
+    out += ':';
+    out += std::to_string(line);
+    out += "\",\"msg\":";
+    AppendJsonEscaped(out, msg);
+    for (size_t i = 0; i < num_fields; ++i) {
+      out += ',';
+      AppendJsonEscaped(out, fields[i].key);
+      out += ':';
+      if (fields[i].quoted) {
+        AppendJsonEscaped(out, fields[i].value);
+      } else {
+        out += fields[i].value;
+      }
+    }
+    out += '}';
+  }
+
+  Level level_ = Level::kInfo;
+  bool json_ = false;
+  FILE* sink_ = stderr;
+  std::mutex mu_;
+  std::string* capture_ = nullptr;
+  std::string config_warning_;
+};
+
+}  // namespace
+
+Field::Field(std::string_view k, double v)
+    : key(k), value(StrFormat("%.6g", v)), quoted(false) {}
+
+bool Enabled(Level level) {
+  return static_cast<int>(level) >= static_cast<int>(Logger::Global().level());
+}
+
+void Write(Level level, const char* file, int line, std::string_view msg,
+           std::initializer_list<Field> fields) {
+  Logger::Global().Write(level, file, line, msg, fields.begin(),
+                         fields.size());
+}
+
+void Write(Level level, const char* file, int line, std::string_view msg) {
+  Logger::Global().Write(level, file, line, msg, nullptr, 0);
+}
+
+void WriteV(Level level, const char* file, int line, std::string_view msg,
+            const std::vector<Field>& fields) {
+  Logger::Global().Write(level, file, line, msg, fields.data(),
+                         fields.size());
+}
+
+uint64_t SlowOpThresholdMs() {
+  static const uint64_t threshold = static_cast<uint64_t>(
+      ParseEnvInt("ORPHEUS_SLOW_OP_MS", 0, 0, 86400000));
+  return threshold;
+}
+
+void SetLevelForTest(Level level) { Logger::Global().set_level(level); }
+
+void CaptureForTest(std::string* capture) {
+  Logger::Global().set_capture(capture);
+}
+
+}  // namespace orpheus::log

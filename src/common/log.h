@@ -1,0 +1,116 @@
+#ifndef ORPHEUS_COMMON_LOG_H_
+#define ORPHEUS_COMMON_LOG_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Unified structured logging (DESIGN.md §9).
+///
+/// Every human-facing diagnostic in the engine goes through this logger
+/// (tools/lint.py bans direct stderr writes elsewhere under src/), so one
+/// environment knob controls verbosity, formatting and destination:
+///
+///   ORPHEUS_LOG        = debug | info | warn | error | off   (default info)
+///   ORPHEUS_LOG_FILE   = <path>   append to a file instead of stderr
+///   ORPHEUS_LOG_FORMAT = text | json                         (default text)
+///   ORPHEUS_SLOW_OP_MS = <n>      log any top-level span slower than n ms
+///                                 with its per-child time breakdown
+///
+/// Records are a message plus key=value fields, not a format string:
+///
+///   LOG_WARN("checkout slow", {{"cvd", name}, {"ms", elapsed_ms}});
+///
+/// renders as
+///
+///   [2026-08-06T12:00:00Z] W cli/main.cc:41 checkout slow cvd=wine ms=1830
+///
+/// in text mode, or one JSON object per line in json mode. Levels are
+/// checked before arguments are evaluated (the macros guard), so a
+/// disabled LOG_DEBUG costs one branch.
+///
+/// The logger is thread-safe (one short critical section per record) and
+/// usable from static constructors/destructors and abort paths; it never
+/// allocates its own threads and never throws.
+
+namespace orpheus::log {
+
+enum class Level : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// One key=value field. Values are pre-rendered to strings; `quoted`
+/// records whether JSON output must quote the value (strings) or not
+/// (numbers and booleans, emitted verbatim).
+struct Field {
+  std::string key;
+  std::string value;
+  bool quoted = true;
+
+  Field(std::string_view k, std::string_view v)
+      : key(k), value(v), quoted(true) {}
+  Field(std::string_view k, const char* v)
+      : key(k), value(v == nullptr ? "" : v), quoted(true) {}
+  Field(std::string_view k, const std::string& v)
+      : key(k), value(v), quoted(true) {}
+  Field(std::string_view k, bool v)
+      : key(k), value(v ? "true" : "false"), quoted(false) {}
+  Field(std::string_view k, int v)
+      : key(k), value(std::to_string(v)), quoted(false) {}
+  Field(std::string_view k, long v)
+      : key(k), value(std::to_string(v)), quoted(false) {}
+  Field(std::string_view k, long long v)
+      : key(k), value(std::to_string(v)), quoted(false) {}
+  Field(std::string_view k, unsigned v)
+      : key(k), value(std::to_string(v)), quoted(false) {}
+  Field(std::string_view k, unsigned long v)
+      : key(k), value(std::to_string(v)), quoted(false) {}
+  Field(std::string_view k, unsigned long long v)
+      : key(k), value(std::to_string(v)), quoted(false) {}
+  Field(std::string_view k, double v);
+};
+
+/// True when records at `level` pass the configured threshold. The macros
+/// call this before evaluating their arguments.
+bool Enabled(Level level);
+
+/// Emit one record unconditionally (no level filtering — the macros do
+/// that; direct callers like abort paths use this to guarantee the record
+/// is written regardless of ORPHEUS_LOG).
+void Write(Level level, const char* file, int line, std::string_view msg,
+           std::initializer_list<Field> fields);
+void Write(Level level, const char* file, int line, std::string_view msg);
+/// Same, for field lists built at runtime (e.g. the slow-op breakdown).
+void WriteV(Level level, const char* file, int line, std::string_view msg,
+            const std::vector<Field>& fields);
+
+/// Slow-operation threshold in milliseconds from ORPHEUS_SLOW_OP_MS;
+/// 0 (the default, or an unset variable) disables the slow-op log.
+uint64_t SlowOpThresholdMs();
+
+/// Test hooks: override the level / sink for the duration of a test.
+/// Passing nullptr to CaptureForTest restores the configured sink.
+void SetLevelForTest(Level level);
+void CaptureForTest(std::string* capture);
+
+}  // namespace orpheus::log
+
+#define ORPHEUS_LOG_AT(level, ...)                                     \
+  do {                                                                 \
+    if (::orpheus::log::Enabled(level)) {                              \
+      ::orpheus::log::Write(level, __FILE__, __LINE__, __VA_ARGS__);   \
+    }                                                                  \
+  } while (0)
+
+#define LOG_DEBUG(...) ORPHEUS_LOG_AT(::orpheus::log::Level::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) ORPHEUS_LOG_AT(::orpheus::log::Level::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) ORPHEUS_LOG_AT(::orpheus::log::Level::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) ORPHEUS_LOG_AT(::orpheus::log::Level::kError, __VA_ARGS__)
+
+#endif  // ORPHEUS_COMMON_LOG_H_

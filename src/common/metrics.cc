@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "common/env.h"
+#include "common/log.h"
+#include "common/string_util.h"
 
 namespace orpheus {
 
@@ -37,32 +39,6 @@ uint64_t PercentileFromBuckets(const uint64_t* buckets, uint64_t count,
     if (seen >= rank) return BucketUpperEdge(b);
   }
   return BucketUpperEdge(Histogram::kNumBuckets - 1);
-}
-
-void AppendJsonString(std::string& out, std::string_view s) {
-  out.push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out.push_back('"');
 }
 
 void AppendHistogramJson(std::string& out, const Histogram::Snapshot& h) {
@@ -268,7 +244,7 @@ std::string MetricsRegistry::ToJson() const {
   for (const auto& [name, value] : snap.counters) {
     out += first ? "\n    " : ",\n    ";
     first = false;
-    AppendJsonString(out, name);
+    AppendJsonEscaped(out, name);
     out += ": " + std::to_string(value);
   }
   out += first ? "},\n" : "\n  },\n";
@@ -277,7 +253,7 @@ std::string MetricsRegistry::ToJson() const {
   for (const auto& [name, value] : snap.gauges) {
     out += first ? "\n    " : ",\n    ";
     first = false;
-    AppendJsonString(out, name);
+    AppendJsonEscaped(out, name);
     out += ": " + std::to_string(value);
   }
   out += first ? "},\n" : "\n  },\n";
@@ -286,7 +262,7 @@ std::string MetricsRegistry::ToJson() const {
   for (const auto& [name, h] : snap.histograms) {
     out += first ? "\n    " : ",\n    ";
     first = false;
-    AppendJsonString(out, name);
+    AppendJsonEscaped(out, name);
     out += ": ";
     AppendHistogramJson(out, h);
   }
@@ -296,7 +272,7 @@ std::string MetricsRegistry::ToJson() const {
   for (const auto& s : snap.spans) {
     out += first ? "\n    " : ",\n    ";
     first = false;
-    AppendJsonString(out, s.path);
+    AppendJsonEscaped(out, s.path);
     out += ": {\"count\":" + std::to_string(s.count);
     out += ",\"total_us\":" + std::to_string(s.total_us);
     out += ",\"self_us\":" + std::to_string(s.self_us);
@@ -314,9 +290,60 @@ thread_local TraceSpan* TraceSpan::current_ = nullptr;
 TraceSpan::~TraceSpan() {
   if (!active_) return;
   const uint64_t elapsed = timer_.ElapsedMicros();
+  trace::EmitEnd(name_);
   current_ = parent_;
   if (parent_ != nullptr) parent_->child_us_ += elapsed;
   MetricsRegistry::Global().RecordSpan(path(), elapsed, child_us_);
+  const uint64_t slow_ms = log::SlowOpThresholdMs();
+  if (slow_ms > 0) {
+    if (parent_ != nullptr) {
+      parent_->AddChildTime(name_, elapsed);
+    } else if (elapsed >= slow_ms * 1000) {
+      LogSlowOp(elapsed);
+    }
+  }
+}
+
+void TraceSpan::AddChildTime(const char* name, uint64_t elapsed_us) {
+  // Merge by name: direct children at one site are few, so a linear scan
+  // over <= kMaxChildren entries beats any map. strcmp, not pointer
+  // compare — identical literals in different TUs may not be pooled.
+  for (size_t i = 0; i < num_children_; ++i) {
+    if (children_[i].name == name ||
+        std::strcmp(children_[i].name, name) == 0) {
+      children_[i].total_us += elapsed_us;
+      children_[i].count += 1;
+      return;
+    }
+  }
+  if (num_children_ < kMaxChildren) {
+    children_[num_children_++] = {name, elapsed_us, 1};
+  } else {
+    // Overflow: fold into the last slot so no time is silently dropped.
+    children_[kMaxChildren - 1].total_us += elapsed_us;
+    children_[kMaxChildren - 1].count += 1;
+  }
+}
+
+void TraceSpan::LogSlowOp(uint64_t elapsed_us) const {
+  uint64_t child_total = 0;
+  for (size_t i = 0; i < num_children_; ++i) {
+    child_total += children_[i].total_us;
+  }
+  std::vector<log::Field> fields;
+  fields.reserve(num_children_ + 3);
+  fields.emplace_back("op", path());
+  fields.emplace_back("total_ms", elapsed_us / 1000);
+  fields.emplace_back("self_ms",
+                      (elapsed_us >= child_total ? elapsed_us - child_total
+                                                 : 0) /
+                          1000);
+  for (size_t i = 0; i < num_children_; ++i) {
+    fields.emplace_back(std::string(children_[i].name) + "_ms",
+                        children_[i].total_us / 1000);
+  }
+  log::WriteV(log::Level::kWarn, __FILE__, __LINE__, "slow operation",
+              fields);
 }
 
 }  // namespace orpheus

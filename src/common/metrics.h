@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "common/trace.h"
 
 /// Process-wide observability layer (DESIGN.md §8).
 ///
@@ -211,11 +212,17 @@ class MetricsRegistry {
 /// elapsed time is charged to the parent's child_us, so self times sum
 /// correctly. The path lives in a fixed buffer (no allocation); paths
 /// longer than the buffer are truncated, never overflowed.
+///
+/// Each span also emits begin/end events into the trace ring buffers
+/// (common/trace.h) when tracing is active, and — when ORPHEUS_SLOW_OP_MS
+/// is set — top-level spans exceeding the threshold log their direct-child
+/// time breakdown through the structured logger (common/log.h).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
     if (!MetricsEnabled()) return;
     active_ = true;
+    name_ = name;
     parent_ = current_;
     current_ = this;
     size_t len = 0;
@@ -228,6 +235,7 @@ class TraceSpan {
     if (name_len > kMaxPath - len) name_len = kMaxPath - len;
     std::memcpy(path_ + len, name, name_len);
     path_len_ = len + name_len;
+    trace::EmitBegin(name);
     timer_.Restart();
   }
 
@@ -242,11 +250,28 @@ class TraceSpan {
   static constexpr size_t kMaxPath = 160;
   static thread_local TraceSpan* current_;
 
+  /// Per-name direct-child wall time, accumulated only while the slow-op
+  /// log is enabled; a closing top-level span over the threshold renders
+  /// these as its breakdown. Fixed-size so span destruction never
+  /// allocates; overflowing names merge into the last slot.
+  static constexpr size_t kMaxChildren = 8;
+  struct ChildTime {
+    const char* name = nullptr;
+    uint64_t total_us = 0;
+    uint64_t count = 0;
+  };
+
+  void AddChildTime(const char* name, uint64_t elapsed_us);
+  void LogSlowOp(uint64_t elapsed_us) const;
+
   bool active_ = false;
+  const char* name_ = nullptr;
   TraceSpan* parent_ = nullptr;
   char path_[kMaxPath];
   size_t path_len_ = 0;
   uint64_t child_us_ = 0;
+  ChildTime children_[kMaxChildren];
+  size_t num_children_ = 0;
   Timer timer_;
 };
 

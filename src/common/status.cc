@@ -1,7 +1,8 @@
 #include "common/status.h"
 
-#include <cstdio>
 #include <cstdlib>
+
+#include "common/log.h"
 
 namespace orpheus {
 
@@ -9,14 +10,16 @@ namespace internal {
 
 void CheckOkFailed(const Status& status, const char* expr, const char* file,
                    int line) {
-  std::fprintf(stderr, "%s:%d: ORPHEUS_CHECK_OK(%s) failed: %s\n", file, line,
-               expr, status.ToString().c_str());
+  // Direct Write, not LOG_ERROR: the process is about to abort, so the
+  // record must reach the sink even under ORPHEUS_LOG=off.
+  log::Write(log::Level::kError, file, line, "ORPHEUS_CHECK_OK failed",
+             {{"expr", expr}, {"status", status.ToString()}});
   std::abort();
 }
 
 void ResultBadAccess(const Status& status, const char* op) {
-  std::fprintf(stderr, "Result<T> misuse (%s); contained status: %s\n", op,
-               status.ToString().c_str());
+  log::Write(log::Level::kError, __FILE__, __LINE__, "Result<T> misuse",
+             {{"op", op}, {"status", status.ToString()}});
   std::abort();
 }
 

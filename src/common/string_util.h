@@ -32,6 +32,11 @@ std::string HumanSeconds(double seconds);
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Append `s` to `out` as a double-quoted JSON string literal, escaping
+/// quotes, backslashes and control characters. Shared by the metrics,
+/// trace and log JSON emitters.
+void AppendJsonEscaped(std::string& out, std::string_view s);
+
 }  // namespace orpheus
 
 #endif  // ORPHEUS_COMMON_STRING_UTIL_H_

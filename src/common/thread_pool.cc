@@ -4,6 +4,8 @@
 
 #include "common/env.h"
 #include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/trace.h"
 
 namespace orpheus {
 
@@ -48,7 +50,7 @@ void ThreadPool::StartWorkers(int degree) {
   // The submitting thread helps in Wait(), so degree d needs d-1 workers.
   workers_.reserve(degree - 1);
   for (int i = 0; i < degree - 1; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -62,17 +64,23 @@ void ThreadPool::StopWorkers() {
   workers_.clear();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
   g_worker_of = this;
+  // Named threads show up as their own labeled rows in trace dumps
+  // (chrome://tracing / Perfetto); registration is cheap and lazy.
+  trace::SetCurrentThreadName(StrFormat("pool-worker-%d", worker_index));
   for (;;) {
     Task task;
+    size_t depth = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
     }
+    ORPHEUS_TRACE_COUNTER("pool.queue_depth", depth);
     task.fn();
     FinishTask(task.group);
     ORPHEUS_COUNTER_ADD("pool.tasks_executed", 1);
@@ -81,12 +89,15 @@ void ThreadPool::WorkerLoop() {
 
 bool ThreadPool::RunOneTask() {
   Task task;
+  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
+    depth = queue_.size();
   }
+  ORPHEUS_TRACE_COUNTER("pool.queue_depth", depth);
   task.fn();
   FinishTask(task.group);
   return true;
@@ -116,10 +127,13 @@ void ThreadPool::TaskGroup::Submit(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(mu_);
     ++pending_;
   }
+  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(pool_->mu_);
     pool_->queue_.push_back({std::move(fn), this});
+    depth = pool_->queue_.size();
   }
+  ORPHEUS_TRACE_COUNTER("pool.queue_depth", depth);
   pool_->work_cv_.notify_one();
 }
 

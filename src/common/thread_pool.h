@@ -99,7 +99,7 @@ class ThreadPool {
 
   void StartWorkers(int degree);
   void StopWorkers();
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
   /// Pop and run one queued task; false if the queue was empty.
   bool RunOneTask();
   static void FinishTask(TaskGroup* group);

@@ -1,0 +1,403 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "common/env.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+
+namespace orpheus::trace {
+
+namespace internal {
+std::atomic<bool> g_active{false};
+}  // namespace internal
+
+namespace {
+
+constexpr size_t kMinRingCapacity = 16;
+constexpr size_t kMaxRingCapacity = size_t{1} << 22;
+
+/// Microseconds since the process trace epoch (first use). One steady
+/// clock shared by every thread, so cross-thread timestamps are
+/// comparable and per-thread sequences are monotone.
+uint64_t NowMicros() {
+  static const Timer* epoch = new Timer();
+  return epoch->ElapsedMicros();
+}
+
+/// Single-producer ring: the owner thread writes slots and publishes with a
+/// release store of the head; snapshot readers acquire-load the head and
+/// copy the newest min(head, capacity) slots. head counts events ever
+/// emitted, so wraparound keeps the newest events by construction.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity) : slots_(capacity) {}
+
+  void Emit(EventType type, const char* name, uint64_t arg) {
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    Event& slot = slots_[h % slots_.size()];
+    slot.ts_us = NowMicros();
+    slot.name = name;
+    slot.arg = arg;
+    slot.type = type;
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  std::vector<Event> Snapshot() const {
+    const uint64_t h = head_.load(std::memory_order_acquire);
+    const uint64_t cap = slots_.size();
+    const uint64_t lo = h > cap ? h - cap : 0;
+    std::vector<Event> out;
+    out.reserve(static_cast<size_t>(h - lo));
+    for (uint64_t i = lo; i < h; ++i) {
+      out.push_back(slots_[i % cap]);
+    }
+    return out;
+  }
+
+  size_t size() const {
+    const uint64_t h = head_.load(std::memory_order_acquire);
+    return static_cast<size_t>(std::min<uint64_t>(h, slots_.size()));
+  }
+
+ private:
+  std::vector<Event> slots_;
+  std::atomic<uint64_t> head_{0};
+};
+
+struct ThreadRec {
+  uint32_t tid = 0;
+  std::string name;
+  // Allocated on the first emit, so naming a thread (every pool worker
+  // does) costs nothing until it actually traces.
+  std::unique_ptr<TraceRing> ring;
+};
+
+/// Owns one ThreadRec per thread that ever emitted or named itself.
+/// Records are never removed — a worker that exits (SetDegree) leaves its
+/// events readable — so the thread-local cache below stays valid for the
+/// thread's lifetime. Leaked, like the MetricsRegistry/ThreadPool
+/// singletons, so instrumentation in static destructors stays safe.
+class TraceRegistry {
+ public:
+  static TraceRegistry& Global() {
+    static TraceRegistry* registry = new TraceRegistry();
+    return *registry;
+  }
+
+  ThreadRec* CurrentThreadRec() {
+    thread_local ThreadRec* rec = nullptr;
+    if (rec == nullptr) {
+      std::lock_guard<std::mutex> lock(mu_);
+      threads_.push_back(std::make_unique<ThreadRec>());
+      rec = threads_.back().get();
+      rec->tid = static_cast<uint32_t>(threads_.size() - 1);
+      rec->name = "thread-" + std::to_string(rec->tid);
+    }
+    return rec;
+  }
+
+  TraceRing* CurrentThreadRing() {
+    ThreadRec* rec = CurrentThreadRec();
+    if (rec->ring == nullptr) {
+      rec->ring = std::make_unique<TraceRing>(capacity());
+    }
+    return rec->ring.get();
+  }
+
+  void SetCapacity(size_t capacity) {
+    capacity = std::clamp(capacity, kMinRingCapacity, kMaxRingCapacity);
+    capacity_.store(capacity, std::memory_order_relaxed);
+  }
+
+  size_t capacity() {
+    size_t cap = capacity_.load(std::memory_order_relaxed);
+    if (cap == 0) {
+      // First use: ORPHEUS_TRACE_BUFFER, clamped like SetRingCapacity.
+      cap = static_cast<size_t>(
+          ParseEnvInt("ORPHEUS_TRACE_BUFFER", 16384,
+                      static_cast<int64_t>(kMinRingCapacity),
+                      static_cast<int64_t>(kMaxRingCapacity)));
+      capacity_.store(cap, std::memory_order_relaxed);
+    }
+    return cap;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t cap = capacity();
+    for (auto& rec : threads_) {
+      if (rec->ring != nullptr) rec->ring = std::make_unique<TraceRing>(cap);
+    }
+  }
+
+  std::vector<ThreadTrace> SnapshotAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<ThreadTrace> out;
+    out.reserve(threads_.size());
+    for (const auto& rec : threads_) {
+      ThreadTrace t;
+      t.tid = rec->tid;
+      t.name = rec->name;
+      if (rec->ring != nullptr) t.events = rec->ring->Snapshot();
+      out.push_back(std::move(t));
+    }
+    return out;
+  }
+
+  size_t NumBufferedEvents() {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto& rec : threads_) {
+      if (rec->ring != nullptr) n += rec->ring->size();
+    }
+    return n;
+  }
+
+  void NameCurrentThread(const std::string& name) {
+    ThreadRec* rec = CurrentThreadRec();
+    std::lock_guard<std::mutex> lock(mu_);
+    rec->name = name;
+  }
+
+ private:
+  std::mutex mu_;  // guards the threads_ vector and names, never the rings
+  std::vector<std::unique_ptr<ThreadRec>> threads_;
+  std::atomic<size_t> capacity_{0};
+};
+
+#if ORPHEUS_METRICS_ENABLED
+// ORPHEUS_TRACE=1 starts recording before main() so short-lived tools and
+// benches can be traced without code changes.
+const bool g_env_applied = [] {
+  if (ParseEnvBool("ORPHEUS_TRACE", false)) Start();
+  return true;
+}();
+#endif
+
+/// A begin event waiting for its end during export.
+struct OpenSpan {
+  const char* name;
+  uint64_t ts_us;
+};
+
+}  // namespace
+
+namespace internal {
+
+void EmitImpl(EventType type, const char* name, uint64_t arg) {
+  TraceRegistry::Global().CurrentThreadRing()->Emit(type, name, arg);
+}
+
+}  // namespace internal
+
+void Start() {
+  NowMicros();  // pin the epoch no later than the first Start
+  internal::g_active.store(true, std::memory_order_relaxed);
+}
+
+void Stop() { internal::g_active.store(false, std::memory_order_relaxed); }
+
+void Clear() { TraceRegistry::Global().Clear(); }
+
+void SetRingCapacity(size_t capacity) {
+  TraceRegistry::Global().SetCapacity(capacity);
+}
+
+size_t RingCapacity() { return TraceRegistry::Global().capacity(); }
+
+void SetCurrentThreadName(const std::string& name) {
+  TraceRegistry::Global().NameCurrentThread(name);
+}
+
+std::vector<ThreadTrace> SnapshotAll() {
+  return TraceRegistry::Global().SnapshotAll();
+}
+
+size_t NumBufferedEvents() {
+  return TraceRegistry::Global().NumBufferedEvents();
+}
+
+namespace {
+
+void AppendChromeEvent(std::string& out, bool& first, const std::string& body) {
+  out += first ? "\n    " : ",\n    ";
+  first = false;
+  out += body;
+}
+
+std::string MetadataEvent(const char* what, uint32_t tid,
+                          const std::string& name) {
+  std::string body = "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid);
+  body += ",\"name\":\"";
+  body += what;
+  body += "\",\"args\":{\"name\":";
+  AppendJsonEscaped(body, name);
+  body += "}}";
+  return body;
+}
+
+}  // namespace
+
+std::string ToChromeJson() {
+  const std::vector<ThreadTrace> threads = SnapshotAll();
+  std::string out = "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  bool first = true;
+  AppendChromeEvent(out, first, MetadataEvent("process_name", 0, "orpheus"));
+  for (const ThreadTrace& t : threads) {
+    if (t.events.empty()) continue;
+    AppendChromeEvent(out, first, MetadataEvent("thread_name", t.tid, t.name));
+    // Pair begin/end events into chrome "complete" (X) events. A ring that
+    // wrapped may start with orphaned ends (their begins were overwritten):
+    // those are dropped. Spans still open at snapshot time are emitted as
+    // bare B events, which Perfetto renders as running to the trace end.
+    std::vector<OpenSpan> stack;
+    for (const Event& e : t.events) {
+      switch (e.type) {
+        case EventType::kBegin:
+          stack.push_back({e.name, e.ts_us});
+          break;
+        case EventType::kEnd: {
+          if (stack.empty()) break;  // orphaned by wraparound
+          const OpenSpan open = stack.back();
+          stack.pop_back();
+          std::string body = "{\"ph\":\"X\",\"pid\":1,\"tid\":" +
+                             std::to_string(t.tid);
+          body += ",\"name\":";
+          AppendJsonEscaped(body, open.name ? open.name : "?");
+          body += ",\"cat\":\"orpheus\",\"ts\":" + std::to_string(open.ts_us);
+          body += ",\"dur\":" +
+                  std::to_string(e.ts_us >= open.ts_us ? e.ts_us - open.ts_us
+                                                       : 0);
+          body += "}";
+          AppendChromeEvent(out, first, body);
+          break;
+        }
+        case EventType::kInstant: {
+          std::string body =
+              "{\"ph\":\"i\",\"pid\":1,\"tid\":" + std::to_string(t.tid);
+          body += ",\"name\":";
+          AppendJsonEscaped(body, e.name ? e.name : "?");
+          body += ",\"ts\":" + std::to_string(e.ts_us);
+          body += ",\"s\":\"t\",\"args\":{\"arg\":" + std::to_string(e.arg);
+          body += "}}";
+          AppendChromeEvent(out, first, body);
+          break;
+        }
+        case EventType::kCounter: {
+          std::string body =
+              "{\"ph\":\"C\",\"pid\":1,\"tid\":" + std::to_string(t.tid);
+          body += ",\"name\":";
+          AppendJsonEscaped(body, e.name ? e.name : "?");
+          body += ",\"ts\":" + std::to_string(e.ts_us);
+          body += ",\"args\":{\"value\":" + std::to_string(e.arg);
+          body += "}}";
+          AppendChromeEvent(out, first, body);
+          break;
+        }
+      }
+    }
+    for (const OpenSpan& open : stack) {
+      std::string body =
+          "{\"ph\":\"B\",\"pid\":1,\"tid\":" + std::to_string(t.tid);
+      body += ",\"name\":";
+      AppendJsonEscaped(body, open.name ? open.name : "?");
+      body += ",\"cat\":\"orpheus\",\"ts\":" + std::to_string(open.ts_us);
+      body += "}";
+      AppendChromeEvent(out, first, body);
+    }
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+namespace {
+
+struct PathAgg {
+  uint64_t count = 0;
+  uint64_t total_us = 0;
+  uint64_t child_us = 0;
+  std::vector<uint64_t> durations_us;
+};
+
+uint64_t ExactP95(std::vector<uint64_t>* durations) {
+  if (durations->empty()) return 0;
+  // Nearest-rank: ceil(0.95 * n) as a 1-based rank.
+  const size_t n = durations->size();
+  size_t rank = (n * 95 + 99) / 100;
+  if (rank < 1) rank = 1;
+  std::nth_element(durations->begin(), durations->begin() + (rank - 1),
+                   durations->end());
+  return (*durations)[rank - 1];
+}
+
+}  // namespace
+
+std::string ProfileReport() {
+  const std::vector<ThreadTrace> threads = SnapshotAll();
+  // Reconstruct slash-joined span paths per thread (the same shape the
+  // metrics registry aggregates) and fold every completed span in.
+  std::map<std::string, PathAgg> aggs;
+  size_t dropped_opens = 0;
+  for (const ThreadTrace& t : threads) {
+    std::vector<OpenSpan> stack;
+    for (const Event& e : t.events) {
+      if (e.type == EventType::kBegin) {
+        stack.push_back({e.name, e.ts_us});
+      } else if (e.type == EventType::kEnd) {
+        if (stack.empty()) continue;  // orphaned by wraparound
+        const OpenSpan open = stack.back();
+        stack.pop_back();
+        std::string parent;
+        for (const OpenSpan& outer : stack) {
+          if (!parent.empty()) parent += '/';
+          parent += outer.name ? outer.name : "?";
+        }
+        std::string path = parent.empty()
+                               ? std::string(open.name ? open.name : "?")
+                               : parent + "/" + (open.name ? open.name : "?");
+        const uint64_t dur =
+            e.ts_us >= open.ts_us ? e.ts_us - open.ts_us : 0;
+        PathAgg& agg = aggs[path];
+        agg.count += 1;
+        agg.total_us += dur;
+        agg.durations_us.push_back(dur);
+        if (!parent.empty()) aggs[parent].child_us += dur;
+      }
+    }
+    dropped_opens += stack.size();
+  }
+  if (aggs.empty()) return "(no spans traced)\n";
+
+  TablePrinter table({"stage", "count", "total", "self", "p95"});
+  for (auto& [path, agg] : aggs) {
+    // Indent by depth; show only the leaf name, tree-style.
+    const size_t depth = static_cast<size_t>(
+        std::count(path.begin(), path.end(), '/'));
+    const size_t leaf = path.rfind('/');
+    std::string label(depth * 2, ' ');
+    label += leaf == std::string::npos ? path : path.substr(leaf + 1);
+    const uint64_t self_us =
+        agg.total_us >= agg.child_us ? agg.total_us - agg.child_us : 0;
+    table.AddRow({label, std::to_string(agg.count),
+                  HumanSeconds(static_cast<double>(agg.total_us) * 1e-6),
+                  HumanSeconds(static_cast<double>(self_us) * 1e-6),
+                  HumanSeconds(static_cast<double>(
+                                   ExactP95(&agg.durations_us)) *
+                               1e-6)});
+  }
+  std::ostringstream os;
+  table.Print(os);
+  if (dropped_opens > 0) {
+    os << "(" << dropped_opens << " span(s) still open, not shown)\n";
+  }
+  return os.str();
+}
+
+}  // namespace orpheus::trace

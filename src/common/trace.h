@@ -1,0 +1,174 @@
+#ifndef ORPHEUS_COMMON_TRACE_H_
+#define ORPHEUS_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// Event tracing: the timeline companion to the aggregate metrics layer
+/// (DESIGN.md §9).
+///
+/// Where common/metrics.h answers "how long does pstore.build take on
+/// average", this layer answers "what did thread 3 run between 120ms and
+/// 140ms, and why was the pool idle". Every thread that emits an event owns
+/// a fixed-capacity ring buffer of {timestamp, name, arg, type} records;
+/// the existing ORPHEUS_TRACE_SPAN sites feed begin/end pairs into it, the
+/// thread pool feeds queue-depth counter events, and a registry-driven
+/// snapshot merges all rings into Chrome trace-event JSON that loads in
+/// chrome://tracing or https://ui.perfetto.dev.
+///
+/// Cost model: when tracing is inactive (the default), every emit site is
+/// one relaxed atomic load and a predictable branch — cheap enough to leave
+/// compiled into release binaries. When active, an emit is a clock read
+/// plus four plain stores and one release store into the calling thread's
+/// ring; no locks, no allocation after the ring exists. Rings overwrite
+/// their oldest events on wrap, so a trace is always "the most recent
+/// N events per thread" (N = ORPHEUS_TRACE_BUFFER, default 16384).
+///
+/// Concurrency contract: each ring has exactly one writer (its owner
+/// thread). Snapshots are taken at quiescent points (after TaskGroup::Wait,
+/// at bench exit, between CLI commands), where every prior emit
+/// happens-before the read; snapshotting while writers are actively
+/// emitting yields a best-effort trace and may observe torn events on a
+/// ring that wraps mid-read — acceptable for a flight recorder, never UB
+/// worse than a garbled event.
+///
+/// Building with -DORPHEUS_METRICS=OFF compiles every emit site down to
+/// nothing (the same switch that kills the metrics macros); Start() then
+/// records nothing and dumps are empty.
+
+#ifndef ORPHEUS_METRICS_ENABLED
+#define ORPHEUS_METRICS_ENABLED 1
+#endif
+
+namespace orpheus::trace {
+
+enum class EventType : uint8_t {
+  kBegin = 0,    // span opened (name = span name, arg unused)
+  kEnd = 1,      // span closed (name = span name, arg unused)
+  kInstant = 2,  // point event (arg = user payload)
+  kCounter = 3,  // sampled value (arg = the value), e.g. pool.queue_depth
+};
+
+/// One ring slot. `name` must point at storage that outlives the trace —
+/// in practice a string literal at the emit site (the "name handle": 8
+/// bytes, no copy, no hashing).
+struct Event {
+  uint64_t ts_us = 0;        // microseconds since the process trace epoch
+  const char* name = nullptr;
+  uint64_t arg = 0;
+  EventType type = EventType::kInstant;
+};
+
+namespace internal {
+/// Global on/off flag, flipped by Start()/Stop() (and ORPHEUS_TRACE=1 at
+/// process start). Read on every emit fast path, hence relaxed + inline.
+extern std::atomic<bool> g_active;
+void EmitImpl(EventType type, const char* name, uint64_t arg);
+}  // namespace internal
+
+/// True while events are being recorded.
+inline bool IsActive() {
+#if ORPHEUS_METRICS_ENABLED
+  return internal::g_active.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// Begin recording. Events emitted before Start() are not retroactively
+/// recovered; call Clear() first for a fresh recording. Also applied at
+/// process start when the ORPHEUS_TRACE environment variable is truthy.
+void Start();
+
+/// Stop recording. Buffered events stay readable until Clear().
+void Stop();
+
+/// Drop every buffered event on every thread (ring capacities are
+/// re-applied, so a preceding SetRingCapacity takes effect). Must be called
+/// at a quiescent point.
+void Clear();
+
+/// Per-thread ring capacity in events for rings created or cleared from now
+/// on. Defaults to ORPHEUS_TRACE_BUFFER (16384). Values are clamped to
+/// [16, 1<<22]. Intended for tests and tools; call Clear() afterwards to
+/// re-size existing rings.
+void SetRingCapacity(size_t capacity);
+size_t RingCapacity();
+
+/// Name the calling thread in trace output ("main", "pool-worker-3").
+/// Registers the thread with the trace registry; cheap, allocates the ring
+/// lazily on first emit.
+void SetCurrentThreadName(const std::string& name);
+
+/// Emit fast paths: one relaxed load + branch when inactive.
+inline void EmitBegin(const char* name) {
+#if ORPHEUS_METRICS_ENABLED
+  if (IsActive()) internal::EmitImpl(EventType::kBegin, name, 0);
+#endif
+}
+inline void EmitEnd(const char* name) {
+#if ORPHEUS_METRICS_ENABLED
+  if (IsActive()) internal::EmitImpl(EventType::kEnd, name, 0);
+#endif
+}
+inline void EmitInstant(const char* name, uint64_t arg = 0) {
+#if ORPHEUS_METRICS_ENABLED
+  if (IsActive()) internal::EmitImpl(EventType::kInstant, name, arg);
+#endif
+}
+inline void EmitCounter(const char* name, uint64_t value) {
+#if ORPHEUS_METRICS_ENABLED
+  if (IsActive()) internal::EmitImpl(EventType::kCounter, name, value);
+#endif
+}
+
+/// The merged view of every thread's ring, oldest-first per thread.
+struct ThreadTrace {
+  uint32_t tid = 0;        // small sequential id, assigned at registration
+  std::string name;        // from SetCurrentThreadName, or "thread-<tid>"
+  std::vector<Event> events;
+};
+
+/// Copy out every ring (quiescent point; see the concurrency contract).
+/// Threads are ordered by tid; events within a thread are in emit order.
+std::vector<ThreadTrace> SnapshotAll();
+
+/// Render the snapshot as Chrome trace-event JSON ("traceEvents" array,
+/// complete X events for matched begin/end pairs, B events for still-open
+/// spans, i/C for instants and counters, M metadata rows naming every
+/// thread). Loads directly in chrome://tracing and Perfetto.
+std::string ToChromeJson();
+
+/// Total buffered events across all rings (post-wrap, i.e. what a dump
+/// would contain).
+size_t NumBufferedEvents();
+
+/// Per-stage profile of the buffered trace: one row per slash-joined span
+/// path with count, total, self and exact p95 wall time, indented as a
+/// tree. Unlike the metrics registry (process-lifetime aggregates), this
+/// covers exactly the events in the buffer — the operation just traced.
+std::string ProfileReport();
+
+}  // namespace orpheus::trace
+
+// Instrumentation macros, mirroring the ORPHEUS_COUNTER_ADD family: sites
+// compile out entirely under -DORPHEUS_METRICS=OFF.
+#if ORPHEUS_METRICS_ENABLED
+/// Mark a point in time (chrome "instant" event) with a 64-bit payload.
+#define ORPHEUS_TRACE_INSTANT(name, arg) \
+  ::orpheus::trace::EmitInstant(name, static_cast<uint64_t>(arg))
+/// Record a sampled value (chrome "counter" track), e.g. queue depth.
+#define ORPHEUS_TRACE_COUNTER(name, value) \
+  ::orpheus::trace::EmitCounter(name, static_cast<uint64_t>(value))
+#else
+#define ORPHEUS_TRACE_INSTANT(name, arg) \
+  do {                                   \
+  } while (0)
+#define ORPHEUS_TRACE_COUNTER(name, value) \
+  do {                                     \
+  } while (0)
+#endif
+
+#endif  // ORPHEUS_COMMON_TRACE_H_

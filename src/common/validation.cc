@@ -1,9 +1,9 @@
 #include "common/validation.h"
 
-#include <cstdio>
 #include <cstdlib>
 
 #include "common/env.h"
+#include "common/log.h"
 
 namespace orpheus {
 
@@ -36,9 +36,12 @@ bool ValidationEnabled() {
 
 void DieIfViolations(const ValidationReport& report, const char* where) {
   if (report.ok()) return;
-  std::fprintf(stderr,
-               "ORPHEUS_VALIDATE: %zu invariant violation(s) after %s:\n%s",
-               report.num_violations(), where, report.ToString().c_str());
+  // Direct Write: about to abort, must not be filtered by ORPHEUS_LOG.
+  log::Write(log::Level::kError, __FILE__, __LINE__,
+             "ORPHEUS_VALIDATE: invariant violation(s)",
+             {{"where", where},
+              {"count", report.num_violations()},
+              {"violations", report.ToString()}});
   std::abort();
 }
 

@@ -58,6 +58,34 @@ TEST_F(MetricsTest, HistogramExactStatsApproxPercentiles) {
   EXPECT_GE(snap.p99, 512u);  // true p99 is 1000; bucket edge is >= 512
 }
 
+TEST_F(MetricsTest, HistogramResetClearsMinMaxAndPercentiles) {
+  // Regression: after Reset, min/max/percentiles must reflect only the
+  // records made since — a stale min of 0 or max of 1e6 would silently
+  // corrupt every later snapshot.
+  auto& h = MetricsRegistry::Global().histogram("test.reset_hist");
+  h.Record(1);
+  h.Record(1000000);
+  MetricsRegistry::Global().Reset();
+  auto cleared = h.TakeSnapshot();
+  EXPECT_EQ(cleared.count, 0u);
+  EXPECT_EQ(cleared.sum, 0u);
+  EXPECT_EQ(cleared.min, 0u);
+  EXPECT_EQ(cleared.max, 0u);
+  EXPECT_EQ(cleared.p50, 0u);
+  EXPECT_EQ(cleared.p99, 0u);
+  h.Record(500);
+  h.Record(700);
+  auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.sum, 1200u);
+  EXPECT_EQ(snap.min, 500u);
+  EXPECT_EQ(snap.max, 700u);
+  // Percentiles are bucket edges clamped to [min, max]: nothing may leak
+  // from the pre-reset records (1 and 1000000).
+  EXPECT_GE(snap.p50, 500u);
+  EXPECT_LE(snap.p99, 700u);
+}
+
 TEST_F(MetricsTest, HistogramEmptySnapshotIsZero) {
   auto snap = MetricsRegistry::Global().histogram("test.empty").TakeSnapshot();
   EXPECT_EQ(snap.count, 0u);

@@ -1,0 +1,285 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+
+namespace orpheus {
+namespace {
+
+using trace::Event;
+using trace::EventType;
+using trace::ThreadTrace;
+
+// The tracer is process-global (like the metrics registry), so every test
+// stops recording, resets capacity, and clears all rings around itself.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::Stop();
+    saved_capacity_ = trace::RingCapacity();
+    trace::Clear();
+  }
+  void TearDown() override {
+    trace::Stop();
+    trace::SetRingCapacity(saved_capacity_);
+    trace::Clear();
+  }
+
+  size_t saved_capacity_ = 0;
+};
+
+/// Events named `name` across all threads, in per-thread emit order.
+std::vector<Event> EventsNamed(const std::vector<ThreadTrace>& threads,
+                               const char* name) {
+  std::vector<Event> out;
+  for (const auto& t : threads) {
+    for (const auto& e : t.events) {
+      if (e.name != nullptr && std::strcmp(e.name, name) == 0) {
+        out.push_back(e);
+      }
+    }
+  }
+  return out;
+}
+
+TEST_F(TraceTest, DisabledEmitsNothing) {
+  ASSERT_FALSE(trace::IsActive());
+  for (int i = 0; i < 10; ++i) trace::EmitInstant("test.disabled", i);
+  ORPHEUS_TRACE_INSTANT("test.disabled_macro", 1);
+  ORPHEUS_TRACE_COUNTER("test.disabled_counter", 2);
+  { TraceSpan span("test.disabled_span"); }
+  EXPECT_EQ(trace::NumBufferedEvents(), 0u);
+  auto threads = trace::SnapshotAll();
+  EXPECT_TRUE(EventsNamed(threads, "test.disabled").empty());
+  EXPECT_TRUE(EventsNamed(threads, "test.disabled_span").empty());
+}
+
+TEST_F(TraceTest, StartStopBracketsRecording) {
+  trace::EmitInstant("test.before", 0);  // stopped: dropped
+  trace::Start();
+  if (!trace::IsActive()) GTEST_SKIP() << "tracing compiled out";
+  trace::EmitInstant("test.during", 1);
+  trace::Stop();
+  trace::EmitInstant("test.after", 2);  // stopped again: dropped
+  auto threads = trace::SnapshotAll();
+  EXPECT_TRUE(EventsNamed(threads, "test.before").empty());
+  ASSERT_EQ(EventsNamed(threads, "test.during").size(), 1u);
+  EXPECT_TRUE(EventsNamed(threads, "test.after").empty());
+}
+
+TEST_F(TraceTest, WraparoundKeepsNewestEvents) {
+  trace::SetRingCapacity(64);
+  trace::Clear();  // re-size this thread's ring
+  EXPECT_EQ(trace::RingCapacity(), 64u);
+  trace::Start();
+  if (!trace::IsActive()) GTEST_SKIP() << "tracing compiled out";
+  constexpr uint64_t kEmitted = 200;
+  for (uint64_t i = 0; i < kEmitted; ++i) {
+    trace::EmitInstant("test.wrap", i);
+  }
+  trace::Stop();
+  auto events = EventsNamed(trace::SnapshotAll(), "test.wrap");
+  ASSERT_EQ(events.size(), 64u);
+  // Overwrite-oldest: exactly the newest 64 events survive, in order.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg, kEmitted - 64 + i);
+  }
+  EXPECT_EQ(events.back().arg, kEmitted - 1);
+}
+
+TEST_F(TraceTest, RingCapacityIsClamped) {
+  trace::SetRingCapacity(1);
+  EXPECT_EQ(trace::RingCapacity(), 16u);  // clamped to the minimum
+  trace::SetRingCapacity(saved_capacity_);
+  EXPECT_EQ(trace::RingCapacity(), saved_capacity_);
+}
+
+uint64_t CountType(const std::vector<Event>& events, EventType type) {
+  uint64_t n = 0;
+  for (const auto& e : events) n += e.type == type ? 1 : 0;
+  return n;
+}
+
+TEST_F(TraceTest, SpanPairingSurvivesEarlyReturn) {
+  if (!MetricsEnabled()) GTEST_SKIP() << "metrics disabled via env/build";
+  trace::Start();
+  auto early = [](bool bail) {
+    TraceSpan span("test.early_span");
+    if (bail) return 1;  // early return must still close the span
+    return 2;
+  };
+  EXPECT_EQ(early(true), 1);
+  EXPECT_EQ(early(false), 2);
+  trace::Stop();
+  auto events = EventsNamed(trace::SnapshotAll(), "test.early_span");
+  EXPECT_EQ(CountType(events, EventType::kBegin), 2u);
+  EXPECT_EQ(CountType(events, EventType::kEnd), 2u);
+  // Both spans closed, so the export has complete (X) events and no
+  // still-open (B) rows for this name.
+  std::string json = trace::ToChromeJson();
+  EXPECT_NE(json.find("\"ph\":\"X\",\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("test.early_span"), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"B\""), std::string::npos);
+}
+
+TEST_F(TraceTest, PoolRunAttributesEventsToDistinctThreads) {
+  if (!MetricsEnabled()) GTEST_SKIP() << "metrics disabled via env/build";
+  constexpr int kDegree = 8;
+  ThreadPool pool(kDegree);
+  trace::Start();
+  // A spin barrier forces every task onto its own thread (7 workers + the
+  // helping submitter), so the trace must attribute spans to 8 tids.
+  std::atomic<int> arrived{0};
+  {
+    ThreadPool::TaskGroup group(&pool);
+    for (int t = 0; t < kDegree; ++t) {
+      group.Submit([&arrived] {
+        TraceSpan outer("test.pool_outer");
+        {
+          TraceSpan inner("test.pool_inner");
+          arrived.fetch_add(1);
+          while (arrived.load() < kDegree) {
+          }
+        }
+      });
+    }
+  }  // TaskGroup dtor waits
+  trace::Stop();
+  auto threads = trace::SnapshotAll();
+  int threads_with_task = 0;
+  for (const auto& t : threads) {
+    std::vector<const Event*> ours;
+    for (const auto& e : t.events) {
+      if (e.name != nullptr &&
+          (std::strcmp(e.name, "test.pool_outer") == 0 ||
+           std::strcmp(e.name, "test.pool_inner") == 0)) {
+        ours.push_back(&e);
+      }
+    }
+    if (ours.empty()) continue;
+    ++threads_with_task;
+    // One task per thread, so the per-thread sequence is exactly the
+    // nesting begin(outer) begin(inner) end(inner) end(outer)...
+    ASSERT_EQ(ours.size(), 4u) << "thread " << t.name;
+    EXPECT_EQ(ours[0]->type, EventType::kBegin);
+    EXPECT_STREQ(ours[0]->name, "test.pool_outer");
+    EXPECT_EQ(ours[1]->type, EventType::kBegin);
+    EXPECT_STREQ(ours[1]->name, "test.pool_inner");
+    EXPECT_EQ(ours[2]->type, EventType::kEnd);
+    EXPECT_STREQ(ours[2]->name, "test.pool_inner");
+    EXPECT_EQ(ours[3]->type, EventType::kEnd);
+    EXPECT_STREQ(ours[3]->name, "test.pool_outer");
+    // ...with monotone timestamps (one shared steady clock).
+    for (size_t i = 1; i < ours.size(); ++i) {
+      EXPECT_GE(ours[i]->ts_us, ours[i - 1]->ts_us);
+    }
+  }
+  EXPECT_EQ(threads_with_task, kDegree);
+}
+
+TEST_F(TraceTest, ChromeJsonShape) {
+  trace::SetCurrentThreadName("trace-test-main");
+  trace::Start();
+  if (!trace::IsActive()) GTEST_SKIP() << "tracing compiled out";
+  trace::EmitBegin("test.json_span");
+  trace::EmitInstant("test.json_instant", 7);
+  trace::EmitCounter("test.json_counter", 42);
+  trace::EmitEnd("test.json_span");
+  trace::Stop();
+  std::string json = trace::ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  // Thread metadata names our row.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace-test-main\""), std::string::npos);
+  // One complete span, one instant with its payload, one counter sample.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"arg\":7}"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":42}"), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeJsonMarksStillOpenSpans) {
+  trace::Start();
+  if (!trace::IsActive()) GTEST_SKIP() << "tracing compiled out";
+  trace::EmitBegin("test.open_span");
+  trace::Stop();
+  std::string json = trace::ToChromeJson();
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("test.open_span"), std::string::npos);
+}
+
+TEST_F(TraceTest, ProfileReportRendersSpanTree) {
+  if (!MetricsEnabled()) GTEST_SKIP() << "metrics disabled via env/build";
+  trace::Start();
+  for (int i = 0; i < 3; ++i) {
+    TraceSpan outer("test.profile_outer");
+    TraceSpan inner("test.profile_inner");
+  }
+  trace::Stop();
+  std::string report = trace::ProfileReport();
+  EXPECT_NE(report.find("stage"), std::string::npos);
+  EXPECT_NE(report.find("p95"), std::string::npos);
+  EXPECT_NE(report.find("test.profile_outer"), std::string::npos);
+  // The child renders indented under its parent, leaf name only.
+  EXPECT_NE(report.find("  test.profile_inner"), std::string::npos);
+  EXPECT_NE(report.find("3"), std::string::npos);  // count column
+}
+
+TEST_F(TraceTest, ProfileReportEmptyWithoutSpans) {
+  EXPECT_EQ(trace::ProfileReport(), "(no spans traced)\n");
+}
+
+// The structured logger rides along in this suite: it is the other half of
+// DESIGN.md §9 and has no binary of its own.
+
+TEST(LogTest, TextFormatRendersFields) {
+  std::string captured;
+  log::CaptureForTest(&captured);
+  log::SetLevelForTest(log::Level::kDebug);
+  LOG_WARN("checkout slow", {{"cvd", "wine"}, {"ms", 1830}});
+  log::CaptureForTest(nullptr);
+  log::SetLevelForTest(log::Level::kInfo);
+  EXPECT_NE(captured.find(" W "), std::string::npos);
+  EXPECT_NE(captured.find("test_trace.cc:"), std::string::npos);
+  EXPECT_NE(captured.find("checkout slow"), std::string::npos);
+  EXPECT_NE(captured.find("cvd=wine"), std::string::npos);
+  EXPECT_NE(captured.find("ms=1830"), std::string::npos);
+}
+
+TEST(LogTest, LevelFiltersRecords) {
+  std::string captured;
+  log::CaptureForTest(&captured);
+  log::SetLevelForTest(log::Level::kError);
+  EXPECT_FALSE(log::Enabled(log::Level::kWarn));
+  EXPECT_TRUE(log::Enabled(log::Level::kError));
+  LOG_WARN("should be filtered");
+  LOG_ERROR("should appear");
+  log::CaptureForTest(nullptr);
+  log::SetLevelForTest(log::Level::kInfo);
+  EXPECT_EQ(captured.find("should be filtered"), std::string::npos);
+  EXPECT_NE(captured.find("should appear"), std::string::npos);
+}
+
+TEST(LogTest, QuotedValuesEscape) {
+  std::string captured;
+  log::CaptureForTest(&captured);
+  log::SetLevelForTest(log::Level::kDebug);
+  LOG_INFO("msg", {{"path", "a b\"c"}});
+  log::CaptureForTest(nullptr);
+  log::SetLevelForTest(log::Level::kInfo);
+  EXPECT_NE(captured.find("path=\"a b\\\"c\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orpheus

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate a --trace-out / `trace dump` file as Chrome trace-event JSON.
+
+Usage: python3 tools/check_trace_schema.py <trace.json>
+
+Checks the subset of the trace-event format the exporter emits (and that
+chrome://tracing / Perfetto rely on):
+
+  - top level: object with a "traceEvents" array (and optional
+    "displayTimeUnit")
+  - every event: object with string "ph" in {X, B, E, i, C, M} and
+    integer "pid"/"tid"
+  - X/B/E/i/C events: string "name" and non-negative integer "ts";
+    X additionally a non-negative integer "dur"; i a "s" scope string
+  - C events: an "args" object with at least one numeric series
+  - M metadata: "name" in {process_name, thread_name} with args.name a
+    string; every tid referenced by an event must be named by a
+    thread_name row
+
+No third-party dependencies, so CI can run it on a bare python3.
+Exit status: 0 valid, 1 invalid or unreadable.
+"""
+
+import json
+import sys
+
+EVENT_PHASES = ("X", "B", "E", "i", "C", "M")
+METADATA_NAMES = ("process_name", "thread_name")
+
+
+def check_int(event, key, path, errors, required=True, minimum=None):
+    if key not in event:
+        if required:
+            errors.append("%s: missing %r" % (path, key))
+        return None
+    value = event[key]
+    if isinstance(value, bool) or not isinstance(value, int):
+        errors.append("%s: %r must be an integer, got %s"
+                      % (path, key, type(value).__name__))
+        return None
+    if minimum is not None and value < minimum:
+        errors.append("%s: %r is %d, below %d" % (path, key, value, minimum))
+    return value
+
+
+def check_str(event, key, path, errors):
+    if key not in event:
+        errors.append("%s: missing %r" % (path, key))
+        return None
+    if not isinstance(event[key], str):
+        errors.append("%s: %r must be a string, got %s"
+                      % (path, key, type(event[key]).__name__))
+        return None
+    return event[key]
+
+
+def validate(doc):
+    errors = []
+    if not isinstance(doc, dict):
+        return ["$: top level must be an object"], {}
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["$.traceEvents: missing or not an array"], {}
+
+    counts = {ph: 0 for ph in EVENT_PHASES}
+    named_tids = set()
+    used_tids = set()
+    for i, event in enumerate(events):
+        path = "$.traceEvents[%d]" % i
+        if not isinstance(event, dict):
+            errors.append("%s: not an object" % path)
+            continue
+        ph = check_str(event, "ph", path, errors)
+        if ph is None:
+            continue
+        if ph not in EVENT_PHASES:
+            errors.append("%s: unknown phase %r" % (path, ph))
+            continue
+        counts[ph] += 1
+        check_int(event, "pid", path, errors)
+        tid = check_int(event, "tid", path, errors)
+
+        if ph == "M":
+            name = check_str(event, "name", path, errors)
+            if name is not None and name not in METADATA_NAMES:
+                errors.append("%s: unknown metadata row %r" % (path, name))
+            args = event.get("args")
+            if not isinstance(args, dict) or not isinstance(
+                    args.get("name"), str):
+                errors.append("%s: metadata needs args.name string" % path)
+            elif name == "thread_name" and tid is not None:
+                named_tids.add(tid)
+            continue
+
+        if tid is not None:
+            used_tids.add(tid)
+        check_str(event, "name", path, errors)
+        check_int(event, "ts", path, errors, minimum=0)
+        if ph == "X":
+            check_int(event, "dur", path, errors, minimum=0)
+        if ph == "i" and not isinstance(event.get("s"), str):
+            errors.append("%s: instant needs a scope string %r" % (path, "s"))
+        if ph == "C":
+            args = event.get("args")
+            if (not isinstance(args, dict) or not args
+                    or not all(isinstance(v, (int, float))
+                               and not isinstance(v, bool)
+                               for v in args.values())):
+                errors.append("%s: counter needs numeric args" % path)
+
+    for tid in sorted(used_tids - named_tids):
+        errors.append("$.traceEvents: tid %d has events but no thread_name "
+                      "metadata" % tid)
+    return errors, counts
+
+
+def main(argv):
+    if len(argv) != 1:
+        print(__doc__.strip())
+        return 1
+    try:
+        with open(argv[0], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print("%s: %s" % (argv[0], e))
+        return 1
+
+    errors, counts = validate(doc)
+    for e in errors:
+        print(e)
+    if errors:
+        print("%s: INVALID (%d error(s))" % (argv[0], len(errors)))
+        return 1
+    print("%s: ok (%d complete, %d open, %d instant, %d counter, "
+          "%d metadata)" % (argv[0], counts["X"], counts["B"], counts["i"],
+                            counts["C"], counts["M"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

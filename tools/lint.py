@@ -39,6 +39,13 @@ raw-clock
     Timer (common/timer.h) or TraceSpan (common/metrics.h) so every
     measurement lands in the metrics registry and stays mockable.
 
+raw-stderr
+    std::cerr / fprintf(stderr, ...) inside src/ outside common/log.cc.
+    Diagnostics go through the structured logger (LOG_INFO/WARN/ERROR in
+    common/log.h) so level filtering, ORPHEUS_LOG_FILE redirection, and
+    JSON-lines mode apply uniformly. Benches and tests keep direct stderr
+    for progress output.
+
 Exit status: 0 when clean, 1 when any violation is found.
 """
 
@@ -71,6 +78,12 @@ RAW_ENV_ALLOWED = ("src/common/env.cc",)
 
 RAW_CLOCK = re.compile(r"\bsteady_clock\b")
 RAW_CLOCK_ALLOWED_PREFIX = "src/common/"
+
+# Direct stderr writes in src/; `stderr` only matters as a stream argument
+# (fprintf/fputs/fputc), so match the stream uses rather than the token.
+RAW_STDERR = re.compile(
+    r"\bstd::cerr\b|\bf(?:printf|puts|putc|write|flush)\s*\([^)]*\bstderr\b")
+RAW_STDERR_ALLOWED = ("src/common/log.cc",)
 
 
 def strip_comments_and_strings(text):
@@ -145,6 +158,12 @@ def lint_file(rel, violations):
                 (rel, lineno, "raw-clock",
                  "direct steady_clock use; go through Timer "
                  "(common/timer.h) or TraceSpan (common/metrics.h)"))
+        if (rel.startswith("src/") and rel not in RAW_STDERR_ALLOWED
+                and RAW_STDERR.search(line)):
+            violations.append(
+                (rel, lineno, "raw-stderr",
+                 "direct stderr write; use LOG_INFO/WARN/ERROR "
+                 "(common/log.h)"))
 
     if rel.startswith("src/") and rel.endswith(".h"):
         guard = expected_guard(rel)
