@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/file_util.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/trace.h"
@@ -168,6 +169,9 @@ Result<std::string> CommandProcessor::Execute(const std::string& line) {
     return access_.current_user().empty() ? std::string("<anonymous>")
                                           : access_.current_user();
   }
+  if (cmd == "open") return OpenRepository(args);
+  if (cmd == "checkpoint") return CheckpointRepository();
+  if (cmd == "close") return CloseRepository();
   if (cmd == "init") return Init(args);
   if (cmd == "checkout") return Checkout(args);
   if (cmd == "commit") return Commit(args);
@@ -240,6 +244,12 @@ Result<std::string> CommandProcessor::Init(const Args& args) {
 
   auto cvd = Cvd::Init(name, *source, options);
   if (!cvd.ok()) return cvd.status();
+  if (repo_ != nullptr) {
+    // Durably log the creation before registering it in the session: if
+    // the log write fails, the CVD never existed anywhere.
+    ORPHEUS_RETURN_NOT_OK(repo_->LogCreate(**cvd));
+  }
+  WireCommitObserver(cvd->get());
   cvds_[name] = cvd.MoveValueOrDie();
   return StrFormat("initialized CVD %s with version 1 (%zu records)",
                    name.c_str(), static_cast<size_t>(source->num_rows()));
@@ -375,11 +385,15 @@ Result<std::string> CommandProcessor::Drop(const Args& args) {
   if (args.positional.empty()) {
     return Status::InvalidArgument("usage: drop <cvd>");
   }
-  if (cvds_.erase(args.positional[0]) == 0) {
-    return Status::NotFound(
-        StrFormat("no CVD named %s", args.positional[0].c_str()));
+  const std::string& name = args.positional[0];
+  if (cvds_.count(name) == 0) {
+    return Status::NotFound(StrFormat("no CVD named %s", name.c_str()));
   }
-  return StrFormat("dropped CVD %s", args.positional[0].c_str());
+  // Log before applying: if the drop record cannot be made durable, the
+  // CVD stays (memory and disk agree either way).
+  if (repo_ != nullptr) ORPHEUS_RETURN_NOT_OK(repo_->LogDrop(name));
+  cvds_.erase(name);
+  return StrFormat("dropped CVD %s", name.c_str());
 }
 
 Result<std::string> CommandProcessor::Log(const Args& args) {
@@ -464,6 +478,18 @@ Result<std::string> CommandProcessor::Optimize(const Args& args) {
 }
 
 Result<std::string> CommandProcessor::Fsck(const Args& args) {
+  if (const std::string* dir = args.Flag("d")) {
+    // Offline check of an on-disk repository (works whether or not a
+    // repository is open in this session — pure read).
+    auto lines = storage::Repository::Fsck(*dir);
+    if (!lines.ok()) return lines.status();
+    std::string out =
+        StrFormat("fsck %s: clean\n", dir->c_str());
+    for (const std::string& line : *lines) {
+      out += "  " + line + "\n";
+    }
+    return out;
+  }
   ValidationReport report;
   int checked = 0;
   if (!args.positional.empty()) {
@@ -508,12 +534,8 @@ Result<std::string> CommandProcessor::Stats(const Args& args) {
   }
   std::string out;
   if (const std::string* path = args.Flag("j")) {
-    std::ofstream file(*path);
-    if (!file) {
-      return Status::Internal(StrFormat("cannot open %s", path->c_str()));
-    }
-    file << registry.ToJson();
-    if (!file.good()) return Status::Internal("write failed: " + *path);
+    ORPHEUS_RETURN_NOT_OK(
+        WriteFileAtomic(*path, registry.ToJson(), /*sync=*/false));
     out = StrFormat("metrics written to %s", path->c_str());
   } else {
     out = as_json ? registry.ToJson() : registry.ToText();
@@ -554,12 +576,8 @@ Result<std::string> CommandProcessor::Trace(const Args& args) {
       return Status::InvalidArgument("usage: trace dump <file>");
     }
     const std::string& path = args.positional[1];
-    std::ofstream file(path);
-    if (!file) {
-      return Status::Internal(StrFormat("cannot open %s", path.c_str()));
-    }
-    file << trace::ToChromeJson();
-    if (!file.good()) return Status::Internal("write failed: " + path);
+    ORPHEUS_RETURN_NOT_OK(
+        WriteFileAtomic(path, trace::ToChromeJson(), /*sync=*/false));
     return StrFormat("trace written to %s (%zu event(s)); load it in "
                      "chrome://tracing or https://ui.perfetto.dev",
                      path.c_str(), trace::NumBufferedEvents());
@@ -592,6 +610,97 @@ Result<std::string> CommandProcessor::Profile(const std::string& command) {
   out += StrFormat("--- profile: %s ---\n", command.c_str());
   out += trace::ProfileReport();
   return out;
+}
+
+void CommandProcessor::WireCommitObserver(Cvd* cvd) {
+  const std::string name = cvd->name();
+  cvd->set_commit_observer([this, name](const core::CvdCommitRecord& record) {
+    if (repo_ == nullptr) return Status::OK();
+    return repo_->LogCommit(name, record);
+  });
+}
+
+std::vector<const Cvd*> CommandProcessor::CvdPointers() const {
+  std::vector<const Cvd*> out;
+  out.reserve(cvds_.size());
+  for (const auto& [name, cvd] : cvds_) {
+    (void)name;
+    out.push_back(cvd.get());
+  }
+  return out;
+}
+
+Result<std::string> CommandProcessor::OpenRepository(const Args& args) {
+  if (args.positional.empty()) {
+    return Status::InvalidArgument("usage: open <dir>");
+  }
+  if (repo_ != nullptr) {
+    return Status::InvalidArgument(StrFormat(
+        "a repository is already open at %s (close it first)",
+        repo_->dir().c_str()));
+  }
+  auto repo = storage::Repository::Open(args.positional[0]);
+  if (!repo.ok()) return repo.status();
+  auto recovered = (*repo)->TakeCvds();
+  for (const auto& cvd : recovered) {
+    if (cvds_.count(cvd->name()) != 0) {
+      return Status::AlreadyExists(StrFormat(
+          "repository CVD %s collides with a CVD already in this session",
+          cvd->name().c_str()));
+    }
+  }
+  repo_ = repo.MoveValueOrDie();
+  // CVDs created in the session before `open` become durable now: their
+  // creation is logged as if they were initialized under the repository.
+  for (const auto& [name, cvd] : cvds_) {
+    (void)name;
+    Status logged = repo_->LogCreate(*cvd);
+    if (!logged.ok()) {
+      repo_.reset();
+      return logged;
+    }
+  }
+  size_t num_recovered = recovered.size();
+  for (auto& cvd : recovered) {
+    std::string name = cvd->name();
+    cvds_[std::move(name)] = std::move(cvd);
+  }
+  for (const auto& [name, cvd] : cvds_) {
+    (void)name;
+    WireCommitObserver(cvd.get());
+  }
+  const auto& stats = repo_->stats();
+  return StrFormat(
+      "opened repository %s (checkpoint %llu, %zu CVD(s) recovered, %llu WAL "
+      "record(s) replayed%s)",
+      repo_->dir().c_str(), static_cast<unsigned long long>(stats.seq),
+      num_recovered, static_cast<unsigned long long>(stats.wal_records),
+      stats.recovered_torn_tail ? ", torn tail truncated" : "");
+}
+
+Result<std::string> CommandProcessor::CheckpointRepository() {
+  if (repo_ == nullptr) {
+    return Status::InvalidArgument("no repository open (use: open <dir>)");
+  }
+  ORPHEUS_RETURN_NOT_OK(repo_->Checkpoint(CvdPointers()));
+  return StrFormat("checkpoint %llu written to %s",
+                   static_cast<unsigned long long>(repo_->stats().seq),
+                   repo_->dir().c_str());
+}
+
+Result<std::string> CommandProcessor::CloseRepository() {
+  if (repo_ == nullptr) {
+    return Status::InvalidArgument("no repository open (use: open <dir>)");
+  }
+  ORPHEUS_RETURN_NOT_OK(repo_->Close(CvdPointers()));
+  std::string dir = repo_->dir();
+  size_t released = cvds_.size();
+  // The repository now holds the authoritative state; release the CVDs so
+  // the session cannot diverge from disk unlogged.
+  cvds_.clear();
+  repo_.reset();
+  return StrFormat("closed repository %s (%zu CVD(s) released)", dir.c_str(),
+                   released);
 }
 
 }  // namespace orpheus::cli

@@ -10,6 +10,7 @@
 #include "core/access_control.h"
 #include "core/cvd.h"
 #include "minidb/database.h"
+#include "storage/repository.h"
 
 namespace orpheus::cli {
 
@@ -34,10 +35,19 @@ namespace orpheus::cli {
 ///   run "<sql>"                     versioned SQL (Sec. 3.3.2)
 ///   optimize <cvd> [-g <factor>]    run the partition optimizer (Ch. 5)
 ///   tables                          list staging tables
+///   open <dir>                      open (or create) a durable repository:
+///                                   recover its CVDs, then log every
+///                                   init/commit/drop to its WAL
+///   checkpoint                      fold the WAL into a fresh snapshot
+///   close                           checkpoint, close the repository, and
+///                                   release its CVDs from the session
 ///   fsck [cvd]                      check structural invariants; with no
 ///                                   argument checks every CVD and the
 ///                                   staging tables, reporting every
 ///                                   violation found
+///   fsck -d <dir>                   offline check of an on-disk repository
+///                                   (CURRENT, snapshot, WAL, recovered
+///                                   CVD invariants) without opening it
 ///   stats [json] [reset] [-j file]  metrics snapshot (DESIGN.md §8):
 ///                                   plaintext by default, `json` for the
 ///                                   JSON form, `-j <file>` to write the
@@ -65,6 +75,7 @@ class CommandProcessor {
     return it == cvds_.end() ? nullptr : it->second.get();
   }
   core::AccessController* access() { return &access_; }
+  storage::Repository* repository() { return repo_.get(); }
 
  private:
   struct Args {
@@ -92,13 +103,23 @@ class CommandProcessor {
   Result<std::string> Stats(const Args& args);
   Result<std::string> Trace(const Args& args);
   Result<std::string> Profile(const std::string& command);
+  Result<std::string> OpenRepository(const Args& args);
+  Result<std::string> CheckpointRepository();
+  Result<std::string> CloseRepository();
 
   Result<core::Cvd*> FindCvd(const std::string& name);
   /// The CVD that owns staging table `table`, or an error.
   Result<core::Cvd*> CvdOfStagingTable(const std::string& table);
 
+  /// Route the CVD's future commits into the repository's WAL. Safe to
+  /// call whether or not a repository is open: the observer checks at
+  /// commit time, so it survives close/reopen.
+  void WireCommitObserver(core::Cvd* cvd);
+  std::vector<const core::Cvd*> CvdPointers() const;
+
   minidb::Database staging_;
   std::map<std::string, std::unique_ptr<core::Cvd>> cvds_;
+  std::unique_ptr<storage::Repository> repo_;
   core::AccessController access_;
   // CSV checkout provenance: file path -> (cvd name, parent versions).
   struct FileInfo {

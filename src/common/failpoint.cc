@@ -1,0 +1,189 @@
+#include "common/failpoint.h"
+
+#include <unistd.h>
+
+#include <map>
+#include <mutex>
+
+#include "common/env.h"
+#include "common/log.h"
+#include "common/string_util.h"
+
+namespace orpheus::failpoint {
+
+namespace internal {
+std::atomic<int> g_armed_count{0};
+}  // namespace internal
+
+namespace {
+
+struct State {
+  Action action = Action::kError;
+  int trigger_at = 1;
+  bool once = false;
+  uint64_t hits = 0;
+  bool expired = false;
+};
+
+std::mutex& Mutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::map<std::string, State>& Registry() {
+  // Leaked, like the other common/ singletons: failpoints may fire from
+  // static destructors.
+  static std::map<std::string, State>* map = new std::map<std::string, State>();
+  return *map;
+}
+
+/// Arm failpoints named in the ORPHEUS_FAILPOINTS environment variable as
+/// soon as the library is loaded, so CLI invocations and forked crash-test
+/// children can inject faults without touching the programmatic API.
+struct EnvArm {
+  EnvArm() {
+    if (const char* spec = RawEnv("ORPHEUS_FAILPOINTS")) {
+      Status s = ArmFromSpec(spec);
+      if (!s.ok()) {
+        LOG_WARN("ignoring malformed ORPHEUS_FAILPOINTS",
+                 {{"error", s.ToString()}});
+      }
+    }
+  }
+};
+const EnvArm env_arm;
+
+}  // namespace
+
+void Arm(const std::string& name, Action action, int trigger_at, bool once) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto [it, inserted] = Registry().insert_or_assign(
+      name, State{action, trigger_at < 1 ? 1 : trigger_at, once, 0, false});
+  (void)it;
+  if (inserted) {
+    internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end()) return;
+  Registry().erase(it);
+  internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  internal::g_armed_count.fetch_sub(static_cast<int>(Registry().size()),
+                                    std::memory_order_relaxed);
+  Registry().clear();
+}
+
+uint64_t HitCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+std::vector<Info> List() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  std::vector<Info> out;
+  out.reserve(Registry().size());
+  for (const auto& [name, st] : Registry()) {
+    out.push_back(Info{name, st.action, st.trigger_at, st.once, st.hits,
+                       st.expired});
+  }
+  return out;
+}
+
+Status ArmFromSpec(std::string_view spec) {
+  std::string normalized(spec);
+  for (char& c : normalized) {
+    if (c == ',') c = ';';
+  }
+  for (const auto& raw : Split(normalized, ';')) {
+    std::string entry(Trim(raw));
+    if (entry.empty()) continue;
+    auto eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument(
+          StrFormat("bad failpoint entry '%s' (want name=action[:nth][:once])",
+                    entry.c_str()));
+    }
+    std::string name = entry.substr(0, eq);
+    auto parts = Split(entry.substr(eq + 1), ':');
+    if (parts.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("bad failpoint entry '%s': missing action", entry.c_str()));
+    }
+    std::string action_name = ToLower(parts[0]);
+    Action action;
+    if (action_name == "error") {
+      action = Action::kError;
+    } else if (action_name == "abort" || action_name == "crash") {
+      action = Action::kAbort;
+    } else if (action_name == "off") {
+      Disarm(name);
+      continue;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("bad failpoint action '%s' in '%s' (want error|abort|off)",
+                    parts[0].c_str(), entry.c_str()));
+    }
+    int trigger_at = 1;
+    bool once = false;
+    for (size_t i = 1; i < parts.size(); ++i) {
+      std::string opt = ToLower(parts[i]);
+      if (opt == "once") {
+        once = true;
+        continue;
+      }
+      auto n = ParseIntStrict(opt);
+      if (!n || *n < 1) {
+        return Status::InvalidArgument(
+            StrFormat("bad failpoint option '%s' in '%s' (want a positive "
+                      "ordinal or 'once')",
+                      parts[i].c_str(), entry.c_str()));
+      }
+      trigger_at = static_cast<int>(*n);
+    }
+    Arm(name, action, trigger_at, once);
+  }
+  return Status::OK();
+}
+
+namespace internal {
+
+std::optional<Action> ConsumeHit(const char* name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end()) return std::nullopt;
+  State& st = it->second;
+  ++st.hits;
+  if (st.expired) return std::nullopt;
+  const bool fire = st.once ? st.hits == static_cast<uint64_t>(st.trigger_at)
+                            : st.hits >= static_cast<uint64_t>(st.trigger_at);
+  if (!fire) return std::nullopt;
+  if (st.once) st.expired = true;
+  return st.action;
+}
+
+Status Fire(const char* name) {
+  auto action = ConsumeHit(name);
+  if (!action) return Status::OK();
+  if (*action == Action::kAbort) CrashNow(name);
+  return Status::Internal(
+      StrFormat("injected failure at failpoint %s", name));
+}
+
+void CrashNow(const char* name) {
+  // LOG_DEBUG, not WARN: the crash matrix kills hundreds of children and
+  // their death is the expected outcome, not a diagnostic event.
+  LOG_DEBUG("failpoint crash", {{"failpoint", name}});
+  ::_exit(134);
+}
+
+}  // namespace internal
+
+}  // namespace orpheus::failpoint

@@ -1,0 +1,108 @@
+#ifndef ORPHEUS_COMMON_FAILPOINT_H_
+#define ORPHEUS_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace orpheus::failpoint {
+
+/// Fault-injection framework in the spirit of RocksDB's fault-injection
+/// filesystem: named sites (`ORPHEUS_FAILPOINT("storage.wal.append.sync")`)
+/// are threaded through every write/fsync/rename in the storage layer.
+/// Tests (or the ORPHEUS_FAILPOINTS environment variable) arm a site to
+/// either return an error Status from the enclosing function or terminate
+/// the process mid-operation, simulating a crash.
+///
+/// Sites compile down to a single relaxed atomic load when nothing is
+/// armed, and to nothing at all under -DORPHEUS_FAILPOINTS=OFF.
+
+enum class Action {
+  kError,  // the site returns Status::Internal("failpoint <name> fired...")
+  kAbort,  // the process terminates immediately via _exit (no cleanup, no
+           // buffer flush — a faithful crash simulation)
+};
+
+struct Info {
+  std::string name;
+  Action action = Action::kError;
+  int trigger_at = 1;
+  bool once = false;
+  uint64_t hits = 0;     // times the site was reached while armed
+  bool expired = false;  // a `once` failpoint that already fired
+};
+
+/// Arm `name`. `trigger_at` is the 1-based hit ordinal at which the
+/// failpoint first fires (1 = the next hit). With `once`, the failpoint
+/// fires exactly once and then expires; otherwise it keeps firing on every
+/// hit from `trigger_at` on (moot for kAbort, which never returns).
+void Arm(const std::string& name, Action action, int trigger_at = 1,
+         bool once = false);
+
+/// Disarm one site / all sites. Disarming an unknown name is a no-op.
+void Disarm(const std::string& name);
+void DisarmAll();
+
+/// Times the armed (or expired) site `name` was reached; 0 if never armed.
+uint64_t HitCount(const std::string& name);
+
+/// Every currently armed or expired failpoint.
+std::vector<Info> List();
+
+/// Parse and arm an ORPHEUS_FAILPOINTS spec: `;`- or `,`-separated entries
+/// of the form `name=action[:nth][:once]`, e.g.
+///   "storage.wal.append.sync=abort"
+///   "io.write=error:3"           (fire on the 3rd hit and every hit after)
+///   "io.sync=error:2:once"      (fire exactly once, on the 2nd hit)
+/// Returns InvalidArgument naming the bad entry on malformed input.
+Status ArmFromSpec(std::string_view spec);
+
+namespace internal {
+extern std::atomic<int> g_armed_count;
+
+/// Consume one hit of `name` if it is armed: returns the action to take
+/// when the site should fire now, nullopt otherwise. Exposed for sites
+/// with bespoke firing behavior (e.g. file_util's partial-write site,
+/// which writes half the buffer before firing).
+std::optional<Action> ConsumeHit(const char* name);
+
+/// Standard site behavior: consume a hit; on kAbort terminate the process,
+/// on kError return the injected Status, otherwise return OK.
+Status Fire(const char* name);
+
+/// Terminate the process the way a crash would: no atexit handlers, no
+/// stream flushing. Out-of-line so the macro does not pull in <unistd.h>.
+[[noreturn]] void CrashNow(const char* name);
+}  // namespace internal
+
+/// True when at least one failpoint is armed (fast path for sites).
+inline bool AnyArmed() {
+  return internal::g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+}  // namespace orpheus::failpoint
+
+#if ORPHEUS_FAILPOINTS_ENABLED
+/// Failure-injection site. Must appear in a function returning Status or
+/// Result<T>: when armed in kError mode it returns the injected error;
+/// in kAbort mode the process dies here.
+#define ORPHEUS_FAILPOINT(name)                                             \
+  do {                                                                      \
+    if (::orpheus::failpoint::AnyArmed()) {                                 \
+      ::orpheus::Status _fp_status =                                        \
+          ::orpheus::failpoint::internal::Fire(name);                       \
+      if (!_fp_status.ok()) return _fp_status;                              \
+    }                                                                       \
+  } while (0)
+#else
+#define ORPHEUS_FAILPOINT(name) \
+  do {                          \
+  } while (0)
+#endif
+
+#endif  // ORPHEUS_COMMON_FAILPOINT_H_

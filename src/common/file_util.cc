@@ -1,0 +1,301 @@
+#include "common/file_util.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+
+namespace orpheus {
+
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path, int err) {
+  return Status::Internal(
+      StrFormat("%s %s: %s", op, path.c_str(), strerror(err)));
+}
+
+/// write(2) the whole buffer, resuming on EINTR and short writes.
+Status WriteAll(int fd, const char* data, size_t size,
+                const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path, errno);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status SyncFd(int fd, const std::string& path) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return ErrnoStatus("fsync", path, errno);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FileWriter> FileWriter::Create(const std::string& path) {
+  ORPHEUS_FAILPOINT("io.open");
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  return FileWriter(fd, path, 0);
+}
+
+Result<FileWriter> FileWriter::OpenAt(const std::string& path,
+                                      uint64_t offset) {
+  ORPHEUS_FAILPOINT("io.open");
+  int fd = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  if (::ftruncate(fd, static_cast<off_t>(offset)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return ErrnoStatus("ftruncate", path, err);
+  }
+  if (::lseek(fd, static_cast<off_t>(offset), SEEK_SET) < 0) {
+    int err = errno;
+    ::close(fd);
+    return ErrnoStatus("lseek", path, err);
+  }
+  return FileWriter(fd, path, offset);
+}
+
+FileWriter::FileWriter(FileWriter&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      offset_(other.offset_),
+      poisoned_(other.poisoned_) {
+  other.fd_ = -1;
+}
+
+FileWriter& FileWriter::operator=(FileWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    offset_ = other.offset_;
+    poisoned_ = other.poisoned_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+FileWriter::~FileWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileWriter::Append(std::string_view data) {
+  if (fd_ < 0) return Status::Internal("append to closed file " + path_);
+  if (poisoned_) {
+    return Status::Internal(
+        "append to " + path_ + " after a failed fsync; file state unknown");
+  }
+#if ORPHEUS_FAILPOINTS_ENABLED
+  if (failpoint::AnyArmed() && !data.empty()) {
+    // Torn-write simulation: persist only the first half of the buffer,
+    // then fire (crash or error). The tail the caller thinks it wrote
+    // never reaches the file — exactly what a power cut mid-write does.
+    if (auto action = failpoint::internal::ConsumeHit("io.write.partial")) {
+      ORPHEUS_RETURN_NOT_OK(
+          WriteAll(fd_, data.data(), data.size() / 2, path_));
+      offset_ += data.size() / 2;
+      if (*action == failpoint::Action::kAbort) {
+        failpoint::internal::CrashNow("io.write.partial");
+      }
+      return Status::Internal(
+          "injected failure at failpoint io.write.partial");
+    }
+  }
+#endif
+  ORPHEUS_FAILPOINT("io.write");
+  ORPHEUS_RETURN_NOT_OK(WriteAll(fd_, data.data(), data.size(), path_));
+  offset_ += data.size();
+  return Status::OK();
+}
+
+Status FileWriter::Sync() {
+  if (fd_ < 0) return Status::Internal("fsync of closed file " + path_);
+  ORPHEUS_FAILPOINT("io.sync");
+  Status s = SyncFd(fd_, path_);
+  if (!s.ok()) poisoned_ = true;
+  return s;
+}
+
+Status FileWriter::Close() {
+  if (fd_ < 0) return Status::OK();
+  ORPHEUS_FAILPOINT("io.close");
+  int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) return ErrnoStatus("close", path_, errno);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return ErrnoStatus("open", path, errno);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return ErrnoStatus("read", path, err);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data,
+                       bool sync) {
+  const std::string tmp = path + ".tmp";
+  auto writer = FileWriter::Create(tmp);
+  if (!writer.ok()) return writer.status();
+  Status s = writer->Append(data);
+  if (s.ok() && sync) s = writer->Sync();
+  Status closed = writer->Close();
+  if (s.ok()) s = closed;
+  if (!s.ok()) {
+    ORPHEUS_IGNORE_ERROR(RemoveFile(tmp));  // best-effort cleanup
+    return s;
+  }
+  ORPHEUS_FAILPOINT("io.rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    ORPHEUS_IGNORE_ERROR(RemoveFile(tmp));
+    return ErrnoStatus("rename", tmp, err);
+  }
+  if (sync) return SyncDir(DirName(path));
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  ORPHEUS_FAILPOINT("io.dirsync");
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir", dir, errno);
+  Status s = SyncFd(fd, dir);
+  ::close(fd);
+  return s;
+}
+
+Status AtomicRename(const std::string& from, const std::string& to) {
+  ORPHEUS_FAILPOINT("io.rename");
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", from, errno);
+  }
+  return SyncDir(DirName(to));
+}
+
+Status RemoveFile(const std::string& path) {
+  ORPHEUS_FAILPOINT("io.remove");
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return ErrnoStatus("unlink", path, errno);
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return ErrnoStatus("stat", path, errno);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  ORPHEUS_FAILPOINT("io.truncate");
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return ErrnoStatus("ftruncate", path, err);
+  }
+  Status s = SyncFd(fd, path);
+  ::close(fd);
+  return s;
+}
+
+Status CreateDirs(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  std::string partial;
+  for (const auto& part : Split(path, '/')) {
+    if (partial.empty() && part.empty()) {
+      partial = "/";
+      continue;
+    }
+    if (part.empty()) continue;
+    if (!partial.empty() && partial.back() != '/') partial += '/';
+    partial += part;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir", partial, errno);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return ErrnoStatus("opendir", dir, errno);
+  std::vector<std::string> out;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      out.push_back(std::move(name));
+    }
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string DirName(const std::string& path) {
+  auto slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace orpheus
+
+// The io.* failpoint sites used by the crash matrix, for reference:
+//   io.open           FileWriter::Create / OpenAt
+//   io.write          FileWriter::Append (whole buffer lost)
+//   io.write.partial  FileWriter::Append (first half persisted, torn write)
+//   io.sync           FileWriter::Sync
+//   io.close          FileWriter::Close
+//   io.rename         WriteFileAtomic / AtomicRename
+//   io.dirsync        SyncDir
+//   io.truncate       TruncateFile (WAL torn-tail repair)
+//   io.remove         RemoveFile (checkpoint garbage collection)

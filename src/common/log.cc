@@ -129,8 +129,26 @@ class Logger {
     std::fflush(sink_);
   }
 
+  /// Re-run environment configuration (test hook). Resets level, format,
+  /// and sink to their defaults first, closing a previously opened file
+  /// sink, so a test can flip ORPHEUS_LOG_FILE/ORPHEUS_LOG and observe
+  /// exactly what a fresh process would do.
+  void ReinitFromEnv() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sink_ != stderr) {
+      std::fclose(sink_);
+    }
+    level_ = Level::kInfo;
+    json_ = false;
+    sink_ = stderr;
+    config_warning_.clear();
+    ConfigureFromEnv();
+  }
+
  private:
-  Logger() {
+  Logger() { ConfigureFromEnv(); }
+
+  void ConfigureFromEnv() {
     // Configure from the environment. String-valued variables never warn,
     // so reading them here cannot recurse into the logger; anything worth
     // complaining about is stashed in config_warning_ and emitted with the
@@ -269,5 +287,7 @@ void SetLevelForTest(Level level) { Logger::Global().set_level(level); }
 void CaptureForTest(std::string* capture) {
   Logger::Global().set_capture(capture);
 }
+
+void ReinitFromEnvForTest() { Logger::Global().ReinitFromEnv(); }
 
 }  // namespace orpheus::log

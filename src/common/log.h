@@ -98,6 +98,11 @@ uint64_t SlowOpThresholdMs();
 /// Passing nullptr to CaptureForTest restores the configured sink.
 void SetLevelForTest(Level level);
 void CaptureForTest(std::string* capture);
+/// Re-read ORPHEUS_LOG / ORPHEUS_LOG_FORMAT / ORPHEUS_LOG_FILE after a
+/// test changed them, resetting level/format/sink to defaults first (a
+/// previously opened file sink is closed). Mirrors fresh-process startup,
+/// including the stderr fallback + warn-once when the file cannot open.
+void ReinitFromEnvForTest();
 
 }  // namespace orpheus::log
 

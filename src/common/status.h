@@ -19,6 +19,7 @@ enum class StatusCode {
   kNotSupported,
   kOutOfRange,
   kInternal,
+  kDataLoss,
 };
 
 /// A lightweight status object carrying a code and, for errors, a message.
@@ -62,6 +63,13 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// Unrecoverable loss or corruption of persisted data (torn snapshot,
+  /// checksum mismatch, unparsable WAL). Unlike kCorruption — which flags
+  /// damaged *in-memory* invariants — kDataLoss always refers to on-disk
+  /// state and should carry the file path and byte offset.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -72,6 +80,8 @@ class [[nodiscard]] Status {
   bool IsConstraintViolation() const {
     return code_ == StatusCode::kConstraintViolation;
   }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -220,7 +220,8 @@ Status Cvd::ReconcileSchema(const Table& table, bool has_rid_col,
 Result<VersionId> Cvd::CommitTable(const Table& table,
                                    const std::vector<VersionId>& parents,
                                    const std::string& message,
-                                   const std::string& author) {
+                                   const std::string& author,
+                                   double checkout_time) {
   for (VersionId p : parents) ORPHEUS_RETURN_NOT_OK(ValidateVersion(p));
 
   ORPHEUS_TRACE_SPAN("cvd.commit");
@@ -228,6 +229,7 @@ Result<VersionId> Cvd::CommitTable(const Table& table,
 
   const bool has_rid_col = table.schema().num_columns() > 0 &&
                            table.schema().column(0).name == "_rid";
+  const size_t attrs_before = attributes_.size();
   std::vector<int> col_of_attr;
   ORPHEUS_RETURN_NOT_OK(ReconcileSchema(table, has_rid_col, &col_of_attr));
 
@@ -343,6 +345,7 @@ Result<VersionId> Cvd::CommitTable(const Table& table,
   VersionMetadata meta;
   meta.vid = PublicId(dense);
   meta.parents = parents;
+  meta.checkout_time = checkout_time;
   meta.commit_time = (logical_clock_ += 1.0);
   meta.message = message;
   meta.author = author;
@@ -350,6 +353,27 @@ Result<VersionId> Cvd::CommitTable(const Table& table,
   meta.num_records = static_cast<int64_t>(rids.size());
   metadata_.push_back(std::move(meta));
   MaybeValidate(*this, "Cvd::CommitTable");
+
+  if (commit_observer_) {
+    // Durability hook: hand the full commit record to the repository's WAL
+    // before reporting success. On failure the error becomes the commit's
+    // result; the in-memory version exists but was never acknowledged, and
+    // the repository marks itself degraded (DESIGN.md §10.4).
+    CvdCommitRecord record;
+    record.vid = PublicId(dense);
+    record.parents = parents;
+    record.parent_weights = weights;
+    record.rids = rids;
+    record.new_records = new_records;
+    record.metadata = metadata_.back();
+    record.new_attributes.assign(attributes_.begin() + attrs_before,
+                                 attributes_.end());
+    record.current_attr_ids = current_attr_ids_;
+    record.schema_after = backend_->data_schema().columns();
+    record.next_rid_after = next_rid_;
+    record.logical_clock_after = logical_clock_;
+    ORPHEUS_RETURN_NOT_OK(commit_observer_(record));
+  }
   return PublicId(dense);
 }
 
@@ -368,9 +392,9 @@ Result<VersionId> Cvd::Commit(const std::string& table_name,
     return Status::NotFound(
         StrFormat("staging table %s missing", table_name.c_str()));
   }
-  auto vid = CommitTable(*table, it->second.parents, message, author);
+  auto vid = CommitTable(*table, it->second.parents, message, author,
+                         it->second.checkout_time);
   if (!vid.ok()) return vid.status();
-  metadata_.back().checkout_time = it->second.checkout_time;
   // Cleanup: the record manager removes the table from the staging area.
   ORPHEUS_RETURN_NOT_OK(staging->DropTable(table_name));
   staging_.erase(it);
@@ -464,6 +488,139 @@ Status Cvd::ForgetStaging(const std::string& table_name) {
     return Status::NotFound(
         StrFormat("table %s is not staged", table_name.c_str()));
   }
+  return Status::OK();
+}
+
+Result<CvdState> Cvd::ExportState() const {
+  CvdState state;
+  state.name = name_;
+  state.model = options_.model;
+  state.primary_key = options_.primary_key;
+  state.data_schema = backend_->data_schema().columns();
+  state.attributes = attributes_;
+  state.current_attr_ids = current_attr_ids_;
+  state.next_rid = next_rid_;
+  state.logical_clock = logical_clock_;
+  state.metadata = metadata_;
+
+  const size_t width = state.data_schema.size();
+  const int n = backend_->num_versions();
+  std::unordered_set<RecordId> seen;
+  for (int v = 0; v < n; ++v) {
+    auto rids = backend_->VersionRecords(v);
+    if (!rids.ok()) return rids.status();
+    const std::vector<int>& parents = graph_.parents(v);
+    std::vector<int64_t> weights;
+    weights.reserve(parents.size());
+    for (int p : parents) weights.push_back(graph_.EdgeWeight(p, v));
+    std::vector<NewRecord> fresh;
+    for (RecordId rid : *rids) {
+      if (!seen.insert(rid).second) continue;
+      auto payload = backend_->GetRecordPayload(rid, v);
+      if (!payload.ok()) return payload.status();
+      Row row = payload.MoveValueOrDie();
+      // Records stored before a schema evolution may be narrower than the
+      // final schema; pad with NULLs (the single-pool semantics).
+      if (row.size() < width) row.resize(width);
+      if (row.size() > width) {
+        return Status::Corruption(StrFormat(
+            "record %lld payload wider (%zu) than schema (%zu) in CVD %s",
+            static_cast<long long>(rid), row.size(), width, name_.c_str()));
+      }
+      fresh.push_back(NewRecord{rid, std::move(row)});
+    }
+    state.version_parents.push_back(parents);
+    state.version_weights.push_back(std::move(weights));
+    state.version_rids.push_back(rids.MoveValueOrDie());
+    state.version_new_records.push_back(std::move(fresh));
+  }
+  return state;
+}
+
+Result<std::unique_ptr<Cvd>> Cvd::FromState(const CvdState& state) {
+  const size_t n = state.version_rids.size();
+  if (state.version_parents.size() != n || state.version_weights.size() != n ||
+      state.version_new_records.size() != n || state.metadata.size() != n) {
+    return Status::DataLoss(StrFormat(
+        "inconsistent CVD state for %s: %zu versions but %zu parent lists, "
+        "%zu weight lists, %zu record lists, %zu metadata entries",
+        state.name.c_str(), n, state.version_parents.size(),
+        state.version_weights.size(), state.version_new_records.size(),
+        state.metadata.size()));
+  }
+  Options options;
+  options.model = state.model;
+  options.primary_key = state.primary_key;
+  // The backend is created directly at the final schema; replayed payloads
+  // are already padded to that width, so no AddAttribute replay is needed.
+  std::unique_ptr<Cvd> cvd(
+      new Cvd(state.name, options, Schema(state.data_schema)));
+  cvd->attributes_ = state.attributes;  // overwrite ctor registrations
+  cvd->current_attr_ids_ = state.current_attr_ids;
+  for (size_t v = 0; v < n; ++v) {
+    ORPHEUS_RETURN_NOT_OK(cvd->backend_->AddVersion(
+        static_cast<int>(v), state.version_rids[v],
+        state.version_new_records[v], state.version_parents[v]));
+    cvd->graph_.AddVersion(state.version_parents[v], state.version_weights[v],
+                           static_cast<int64_t>(state.version_rids[v].size()));
+  }
+  cvd->metadata_ = state.metadata;
+  cvd->next_rid_ = state.next_rid;
+  cvd->logical_clock_ = state.logical_clock;
+  MaybeValidate(*cvd, "Cvd::FromState");
+  return cvd;
+}
+
+Status Cvd::ApplyCommitRecord(const CvdCommitRecord& record) {
+  if (record.vid != num_versions() + 1) {
+    return Status::DataLoss(StrFormat(
+        "commit record for version %d of CVD %s cannot apply at %d versions",
+        record.vid, name_.c_str(), num_versions()));
+  }
+  if (record.parents.size() != record.parent_weights.size()) {
+    return Status::DataLoss(StrFormat(
+        "commit record for version %d of CVD %s: %zu parents, %zu weights",
+        record.vid, name_.c_str(), record.parents.size(),
+        record.parent_weights.size()));
+  }
+  // Replay this commit's schema evolution: widen changed types, append new
+  // attributes (schema_after is authoritative).
+  const size_t have = backend_->data_schema().num_columns();
+  if (record.schema_after.size() < have) {
+    return Status::DataLoss(StrFormat(
+        "commit record for version %d of CVD %s narrows the schema",
+        record.vid, name_.c_str()));
+  }
+  for (size_t k = 0; k < have; ++k) {
+    const ColumnDef& want = record.schema_after[k];
+    if (backend_->data_schema().column(k).type != want.type) {
+      ORPHEUS_RETURN_NOT_OK(
+          backend_->WidenAttribute(static_cast<int>(k), want.type));
+    }
+  }
+  for (size_t k = have; k < record.schema_after.size(); ++k) {
+    ORPHEUS_RETURN_NOT_OK(backend_->AddAttribute(record.schema_after[k]));
+  }
+
+  std::vector<int> dense_parents;
+  dense_parents.reserve(record.parents.size());
+  for (VersionId p : record.parents) {
+    ORPHEUS_RETURN_NOT_OK(ValidateVersion(p));
+    dense_parents.push_back(DenseId(p));
+  }
+  const int dense = backend_->num_versions();
+  ORPHEUS_RETURN_NOT_OK(backend_->AddVersion(dense, record.rids,
+                                             record.new_records,
+                                             dense_parents));
+  graph_.AddVersion(dense_parents, record.parent_weights,
+                    static_cast<int64_t>(record.rids.size()));
+  metadata_.push_back(record.metadata);
+  attributes_.insert(attributes_.end(), record.new_attributes.begin(),
+                     record.new_attributes.end());
+  current_attr_ids_ = record.current_attr_ids;
+  next_rid_ = record.next_rid_after;
+  logical_clock_ = record.logical_clock_after;
+  MaybeValidate(*this, "Cvd::ApplyCommitRecord");
   return Status::OK();
 }
 

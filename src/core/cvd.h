@@ -1,6 +1,7 @@
 #ifndef ORPHEUS_CORE_CVD_H_
 #define ORPHEUS_CORE_CVD_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -21,6 +22,54 @@ struct AttributeInfo {
   int attr_id = 0;
   std::string name;
   minidb::ValueType type = minidb::ValueType::kInt64;
+};
+
+/// Logical snapshot of a whole CVD: everything needed to reconstruct an
+/// equivalent Cvd (bit-identical checkouts, identical future commits) by
+/// replaying AddVersion against a fresh backend. This is what the durable
+/// repository (src/storage/) serializes; staging registrations are
+/// deliberately transient and not captured.
+struct CvdState {
+  std::string name;
+  DataModelType model = DataModelType::kSplitByRlist;
+  std::vector<std::string> primary_key;
+  /// Final data-attribute schema; record payloads below are padded to this
+  /// width (trailing NULLs stand in for attributes added after a record
+  /// was stored — exactly the single-pool evolution semantics of Sec. 4.3).
+  std::vector<minidb::ColumnDef> data_schema;
+  std::vector<AttributeInfo> attributes;
+  std::vector<int> current_attr_ids;
+  RecordId next_rid = 0;
+  double logical_clock = 0.0;
+  std::vector<VersionMetadata> metadata;
+  /// Per dense version: parents (dense ids), per-parent shared-record edge
+  /// weights, sorted record membership, and the payloads of records whose
+  /// first appearance is in that version.
+  std::vector<std::vector<int>> version_parents;
+  std::vector<std::vector<int64_t>> version_weights;
+  std::vector<std::vector<RecordId>> version_rids;
+  std::vector<std::vector<NewRecord>> version_new_records;
+};
+
+/// Everything a single CommitTable call decided, captured after the commit
+/// was applied in memory. Replaying the record with Cvd::ApplyCommitRecord
+/// against the pre-commit state reproduces the post-commit state exactly —
+/// this is the WAL record the durable repository logs per commit.
+struct CvdCommitRecord {
+  VersionId vid = kInvalidVersion;
+  std::vector<VersionId> parents;       // public ids
+  std::vector<int64_t> parent_weights;  // aligned with parents
+  std::vector<RecordId> rids;           // sorted membership of the version
+  std::vector<NewRecord> new_records;   // payloads first stored here
+  VersionMetadata metadata;
+  /// Attribute-table entries appended by this commit's schema
+  /// reconciliation, plus the full post-commit snapshots of the pieces a
+  /// replay cannot derive.
+  std::vector<AttributeInfo> new_attributes;
+  std::vector<int> current_attr_ids;
+  std::vector<minidb::ColumnDef> schema_after;
+  RecordId next_rid_after = 0;
+  double logical_clock_after = 0.0;
 };
 
 /// A Collaborative Versioned Dataset (Sec. 3.1): one relation with many
@@ -76,11 +125,38 @@ class Cvd {
 
   /// Commit a free-standing materialized table (schema: data attributes,
   /// optionally preceded by a `_rid` column) with explicit parent versions.
-  /// Used by `init`-style imports and the bench harnesses.
+  /// Used by `init`-style imports and the bench harnesses. `checkout_time`
+  /// is recorded in the version metadata (0 = unknown; Commit passes the
+  /// staged checkout timestamp).
   Result<VersionId> CommitTable(const minidb::Table& table,
                                 const std::vector<VersionId>& parents,
                                 const std::string& message,
-                                const std::string& author = "");
+                                const std::string& author = "",
+                                double checkout_time = 0.0);
+
+  // --- Durability hooks (src/storage/, DESIGN.md §10) ---
+
+  /// Observer invoked after each successful commit with the full commit
+  /// record, before the commit result is returned. The durable repository
+  /// appends the record to its WAL here; a non-OK return propagates as the
+  /// commit's result (the in-memory state already contains the version —
+  /// the repository marks itself degraded in that case).
+  using CommitObserver = std::function<Status(const CvdCommitRecord&)>;
+  void set_commit_observer(CommitObserver observer) {
+    commit_observer_ = std::move(observer);
+  }
+
+  /// Export the full logical state (snapshot serialization).
+  Result<CvdState> ExportState() const;
+
+  /// Reconstruct a CVD from an exported state by replaying AddVersion
+  /// against a fresh backend. Checkouts of the result are bit-identical to
+  /// the original's.
+  static Result<std::unique_ptr<Cvd>> FromState(const CvdState& state);
+
+  /// Replay one logged commit (WAL recovery). The record must be the next
+  /// version in sequence.
+  Status ApplyCommitRecord(const CvdCommitRecord& record);
 
   /// `diff`: records present in version `a` but not in version `b`,
   /// materialized with schema [_rid, attrs...].
@@ -149,6 +225,7 @@ class Cvd {
     double checkout_time = 0.0;
   };
   std::unordered_map<std::string, StagingInfo> staging_;
+  CommitObserver commit_observer_;
 };
 
 }  // namespace orpheus::core

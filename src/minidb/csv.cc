@@ -1,11 +1,14 @@
 #include "minidb/csv.h"
 
+#include <cerrno>
 #include <charconv>
+#include <cstring>
 #include <fstream>
 #include <optional>
 #include <sstream>
 
 #include "common/env.h"
+#include "common/file_util.h"
 #include "common/string_util.h"
 
 namespace orpheus::minidb {
@@ -166,13 +169,10 @@ std::string ToCsv(const Table& table) {
 }
 
 Status WriteCsv(const Table& table, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    return Status::Internal(StrFormat("cannot open %s", path.c_str()));
-  }
-  out << ToCsv(table);
-  return out.good() ? Status::OK()
-                    : Status::Internal("write failed: " + path);
+  // Temp-file + atomic rename: a failed or interrupted export never leaves
+  // a truncated CSV under the requested name. Durability (fsync) is left
+  // to the OS — the export is reproducible from the CVD.
+  return WriteFileAtomic(path, ToCsv(table), /*sync=*/false);
 }
 
 Result<Schema> ParseSchemaSpec(const std::string& spec) {
@@ -276,7 +276,8 @@ Result<Table> ReadCsv(const std::string& path, const std::string& table_name,
                       const Schema* schema) {
   std::ifstream in(path);
   if (!in) {
-    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+    return Status::NotFound(StrFormat("cannot open %s: %s", path.c_str(),
+                                      std::strerror(errno)));
   }
   std::stringstream buffer;
   buffer << in.rdbuf();

@@ -1,0 +1,126 @@
+#ifndef ORPHEUS_STORAGE_FORMAT_H_
+#define ORPHEUS_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/cvd.h"
+
+namespace orpheus::storage {
+
+/// Versioned binary on-disk format shared by snapshots and the WAL
+/// (DESIGN.md §10.2). All integers are little-endian fixed-width; strings
+/// are length-prefixed; doubles are IEEE-754 bit patterns. Every frame is
+/// length-prefixed and CRC32C-checksummed so corruption is detected at the
+/// frame that contains it, with a byte offset in the error.
+
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// CRC32C (Castagnoli, the checksum RocksDB/ext4/iSCSI use), software
+/// table-driven. Crc32c("123456789") == 0xE3069283.
+uint32_t Crc32c(std::string_view data);
+
+// ---------------------------------------------------------------------------
+// Primitive encoding
+// ---------------------------------------------------------------------------
+
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutDouble(double v);
+  void PutString(std::string_view s);
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader. Every getter returns DataLoss with the absolute
+/// byte offset (`base_offset` + local position) on truncation, so callers
+/// can report exactly where a file went bad.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data, uint64_t base_offset = 0)
+      : data_(data), base_(base_offset) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<int32_t> GetI32();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t pos() const { return pos_; }
+  uint64_t file_offset() const { return base_ + pos_; }
+
+ private:
+  Status Truncated(const char* what, size_t need) const;
+
+  std::string_view data_;
+  uint64_t base_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Checksummed frames
+// ---------------------------------------------------------------------------
+
+enum class FrameType : uint8_t {
+  kCvdState = 1,   // snapshot: one serialized CvdState
+  kFooter = 2,     // snapshot: trailing frame carrying the CVD count
+  kWalCreate = 3,  // WAL: CVD created (payload: CvdState)
+  kWalCommit = 4,  // WAL: one commit (payload: name + CvdCommitRecord)
+  kWalDrop = 5,    // WAL: CVD dropped (payload: name)
+};
+
+/// Wire layout of one frame:
+///   u32 payload_size | u32 crc32c(type byte + payload) | u8 type | payload
+inline constexpr size_t kFrameHeaderSize = 9;
+
+void AppendFrame(std::string* out, FrameType type, std::string_view payload);
+
+struct Frame {
+  FrameType type = FrameType::kCvdState;
+  std::string_view payload;
+  uint64_t offset = 0;  // where the frame header starts in the file
+};
+
+/// Read one frame from `data` at `*pos` (advancing it past the frame).
+/// Outcomes:
+///  - frame parsed: returns OK, fills `*frame`;
+///  - the frame extends past end-of-data, or its checksum fails *and* it is
+///    the final bytes: returns OK with `*torn_tail` = true (an interrupted
+///    append — recoverable by truncating at `*pos`);
+///  - checksum failure with more data after the frame: DataLoss at the
+///    offending offset (silent mid-file corruption — not recoverable).
+/// Callers must check `*pos < data.size()` before calling (clean EOF).
+Status ReadFrame(std::string_view data, uint64_t base_offset, size_t* pos,
+                 Frame* frame, bool* torn_tail);
+
+// ---------------------------------------------------------------------------
+// Domain encoding
+// ---------------------------------------------------------------------------
+
+void EncodeCvdState(const core::CvdState& state, Encoder* enc);
+Result<core::CvdState> DecodeCvdState(Decoder* dec);
+
+void EncodeCommitRecord(const core::CvdCommitRecord& record, Encoder* enc);
+Result<core::CvdCommitRecord> DecodeCommitRecord(Decoder* dec);
+
+void EncodeValue(const minidb::Value& value, Encoder* enc);
+Result<minidb::Value> DecodeValue(Decoder* dec);
+
+}  // namespace orpheus::storage
+
+#endif  // ORPHEUS_STORAGE_FORMAT_H_

@@ -1,0 +1,97 @@
+#ifndef ORPHEUS_STORAGE_REPOSITORY_H_
+#define ORPHEUS_STORAGE_REPOSITORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/cvd.h"
+#include "storage/wal.h"
+
+namespace orpheus::storage {
+
+/// Crash-safe durable repository (DESIGN.md §10): a directory holding
+///   CURRENT           -> "snapshot-<seq>\n" (atomically replaced pointer)
+///   snapshot-<seq>    -> full state at checkpoint seq (snapshot.h)
+///   wal-<seq>         -> commits/creates/drops since that snapshot (wal.h)
+///
+/// Open() reads CURRENT, loads the snapshot, replays the WAL (truncating a
+/// torn tail), validates every recovered CVD, and returns a Repository
+/// whose WAL is positioned for appending. Commits are logged write-behind:
+/// the in-memory commit happens first, then the WAL append+fsync; if the
+/// append fails the commit's caller sees the error and the repository
+/// enters degraded mode (no further logging is acknowledged — reopen to
+/// recover). Checkpoint() folds the WAL into a fresh snapshot and starts a
+/// new epoch.
+class Repository {
+ public:
+  struct Stats {
+    uint64_t seq = 0;              // current checkpoint epoch
+    uint64_t wal_records = 0;      // records replayed + appended this epoch
+    uint64_t wal_bytes = 0;        // current WAL size in bytes
+    bool recovered_torn_tail = false;
+  };
+
+  /// Open (or initialize) a repository at `dir`. A missing directory or a
+  /// directory without CURRENT is initialized fresh (seq 1, empty
+  /// snapshot, empty WAL). Corruption anywhere -> DataLoss with the file
+  /// and offset; a torn WAL tail is repaired silently (logged + counted).
+  static Result<std::unique_ptr<Repository>> Open(const std::string& dir);
+
+  ~Repository();
+  Repository(const Repository&) = delete;
+  Repository& operator=(const Repository&) = delete;
+
+  /// The CVDs recovered by Open(), handed over exactly once (the CLI owns
+  /// them afterwards and wires each Cvd's commit observer to LogCommit).
+  std::vector<std::unique_ptr<core::Cvd>> TakeCvds();
+
+  /// Durably log a freshly initialized CVD / one commit / a drop.
+  Status LogCreate(const core::Cvd& cvd);
+  Status LogCommit(const std::string& cvd_name,
+                   const core::CvdCommitRecord& record);
+  Status LogDrop(const std::string& cvd_name);
+
+  /// Fold the current state (passed in by the owner of the CVDs) into a
+  /// new snapshot, start a fresh WAL, repoint CURRENT, and remove the old
+  /// epoch's files. Crash-safe at every step: until CURRENT is replaced,
+  /// recovery uses the old snapshot+WAL; afterwards, the new one.
+  Status Checkpoint(const std::vector<const core::Cvd*>& cvds);
+
+  /// Checkpoint + close the WAL. The repository is unusable afterwards.
+  Status Close(const std::vector<const core::Cvd*>& cvds);
+
+  /// Verify the on-disk state of a repository directory without opening
+  /// it for writing: snapshot + WAL parse cleanly, every CVD passes the
+  /// in-memory invariant validator. Returns per-file detail lines.
+  static Result<std::vector<std::string>> Fsck(const std::string& dir);
+
+  /// True once a WAL append has failed: in-memory state is ahead of the
+  /// log, so further commits are refused until the repository is reopened.
+  bool degraded() const { return degraded_; }
+
+  const std::string& dir() const { return dir_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Repository(std::string dir, uint64_t seq, WalWriter wal);
+
+  Status RequireHealthy();
+  Status AppendRecord(const WalRecord& record);
+
+  std::string dir_;
+  uint64_t seq_ = 0;
+  std::optional<WalWriter> wal_;
+  std::vector<std::unique_ptr<core::Cvd>> recovered_;
+  bool degraded_ = false;
+  bool closed_ = false;
+  Stats stats_;
+};
+
+}  // namespace orpheus::storage
+
+#endif  // ORPHEUS_STORAGE_REPOSITORY_H_

@@ -189,6 +189,31 @@ TEST_F(CliTest, OptimizeCommand) {
   EXPECT_TRUE(Err("optimize Cities -g 0.5").IsInvalidArgument());
 }
 
+TEST_F(CliTest, InitFromMissingCsvNamesThePath) {
+  Status s = Err("init Cities -f /no/such/dir/cities.csv");
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+  EXPECT_NE(s.message().find("/no/such/dir/cities.csv"), std::string::npos)
+      << s.ToString();
+  // A missing schema file is reported with its own path, not the CSV's.
+  Status schema = Err("init Towns -f /no/such/t.csv -s /no/such/schema.txt");
+  EXPECT_TRUE(schema.IsNotFound()) << schema.ToString();
+  EXPECT_NE(schema.message().find("/no/such/schema.txt"), std::string::npos)
+      << schema.ToString();
+}
+
+TEST_F(CliTest, CommitFromMissingCsvNamesThePath) {
+  SeedStagingTable("cities");
+  Ok("init Cities -t cities -k city");
+  const std::string path = ::testing::TempDir() + "cli_commit_missing.csv";
+  Ok("checkout Cities -v 1 -f " + path);
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+  // The checkout provenance still knows the file; the failure must come
+  // from the CSV read and name the vanished path.
+  Status s = Err("commit -f " + path + " -m x");
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+  EXPECT_NE(s.message().find(path), std::string::npos) << s.ToString();
+}
+
 TEST(AccessControllerTest, Basics) {
   core::AccessController ac;
   EXPECT_TRUE(ac.CreateUser("a").ok());

@@ -1,0 +1,147 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace orpheus::failpoint {
+namespace {
+
+/// A function with a failpoint site, as production code would have one.
+Status GuardedOperation() {
+  ORPHEUS_FAILPOINT("test.failpoint.site");
+  return Status::OK();
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { DisarmAll(); }
+};
+
+#if ORPHEUS_FAILPOINTS_ENABLED
+
+TEST_F(FailpointTest, UnarmedSiteIsFree) {
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(HitCount("test.failpoint.site"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorModeFiresEveryHit) {
+  Arm("test.failpoint.site", Action::kError);
+  EXPECT_TRUE(AnyArmed());
+  for (int i = 0; i < 3; ++i) {
+    Status s = GuardedOperation();
+    ASSERT_FALSE(s.ok());
+    EXPECT_TRUE(s.IsInternal()) << s.ToString();
+    EXPECT_NE(s.message().find("test.failpoint.site"), std::string::npos)
+        << s.ToString();
+  }
+  EXPECT_EQ(HitCount("test.failpoint.site"), 3u);
+  Disarm("test.failpoint.site");
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, TriggerAtNthHit) {
+  Arm("test.failpoint.site", Action::kError, /*trigger_at=*/3);
+  EXPECT_TRUE(GuardedOperation().ok());   // hit 1
+  EXPECT_TRUE(GuardedOperation().ok());   // hit 2
+  EXPECT_FALSE(GuardedOperation().ok());  // hit 3 fires
+  EXPECT_FALSE(GuardedOperation().ok());  // and keeps firing
+  EXPECT_EQ(HitCount("test.failpoint.site"), 4u);
+}
+
+TEST_F(FailpointTest, OnceExpiresAfterFiring) {
+  Arm("test.failpoint.site", Action::kError, /*trigger_at=*/2, /*once=*/true);
+  EXPECT_TRUE(GuardedOperation().ok());   // hit 1
+  EXPECT_FALSE(GuardedOperation().ok());  // hit 2 fires
+  EXPECT_TRUE(GuardedOperation().ok());   // expired: passes again
+  EXPECT_TRUE(GuardedOperation().ok());
+  auto infos = List();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_TRUE(infos[0].expired);
+  EXPECT_EQ(infos[0].hits, 4u);
+}
+
+TEST_F(FailpointTest, ListReportsArmedState) {
+  Arm("test.failpoint.site", Action::kAbort, /*trigger_at=*/7);
+  auto infos = List();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].name, "test.failpoint.site");
+  EXPECT_EQ(infos[0].action, Action::kAbort);
+  EXPECT_EQ(infos[0].trigger_at, 7);
+  EXPECT_FALSE(infos[0].once);
+  // Never reached -> abort never fires; we are still alive to check that.
+  EXPECT_EQ(infos[0].hits, 0u);
+}
+
+TEST_F(FailpointTest, RearmResetsCount) {
+  Arm("test.failpoint.site", Action::kError);
+  EXPECT_FALSE(GuardedOperation().ok());
+  Arm("test.failpoint.site", Action::kError, /*trigger_at=*/2);
+  EXPECT_TRUE(GuardedOperation().ok());  // count restarted
+  EXPECT_FALSE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, ArmFromSpecSingle) {
+  ASSERT_TRUE(ArmFromSpec("test.failpoint.site=error").ok());
+  EXPECT_FALSE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, ArmFromSpecNthAndOnce) {
+  ASSERT_TRUE(ArmFromSpec("test.failpoint.site=error:2:once").ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, ArmFromSpecMultipleEntries) {
+  ASSERT_TRUE(
+      ArmFromSpec("a.one=error;b.two=abort:3,test.failpoint.site=error")
+          .ok());
+  auto infos = List();
+  EXPECT_EQ(infos.size(), 3u);
+  EXPECT_FALSE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, ArmFromSpecOffDisarms) {
+  Arm("test.failpoint.site", Action::kError);
+  ASSERT_TRUE(ArmFromSpec("test.failpoint.site=off").ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, ArmFromSpecRejectsMalformedInput) {
+  EXPECT_TRUE(ArmFromSpec("noequalsign").IsInvalidArgument());
+  EXPECT_TRUE(ArmFromSpec("x=explode").IsInvalidArgument());
+  EXPECT_TRUE(ArmFromSpec("x=error:0").IsInvalidArgument());
+  EXPECT_TRUE(ArmFromSpec("x=error:notanumber").IsInvalidArgument());
+  EXPECT_TRUE(ArmFromSpec("x=error:1:sometimes").IsInvalidArgument());
+  EXPECT_TRUE(ArmFromSpec("=error").IsInvalidArgument());
+  EXPECT_FALSE(AnyArmed()) << "malformed spec must not leave sites armed";
+}
+
+TEST_F(FailpointTest, ArmFromSpecEmptyIsOk) {
+  EXPECT_TRUE(ArmFromSpec("").ok());
+  EXPECT_TRUE(ArmFromSpec(" ; , ").ok());
+  EXPECT_FALSE(AnyArmed());
+}
+
+TEST_F(FailpointTest, AbortModeTerminatesTheProcess) {
+  Arm("test.failpoint.site", Action::kAbort);
+  // _exit(134): the conventional SIGABRT-style exit, minus signal cleanup.
+  EXPECT_EXIT({ ORPHEUS_IGNORE_ERROR(GuardedOperation()); },
+              ::testing::ExitedWithCode(134), "");
+}
+
+#else  // !ORPHEUS_FAILPOINTS_ENABLED
+
+TEST_F(FailpointTest, SitesCompileOut) {
+  Arm("test.failpoint.site", Action::kError);
+  // The macro expands to nothing: arming has no effect on execution.
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+#endif  // ORPHEUS_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace orpheus::failpoint

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -279,6 +280,32 @@ TEST(LogTest, QuotedValuesEscape) {
   log::CaptureForTest(nullptr);
   log::SetLevelForTest(log::Level::kInfo);
   EXPECT_NE(captured.find("path=\"a b\\\"c\""), std::string::npos);
+}
+
+TEST(LogConfigTest, UnopenableLogFileFallsBackToStderrWithWarning) {
+  // A directory can never be opened for append, so this reliably exercises
+  // the fallback path without touching the filesystem.
+  ASSERT_EQ(::setenv("ORPHEUS_LOG_FILE", "/", 1), 0);
+  log::ReinitFromEnvForTest();
+  std::string captured;
+  log::CaptureForTest(&captured);
+  log::SetLevelForTest(log::Level::kInfo);
+  LOG_INFO("first record after misconfig");
+  LOG_INFO("second record");
+  log::CaptureForTest(nullptr);
+  ASSERT_EQ(::unsetenv("ORPHEUS_LOG_FILE"), 0);
+  log::ReinitFromEnvForTest();
+  log::SetLevelForTest(log::Level::kInfo);
+
+  const size_t warning = captured.find("cannot open ORPHEUS_LOG_FILE");
+  const size_t record = captured.find("first record after misconfig");
+  ASSERT_NE(warning, std::string::npos) << captured;
+  ASSERT_NE(record, std::string::npos) << captured;
+  // The configuration warning is emitted once, ahead of the first record.
+  EXPECT_LT(warning, record);
+  EXPECT_EQ(captured.find("cannot open", warning + 1), std::string::npos)
+      << captured;
+  EXPECT_NE(captured.find("second record"), std::string::npos);
 }
 
 }  // namespace

@@ -46,6 +46,14 @@ raw-stderr
     JSON-lines mode apply uniformly. Benches and tests keep direct stderr
     for progress output.
 
+raw-file-write
+    std::ofstream / std::fstream / fopen() inside src/ outside the durable
+    storage layer (src/storage/), common/file_util.cc, and common/log.cc.
+    Ad-hoc stream writes silently ignore short writes and full disks and
+    leave half-written files on a crash; use WriteFileAtomic / FileWriter
+    (common/file_util.h), which check errors and go through the failpoint
+    sites the crash tests exercise. Reads (std::ifstream) stay allowed.
+
 Exit status: 0 when clean, 1 when any violation is found.
 """
 
@@ -84,6 +92,14 @@ RAW_CLOCK_ALLOWED_PREFIX = "src/common/"
 RAW_STDERR = re.compile(
     r"\bstd::cerr\b|\bf(?:printf|puts|putc|write|flush)\s*\([^)]*\bstderr\b")
 RAW_STDERR_ALLOWED = ("src/common/log.cc",)
+
+# File *writes* must go through common/file_util.h (atomic replace + fsync +
+# failpoints) or the storage layer built on it. std::ifstream (reads) is fine.
+RAW_FILE_WRITE = re.compile(
+    r"\bstd::o?fstream\b"
+    r"|(?<![A-Za-z0-9_])(?:std::)?fopen\s*\(")
+RAW_FILE_WRITE_ALLOWED = ("src/common/file_util.cc", "src/common/log.cc")
+RAW_FILE_WRITE_ALLOWED_PREFIX = "src/storage/"
 
 
 def strip_comments_and_strings(text):
@@ -164,6 +180,13 @@ def lint_file(rel, violations):
                 (rel, lineno, "raw-stderr",
                  "direct stderr write; use LOG_INFO/WARN/ERROR "
                  "(common/log.h)"))
+        if (rel.startswith("src/") and rel not in RAW_FILE_WRITE_ALLOWED
+                and not rel.startswith(RAW_FILE_WRITE_ALLOWED_PREFIX)
+                and RAW_FILE_WRITE.search(line)):
+            violations.append(
+                (rel, lineno, "raw-file-write",
+                 "raw ofstream/fopen write; use WriteFileAtomic or "
+                 "FileWriter (common/file_util.h)"))
 
     if rel.startswith("src/") and rel.endswith(".h"):
         guard = expected_guard(rel)
