@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "common/ridset.h"
 #include "core/baselines.h"
 #include "core/lyresplit.h"
 
@@ -25,7 +26,7 @@ void SweepDataset(const NamedConfig& named, int checkout_samples) {
   auto accessor = AccessorOf(ds);
 
   TablePrinter table({"scheme", "param", "partitions", "storage",
-                      "checkout time", "storage (records)",
+                      "versioning", "checkout time", "storage (records)",
                       "checkout cost (records)"});
 
   auto add_point = [&](const std::string& scheme, const std::string& param,
@@ -34,7 +35,8 @@ void SweepDataset(const NamedConfig& named, int checkout_samples) {
     auto store = core::PartitionedStore::Build(accessor, p);
     double secs = AvgCheckoutSeconds(store, checkout_samples);
     table.AddRow({scheme, param, StrFormat("%d", p.num_partitions),
-                  HumanBytes(store.StorageBytes()), HumanSeconds(secs),
+                  HumanBytes(store.StorageBytes()),
+                  HumanBytes(store.VersioningBytes()), HumanSeconds(secs),
                   StrFormat("%.2fM", costs.storage / 1e6),
                   StrFormat("%.3fM", costs.checkout_avg / 1e6)});
   };
@@ -71,6 +73,31 @@ void SweepDataset(const NamedConfig& named, int checkout_samples) {
             << ", |R|=" << ds.num_distinct_records()
             << ", |E|=" << ds.num_bipartite_edges() << ") ===\n";
   table.Print(std::cout);
+
+  // Versioning-table footprint with the compressed membership index off
+  // vs on (same binary): one representative LyreSplit point per dataset.
+  {
+    auto r = core::LyreSplitWithDelta(graph, 0.1);
+    SetRidSetEnabled(false);
+    auto store_off = core::PartitionedStore::Build(accessor, r.partitioning);
+    const uint64_t off_bytes = store_off.VersioningBytes();
+    SetRidSetEnabled(true);
+    auto store_on = core::PartitionedStore::Build(accessor, r.partitioning);
+    const uint64_t on_bytes = store_on.VersioningBytes();
+    std::cout << "versioning tables (LyreSplit d=0.10): "
+              << HumanBytes(off_bytes) << " plain -> " << HumanBytes(on_bytes)
+              << " compressed ("
+              << StrFormat("%.2fx",
+                           static_cast<double>(off_bytes) /
+                               std::max<uint64_t>(1, on_bytes))
+              << " smaller)\n";
+    // Dynamic names: direct registry handles instead of the literal-name
+    // macros.
+    auto& reg = MetricsRegistry::Global();
+    const std::string prefix = "bench.ridset.versioning." + named.paper_name;
+    reg.gauge(prefix + ".off_bytes").Set(static_cast<int64_t>(off_bytes));
+    reg.gauge(prefix + ".on_bytes").Set(static_cast<int64_t>(on_bytes));
+  }
 }
 
 void Run(int argc, char** argv) {

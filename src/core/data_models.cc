@@ -4,6 +4,8 @@
 #include <cassert>
 #include <unordered_set>
 
+#include "common/env.h"
+#include "common/ridset.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 
@@ -412,7 +414,13 @@ Status SplitByRlistBackend::AddVersion(int vid,
   }
   // New records go to the data table; the commit then adds exactly one
   // versioning tuple — no array-append UPDATEs at all (Approach 4.3).
-  for (const auto& nr : new_records) AppendRidRow(&data_, nr.rid, nr.data);
+  for (const auto& nr : new_records) {
+    const auto& drids = data_.column(0).int_data();
+    if (!drids.empty() && nr.rid <= drids.back()) {
+      data_rid_ascending_ = false;
+    }
+    AppendRidRow(&data_, nr.rid, nr.data);
+  }
   Row vrow;
   vrow.emplace_back(static_cast<int64_t>(vid));
   vrow.emplace_back(std::vector<int64_t>(rids.begin(), rids.end()));
@@ -434,6 +442,17 @@ Result<minidb::Table> SplitByRlistBackend::Checkout(
   // Primary-key index lookup on vid, unnest(rlist)...
   auto row = versioning_.LookupUniqueInt(0, vid);
   if (!row) return BadVersion(vid);
+  // Compressed rlists skip unnesting entirely: the containment join runs
+  // against the packed containers (IntersectToRows when the data table is
+  // rid-ascending, a parallel probe scan otherwise). An explicitly chosen
+  // non-default join algorithm (the Sec. 5.5.5 ablation) still runs its
+  // requested plan over the materialized rlist.
+  const auto& rlist_set = versioning_.column(1).GetRidSet(*row);
+  if (rlist_set && join_algo_ == minidb::JoinAlgorithm::kHashJoin) {
+    std::vector<uint32_t> rows =
+        minidb::JoinRidSet(data_, 0, *rlist_set, data_rid_ascending_);
+    return data_.CopyRows(rows, out);
+  }
   const auto& rlist = versioning_.column(1).GetIntArray(*row);
   // ... then join rids with the data table (hash-join by default).
   std::vector<uint32_t> rows =
@@ -569,9 +588,48 @@ Result<minidb::Table> DeltaBasedBackend::Checkout(
   if (vid < 0 || vid >= num_versions_) return BadVersion(vid);
   // Trace the version lineage back to the root via `base` links, probing
   // each delta table for still-needed records (newer occurrences win).
+  // Membership lists are sorted, so large needed sets live as a compressed
+  // RidSet shrunk with set Difference per hop; the hash set remains for
+  // small memberships (each hop rebuilds the whole needed set, so below the
+  // crossover the per-hop Difference costs more than hash erasure saves)
+  // and as the ORPHEUS_RIDSET=0 fallback. Both probes visit rows in
+  // identical order, so the checked-out table is byte-identical.
+  static const size_t kRidSetMinMembership = static_cast<size_t>(
+      orpheus::ParseEnvInt("ORPHEUS_RIDSET_DELTA_MIN", 1 << 15, 0, 1 << 30));
+  Table result(out, MaterializedSchema());
+  if (orpheus::RidSetEnabled() &&
+      membership_[vid].size() >= kRidSetMinMembership &&
+      std::is_sorted(membership_[vid].begin(), membership_[vid].end())) {
+    orpheus::RidSet needed = orpheus::RidSet::FromSorted(membership_[vid]);
+    int v = vid;
+    while (v >= 0 && !needed.empty()) {
+      const Delta& d = deltas_[v];
+      const auto& rids = d.inserts.column(0).int_data();
+      std::vector<uint32_t> rows = ParallelCollect<uint32_t>(
+          d.inserts.num_rows(), 1 << 15,
+          [&needed, &rids](size_t lo, size_t hi, std::vector<uint32_t>* hit) {
+            size_t hint = 0;
+            for (size_t r = lo; r < hi; ++r) {
+              if (needed.ContainsHint(rids[r], &hint)) {
+                hit->push_back(static_cast<uint32_t>(r));
+              }
+            }
+          });
+      std::vector<int64_t> found;
+      found.reserve(rows.size());
+      for (uint32_t r : rows) found.push_back(rids[r]);
+      std::sort(found.begin(), found.end());
+      needed = needed.Difference(orpheus::RidSet::FromSorted(found));
+      result.AppendFrom(d.inserts, rows);
+      v = d.base;
+    }
+    if (!needed.empty()) {
+      return Status::Corruption("delta chain did not cover the version");
+    }
+    return result;
+  }
   std::unordered_set<RecordId> needed(membership_[vid].begin(),
                                       membership_[vid].end());
-  Table result(out, MaterializedSchema());
   int v = vid;
   while (v >= 0 && !needed.empty()) {
     const Delta& d = deltas_[v];

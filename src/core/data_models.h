@@ -211,6 +211,10 @@ class SplitByRlistBackend final : public DataModelBackend {
   minidb::Table data_;        // [_rid, attrs...]
   minidb::Table versioning_;  // [vid, rlist]
   minidb::JoinAlgorithm join_algo_ = minidb::JoinAlgorithm::kHashJoin;
+  /// True while the data table's rid column is an ascending run (commits
+  /// append fresh increasing rids, so this holds in the common case);
+  /// lets the compressed-rlist checkout use the serial merge kernel.
+  bool data_rid_ascending_ = true;
 };
 
 // ---------------------------------------------------------------------------

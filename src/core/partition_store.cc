@@ -111,6 +111,11 @@ void PartitionedStore::AppendVersionRecords(
     }
   }
   const auto& rids = ds.records_of(version);
+  // The sortedness of each stored rlist is established here, once, instead
+  // of being re-derived on every checkout.
+  if (!std::is_sorted(rids.begin(), rids.end())) {
+    part->rlists_sorted = false;
+  }
   minidb::Row vrow;
   vrow.emplace_back(static_cast<int64_t>(version));
   vrow.emplace_back(std::vector<int64_t>(rids.begin(), rids.end()));
@@ -170,22 +175,30 @@ Result<minidb::Table> PartitionedStore::Checkout(int version) const {
   const Part& part = parts_[partition_of_[version]];
   auto row = part.versioning.LookupUniqueInt(0, version);
   if (!row) return Status::Corruption("version missing from its partition");
-  const auto& rlist = part.versioning.column(1).GetIntArray(*row);
-  // Stored rlists are sorted and the partition is kept rid-clustered, so
-  // the join is normally a single linear merge pass (the fast plan of
-  // Fig. 5.7(b)); the hash join remains as the fallback for partitions
-  // whose clustering was broken by online appends.
+  // Compressed rlists join without decompressing (and without a probe-set
+  // build); otherwise stored rlists are sorted — the invariant is tracked
+  // at insert time, not re-checked here — and the partition is kept
+  // rid-clustered, so the join is normally a single linear merge pass (the
+  // fast plan of Fig. 5.7(b)); the hash join remains as the fallback for
+  // partitions whose clustering was broken by online appends.
   std::vector<uint32_t> rows;
-  if (part.rid_clustered && std::is_sorted(rlist.begin(), rlist.end())) {
-    ORPHEUS_COUNTER_ADD("pstore.checkout.merge_joins", 1);
-    rows = minidb::JoinRids(part.data, 0, rlist,
-                            minidb::JoinAlgorithm::kMergeJoin,
-                            /*clustered_on_rid=*/true);
+  const auto& rlist_set = part.versioning.column(1).GetRidSet(*row);
+  if (rlist_set) {
+    ORPHEUS_COUNTER_ADD("pstore.checkout.ridset_joins", 1);
+    rows = minidb::JoinRidSet(part.data, 0, *rlist_set, part.rid_clustered);
   } else {
-    ORPHEUS_COUNTER_ADD("pstore.checkout.hash_joins", 1);
-    rows = minidb::JoinRids(part.data, 0, rlist,
-                            minidb::JoinAlgorithm::kHashJoin,
-                            /*clustered_on_rid=*/false);
+    const auto& rlist = part.versioning.column(1).GetIntArray(*row);
+    if (part.rid_clustered && part.rlists_sorted) {
+      ORPHEUS_COUNTER_ADD("pstore.checkout.merge_joins", 1);
+      rows = minidb::JoinRids(part.data, 0, rlist,
+                              minidb::JoinAlgorithm::kMergeJoin,
+                              /*clustered_on_rid=*/true);
+    } else {
+      ORPHEUS_COUNTER_ADD("pstore.checkout.hash_joins", 1);
+      rows = minidb::JoinRids(part.data, 0, rlist,
+                              minidb::JoinAlgorithm::kHashJoin,
+                              /*clustered_on_rid=*/false);
+    }
   }
   ORPHEUS_COUNTER_ADD("pstore.checkout.rows_out", rows.size());
   ORPHEUS_COUNTER_ADD("pstore.checkout.rows_scanned", part.data.num_rows());
@@ -203,6 +216,12 @@ uint64_t PartitionedStore::StorageBytes() const {
   for (const auto& p : parts_) {
     total += p.data.StorageBytes() + p.versioning.StorageBytes();
   }
+  return total;
+}
+
+uint64_t PartitionedStore::VersioningBytes() const {
+  uint64_t total = 0;
+  for (const auto& p : parts_) total += p.versioning.StorageBytes();
   return total;
 }
 
@@ -374,6 +393,9 @@ uint64_t PartitionedStore::MigrateTo(const DatasetAccessor& ds,
     fresh[k].data = std::move(old_part.data);
     for (int v : groups[k]) {
       const auto& vr = ds.records_of(v);
+      if (!std::is_sorted(vr.begin(), vr.end())) {
+        fresh[k].rlists_sorted = false;
+      }
       minidb::Row vrow;
       vrow.emplace_back(static_cast<int64_t>(v));
       vrow.emplace_back(std::vector<int64_t>(vr.begin(), vr.end()));

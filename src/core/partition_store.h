@@ -49,6 +49,9 @@ class PartitionedStore {
   /// Σ over partitions of the records stored (the storage metric S).
   uint64_t TotalDataRecords() const;
   uint64_t StorageBytes() const;
+  /// Bytes held by the versioning tables alone (the rlist columns the
+  /// compressed membership index shrinks).
+  uint64_t VersioningBytes() const;
   /// Records in the partition holding `version` (the checkout cost C_i).
   uint64_t PartitionRecords(int version) const;
 
@@ -92,6 +95,11 @@ class PartitionedStore {
     /// join. Build/MigrateTo sort and set it; appends clear it when they
     /// break the ascending run.
     bool rid_clustered = true;  // empty table is trivially ordered
+    /// True while every stored rlist is sorted — tracked once at
+    /// insert/migrate time so checkout does not re-run std::is_sorted over
+    /// the full rlist on every call. Compressed rlist cells are sorted by
+    /// construction; this covers the plain-vector fallback.
+    bool rlists_sorted = true;
     Part(const std::string& name, int num_attributes);
   };
 

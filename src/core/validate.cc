@@ -223,6 +223,17 @@ void ValidatePartitionedStore(const PartitionedStore& store,
                               "partition %d",
                               v, store.partition_of(v)));
       }
+      // Compressed rlist cells carry internal invariants of their own
+      // (chunk ordering, cardinality agreement, no empty containers,
+      // canonical container choice) — check them before materializing.
+      if (const auto& set = versioning.column(1).GetRidSet(r); set) {
+        if (Status s = set->Validate(); !s.ok()) {
+          report->Add(kStoreComponent, ctx,
+                      StrFormat("version %d compressed rlist invalid: %s", v,
+                                s.ToString().c_str()));
+          continue;  // materialized view would be untrustworthy
+        }
+      }
       const auto& rlist = versioning.column(1).GetIntArray(r);
       for (size_t i = 0; i < rlist.size(); ++i) {
         if (i > 0 && rlist[i] <= rlist[i - 1]) {

@@ -50,7 +50,12 @@ void Column::AppendValue(const Value& v) {
       AppendString(v.AsString());
       break;
     case ValueType::kIntArray:
-      AppendIntArray(v.AsIntArray());
+      // A compressed payload flows through as a cheap shared_ptr copy.
+      if (const auto* set = v.TryRidSet()) {
+        AppendRidSet(*set);
+      } else {
+        AppendIntArray(v.AsIntArray());
+      }
       break;
     case ValueType::kNull:
       AppendNull();
@@ -68,7 +73,7 @@ Value Column::GetValue(size_t i) const {
     case ValueType::kString:
       return Value(strings_[i]);
     case ValueType::kIntArray:
-      return Value(arrays_[i]);
+      return arrays_[i].set ? Value(arrays_[i].set) : Value(arrays_[i].plain);
     case ValueType::kNull:
       return Value::Null();
   }
@@ -95,7 +100,11 @@ void Column::SetValue(size_t i, const Value& v) {
       strings_[i] = v.AsString();
       break;
     case ValueType::kIntArray:
-      arrays_[i] = v.AsIntArray();
+      if (const auto* set = v.TryRidSet()) {
+        arrays_[i] = ArrayCell{{}, *set};
+      } else {
+        arrays_[i] = MakeArrayCell(v.AsIntArray());
+      }
       break;
     case ValueType::kNull:
       break;
@@ -171,7 +180,9 @@ uint64_t Column::StorageBytes() const {
       for (const auto& s : strings_) bytes += s.size() + 4;
       break;
     case ValueType::kIntArray:
-      for (const auto& a : arrays_) bytes += a.size() * 8 + 16;
+      for (const auto& a : arrays_) {
+        bytes += a.set ? a.set->SizeBytes() + 16 : a.plain.size() * 8 + 16;
+      }
       break;
     case ValueType::kNull:
       break;

@@ -3,9 +3,11 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/ridset.h"
 #include "common/status.h"
 #include "minidb/value.h"
 
@@ -14,6 +16,13 @@ namespace orpheus::minidb {
 /// A typed column vector. Tables are stored columnar (Arrow-style) so that
 /// wide integer benchmark tables cost 8 bytes per cell rather than a boxed
 /// variant, which keeps paper-scale workloads in memory.
+///
+/// kIntArray cells (the rlist/vlist versioning attributes) hold either a
+/// plain vector or a shared compressed RidSet (common/ridset.h). Appends of
+/// sorted-unique arrays compress automatically when RidSetEnabled(); callers
+/// on the checkout hot path use GetRidSet() to operate on the compressed
+/// form directly, while GetIntArray() transparently materializes for legacy
+/// code.
 class Column {
  public:
   explicit Column(ValueType type) : type_(type) {}
@@ -38,7 +47,13 @@ class Column {
   }
   void AppendIntArray(std::vector<int64_t> v) {
     assert(type_ == ValueType::kIntArray);
-    arrays_.push_back(std::move(v));
+    arrays_.push_back(MakeArrayCell(std::move(v)));
+    NoteValidAppend();
+  }
+  /// Append an already-compressed set cell (must be non-null).
+  void AppendRidSet(std::shared_ptr<const orpheus::RidSet> set) {
+    assert(type_ == ValueType::kIntArray && set != nullptr);
+    arrays_.push_back(ArrayCell{{}, std::move(set)});
     NoteValidAppend();
   }
 
@@ -57,9 +72,31 @@ class Column {
   double GetDouble(size_t i) const { return doubles_[i]; }
   const std::string& GetString(size_t i) const { return strings_[i]; }
   const std::vector<int64_t>& GetIntArray(size_t i) const {
-    return arrays_[i];
+    const ArrayCell& cell = arrays_[i];
+    return cell.set ? cell.set->Materialized() : cell.plain;
   }
-  std::vector<int64_t>& MutableIntArray(size_t i) { return arrays_[i]; }
+  std::vector<int64_t>& MutableIntArray(size_t i) {
+    ArrayCell& cell = arrays_[i];
+    if (cell.set) {  // demote to plain; the caller is about to mutate
+      cell.plain = cell.set->ToVector();
+      cell.set = nullptr;
+    }
+    return cell.plain;
+  }
+
+  /// The compressed payload of cell `i`, or nullptr when the cell is stored
+  /// as a plain vector.
+  const std::shared_ptr<const orpheus::RidSet>& GetRidSet(size_t i) const {
+    return arrays_[i].set;
+  }
+  /// Overwrite cell `i` with a compressed set (must be non-null).
+  void SetRidSet(size_t i, std::shared_ptr<const orpheus::RidSet> set) {
+    assert(set != nullptr);
+    arrays_[i].plain.clear();
+    arrays_[i].plain.shrink_to_fit();
+    arrays_[i].set = std::move(set);
+    if (!valid_.empty()) valid_[i] = 1;
+  }
 
   /// Boxed accessor (respects nulls).
   Value GetValue(size_t i) const;
@@ -69,7 +106,8 @@ class Column {
 
   /// Approximate heap bytes used by this column's data, mirroring on-disk
   /// accounting (8 bytes per numeric, string payload + length header,
-  /// 8 bytes per array element + array header).
+  /// 8 bytes per array element + array header; compressed set cells count
+  /// their packed chunk bytes).
   uint64_t StorageBytes() const;
 
   /// Direct access to the integer payload for tight scan loops.
@@ -84,6 +122,22 @@ class Column {
   void SwapRemove(size_t i);
 
  private:
+  /// One kIntArray cell: compressed when `set` is non-null, else `plain`.
+  struct ArrayCell {
+    std::vector<int64_t> plain;
+    std::shared_ptr<const orpheus::RidSet> set;
+  };
+
+  /// Compress sorted-unique arrays at insert time when the gate is on.
+  static ArrayCell MakeArrayCell(std::vector<int64_t> v) {
+    if (orpheus::RidSetEnabled()) {
+      if (auto set = orpheus::RidSet::TryFromVector(v)) {
+        return ArrayCell{{}, std::move(set)};
+      }
+    }
+    return ArrayCell{std::move(v), nullptr};
+  }
+
   void EnsureValidity();
 
   // Keep the lazily-allocated validity bitmap in sync on non-null appends.
@@ -97,7 +151,7 @@ class Column {
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<std::string> strings_;
-  std::vector<std::vector<int64_t>> arrays_;
+  std::vector<ArrayCell> arrays_;
   // Validity bitmap, allocated lazily on the first null; empty => all valid.
   std::vector<uint8_t> valid_;
 };

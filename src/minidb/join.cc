@@ -4,6 +4,8 @@
 #include <cassert>
 #include <unordered_set>
 
+#include "common/metrics.h"
+#include "common/ridset.h"
 #include "common/thread_pool.h"
 
 namespace orpheus::minidb {
@@ -112,6 +114,36 @@ std::vector<uint32_t> IndexNestedLoopJoin(const Table& data, int rid_col,
 }
 
 }  // namespace
+
+std::vector<uint32_t> JoinRidSet(const Table& data, int rid_col,
+                                 const orpheus::RidSet& rlist,
+                                 bool clustered_on_rid) {
+  ORPHEUS_TRACE_SPAN("minidb.join.ridset");
+  ORPHEUS_COUNTER_ADD("minidb.join.ridset.calls", 1);
+  const auto& rids = data.column(rid_col).int_data();
+  const size_t n = data.num_rows();
+  if (clustered_on_rid) {
+    // Single serial container-at-a-time merge; deterministic by
+    // construction (no pool involvement).
+    std::vector<uint32_t> out;
+    out.reserve(rlist.size());
+    rlist.IntersectToRows(rids.data(), n, &out);
+    return out;
+  }
+  // Unclustered: parallel chunk scan probing the compressed set; chunks are
+  // stitched in index order so the output matches the serial scan at any
+  // pool degree.
+  return ParallelCollect<uint32_t>(
+      n, kScanGrain,
+      [&rlist, &rids](size_t lo, size_t hi, std::vector<uint32_t>* out) {
+        size_t hint = 0;
+        for (size_t r = lo; r < hi; ++r) {
+          if (rlist.ContainsHint(rids[r], &hint)) {
+            out->push_back(static_cast<uint32_t>(r));
+          }
+        }
+      });
+}
 
 std::vector<uint32_t> JoinRids(const Table& data, int rid_col,
                                const std::vector<int64_t>& rlist,

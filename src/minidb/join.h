@@ -32,6 +32,16 @@ std::vector<uint32_t> JoinRids(const Table& data, int rid_col,
                                const std::vector<int64_t>& rlist,
                                JoinAlgorithm algo, bool clustered_on_rid);
 
+/// Checkout join against a compressed rlist (common/ridset.h): no probe-set
+/// build and no rlist decompression. When `clustered_on_rid`, the data side
+/// is ascending and the set's IntersectToRows kernel walks it
+/// container-at-a-time in one serial pass; otherwise the rid column is
+/// scanned in parallel chunks probing the set, stitched in row order.
+/// Output is identical to JoinRids over the materialized rlist.
+std::vector<uint32_t> JoinRidSet(const Table& data, int rid_col,
+                                 const orpheus::RidSet& rlist,
+                                 bool clustered_on_rid);
+
 }  // namespace orpheus::minidb
 
 #endif  // ORPHEUS_MINIDB_JOIN_H_

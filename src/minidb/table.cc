@@ -1,9 +1,11 @@
 #include "minidb/table.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "common/metrics.h"
+#include "common/ridset.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 
@@ -129,16 +131,23 @@ std::vector<uint32_t> Table::SelectRowsArrayContains(int array_col,
                                                      int64_t needle) const {
   const Column& col = columns_[array_col];
   // Still a full-table scan (the combined-table checkout plan), but the
-  // per-row binary searches fan out across the pool; chunk outputs are
+  // per-row membership tests fan out across the pool; chunk outputs are
   // stitched in row order so the result matches the serial scan exactly.
+  // Compressed cells are probed in place; plain cells binary-search.
   return ParallelCollect<uint32_t>(
       num_rows_, 1 << 13,
       [&col, needle](size_t lo, size_t hi, std::vector<uint32_t>* out) {
+        size_t hint = 0;
         for (size_t r = lo; r < hi; ++r) {
-          const auto& arr = col.GetIntArray(r);
-          if (std::binary_search(arr.begin(), arr.end(), needle)) {
-            out->push_back(static_cast<uint32_t>(r));
+          const auto& set = col.GetRidSet(r);
+          bool hit;
+          if (set) {
+            hit = set->ContainsHint(needle, &hint);
+          } else {
+            const auto& arr = col.GetIntArray(r);
+            hit = std::binary_search(arr.begin(), arr.end(), needle);
           }
+          if (hit) out->push_back(static_cast<uint32_t>(r));
         }
       });
 }
@@ -293,8 +302,15 @@ void Table::RewriteRowAppendToArray(uint32_t row, int array_col,
                                     int64_t value) {
   // Read the full tuple out (PostgreSQL forms the new tuple from the old).
   Row tuple = GetRow(row);
-  auto& arr = tuple[array_col].MutableIntArray();
-  arr.push_back(value);  // arrays are append-ordered, hence stay sorted
+  if (const auto* set = tuple[array_col].TryRidSet()) {
+    // Compressed cell: extend the set in place of the decompress-append
+    // cycle (touches one container instead of the whole list).
+    tuple[array_col] = Value(std::make_shared<const orpheus::RidSet>(
+        (*set)->WithAppended(value)));
+  } else {
+    auto& arr = tuple[array_col].MutableIntArray();
+    arr.push_back(value);  // arrays are append-ordered, hence stay sorted
+  }
   // Index maintenance: an UPDATE re-enters the tuple in every index.
   for (auto& [col, idx] : indexes_) {
     auto it = idx.find(columns_[col].GetInt(row));

@@ -1,5 +1,6 @@
 #include "minidb/value.h"
 
+#include "common/ridset.h"
 #include "common/string_util.h"
 
 namespace orpheus::minidb {
@@ -13,6 +14,31 @@ const char* ValueTypeName(ValueType t) {
     case ValueType::kIntArray: return "int[]";
   }
   return "?";
+}
+
+const std::vector<int64_t>& Value::AsIntArray() const {
+  if (const auto* set = std::get_if<std::shared_ptr<const RidSet>>(&var_)) {
+    return (*set)->Materialized();
+  }
+  return std::get<std::vector<int64_t>>(var_);
+}
+
+std::vector<int64_t>& Value::MutableIntArray() {
+  if (const auto* set = std::get_if<std::shared_ptr<const RidSet>>(&var_)) {
+    var_ = (*set)->ToVector();
+  }
+  return std::get<std::vector<int64_t>>(var_);
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type() != other.type()) return false;
+  if (type() != ValueType::kIntArray) return var_ == other.var_;
+  const auto* a = TryRidSet();
+  const auto* b = other.TryRidSet();
+  // Compressed sets are canonical, so same-representation equality is a
+  // cheap structural compare; mixed representations compare element-wise.
+  if (a && b) return (*a == *b) || (**a == **b);
+  return AsIntArray() == other.AsIntArray();
 }
 
 bool Value::operator<(const Value& other) const {

@@ -1,10 +1,16 @@
 #ifndef ORPHEUS_MINIDB_VALUE_H_
 #define ORPHEUS_MINIDB_VALUE_H_
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
+
+namespace orpheus {
+class RidSet;
+}  // namespace orpheus
 
 namespace orpheus::minidb {
 
@@ -23,6 +29,12 @@ const char* ValueTypeName(ValueType t);
 /// A dynamically-typed cell value. Tables store data in typed column vectors
 /// (see column.h); Value is the boundary type used for row-at-a-time APIs,
 /// predicates, and query results.
+///
+/// kIntArray cells have two physical representations: a plain
+/// std::vector<int64_t>, or a shared compressed RidSet (the canonical form
+/// for sorted rlist/vlist sets — see common/ridset.h). Both report
+/// ValueType::kIntArray and compare equal by content; AsIntArray() lazily
+/// materializes the compressed form for legacy callers.
 class Value {
  public:
   Value() : var_(std::monostate{}) {}
@@ -31,6 +43,9 @@ class Value {
   explicit Value(std::string v) : var_(std::move(v)) {}
   explicit Value(const char* v) : var_(std::string(v)) {}
   explicit Value(std::vector<int64_t> v) : var_(std::move(v)) {}
+  explicit Value(std::shared_ptr<const RidSet> v) : var_(std::move(v)) {
+    assert(std::get<std::shared_ptr<const RidSet>>(var_) != nullptr);
+  }
 
   static Value Null() { return Value(); }
 
@@ -41,6 +56,7 @@ class Value {
       case 2: return ValueType::kDouble;
       case 3: return ValueType::kString;
       case 4: return ValueType::kIntArray;
+      case 5: return ValueType::kIntArray;  // compressed representation
     }
     return ValueType::kNull;
   }
@@ -49,11 +65,19 @@ class Value {
   int64_t AsInt() const { return std::get<int64_t>(var_); }
   double AsDouble() const { return std::get<double>(var_); }
   const std::string& AsString() const { return std::get<std::string>(var_); }
-  const std::vector<int64_t>& AsIntArray() const {
-    return std::get<std::vector<int64_t>>(var_);
-  }
-  std::vector<int64_t>& MutableIntArray() {
-    return std::get<std::vector<int64_t>>(var_);
+
+  /// Plain int-array view; materializes (and caches) the compressed
+  /// representation when needed.
+  const std::vector<int64_t>& AsIntArray() const;
+
+  /// Mutable int-array view; demotes a compressed cell to a plain vector in
+  /// place first.
+  std::vector<int64_t>& MutableIntArray();
+
+  /// The compressed payload, or nullptr when this is not a compressed
+  /// int-array cell.
+  const std::shared_ptr<const RidSet>* TryRidSet() const {
+    return std::get_if<std::shared_ptr<const RidSet>>(&var_);
   }
 
   /// Numeric view: int64 and double both compare as double.
@@ -62,7 +86,9 @@ class Value {
     return AsDouble();
   }
 
-  bool operator==(const Value& other) const { return var_ == other.var_; }
+  /// Content equality: kIntArray compares element-wise across both physical
+  /// representations.
+  bool operator==(const Value& other) const;
   bool operator!=(const Value& other) const { return !(*this == other); }
 
   /// Total ordering within a type; null sorts first, cross-numeric compares
@@ -73,7 +99,7 @@ class Value {
 
  private:
   std::variant<std::monostate, int64_t, double, std::string,
-               std::vector<int64_t>>
+               std::vector<int64_t>, std::shared_ptr<const RidSet>>
       var_;
 };
 

@@ -1,9 +1,12 @@
 #include "storage/format.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
+#include <memory>
 #include <utility>
 
+#include "common/ridset.h"
 #include "common/string_util.h"
 
 namespace orpheus::storage {
@@ -197,9 +200,17 @@ void EncodeValue(const minidb::Value& value, Encoder* enc) {
       enc->PutString(value.AsString());
       break;
     case minidb::ValueType::kIntArray: {
-      const auto& arr = value.AsIntArray();
-      enc->PutU32(static_cast<uint32_t>(arr.size()));
-      for (int64_t v : arr) enc->PutI64(v);
+      // Already-compressed cells serialize their canonical containers
+      // directly; plain vectors go through EncodeRidList, which rebuilds
+      // the same canonical form when eligible. Either way the bytes are a
+      // function of the list contents alone.
+      if (const auto* set = value.TryRidSet();
+          set && (*set)->size() >= RidSet::kMinCompressElems) {
+        enc->PutU8(1);
+        enc->PutString((*set)->SerializeBlob());
+      } else {
+        EncodeRidList(value.AsIntArray(), enc);
+      }
       break;
     }
   }
@@ -223,6 +234,25 @@ Result<minidb::Value> DecodeValue(Decoder* dec) {
       return minidb::Value(std::move(v));
     }
     case minidb::ValueType::kIntArray: {
+      // Peek the rid-list tag: packed blobs become compressed cells without
+      // a decompression round-trip when the gate is on.
+      const uint64_t tag_offset = dec->file_offset();
+      ORPHEUS_ASSIGN_OR_RETURN(uint8_t packed, dec->GetU8());
+      if (packed == 1) {
+        ORPHEUS_ASSIGN_OR_RETURN(std::string blob, dec->GetString());
+        ORPHEUS_ASSIGN_OR_RETURN(RidSet set, RidSet::DeserializeBlob(blob));
+        if (RidSetEnabled()) {
+          return minidb::Value(
+              std::make_shared<const RidSet>(std::move(set)));
+        }
+        return minidb::Value(set.ToVector());
+      }
+      if (packed != 0) {
+        return Status::DataLoss(StrFormat(
+            "unknown rid-list tag %d at offset %llu",
+            static_cast<int>(packed),
+            static_cast<unsigned long long>(tag_offset)));
+      }
       ORPHEUS_ASSIGN_OR_RETURN(uint32_t n, dec->GetU32());
       std::vector<int64_t> arr;
       arr.reserve(n);
@@ -236,6 +266,40 @@ Result<minidb::Value> DecodeValue(Decoder* dec) {
   return Status::DataLoss(StrFormat(
       "unknown value type tag %d at offset %llu", static_cast<int>(tag),
       static_cast<unsigned long long>(dec->file_offset())));
+}
+
+void EncodeRidList(const std::vector<int64_t>& rids, Encoder* enc) {
+  if (auto set = RidSet::TryFromVector(rids)) {
+    enc->PutU8(1);
+    enc->PutString(set->SerializeBlob());
+    return;
+  }
+  enc->PutU8(0);
+  enc->PutU32(static_cast<uint32_t>(rids.size()));
+  for (int64_t v : rids) enc->PutI64(v);
+}
+
+Result<std::vector<int64_t>> DecodeRidList(Decoder* dec) {
+  const uint64_t tag_offset = dec->file_offset();
+  ORPHEUS_ASSIGN_OR_RETURN(uint8_t tag, dec->GetU8());
+  if (tag == 1) {
+    ORPHEUS_ASSIGN_OR_RETURN(std::string blob, dec->GetString());
+    ORPHEUS_ASSIGN_OR_RETURN(RidSet set, RidSet::DeserializeBlob(blob));
+    return set.ToVector();
+  }
+  if (tag != 0) {
+    return Status::DataLoss(StrFormat(
+        "unknown rid-list tag %d at offset %llu", static_cast<int>(tag),
+        static_cast<unsigned long long>(tag_offset)));
+  }
+  ORPHEUS_ASSIGN_OR_RETURN(uint32_t n, dec->GetU32());
+  std::vector<int64_t> rids;
+  rids.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ORPHEUS_ASSIGN_OR_RETURN(int64_t v, dec->GetI64());
+    rids.push_back(v);
+  }
+  return rids;
 }
 
 // ---------------------------------------------------------------------------
@@ -358,8 +422,7 @@ void EncodeCvdState(const core::CvdState& state, Encoder* enc) {
     enc->PutU32(static_cast<uint32_t>(state.version_parents[v].size()));
     for (int p : state.version_parents[v]) enc->PutI32(p);
     for (int64_t w : state.version_weights[v]) enc->PutI64(w);
-    enc->PutU32(static_cast<uint32_t>(state.version_rids[v].size()));
-    for (core::RecordId r : state.version_rids[v]) enc->PutI64(r);
+    EncodeRidList(state.version_rids[v], enc);
     enc->PutU32(static_cast<uint32_t>(state.version_new_records[v].size()));
     for (const auto& rec : state.version_new_records[v]) {
       EncodeNewRecord(rec, enc);
@@ -421,12 +484,7 @@ Result<core::CvdState> DecodeCvdState(Decoder* dec) {
       ORPHEUS_ASSIGN_OR_RETURN(int64_t w, dec->GetI64());
       state.version_weights[v].push_back(w);
     }
-    ORPHEUS_ASSIGN_OR_RETURN(uint32_t num_rids, dec->GetU32());
-    state.version_rids[v].reserve(num_rids);
-    for (uint32_t i = 0; i < num_rids; ++i) {
-      ORPHEUS_ASSIGN_OR_RETURN(core::RecordId r, dec->GetI64());
-      state.version_rids[v].push_back(r);
-    }
+    ORPHEUS_ASSIGN_OR_RETURN(state.version_rids[v], DecodeRidList(dec));
     ORPHEUS_ASSIGN_OR_RETURN(uint32_t num_new, dec->GetU32());
     state.version_new_records[v].reserve(num_new);
     for (uint32_t i = 0; i < num_new; ++i) {
@@ -442,8 +500,7 @@ void EncodeCommitRecord(const core::CvdCommitRecord& record, Encoder* enc) {
   enc->PutU32(static_cast<uint32_t>(record.parents.size()));
   for (core::VersionId p : record.parents) enc->PutI32(p);
   for (int64_t w : record.parent_weights) enc->PutI64(w);
-  enc->PutU32(static_cast<uint32_t>(record.rids.size()));
-  for (core::RecordId r : record.rids) enc->PutI64(r);
+  EncodeRidList(record.rids, enc);
   enc->PutU32(static_cast<uint32_t>(record.new_records.size()));
   for (const auto& rec : record.new_records) EncodeNewRecord(rec, enc);
   EncodeMetadata(record.metadata, enc);
@@ -471,12 +528,7 @@ Result<core::CvdCommitRecord> DecodeCommitRecord(Decoder* dec) {
     ORPHEUS_ASSIGN_OR_RETURN(int64_t w, dec->GetI64());
     record.parent_weights.push_back(w);
   }
-  ORPHEUS_ASSIGN_OR_RETURN(uint32_t num_rids, dec->GetU32());
-  record.rids.reserve(num_rids);
-  for (uint32_t i = 0; i < num_rids; ++i) {
-    ORPHEUS_ASSIGN_OR_RETURN(core::RecordId r, dec->GetI64());
-    record.rids.push_back(r);
-  }
+  ORPHEUS_ASSIGN_OR_RETURN(record.rids, DecodeRidList(dec));
   ORPHEUS_ASSIGN_OR_RETURN(uint32_t num_new, dec->GetU32());
   record.new_records.reserve(num_new);
   for (uint32_t i = 0; i < num_new; ++i) {

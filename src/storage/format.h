@@ -17,7 +17,11 @@ namespace orpheus::storage {
 /// length-prefixed and CRC32C-checksummed so corruption is detected at the
 /// frame that contains it, with a byte offset in the error.
 
-inline constexpr uint32_t kFormatVersion = 1;
+/// Version 2: rid lists (version membership and kIntArray values) are
+/// stored as tagged payloads — raw i64 lists for short or unsorted arrays,
+/// packed RidSet chunk blobs (common/ridset.h) otherwise — instead of one
+/// fixed-width i64 per element.
+inline constexpr uint32_t kFormatVersion = 2;
 
 /// CRC32C (Castagnoli, the checksum RocksDB/ext4/iSCSI use), software
 /// table-driven. Crc32c("123456789") == 0xE3069283.
@@ -120,6 +124,14 @@ Result<core::CvdCommitRecord> DecodeCommitRecord(Decoder* dec);
 
 void EncodeValue(const minidb::Value& value, Encoder* enc);
 Result<minidb::Value> DecodeValue(Decoder* dec);
+
+/// Rid-list payload: u8 tag — 0 = raw (u32 count + i64 each, the defensive
+/// encoding for short or non-sorted-unique lists), 1 = packed RidSet chunk
+/// blob. The choice is a deterministic function of the list contents, so
+/// the bytes written do not depend on the in-memory representation (or on
+/// ORPHEUS_RIDSET).
+void EncodeRidList(const std::vector<int64_t>& rids, Encoder* enc);
+Result<std::vector<int64_t>> DecodeRidList(Decoder* dec);
 
 }  // namespace orpheus::storage
 

@@ -54,6 +54,15 @@ raw-file-write
     (common/file_util.h), which check errors and go through the failpoint
     sites the crash tests exercise. Reads (std::ifstream) stay allowed.
 
+ridset-decompress
+    GetIntArray() / AsIntArray() inside src/ outside the RidSet
+    infrastructure and the sanctioned legacy-fallback sites. These calls
+    materialize a compressed rlist/vlist cell into a plain vector; on the
+    checkout hot path that silently undoes the membership-index
+    compression. Probe in place instead (Contains/ContainsHint,
+    IntersectToRows, JoinRidSet) or, for a genuine legacy path, add the
+    file to the allowlist with a comment saying why.
+
 Exit status: 0 when clean, 1 when any violation is found.
 """
 
@@ -100,6 +109,18 @@ RAW_FILE_WRITE = re.compile(
     r"|(?<![A-Za-z0-9_])(?:std::)?fopen\s*\(")
 RAW_FILE_WRITE_ALLOWED = ("src/common/file_util.cc", "src/common/log.cc")
 RAW_FILE_WRITE_ALLOWED_PREFIX = "src/storage/"
+
+# Decompression of versioning array cells. Allowed only where the plain
+# view is the point: the RidSet/Value/Column plumbing itself, the codec's
+# raw fallback, the validator (which checks the materialized view against
+# the compressed one), and the gated ORPHEUS_RIDSET=0 legacy joins.
+RIDSET_DECOMPRESS = re.compile(r"\b(?:GetIntArray|AsIntArray)\s*\(")
+RIDSET_DECOMPRESS_ALLOWED = (
+    "src/minidb/column.h", "src/minidb/column.cc", "src/minidb/value.h",
+    "src/minidb/value.cc", "src/minidb/table.cc", "src/storage/format.cc",
+    "src/core/validate.cc", "src/core/partition_store.cc",
+    "src/core/data_models.cc",
+)
 
 
 def strip_comments_and_strings(text):
@@ -187,6 +208,13 @@ def lint_file(rel, violations):
                 (rel, lineno, "raw-file-write",
                  "raw ofstream/fopen write; use WriteFileAtomic or "
                  "FileWriter (common/file_util.h)"))
+        if (rel.startswith("src/") and rel not in RIDSET_DECOMPRESS_ALLOWED
+                and RIDSET_DECOMPRESS.search(line)):
+            violations.append(
+                (rel, lineno, "ridset-decompress",
+                 "GetIntArray/AsIntArray decompresses a versioning cell; "
+                 "probe the RidSet in place (ContainsHint, IntersectToRows, "
+                 "JoinRidSet) or extend the allowlist"))
 
     if rel.startswith("src/") and rel.endswith(".h"):
         guard = expected_guard(rel)
