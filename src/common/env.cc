@@ -2,11 +2,11 @@
 
 #include <charconv>
 #include <cstdlib>
-#include <mutex>
 #include <set>
 #include <string>
 
 #include "common/log.h"
+#include "common/sync.h"
 
 namespace orpheus {
 
@@ -15,10 +15,10 @@ namespace {
 // One warning per distinct (variable, raw value) so a misconfigured shell
 // profile does not spam every process start but a changed value re-warns.
 void WarnOnce(const char* name, const char* raw, const std::string& why) {
-  static std::mutex mu;
+  static Mutex mu("env.warn_once", lock_rank::kEnvWarnOnce);
   static std::set<std::string>* warned = new std::set<std::string>();
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     if (!warned->insert(std::string(name) + "=" + raw).second) return;
   }
   LOG_WARN("ignoring environment variable",

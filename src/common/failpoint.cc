@@ -3,11 +3,11 @@
 #include <unistd.h>
 
 #include <map>
-#include <mutex>
 
 #include "common/env.h"
 #include "common/log.h"
 #include "common/string_util.h"
+#include "common/sync.h"
 
 namespace orpheus::failpoint {
 
@@ -25,12 +25,10 @@ struct State {
   bool expired = false;
 };
 
-std::mutex& Mutex() {
-  static std::mutex* mu = new std::mutex();
-  return *mu;
-}
+// Constexpr-constructible, so usable before dynamic initialization runs.
+constinit Mutex g_mu("failpoint.registry", lock_rank::kFailpointRegistry);
 
-std::map<std::string, State>& Registry() {
+std::map<std::string, State>& Registry() ORPHEUS_REQUIRES(g_mu) {
   // Leaked, like the other common/ singletons: failpoints may fire from
   // static destructors.
   static std::map<std::string, State>* map = new std::map<std::string, State>();
@@ -56,7 +54,7 @@ const EnvArm env_arm;
 }  // namespace
 
 void Arm(const std::string& name, Action action, int trigger_at, bool once) {
-  std::lock_guard<std::mutex> lock(Mutex());
+  MutexLock lock(&g_mu);
   auto [it, inserted] = Registry().insert_or_assign(
       name, State{action, trigger_at < 1 ? 1 : trigger_at, once, 0, false});
   (void)it;
@@ -66,7 +64,7 @@ void Arm(const std::string& name, Action action, int trigger_at, bool once) {
 }
 
 void Disarm(const std::string& name) {
-  std::lock_guard<std::mutex> lock(Mutex());
+  MutexLock lock(&g_mu);
   auto it = Registry().find(name);
   if (it == Registry().end()) return;
   Registry().erase(it);
@@ -74,20 +72,20 @@ void Disarm(const std::string& name) {
 }
 
 void DisarmAll() {
-  std::lock_guard<std::mutex> lock(Mutex());
+  MutexLock lock(&g_mu);
   internal::g_armed_count.fetch_sub(static_cast<int>(Registry().size()),
                                     std::memory_order_relaxed);
   Registry().clear();
 }
 
 uint64_t HitCount(const std::string& name) {
-  std::lock_guard<std::mutex> lock(Mutex());
+  MutexLock lock(&g_mu);
   auto it = Registry().find(name);
   return it == Registry().end() ? 0 : it->second.hits;
 }
 
 std::vector<Info> List() {
-  std::lock_guard<std::mutex> lock(Mutex());
+  MutexLock lock(&g_mu);
   std::vector<Info> out;
   out.reserve(Registry().size());
   for (const auto& [name, st] : Registry()) {
@@ -156,7 +154,7 @@ Status ArmFromSpec(std::string_view spec) {
 namespace internal {
 
 std::optional<Action> ConsumeHit(const char* name) {
-  std::lock_guard<std::mutex> lock(Mutex());
+  MutexLock lock(&g_mu);
   auto it = Registry().find(name);
   if (it == Registry().end()) return std::nullopt;
   State& st = it->second;

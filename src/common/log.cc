@@ -1,12 +1,13 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <ctime>
 #include <chrono>
-#include <mutex>
 
 #include "common/env.h"
 #include "common/string_util.h"
+#include "common/sync.h"
 
 namespace orpheus::log {
 
@@ -91,10 +92,12 @@ class Logger {
     return *logger;
   }
 
-  Level level() const { return level_; }
-  void set_level(Level level) { level_ = level; }
+  Level level() const { return level_.load(std::memory_order_relaxed); }
+  void set_level(Level level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
   void set_capture(std::string* capture) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     capture_ = capture;
   }
 
@@ -102,13 +105,15 @@ class Logger {
              const Field* fields, size_t num_fields) {
     std::string record;
     record.reserve(96 + msg.size() + 24 * num_fields);
-    if (json_) {
+    // json_ is read before the lock (rendering happens outside it), so it
+    // is atomic rather than mu_-guarded.
+    if (json_.load(std::memory_order_relaxed)) {
       RenderJson(record, level, file, line, msg, fields, num_fields);
     } else {
       RenderText(record, level, file, line, msg, fields, num_fields);
     }
     record += '\n';
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!config_warning_.empty()) {
       // A warning produced while this logger configured itself (bad
       // ORPHEUS_LOG value, unwritable ORPHEUS_LOG_FILE) could not be
@@ -134,21 +139,24 @@ class Logger {
   /// sink, so a test can flip ORPHEUS_LOG_FILE/ORPHEUS_LOG and observe
   /// exactly what a fresh process would do.
   void ReinitFromEnv() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (sink_ != stderr) {
       std::fclose(sink_);
     }
-    level_ = Level::kInfo;
-    json_ = false;
+    set_level(Level::kInfo);
+    json_.store(false, std::memory_order_relaxed);
     sink_ = stderr;
     config_warning_.clear();
     ConfigureFromEnv();
   }
 
  private:
-  Logger() { ConfigureFromEnv(); }
+  Logger() {
+    MutexLock lock(&mu_);
+    ConfigureFromEnv();
+  }
 
-  void ConfigureFromEnv() {
+  void ConfigureFromEnv() ORPHEUS_REQUIRES(mu_) {
     // Configure from the environment. String-valued variables never warn,
     // so reading them here cannot recurse into the logger; anything worth
     // complaining about is stashed in config_warning_ and emitted with the
@@ -243,12 +251,16 @@ class Logger {
     out += '}';
   }
 
-  Level level_ = Level::kInfo;
-  bool json_ = false;
-  FILE* sink_ = stderr;
-  std::mutex mu_;
-  std::string* capture_ = nullptr;
-  std::string config_warning_;
+  // level_ and json_ are read on every log site *before* the lock (Enabled
+  // filtering and record rendering must not serialize), so they are atomics
+  // rather than mu_-guarded. Previously both were plain fields: the
+  // unlocked reads raced set_level/ReinitFromEnv.
+  std::atomic<Level> level_{Level::kInfo};
+  std::atomic<bool> json_{false};
+  Mutex mu_{"log.logger", lock_rank::kLogger};
+  FILE* sink_ ORPHEUS_GUARDED_BY(mu_) = stderr;
+  std::string* capture_ ORPHEUS_GUARDED_BY(mu_) = nullptr;
+  std::string config_warning_ ORPHEUS_GUARDED_BY(mu_);
 };
 
 }  // namespace

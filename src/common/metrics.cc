@@ -96,7 +96,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 
 Counter& MetricsRegistry::counter(std::string_view name) {
   Shard& shard = ShardOf(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.counters.find(name);
   if (it == shard.counters.end()) {
     it = shard.counters
@@ -109,7 +109,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
   Shard& shard = ShardOf(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.gauges.find(name);
   if (it == shard.gauges.end()) {
     it = shard.gauges
@@ -122,7 +122,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
   Shard& shard = ShardOf(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.histograms.find(name);
   if (it == shard.histograms.end()) {
     it = shard.histograms.emplace(std::piecewise_construct,
@@ -136,7 +136,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 void MetricsRegistry::RecordSpan(std::string_view path, uint64_t elapsed_us,
                                  uint64_t child_us) {
   Shard& shard = ShardOf(path);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.spans.find(path);
   if (it == shard.spans.end()) {
     it = shard.spans.emplace(std::piecewise_construct,
@@ -154,7 +154,7 @@ void MetricsRegistry::RecordSpan(std::string_view path, uint64_t elapsed_us,
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   Snapshot snap;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (const auto& [name, c] : shard.counters) {
       snap.counters.emplace_back(name, c.value());
     }
@@ -187,7 +187,7 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
 
 void MetricsRegistry::Reset() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (auto& [name, c] : shard.counters) c.Reset();
     for (auto& [name, g] : shard.gauges) g.Reset();
     for (auto& [name, h] : shard.histograms) h.Reset();

@@ -6,11 +6,11 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/timer.h"
 #include "common/trace.h"
 
@@ -189,13 +189,17 @@ class MetricsRegistry {
  private:
   static constexpr size_t kNumShards = 16;
   struct Shard {
-    mutable std::mutex mu;
+    // All shards share one rank: they are leaves of the lock order and two
+    // shards are never held together (every registry operation touches
+    // exactly one shard; snapshot iteration locks them one at a time).
+    mutable Mutex mu{"metrics.shard", lock_rank::kMetricsShard};
     // std::map with transparent comparison: stable addresses for handles,
     // string_view lookup without allocating.
-    std::map<std::string, Counter, std::less<>> counters;
-    std::map<std::string, Gauge, std::less<>> gauges;
-    std::map<std::string, Histogram, std::less<>> histograms;
-    std::map<std::string, SpanStats, std::less<>> spans;
+    std::map<std::string, Counter, std::less<>> counters ORPHEUS_GUARDED_BY(mu);
+    std::map<std::string, Gauge, std::less<>> gauges ORPHEUS_GUARDED_BY(mu);
+    std::map<std::string, Histogram, std::less<>> histograms
+        ORPHEUS_GUARDED_BY(mu);
+    std::map<std::string, SpanStats, std::less<>> spans ORPHEUS_GUARDED_BY(mu);
   };
   Shard& ShardOf(std::string_view name) {
     return shards_[std::hash<std::string_view>{}(name) % kNumShards];

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <bit>
 #include <cassert>
-#include <mutex>
 
 #include "common/env.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/sync.h"
 
 namespace orpheus {
 
@@ -565,8 +565,8 @@ const std::vector<int64_t>& RidSet::Materialized() const {
   // Global lock: materialization is the cold legacy path; the fill happens
   // once and the vector is immutable afterwards, so handing out a reference
   // is safe across threads.
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
+  static Mutex mu("ridset.materialize", lock_rank::kRidSetMaterialize);
+  MutexLock lock(&mu);
   if (!materialized_) {
     materialized_ = std::make_shared<const std::vector<int64_t>>(ToVector());
     ORPHEUS_COUNTER_ADD("ridset.materialize.calls", 1);

@@ -1,0 +1,284 @@
+#include "common/sync.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+
+namespace orpheus {
+
+namespace sync_internal {
+
+std::atomic<bool> g_deadlock_active{false};
+
+namespace {
+
+// The detector's own state is guarded by a raw std::mutex: it cannot use
+// the wrappers it instruments (every Lock would recurse into the detector).
+// This file is the sanctioned home for raw std:: sync primitives.
+
+struct HeldLock {
+  const void* mu;
+  const char* name;
+  int rank;
+};
+
+/// The calling thread's held-lock stack, maintained only while the
+/// detector is active. Plain thread_local: touched by its owner only.
+thread_local std::vector<HeldLock> t_held;
+
+/// Monotone per-thread id for abort reports (std::thread::id prints as an
+/// opaque hash; a small ordinal reads better in a two-stack dump).
+int ThreadId() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// One recorded lock-order edge held -> acquired, with the acquisition
+/// stack captured the first time the order was observed.
+struct EdgeInfo {
+  std::string stack;
+};
+
+std::mutex& GraphMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+/// held -> acquired edges. std::map with pair keys: equal_range on the
+/// first element gives a node's out-edges for the DFS. Leaked, like every
+/// common/ singleton.
+using EdgeMap = std::map<std::pair<const void*, const void*>, EdgeInfo>;
+EdgeMap& Edges() {
+  static EdgeMap* edges = new EdgeMap();
+  return *edges;
+}
+
+std::string DescribeLock(const char* name, const void* mu, int rank) {
+  char buf[128];
+  if (rank != lock_rank::kUnranked) {
+    std::snprintf(buf, sizeof(buf), "\"%s\" (rank %d, %p)", name, rank, mu);
+  } else {
+    std::snprintf(buf, sizeof(buf), "\"%s\" (unranked, %p)", name, mu);
+  }
+  return buf;
+}
+
+std::string DescribeHeldStack() {
+  if (t_held.empty()) return "(nothing)";
+  std::string out;
+  for (const HeldLock& h : t_held) {
+    if (!out.empty()) out += " -> ";
+    out += DescribeLock(h.name, h.mu, h.rank);
+  }
+  return out;
+}
+
+std::string DescribeAcquisition(const char* name, const void* mu, int rank) {
+  std::string out = "thread " + std::to_string(ThreadId()) + " acquired " +
+                    DescribeLock(name, mu, rank) + " while holding " +
+                    DescribeHeldStack();
+  return out;
+}
+
+[[noreturn]] void Die(const std::string& report) {
+  std::fputs(report.c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// DFS over the lock-order graph: is `target` reachable from `start`? On
+/// success, *path receives the edge chain start -> ... -> target. Caller
+/// holds GraphMu().
+bool PathExists(const void* start, const void* target,
+                std::vector<EdgeMap::const_iterator>* path) {
+  std::map<const void*, EdgeMap::const_iterator> parent;  // node -> in-edge
+  std::vector<const void*> frontier{start};
+  std::map<const void*, bool> visited;
+  visited[start] = true;
+  const EdgeMap& edges = Edges();
+  while (!frontier.empty()) {
+    const void* node = frontier.back();
+    frontier.pop_back();
+    for (auto it = edges.lower_bound({node, nullptr});
+         it != edges.end() && it->first.first == node; ++it) {
+      const void* next = it->first.second;
+      if (visited[next]) continue;
+      visited[next] = true;
+      parent.emplace(next, it);
+      if (next == target) {
+        // Walk the in-edges back from target to start.
+        std::vector<EdgeMap::const_iterator> rev;
+        for (const void* at = target; at != start;) {
+          auto in_edge = parent.at(at);
+          rev.push_back(in_edge);
+          at = in_edge->first.first;
+        }
+        path->assign(rev.rbegin(), rev.rend());
+        return true;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu, const char* name, int rank) {
+  // Re-acquiring a held (non-recursive) mutex deadlocks this thread alone.
+  for (const HeldLock& h : t_held) {
+    if (h.mu == mu) {
+      Die("orpheus sync: SELF-DEADLOCK\n  thread " +
+          std::to_string(ThreadId()) + " re-acquiring held mutex " +
+          DescribeLock(name, mu, rank) + "\n  held stack: " +
+          DescribeHeldStack() + "\n");
+    }
+  }
+  // Rank discipline: ranks must be acquired in strictly increasing order.
+  if (rank != lock_rank::kUnranked) {
+    for (const HeldLock& h : t_held) {
+      if (h.rank != lock_rank::kUnranked && h.rank >= rank) {
+        Die("orpheus sync: LOCK RANK VIOLATION\n  thread " +
+            std::to_string(ThreadId()) + " acquiring " +
+            DescribeLock(name, mu, rank) + "\n  while holding " +
+            DescribeLock(h.name, h.mu, h.rank) +
+            "\n  held stack: " + DescribeHeldStack() +
+            "\n  ranked mutexes must be acquired in strictly increasing "
+            "rank order (lock_rank table in common/sync.h)\n");
+      }
+    }
+  }
+  // Lock-order graph: record held -> mu edges; a new edge that makes `held`
+  // reachable *from* mu closes a cycle — the ABBA pattern, caught on the
+  // potential inversion even when no thread is currently blocked.
+  if (!t_held.empty()) {
+    std::lock_guard<std::mutex> lock(GraphMu());
+    for (const HeldLock& h : t_held) {
+      auto key = std::make_pair(h.mu, mu);
+      if (Edges().find(key) != Edges().end()) continue;  // already proven
+      std::vector<EdgeMap::const_iterator> path;
+      if (PathExists(mu, h.mu, &path)) {
+        std::string report =
+            "orpheus sync: LOCK-ORDER CYCLE (potential deadlock)\n"
+            "  this acquisition: thread " +
+            std::to_string(ThreadId()) + " acquiring " +
+            DescribeLock(name, mu, rank) + "\n  while holding " +
+            DescribeHeldStack() + "\n  conflicting prior acquisition(s):\n";
+        for (const auto& edge : path) {
+          report += "    " + edge->second.stack + "\n";
+        }
+        Die(report);
+      }
+      Edges().emplace(key, EdgeInfo{DescribeAcquisition(name, mu, rank)});
+    }
+  }
+  t_held.push_back({mu, name, rank});
+}
+
+void OnAcquired(const void* mu, const char* name, int rank) {
+  t_held.push_back({mu, name, rank});
+}
+
+void OnRelease(const void* mu) {
+  // Unlock order need not be LIFO; drop the most recent matching entry. A
+  // miss means the lock was taken before the detector was enabled.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mu == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void OnDestroy(const void* mu) {
+  std::lock_guard<std::mutex> lock(GraphMu());
+  EdgeMap& edges = Edges();
+  for (auto it = edges.begin(); it != edges.end();) {
+    if (it->first.first == mu || it->first.second == mu) {
+      it = edges.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t HeldLockCountForTest() { return t_held.size(); }
+
+namespace {
+
+#if defined(ORPHEUS_DEADLOCK_DEBUG)
+constexpr bool kDeadlockDebugDefault = true;
+#else
+constexpr bool kDeadlockDebugDefault = false;
+#endif
+
+// Latch the environment at static-init time so CLI runs and forked test
+// children pick the detector up without code changes. Locks used earlier in
+// static initialization simply go unrecorded.
+const bool g_env_applied = [] {
+  g_deadlock_active.store(
+      ParseEnvBool("ORPHEUS_DEADLOCK_DEBUG", kDeadlockDebugDefault),
+      std::memory_order_relaxed);
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace sync_internal
+
+bool DeadlockDebugEnabled() {
+  return sync_internal::g_deadlock_active.load(std::memory_order_relaxed);
+}
+
+void SetDeadlockDebug(bool enabled) {
+  // Quiescent-point contract: clear this thread's stack and the global
+  // graph so a test (or tool) toggling the detector starts from scratch and
+  // locks taken while it was off cannot leave phantom entries.
+  sync_internal::t_held.clear();
+  {
+    std::lock_guard<std::mutex> lock(sync_internal::GraphMu());
+    sync_internal::Edges().clear();
+  }
+  sync_internal::g_deadlock_active.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// CondVar
+// ---------------------------------------------------------------------------
+
+void CondVar::Wait(Mutex* mu) {
+  // The wait releases the mutex until wakeup: mirror that in the detector's
+  // held stack, and re-record the reacquisition (no ordering checks — the
+  // order was validated when the caller first locked it).
+  if (sync_internal::DeadlockDebugActive()) sync_internal::OnRelease(mu);
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+  if (sync_internal::DeadlockDebugActive()) {
+    sync_internal::OnAcquired(mu, mu->name_, mu->rank_);
+  }
+}
+
+bool CondVar::WaitFor(Mutex* mu, std::chrono::nanoseconds timeout) {
+  return WaitUntil(mu, std::chrono::steady_clock::now() + timeout);
+}
+
+bool CondVar::WaitUntil(Mutex* mu,
+                        std::chrono::steady_clock::time_point deadline) {
+  if (sync_internal::DeadlockDebugActive()) sync_internal::OnRelease(mu);
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  const std::cv_status status = cv_.wait_until(lock, deadline);
+  lock.release();
+  if (sync_internal::DeadlockDebugActive()) {
+    sync_internal::OnAcquired(mu, mu->name_, mu->rank_);
+  }
+  return status == std::cv_status::no_timeout;
+}
+
+}  // namespace orpheus

@@ -46,7 +46,10 @@ bool ThreadPool::InWorker() const { return g_worker_of == this; }
 
 void ThreadPool::StartWorkers(int degree) {
   degree_ = degree;
-  stopping_ = false;
+  {
+    MutexLock lock(&mu_);
+    stopping_ = false;
+  }
   // The submitting thread helps in Wait(), so degree d needs d-1 workers.
   workers_.reserve(degree - 1);
   for (int i = 0; i < degree - 1; ++i) {
@@ -56,10 +59,10 @@ void ThreadPool::StartWorkers(int degree) {
 
 void ThreadPool::StopWorkers() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
   workers_.clear();
 }
@@ -73,8 +76,13 @@ void ThreadPool::WorkerLoop(int worker_index) {
     Task task;
     size_t depth = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      // Explicit predicate loop (the analysis cannot see through a lambda)
+      // with a bounded wait: even a missed notify during shutdown cannot
+      // strand a worker past one timeout tick.
+      while (!stopping_ && queue_.empty()) {
+        work_cv_.WaitFor(&mu_, std::chrono::milliseconds(50));
+      }
       if (queue_.empty()) return;  // stopping_
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -91,7 +99,7 @@ bool ThreadPool::RunOneTask() {
   Task task;
   size_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -107,8 +115,8 @@ void ThreadPool::FinishTask(TaskGroup* group) {
   // Notify while still holding the group's mutex: the moment a waiter can
   // observe pending_ == 0 it may destroy the group, so the condition
   // variable must not be touched after the lock is released.
-  std::lock_guard<std::mutex> lock(group->mu_);
-  if (--group->pending_ == 0) group->done_cv_.notify_all();
+  MutexLock lock(&group->mu_);
+  if (--group->pending_ == 0) group->done_cv_.NotifyAll();
 }
 
 ThreadPool::TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {}
@@ -124,17 +132,17 @@ void ThreadPool::TaskGroup::Submit(std::function<void()> fn) {
   }
   ORPHEUS_COUNTER_ADD("pool.tasks_queued", 1);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++pending_;
   }
   size_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(pool_->mu_);
+    MutexLock lock(&pool_->mu_);
     pool_->queue_.push_back({std::move(fn), this});
     depth = pool_->queue_.size();
   }
   ORPHEUS_TRACE_COUNTER("pool.queue_depth", depth);
-  pool_->work_cv_.notify_one();
+  pool_->work_cv_.NotifyOne();
 }
 
 void ThreadPool::TaskGroup::Wait() {
@@ -142,15 +150,15 @@ void ThreadPool::TaskGroup::Wait() {
   // tasks belonging to other groups; that only speeds them up.
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (pending_ == 0) return;
     }
     if (!pool_->RunOneTask()) {
       // Out of tasks to steal: block until our own finish. The wait time is
       // the pool's idle tail — the imbalance the chunking tries to smooth.
       Timer wait_timer;
-      std::unique_lock<std::mutex> lock(mu_);
-      done_cv_.wait(lock, [this] { return pending_ == 0; });
+      MutexLock lock(&mu_);
+      while (pending_ != 0) done_cv_.Wait(&mu_);
       ORPHEUS_HISTOGRAM_RECORD("pool.wait_us", wait_timer.ElapsedMicros());
       return;
     }

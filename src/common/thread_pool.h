@@ -2,14 +2,14 @@
 #define ORPHEUS_COMMON_THREAD_POOL_H_
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace orpheus {
 
@@ -78,9 +78,12 @@ class ThreadPool {
    private:
     friend class ThreadPool;
     ThreadPool* pool_;
-    std::mutex mu_;
-    std::condition_variable done_cv_;
-    int pending_ = 0;
+    // Never held together with the pool's mu_ (Submit and FinishTask both
+    // bump pending_ outside the queue lock), so groups may live on worker
+    // stacks without risking lock inversion against the queue.
+    Mutex mu_{"pool.group", lock_rank::kTaskGroup};
+    CondVar done_cv_;
+    int pending_ ORPHEUS_GUARDED_BY(mu_) = 0;
   };
 
   /// Split [begin, end) into chunks of at least `grain` indices and invoke
@@ -104,13 +107,16 @@ class ThreadPool {
   bool RunOneTask();
   static void FinishTask(TaskGroup* group);
 
+  // degree_ and workers_ change only in StartWorkers/StopWorkers, which the
+  // SetDegree contract restricts to quiescent points; they stay unguarded so
+  // degree() and InWorker() are lock-free on the hot path.
   int degree_ = 1;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<Task> queue_;
-  bool stopping_ = false;
+  Mutex mu_{"pool.queue", lock_rank::kThreadPool};
+  CondVar work_cv_;
+  std::deque<Task> queue_ ORPHEUS_GUARDED_BY(mu_);
+  bool stopping_ ORPHEUS_GUARDED_BY(mu_) = false;
 };
 
 /// Shorthand for ThreadPool::Global().ParallelFor(...).
@@ -127,13 +133,13 @@ inline void ParallelFor(size_t begin, size_t end, size_t grain,
 /// stitch in order" primitive behind the parallel hash-join scans.
 template <typename T, typename Fn>
 std::vector<T> ParallelCollect(size_t n, size_t grain, Fn fn) {
-  std::mutex mu;
+  Mutex mu("pool.collect");
   std::vector<std::pair<size_t, std::vector<T>>> chunks;
   ThreadPool::Global().ParallelFor(0, n, grain,
                                    [&](size_t lo, size_t hi) {
                                      std::vector<T> local;
                                      fn(lo, hi, &local);
-                                     std::lock_guard<std::mutex> lock(mu);
+                                     MutexLock lock(&mu);
                                      chunks.emplace_back(lo, std::move(local));
                                    });
   std::sort(chunks.begin(), chunks.end(),

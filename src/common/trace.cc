@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "common/env.h"
+#include "common/sync.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
@@ -73,10 +73,13 @@ class TraceRing {
 
 struct ThreadRec {
   uint32_t tid = 0;
-  std::string name;
+  std::string name;  // written/read only under the registry's mu_
   // Allocated on the first emit, so naming a thread (every pool worker
-  // does) costs nothing until it actually traces.
-  std::unique_ptr<TraceRing> ring;
+  // does) costs nothing until it actually traces. The owner thread
+  // publishes with a release store *without* the registry lock; snapshot
+  // readers acquire-load under it. (This used to be a plain unique_ptr:
+  // the unlocked owner-side assignment raced the locked readers.)
+  std::atomic<TraceRing*> ring{nullptr};
 };
 
 /// Owns one ThreadRec per thread that ever emitted or named itself.
@@ -94,7 +97,7 @@ class TraceRegistry {
   ThreadRec* CurrentThreadRec() {
     thread_local ThreadRec* rec = nullptr;
     if (rec == nullptr) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       threads_.push_back(std::make_unique<ThreadRec>());
       rec = threads_.back().get();
       rec->tid = static_cast<uint32_t>(threads_.size() - 1);
@@ -105,10 +108,12 @@ class TraceRegistry {
 
   TraceRing* CurrentThreadRing() {
     ThreadRec* rec = CurrentThreadRec();
-    if (rec->ring == nullptr) {
-      rec->ring = std::make_unique<TraceRing>(capacity());
+    TraceRing* ring = rec->ring.load(std::memory_order_acquire);
+    if (ring == nullptr) {
+      ring = new TraceRing(capacity());
+      rec->ring.store(ring, std::memory_order_release);
     }
-    return rec->ring.get();
+    return ring;
   }
 
   void SetCapacity(size_t capacity) {
@@ -129,46 +134,56 @@ class TraceRegistry {
     return cap;
   }
 
+  /// Only safe while no other thread is emitting (the bench/test contract):
+  /// replacing a ring frees the buffer an emitter could be writing.
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const size_t cap = capacity();
     for (auto& rec : threads_) {
-      if (rec->ring != nullptr) rec->ring = std::make_unique<TraceRing>(cap);
+      TraceRing* old = rec->ring.load(std::memory_order_acquire);
+      if (old != nullptr) {
+        rec->ring.store(new TraceRing(cap), std::memory_order_release);
+        delete old;
+      }
     }
   }
 
   std::vector<ThreadTrace> SnapshotAll() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     std::vector<ThreadTrace> out;
     out.reserve(threads_.size());
     for (const auto& rec : threads_) {
       ThreadTrace t;
       t.tid = rec->tid;
       t.name = rec->name;
-      if (rec->ring != nullptr) t.events = rec->ring->Snapshot();
+      const TraceRing* ring = rec->ring.load(std::memory_order_acquire);
+      if (ring != nullptr) t.events = ring->Snapshot();
       out.push_back(std::move(t));
     }
     return out;
   }
 
   size_t NumBufferedEvents() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     size_t n = 0;
     for (const auto& rec : threads_) {
-      if (rec->ring != nullptr) n += rec->ring->size();
+      const TraceRing* ring = rec->ring.load(std::memory_order_acquire);
+      if (ring != nullptr) n += ring->size();
     }
     return n;
   }
 
   void NameCurrentThread(const std::string& name) {
     ThreadRec* rec = CurrentThreadRec();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     rec->name = name;
   }
 
  private:
-  std::mutex mu_;  // guards the threads_ vector and names, never the rings
-  std::vector<std::unique_ptr<ThreadRec>> threads_;
+  // Guards the threads_ vector and per-thread names, never the rings (they
+  // are single-producer; snapshot readers synchronize on the ring head).
+  Mutex mu_{"trace.registry", lock_rank::kTraceRegistry};
+  std::vector<std::unique_ptr<ThreadRec>> threads_ ORPHEUS_GUARDED_BY(mu_);
   std::atomic<size_t> capacity_{0};
 };
 

@@ -179,7 +179,10 @@ Result<RecoveredState> Recover(const std::string& dir) {
 }  // namespace
 
 Repository::Repository(std::string dir, uint64_t seq, WalWriter wal)
-    : dir_(std::move(dir)), seq_(seq), wal_(std::move(wal)) {
+    : dir_(std::move(dir)) {
+  MutexLock lock(&mu_);
+  seq_ = seq;
+  wal_ = std::move(wal);
   stats_.seq = seq;
   stats_.wal_bytes = wal_->offset();
 }
@@ -187,6 +190,7 @@ Repository::Repository(std::string dir, uint64_t seq, WalWriter wal)
 Repository::~Repository() {
   // Closing the WAL fd drops no acknowledged data (every Append fsyncs);
   // errors here have no one to report to.
+  MutexLock lock(&mu_);
   if (wal_.has_value()) {
     ORPHEUS_IGNORE_ERROR(wal_->Close());
   }
@@ -250,15 +254,19 @@ Result<std::unique_ptr<Repository>> Repository::Open(const std::string& dir) {
             {"torn_tail", state.wal.torn_tail}});
   auto repo = std::unique_ptr<Repository>(
       new Repository(dir, state.seq, std::move(wal)));
-  repo->recovered_ = std::move(state.cvds);
-  repo->stats_.seq = state.seq;
-  repo->stats_.wal_records = state.wal.records.size();
-  repo->stats_.wal_bytes = state.wal.valid_bytes;
-  repo->stats_.recovered_torn_tail = state.wal.torn_tail;
+  {
+    MutexLock lock(&repo->mu_);
+    repo->recovered_ = std::move(state.cvds);
+    repo->stats_.seq = state.seq;
+    repo->stats_.wal_records = state.wal.records.size();
+    repo->stats_.wal_bytes = state.wal.valid_bytes;
+    repo->stats_.recovered_torn_tail = state.wal.torn_tail;
+  }
   return repo;
 }
 
 std::vector<std::unique_ptr<core::Cvd>> Repository::TakeCvds() {
+  MutexLock lock(&mu_);
   return std::move(recovered_);
 }
 
@@ -294,19 +302,28 @@ Status Repository::AppendRecord(const WalRecord& record) {
 
 Status Repository::LogCreate(const core::Cvd& cvd) {
   ORPHEUS_ASSIGN_OR_RETURN(core::CvdState state, cvd.ExportState());
+  MutexLock lock(&mu_);
   return AppendRecord(WalCreateRecord{std::move(state)});
 }
 
 Status Repository::LogCommit(const std::string& cvd_name,
                              const core::CvdCommitRecord& record) {
+  MutexLock lock(&mu_);
   return AppendRecord(WalCommitRecord{cvd_name, record});
 }
 
 Status Repository::LogDrop(const std::string& cvd_name) {
+  MutexLock lock(&mu_);
   return AppendRecord(WalDropRecord{cvd_name});
 }
 
 Status Repository::Checkpoint(const std::vector<const core::Cvd*>& cvds) {
+  MutexLock lock(&mu_);
+  return CheckpointLocked(cvds);
+}
+
+Status Repository::CheckpointLocked(
+    const std::vector<const core::Cvd*>& cvds) {
   ORPHEUS_TRACE_SPAN("storage.checkpoint");
   ORPHEUS_RETURN_NOT_OK(RequireHealthy());
   const uint64_t new_seq = seq_ + 1;
@@ -349,7 +366,8 @@ Status Repository::Checkpoint(const std::vector<const core::Cvd*>& cvds) {
 }
 
 Status Repository::Close(const std::vector<const core::Cvd*>& cvds) {
-  ORPHEUS_RETURN_NOT_OK(Checkpoint(cvds));
+  MutexLock lock(&mu_);
+  ORPHEUS_RETURN_NOT_OK(CheckpointLocked(cvds));
   ORPHEUS_RETURN_NOT_OK(wal_->Close());
   closed_ = true;
   return Status::OK();

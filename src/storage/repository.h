@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/cvd.h"
 #include "storage/wal.h"
 
@@ -72,24 +73,42 @@ class Repository {
 
   /// True once a WAL append has failed: in-memory state is ahead of the
   /// log, so further commits are refused until the repository is reopened.
-  bool degraded() const { return degraded_; }
+  bool degraded() const ORPHEUS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return degraded_;
+  }
 
   const std::string& dir() const { return dir_; }
-  const Stats& stats() const { return stats_; }
+
+  /// Snapshot of the durability counters. By value: a reference into the
+  /// guarded struct would escape the lock.
+  Stats stats() const ORPHEUS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
 
  private:
   Repository(std::string dir, uint64_t seq, WalWriter wal);
 
-  Status RequireHealthy();
-  Status AppendRecord(const WalRecord& record);
+  Status RequireHealthy() ORPHEUS_REQUIRES(mu_);
+  Status AppendRecord(const WalRecord& record) ORPHEUS_REQUIRES(mu_);
+  /// Checkpoint body, factored out so Close can run it under its own lock.
+  Status CheckpointLocked(const std::vector<const core::Cvd*>& cvds)
+      ORPHEUS_REQUIRES(mu_);
 
-  std::string dir_;
-  uint64_t seq_ = 0;
-  std::optional<WalWriter> wal_;
-  std::vector<std::unique_ptr<core::Cvd>> recovered_;
-  bool degraded_ = false;
-  bool closed_ = false;
-  Stats stats_;
+  const std::string dir_;  // immutable after construction
+
+  // One coarse lock serializes all logging/checkpoint state: WAL appends
+  // fsync, so the lock hold time is dominated by the disk anyway. Rank
+  // kRepository is the lowest in the table — the repository may call into
+  // every common/ subsystem (logger, metrics, failpoints) while held.
+  mutable Mutex mu_{"storage.repository", lock_rank::kRepository};
+  uint64_t seq_ ORPHEUS_GUARDED_BY(mu_) = 0;
+  std::optional<WalWriter> wal_ ORPHEUS_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<core::Cvd>> recovered_ ORPHEUS_GUARDED_BY(mu_);
+  bool degraded_ ORPHEUS_GUARDED_BY(mu_) = false;
+  bool closed_ ORPHEUS_GUARDED_BY(mu_) = false;
+  Stats stats_ ORPHEUS_GUARDED_BY(mu_);
 };
 
 }  // namespace orpheus::storage

@@ -1,0 +1,365 @@
+#include "common/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+
+namespace orpheus {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// Every test runs with the detector in a known state and restores the
+/// process-wide setting afterwards (the TSan CI job runs this binary with
+/// ORPHEUS_DEADLOCK_DEBUG=1, so "leave it as you found it" matters).
+class SyncTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = DeadlockDebugEnabled();
+    SetDeadlockDebug(false);
+  }
+  void TearDown() override { SetDeadlockDebug(was_enabled_); }
+
+  bool was_enabled_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Wrapper semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(SyncTest, MutexProvidesMutualExclusion) {
+  ThreadPool pool(4);
+  Mutex mu("test.counter");
+  int counter = 0;
+  pool.ParallelFor(0, 1000, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      MutexLock lock(&mu);
+      ++counter;
+    }
+  });
+  EXPECT_EQ(counter, 1000);
+}
+
+TEST_F(SyncTest, TryLockSucceedsWhenFreeAndFailsWhenHeld) {
+  Mutex mu("test.trylock");
+  ASSERT_TRUE(mu.TryLock());
+  // Probe from another thread while this one holds the lock.
+  ThreadPool pool(2);
+  std::atomic<int> observed{-1};
+  {
+    ThreadPool::TaskGroup group(&pool);
+    group.Submit([&] { observed = mu.TryLock() ? 1 : 0; });
+    group.Wait();
+  }
+  EXPECT_EQ(observed.load(), 0);
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST_F(SyncTest, SharedMutexAllowsConcurrentReaders) {
+  SharedMutex mu("test.shared");
+  mu.ReaderLock();
+  EXPECT_TRUE(mu.ReaderTryLock());  // second reader enters
+  EXPECT_FALSE(mu.TryLock());       // writer does not
+  mu.ReaderUnlock();
+  mu.ReaderUnlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+  {
+    WriterMutexLock writer(&mu);
+    EXPECT_FALSE(mu.ReaderTryLock());
+  }
+  { ReaderMutexLock reader(&mu); }
+}
+
+TEST_F(SyncTest, MutexExposesNameAndRank) {
+  Mutex anon;
+  EXPECT_STREQ(anon.name(), "mutex");
+  EXPECT_EQ(anon.rank(), lock_rank::kUnranked);
+  Mutex named("test.named", lock_rank::kLogger);
+  EXPECT_STREQ(named.name(), "test.named");
+  EXPECT_EQ(named.rank(), lock_rank::kLogger);
+}
+
+// ---------------------------------------------------------------------------
+// CondVar
+// ---------------------------------------------------------------------------
+
+TEST_F(SyncTest, CondVarWaitForTimesOutWithoutNotify) {
+  Mutex mu("test.cv");
+  CondVar cv;
+  MutexLock lock(&mu);
+  EXPECT_FALSE(cv.WaitFor(&mu, milliseconds(5)));
+}
+
+TEST_F(SyncTest, CondVarPredicateWaitForSeesNotifiedCondition) {
+  ThreadPool pool(2);
+  Mutex mu("test.cv");
+  CondVar cv;
+  bool ready = false;
+  ThreadPool::TaskGroup group(&pool);
+  group.Submit([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+  bool result = false;
+  {
+    MutexLock lock(&mu);
+    result = cv.WaitFor(&mu, milliseconds(5000), [&] { return ready; });
+  }
+  group.Wait();
+  EXPECT_TRUE(result);
+}
+
+TEST_F(SyncTest, CondVarPredicateWaitForReportsFalseOnTimeout) {
+  Mutex mu("test.cv");
+  CondVar cv;
+  bool never = false;
+  MutexLock lock(&mu);
+  EXPECT_FALSE(cv.WaitFor(&mu, milliseconds(5), [&] { return never; }));
+}
+
+TEST_F(SyncTest, CondVarWaitKeepsDetectorHeldStackAccurate) {
+  SetDeadlockDebug(true);
+  Mutex mu("test.cv");
+  CondVar cv;
+  {
+    MutexLock lock(&mu);
+    EXPECT_EQ(sync_internal::HeldLockCountForTest(), 1u);
+    // The wait releases and re-acquires; afterwards the lock must still be
+    // recorded as held exactly once.
+    EXPECT_FALSE(cv.WaitFor(&mu, milliseconds(2)));
+    EXPECT_EQ(sync_internal::HeldLockCountForTest(), 1u);
+  }
+  EXPECT_EQ(sync_internal::HeldLockCountForTest(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Detector bookkeeping
+// ---------------------------------------------------------------------------
+
+TEST_F(SyncTest, DetectorOffRecordsNothing) {
+  ASSERT_FALSE(DeadlockDebugEnabled());
+  Mutex a("test.a", 10);
+  Mutex b("test.b", 20);
+  // Out-of-rank and ABBA orders are invisible (and harmless) while off.
+  b.Lock();
+  a.Lock();
+  EXPECT_EQ(sync_internal::HeldLockCountForTest(), 0u);
+  a.Unlock();
+  b.Unlock();
+  a.Lock();
+  b.Lock();
+  b.Unlock();
+  a.Unlock();
+  EXPECT_EQ(sync_internal::HeldLockCountForTest(), 0u);
+}
+
+TEST_F(SyncTest, DetectorTracksHeldStack) {
+  SetDeadlockDebug(true);
+  Mutex a("test.a", 10);
+  Mutex b("test.b", 20);
+  EXPECT_EQ(sync_internal::HeldLockCountForTest(), 0u);
+  {
+    MutexLock la(&a);
+    EXPECT_EQ(sync_internal::HeldLockCountForTest(), 1u);
+    MutexLock lb(&b);
+    EXPECT_EQ(sync_internal::HeldLockCountForTest(), 2u);
+  }
+  EXPECT_EQ(sync_internal::HeldLockCountForTest(), 0u);
+}
+
+TEST_F(SyncTest, ConsistentLockOrderNeverAborts) {
+  SetDeadlockDebug(true);
+  Mutex a("test.a");
+  Mutex b("test.b");
+  for (int i = 0; i < 3; ++i) {
+    MutexLock la(&a);
+    MutexLock lb(&b);
+  }
+  SUCCEED();
+}
+
+TEST_F(SyncTest, IncreasingRankOrderNeverAborts) {
+  SetDeadlockDebug(true);
+  Mutex repo("test.repo", lock_rank::kRepository);
+  Mutex logger("test.logger", lock_rank::kLogger);
+  Mutex shard("test.shard", lock_rank::kMetricsShard);
+  MutexLock l1(&repo);
+  MutexLock l2(&logger);
+  MutexLock l3(&shard);
+  EXPECT_EQ(sync_internal::HeldLockCountForTest(), 3u);
+}
+
+TEST_F(SyncTest, DestroyedMutexLeavesNoStaleGraphEdges) {
+  SetDeadlockDebug(true);
+  Mutex a("test.a");
+  {
+    // Record a -> tmp, then destroy tmp. If its edges survived, the
+    // tmp2 -> a acquisition below could alias tmp's recycled address and
+    // report a phantom cycle.
+    Mutex tmp("test.tmp");
+    MutexLock la(&a);
+    MutexLock lt(&tmp);
+  }
+  {
+    Mutex tmp2("test.tmp2");
+    MutexLock lt(&tmp2);
+    MutexLock la(&a);
+  }
+  SUCCEED();
+}
+
+TEST_F(SyncTest, PoolFanoutUnderDetectorIsClean) {
+  SetDeadlockDebug(true);
+  ThreadPool pool(8);
+  Mutex mu("test.fanout");
+  uint64_t sum = 0;
+  // Touch the instrumented subsystems from every worker: pool queue and
+  // group locks, metrics shards, trace registry, and the logger all
+  // interleave here, so a rank-table regression aborts this test.
+  trace::Start();
+  pool.ParallelFor(0, 2000, 16, [&](size_t lo, size_t hi) {
+    ORPHEUS_TRACE_SPAN("test.sync.chunk");
+    uint64_t local = 0;
+    for (size_t i = lo; i < hi; ++i) local += i;
+    MutexLock lock(&mu);
+    sum += local;
+  });
+  trace::Stop();
+  EXPECT_EQ(sum, 2000u * 1999 / 2);
+  EXPECT_EQ(sync_internal::HeldLockCountForTest(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Detector abort paths (fork-based death tests)
+// ---------------------------------------------------------------------------
+
+class SyncDeathTest : public SyncTest {
+ protected:
+  void SetUp() override {
+    SyncTest::SetUp();
+    // Re-execute the binary for the death statement: the parent process
+    // already runs pool workers in other tests, and fork()+threads in the
+    // "fast" style is not reliable.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST_F(SyncDeathTest, RankViolationAbortsWithBothLocks) {
+  EXPECT_DEATH(
+      {
+        SetDeadlockDebug(true);
+        Mutex low("death.low", lock_rank::kRepository);
+        Mutex high("death.high", lock_rank::kLogger);
+        MutexLock lh(&high);
+        MutexLock ll(&low);  // rank 10 after rank 80: out of order
+      },
+      "LOCK RANK VIOLATION(.|\n)*death\\.low(.|\n)*death\\.high");
+}
+
+TEST_F(SyncDeathTest, EqualRankNestingAborts) {
+  EXPECT_DEATH(
+      {
+        SetDeadlockDebug(true);
+        Mutex s1("death.shard1", lock_rank::kMetricsShard);
+        Mutex s2("death.shard2", lock_rank::kMetricsShard);
+        MutexLock l1(&s1);
+        MutexLock l2(&s2);  // equal ranks must never nest
+      },
+      "LOCK RANK VIOLATION(.|\n)*death\\.shard2");
+}
+
+TEST_F(SyncDeathTest, AbbaCycleAbortsWithBothAcquisitionStacks) {
+  EXPECT_DEATH(
+      {
+        SetDeadlockDebug(true);
+        Mutex a("death.a");
+        Mutex b("death.b");
+        {
+          MutexLock la(&a);
+          MutexLock lb(&b);  // records a -> b
+        }
+        MutexLock lb(&b);
+        MutexLock la(&a);  // b -> a closes the cycle
+      },
+      "LOCK-ORDER CYCLE(.|\n)*death\\.a(.|\n)*death\\.b(.|\n)*"
+      "conflicting prior acquisition(.|\n)*death\\.b");
+}
+
+TEST_F(SyncDeathTest, SelfDeadlockAborts) {
+  EXPECT_DEATH(
+      {
+        SetDeadlockDebug(true);
+        Mutex mu("death.self");
+        mu.Lock();
+        mu.Lock();  // re-acquiring a held non-recursive mutex
+      },
+      "SELF-DEADLOCK(.|\n)*death\\.self");
+}
+
+// ---------------------------------------------------------------------------
+// Regression tests for races surfaced by the annotation pass
+// ---------------------------------------------------------------------------
+
+// log::Enabled() reads the level on every site without the logger lock; the
+// level is now atomic. Hammer reads against concurrent set_level calls (the
+// TSan job turns any regression into a hard failure).
+TEST_F(SyncTest, LoggerLevelIsSafeToReadConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> enabled_reads{0};
+  pool.ParallelFor(0, 400, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      if (i % 2 == 0) {
+        log::SetLevelForTest(i % 4 == 0 ? log::Level::kDebug
+                                        : log::Level::kWarn);
+      } else if (log::Enabled(log::Level::kInfo)) {
+        enabled_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  log::SetLevelForTest(log::Level::kInfo);
+  EXPECT_LE(enabled_reads.load(), 200u);
+}
+
+// Trace ring publication: a thread's first emit allocates its ring and
+// publishes it while a snapshotting thread iterates the registry; the
+// pointer is now an acquire/release atomic. Emit from fresh pool workers
+// while snapshotting concurrently.
+TEST_F(SyncTest, TraceRingPublicationRacesSnapshot) {
+  trace::Start();
+  ThreadPool pool(8);
+  ThreadPool::TaskGroup group(&pool);
+  for (int t = 0; t < 7; ++t) {
+    group.Submit([] {
+      for (int i = 0; i < 50; ++i) ORPHEUS_TRACE_INSTANT("test.sync.emit", i);
+    });
+  }
+  size_t snapshot_events = 0;
+  for (int i = 0; i < 20; ++i) {
+    for (const auto& thread : trace::SnapshotAll()) {
+      snapshot_events += thread.events.size();
+    }
+    snapshot_events += trace::NumBufferedEvents();
+  }
+  group.Wait();
+  trace::Stop();
+  size_t emitted = 0;
+  for (const auto& thread : trace::SnapshotAll()) {
+    emitted += thread.events.size();
+  }
+  EXPECT_GE(emitted, 1u);
+}
+
+}  // namespace
+}  // namespace orpheus

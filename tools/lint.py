@@ -46,6 +46,14 @@ raw-stderr
     JSON-lines mode apply uniformly. Benches and tests keep direct stderr
     for progress output.
 
+raw-sync
+    std::mutex / std::shared_mutex / std::lock_guard / std::unique_lock /
+    std::condition_variable (and friends) inside src/ outside
+    common/sync.{h,cc}. All locking goes through the annotated wrappers
+    (Mutex, MutexLock, CondVar in common/sync.h) so Clang thread-safety
+    analysis and the ORPHEUS_DEADLOCK_DEBUG lock-order detector see every
+    acquisition.
+
 raw-file-write
     std::ofstream / std::fstream / fopen() inside src/ outside the durable
     storage layer (src/storage/), common/file_util.cc, and common/log.cc.
@@ -100,7 +108,19 @@ RAW_CLOCK_ALLOWED_PREFIX = "src/common/"
 # (fprintf/fputs/fputc), so match the stream uses rather than the token.
 RAW_STDERR = re.compile(
     r"\bstd::cerr\b|\bf(?:printf|puts|putc|write|flush)\s*\([^)]*\bstderr\b")
-RAW_STDERR_ALLOWED = ("src/common/log.cc",)
+# sync.cc: the deadlock detector's abort path must not re-enter the logger
+# (whose own mutex may be involved in the reported cycle).
+RAW_STDERR_ALLOWED = ("src/common/log.cc", "src/common/sync.cc")
+
+# Raw standard-library synchronization primitives outside the annotated
+# wrapper layer. Everything locks through common/sync.h (Mutex, SharedMutex,
+# MutexLock, CondVar) so the Clang thread-safety job and the runtime
+# lock-order detector observe every acquisition.
+RAW_SYNC = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|timed_mutex|recursive_mutex"
+    r"|recursive_timed_mutex|shared_timed_mutex|lock_guard|unique_lock"
+    r"|shared_lock|scoped_lock|condition_variable|condition_variable_any)\b")
+RAW_SYNC_ALLOWED = ("src/common/sync.h", "src/common/sync.cc")
 
 # File *writes* must go through common/file_util.h (atomic replace + fsync +
 # failpoints) or the storage layer built on it. std::ifstream (reads) is fine.
@@ -201,6 +221,12 @@ def lint_file(rel, violations):
                 (rel, lineno, "raw-stderr",
                  "direct stderr write; use LOG_INFO/WARN/ERROR "
                  "(common/log.h)"))
+        if (rel.startswith("src/") and rel not in RAW_SYNC_ALLOWED
+                and RAW_SYNC.search(line)):
+            violations.append(
+                (rel, lineno, "raw-sync",
+                 "raw std:: sync primitive; use Mutex / MutexLock / CondVar "
+                 "from common/sync.h"))
         if (rel.startswith("src/") and rel not in RAW_FILE_WRITE_ALLOWED
                 and not rel.startswith(RAW_FILE_WRITE_ALLOWED_PREFIX)
                 and RAW_FILE_WRITE.search(line)):
