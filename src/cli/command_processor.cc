@@ -119,7 +119,37 @@ Result<CommandProcessor::Args> CommandProcessor::ParseArgs(
 Result<Cvd*> CommandProcessor::FindCvd(const std::string& name) {
   auto it = cvds_.find(name);
   if (it == cvds_.end()) {
+    if (managers_.count(name) != 0) {
+      return Status::InvalidArgument(StrFormat(
+          "CVD %s is open for concurrent use; drive it with the session "
+          "commands or run `session close %s` first",
+          name.c_str(), name.c_str()));
+    }
     return Status::NotFound(StrFormat("no CVD named %s", name.c_str()));
+  }
+  return it->second.get();
+}
+
+Result<session::SessionManager*> CommandProcessor::FindManager(
+    const std::string& cvd) {
+  auto it = managers_.find(cvd);
+  if (it == managers_.end()) {
+    return Status::NotFound(StrFormat(
+        "CVD %s is not session-managed (run `session open %s` first)",
+        cvd.c_str(), cvd.c_str()));
+  }
+  return it->second.get();
+}
+
+Result<session::Session*> CommandProcessor::FindSession(const std::string& cvd,
+                                                        int sid) {
+  ORPHEUS_RETURN_NOT_OK(FindManager(cvd).status());
+  auto& open = sessions_[cvd];
+  auto it = open.find(sid);
+  if (it == open.end()) {
+    return Status::NotFound(StrFormat(
+        "no open session %d on CVD %s (run `session new %s`)", sid,
+        cvd.c_str(), cvd.c_str()));
   }
   return it->second.get();
 }
@@ -182,6 +212,7 @@ Result<std::string> CommandProcessor::Execute(const std::string& line) {
   if (cmd == "run") return RunSql(args);
   if (cmd == "optimize") return Optimize(args);
   if (cmd == "fsck") return Fsck(args);
+  if (cmd == "session") return SessionCmd(args);
   if (cmd == "stats") return Stats(args);
   if (cmd == "trace") return Trace(args);
   if (cmd == "tables") {
@@ -378,6 +409,17 @@ Result<std::string> CommandProcessor::Ls() const {
                      cvd->num_versions(),
                      static_cast<unsigned long long>(cvd->StorageBytes()));
   }
+  for (const auto& [name, manager] : managers_) {
+    int versions = 0;
+    unsigned long long bytes = 0;
+    ORPHEUS_IGNORE_ERROR(manager->ReadCvd([&](const core::Cvd& cvd) {
+      versions = cvd.num_versions();
+      bytes = cvd.StorageBytes();
+      return Status::OK();
+    }));
+    out += StrFormat("%s  (%d versions, %llu bytes, session-managed)\n",
+                     name.c_str(), versions, bytes);
+  }
   return out.empty() ? "no CVDs\n" : out;
 }
 
@@ -387,6 +429,11 @@ Result<std::string> CommandProcessor::Drop(const Args& args) {
   }
   const std::string& name = args.positional[0];
   if (cvds_.count(name) == 0) {
+    if (managers_.count(name) != 0) {
+      return Status::InvalidArgument(StrFormat(
+          "CVD %s is open for concurrent use; run `session close %s` first",
+          name.c_str(), name.c_str()));
+    }
     return Status::NotFound(StrFormat("no CVD named %s", name.c_str()));
   }
   // Log before applying: if the drop record cannot be made durable, the
@@ -480,9 +527,14 @@ Result<std::string> CommandProcessor::Optimize(const Args& args) {
 Result<std::string> CommandProcessor::Fsck(const Args& args) {
   if (const std::string* dir = args.Flag("d")) {
     // Offline check of an on-disk repository (works whether or not a
-    // repository is open in this session — pure read).
+    // repository is open in this session — pure read). Corruption exits
+    // with the distinct fsck code so scripts can tell it from a bad
+    // invocation.
     auto lines = storage::Repository::Fsck(*dir);
-    if (!lines.ok()) return lines.status();
+    if (!lines.ok()) {
+      NoteExit(kExitCorrupt);
+      return lines.status();
+    }
     std::string out =
         StrFormat("fsck %s: clean\n", dir->c_str());
     for (const std::string& line : *lines) {
@@ -492,28 +544,200 @@ Result<std::string> CommandProcessor::Fsck(const Args& args) {
   }
   ValidationReport report;
   int checked = 0;
-  if (!args.positional.empty()) {
-    auto cvd = FindCvd(args.positional[0]);
-    if (!cvd.ok()) return cvd.status();
-    core::ValidateCvd(**cvd, &report);
+  auto check_managed = [&](const std::string& name) {
+    ORPHEUS_IGNORE_ERROR(managers_.at(name)->ReadCvd(
+        [&report](const core::Cvd& cvd) {
+          core::ValidateCvd(cvd, &report);
+          return Status::OK();
+        }));
     ++checked;
+  };
+  if (!args.positional.empty()) {
+    const std::string& name = args.positional[0];
+    if (managers_.count(name) != 0) {
+      check_managed(name);
+    } else {
+      auto cvd = FindCvd(name);
+      if (!cvd.ok()) return cvd.status();
+      core::ValidateCvd(**cvd, &report);
+      ++checked;
+    }
   } else {
     for (const auto& [name, cvd] : cvds_) {
       (void)name;
       core::ValidateCvd(*cvd, &report);
       ++checked;
     }
+    for (const auto& [name, manager] : managers_) {
+      (void)manager;
+      check_managed(name);
+    }
     for (const auto& name : staging_.ListTables()) {
       const Table* table = staging_.GetTable(name);
       if (table != nullptr) table->ValidateIndexes(&report);
     }
   }
-  if (report.ok()) {
-    return StrFormat("fsck: %d CVD(s) checked, no violations found", checked);
+  std::string health;
+  if (repo_ != nullptr && repo_->degraded()) {
+    NoteExit(kExitCorrupt);
+    health = StrFormat(
+        "\nrepository %s is DEGRADED: a WAL append failed, commits are "
+        "refused; close the process and reopen the repository to recover",
+        repo_->dir().c_str());
   }
+  if (report.ok()) {
+    return StrFormat("fsck: %d CVD(s) checked, no violations found",
+                     checked) +
+           health;
+  }
+  NoteExit(kExitCorrupt);
   return StrFormat("fsck: %d violation(s) found\n%s",
                    static_cast<int>(report.num_violations()),
-                   report.ToString().c_str());
+                   report.ToString().c_str()) +
+         health;
+}
+
+Result<std::string> CommandProcessor::SessionCmd(const Args& args) {
+  if (args.positional.empty()) {
+    return Status::InvalidArgument(
+        "usage: session open|new|checkout|commit|refresh|ls|close ...");
+  }
+  const std::string sub = ToLower(args.positional[0]);
+
+  if (sub == "ls") {
+    if (managers_.empty()) return std::string("no session-managed CVDs\n");
+    std::string out;
+    for (const auto& [name, manager] : managers_) {
+      out += StrFormat("%s  (watermark v%d, %zu open session(s)%s)\n",
+                       name.c_str(), manager->watermark(),
+                       sessions_[name].size(),
+                       manager->failed() ? ", POISONED" : "");
+    }
+    return out;
+  }
+  if (args.positional.size() < 2) {
+    return Status::InvalidArgument(
+        StrFormat("usage: session %s <cvd> ...", sub.c_str()));
+  }
+  const std::string& name = args.positional[1];
+
+  if (sub == "open") {
+    if (managers_.count(name) != 0) {
+      return Status::AlreadyExists(
+          StrFormat("CVD %s is already session-managed", name.c_str()));
+    }
+    auto it = cvds_.find(name);
+    if (it == cvds_.end()) {
+      return Status::NotFound(StrFormat("no CVD named %s", name.c_str()));
+    }
+    if (!it->second->StagedTables().empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "CVD %s has staged checkouts; commit or drop them before "
+          "`session open`",
+          name.c_str()));
+    }
+    auto manager = std::make_unique<session::SessionManager>(
+        std::move(it->second), repo_.get());
+    cvds_.erase(it);
+    core::VersionId watermark = manager->watermark();
+    managers_[name] = std::move(manager);
+    return StrFormat(
+        "CVD %s is now session-managed (watermark v%d); use `session new "
+        "%s` to open sessions",
+        name.c_str(), watermark, name.c_str());
+  }
+  if (sub == "close") {
+    auto manager = FindManager(name);
+    if (!manager.ok()) return manager.status();
+    size_t released = sessions_[name].size();
+    sessions_.erase(name);  // sessions first: they point into the manager
+    auto cvd = (*manager)->Release();
+    managers_.erase(name);
+    WireCommitObserver(cvd.get());
+    cvds_[name] = std::move(cvd);
+    return StrFormat("CVD %s released from session management "
+                     "(%zu session(s) closed)",
+                     name.c_str(), released);
+  }
+  if (sub == "new") {
+    auto manager = FindManager(name);
+    if (!manager.ok()) return manager.status();
+    auto session = (*manager)->Open();
+    int sid = session->id();
+    core::VersionId watermark = session->watermark();
+    sessions_[name][sid] = std::move(session);
+    return StrFormat("opened session %d on CVD %s (snapshot watermark v%d)",
+                     sid, name.c_str(), watermark);
+  }
+
+  // The remaining subcommands address one session: session <sub> <cvd> <sid>.
+  if (args.positional.size() < 3) {
+    return Status::InvalidArgument(
+        StrFormat("usage: session %s <cvd> <sid> ...", sub.c_str()));
+  }
+  char* end = nullptr;
+  const std::string& sid_spec = args.positional[2];
+  long sid = std::strtol(sid_spec.c_str(), &end, 10);
+  if (end != sid_spec.c_str() + sid_spec.size() || sid <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("bad session id '%s'", sid_spec.c_str()));
+  }
+  auto session = FindSession(name, static_cast<int>(sid));
+  if (!session.ok()) return session.status();
+
+  if (sub == "checkout") {
+    const std::string* vspec = args.Flag("v");
+    const std::string* table = args.Flag("t");
+    if (vspec == nullptr || table == nullptr) {
+      return Status::InvalidArgument(
+          "usage: session checkout <cvd> <sid> -v <vids> -t <table>");
+    }
+    auto vids = ParseVersionList(*vspec);
+    if (!vids.ok()) return vids.status();
+    ORPHEUS_RETURN_NOT_OK((*session)->Checkout(*vids, *table));
+    return StrFormat("session %ld checked out version(s) %s into table %s",
+                     sid, vspec->c_str(), table->c_str());
+  }
+  if (sub == "commit") {
+    const std::string* table = args.Flag("t");
+    if (table == nullptr) {
+      return Status::InvalidArgument(
+          "usage: session commit <cvd> <sid> -t <table> -m \"<msg>\"");
+    }
+    const std::string* msg = args.Flag("m");
+    auto outcome = (*session)->Commit(*table, msg ? *msg : "",
+                                      access_.current_user());
+    if (!outcome.ok()) return outcome.status();
+    std::string out = StrFormat("session %ld committed table %s as version "
+                                "%d of CVD %s",
+                                sid, table->c_str(), outcome->vid,
+                                name.c_str());
+    if (outcome->reconciled) {
+      out += StrFormat("\nreconciled with concurrent version %d into merge "
+                       "version %d",
+                       outcome->reconciled_with, outcome->merged_vid);
+    } else if (!outcome->conflicts.empty()) {
+      out += StrFormat("\nCONFLICT with concurrent version %d: %zu attribute "
+                       "conflict(s); v%d left as a divergent branch",
+                       outcome->reconciled_with, outcome->conflicts.size(),
+                       outcome->vid);
+      for (const session::MergeConflict& c : outcome->conflicts) {
+        out += StrFormat("\n  key=%s attribute=%s base=%s ours=%s theirs=%s",
+                         c.key.c_str(), c.attribute.c_str(), c.base.c_str(),
+                         c.ours.c_str(), c.theirs.c_str());
+      }
+    }
+    return out;
+  }
+  if (sub == "refresh") {
+    ORPHEUS_RETURN_NOT_OK((*session)->Refresh());
+    return StrFormat("session %ld now at watermark v%d", sid,
+                     (*session)->watermark());
+  }
+  return Status::InvalidArgument(StrFormat(
+      "unknown session subcommand '%s' (want "
+      "open|new|checkout|commit|refresh|ls|close)",
+      sub.c_str()));
 }
 
 Result<std::string> CommandProcessor::Stats(const Args& args) {
@@ -539,6 +763,15 @@ Result<std::string> CommandProcessor::Stats(const Args& args) {
     out = StrFormat("metrics written to %s", path->c_str());
   } else {
     out = as_json ? registry.ToJson() : registry.ToText();
+    if (!as_json && repo_ != nullptr) {
+      // Surface repository health with the human-readable stats (the JSON
+      // form stays pure metrics for the bench schema checker).
+      out = StrFormat("repository %s: %s\n", repo_->dir().c_str(),
+                      repo_->degraded()
+                          ? "DEGRADED (WAL append failed; reopen to recover)"
+                          : "healthy") +
+            out;
+    }
   }
   if (reset) registry.Reset();
   return out;
@@ -639,6 +872,11 @@ Result<std::string> CommandProcessor::OpenRepository(const Args& args) {
         "a repository is already open at %s (close it first)",
         repo_->dir().c_str()));
   }
+  if (!managers_.empty()) {
+    return Status::InvalidArgument(
+        "session-managed CVDs exist; run `session close` on each before "
+        "opening a repository");
+  }
   auto repo = storage::Repository::Open(args.positional[0]);
   if (!repo.ok()) return repo.status();
   auto recovered = (*repo)->TakeCvds();
@@ -672,15 +910,24 @@ Result<std::string> CommandProcessor::OpenRepository(const Args& args) {
   const auto& stats = repo_->stats();
   return StrFormat(
       "opened repository %s (checkpoint %llu, %zu CVD(s) recovered, %llu WAL "
-      "record(s) replayed%s)",
+      "record(s) replayed%s, %s)",
       repo_->dir().c_str(), static_cast<unsigned long long>(stats.seq),
       num_recovered, static_cast<unsigned long long>(stats.wal_records),
-      stats.recovered_torn_tail ? ", torn tail truncated" : "");
+      stats.recovered_torn_tail ? ", torn tail truncated" : "",
+      repo_->degraded() ? "DEGRADED" : "healthy");
 }
 
 Result<std::string> CommandProcessor::CheckpointRepository() {
   if (repo_ == nullptr) {
     return Status::InvalidArgument("no repository open (use: open <dir>)");
+  }
+  if (!managers_.empty()) {
+    // A checkpoint folds the passed-in CVDs into the new snapshot;
+    // session-managed ones live inside their managers, so checkpointing
+    // without them would silently drop their history.
+    return Status::InvalidArgument(
+        "session-managed CVDs exist; run `session close` on each before "
+        "checkpointing");
   }
   ORPHEUS_RETURN_NOT_OK(repo_->Checkpoint(CvdPointers()));
   return StrFormat("checkpoint %llu written to %s",
@@ -691,6 +938,11 @@ Result<std::string> CommandProcessor::CheckpointRepository() {
 Result<std::string> CommandProcessor::CloseRepository() {
   if (repo_ == nullptr) {
     return Status::InvalidArgument("no repository open (use: open <dir>)");
+  }
+  if (!managers_.empty()) {
+    return Status::InvalidArgument(
+        "session-managed CVDs exist; run `session close` on each before "
+        "closing the repository");
   }
   ORPHEUS_RETURN_NOT_OK(repo_->Close(CvdPointers()));
   std::string dir = repo_->dir();

@@ -10,6 +10,7 @@
 #include "core/access_control.h"
 #include "core/cvd.h"
 #include "minidb/database.h"
+#include "session/session.h"
 #include "storage/repository.h"
 
 namespace orpheus::cli {
@@ -61,12 +62,35 @@ namespace orpheus::cli {
 ///   profile <command...>            run any single command under a fresh
 ///                                   trace and render its per-stage tree
 ///                                   (count, total, self, p95)
+///
+/// Multi-session commands (DESIGN.md §13) — `session open` hands a CVD to a
+/// SessionManager; plain checkout/commit on it are refused until
+/// `session close` hands it back:
+///   session open <cvd>              enable concurrent sessions on a CVD
+///   session new <cvd>               open a session (prints its id)
+///   session checkout <cvd> <sid> -v <vids> -t <table>
+///   session commit <cvd> <sid> -t <table> -m "<msg>"
+///                                   optimistic commit: reconciles against a
+///                                   concurrent tip, or reports the conflict
+///                                   set
+///   session refresh <cvd> <sid>     re-pin to the durable watermark
+///   session ls                      list session-managed CVDs
+///   session close <cvd>             release the CVD back to the session
 class CommandProcessor {
  public:
   CommandProcessor() = default;
 
   /// Execute one command line; returns the text to display.
   Result<std::string> Execute(const std::string& line);
+
+  /// Sticky process exit code for the CLI binary: 0 until a command
+  /// reports something worse. `fsck` sets kExitCorrupt when it finds
+  /// violations, on-disk corruption, or a degraded repository — distinct
+  /// from kExitError so scripts can tell "bad invocation" from "bad data".
+  static constexpr int kExitError = 1;
+  static constexpr int kExitCorrupt = 2;
+  int exit_code() const { return exit_code_; }
+  void NoteError() { NoteExit(kExitError); }
 
   /// Accessors for tests and embedding.
   minidb::Database* staging() { return &staging_; }
@@ -76,6 +100,12 @@ class CommandProcessor {
   }
   core::AccessController* access() { return &access_; }
   storage::Repository* repository() { return repo_.get(); }
+  session::Session* session(const std::string& cvd, int sid) {
+    auto it = sessions_.find(cvd);
+    if (it == sessions_.end()) return nullptr;
+    auto jt = it->second.find(sid);
+    return jt == it->second.end() ? nullptr : jt->second.get();
+  }
 
  private:
   struct Args {
@@ -100,6 +130,7 @@ class CommandProcessor {
   Result<std::string> RunSql(const Args& args);
   Result<std::string> Optimize(const Args& args);
   Result<std::string> Fsck(const Args& args);
+  Result<std::string> SessionCmd(const Args& args);
   Result<std::string> Stats(const Args& args);
   Result<std::string> Trace(const Args& args);
   Result<std::string> Profile(const std::string& command);
@@ -117,10 +148,25 @@ class CommandProcessor {
   void WireCommitObserver(core::Cvd* cvd);
   std::vector<const core::Cvd*> CvdPointers() const;
 
+  /// The session manager owning `cvd`, or an error naming the command to
+  /// run first.
+  Result<session::SessionManager*> FindManager(const std::string& cvd);
+  Result<session::Session*> FindSession(const std::string& cvd, int sid);
+
+  void NoteExit(int code) {
+    if (code > exit_code_) exit_code_ = code;
+  }
+
   minidb::Database staging_;
   std::map<std::string, std::unique_ptr<core::Cvd>> cvds_;
   std::unique_ptr<storage::Repository> repo_;
   core::AccessController access_;
+  // CVDs handed to the concurrent session layer (`session open`), plus the
+  // interactive sessions opened on each, keyed by session id.
+  std::map<std::string, std::unique_ptr<session::SessionManager>> managers_;
+  std::map<std::string, std::map<int, std::unique_ptr<session::Session>>>
+      sessions_;
+  int exit_code_ = 0;
   // CSV checkout provenance: file path -> (cvd name, parent versions).
   struct FileInfo {
     std::string cvd;

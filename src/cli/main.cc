@@ -2,6 +2,7 @@
 // command per line from stdin (or from files given on the command line),
 // mirroring the paper's command-line interface (Sec. 3.3).
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -27,9 +28,10 @@ int RunStream(orpheus::cli::CommandProcessor* processor, std::istream& in,
       if (!result->empty()) std::cout << *result << "\n";
     } else {
       std::cout << "error: " << result.status().ToString() << "\n";
+      processor->NoteError();
     }
   }
-  return 0;
+  return processor->exit_code();
 }
 
 }  // namespace
@@ -38,15 +40,17 @@ int main(int argc, char** argv) {
   orpheus::trace::SetCurrentThreadName("main");
   orpheus::cli::CommandProcessor processor;
   if (argc > 1) {
+    int exit_code = 0;
     for (int i = 1; i < argc; ++i) {
       std::ifstream file(argv[i]);
       if (!file) {
         LOG_ERROR("cannot open command file", {{"path", argv[i]}});
-        return 1;
+        return orpheus::cli::CommandProcessor::kExitError;
       }
-      RunStream(&processor, file, /*interactive=*/false);
+      exit_code = std::max(exit_code,
+                           RunStream(&processor, file, /*interactive=*/false));
     }
-    return 0;
+    return exit_code;
   }
   return RunStream(&processor, std::cin, /*interactive=*/true);
 }

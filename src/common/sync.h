@@ -120,6 +120,8 @@ namespace orpheus {
 
 namespace lock_rank {
 inline constexpr int kUnranked = 0;
+inline constexpr int kSessionCommit = 2;     // session/session.cc (committer)
+inline constexpr int kSessionData = 5;       // session/session.cc (CVD state)
 inline constexpr int kRepository = 10;       // storage/repository.cc
 inline constexpr int kThreadPool = 20;       // common/thread_pool.cc (queue)
 inline constexpr int kTaskGroup = 30;        // common/thread_pool.cc (groups)

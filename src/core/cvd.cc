@@ -40,6 +40,25 @@ Value CoerceValue(const Value& v, ValueType to) {
   return v;
 }
 
+// What a stored value becomes when its column is widened to `to`. Must
+// mirror minidb::Column::Widen exactly (NOT CoerceValue: Column::Widen
+// stringifies doubles with std::to_string, CoerceValue with %g), because
+// commit planning compares staged payloads against stored records as if
+// the planned widenings had already been applied.
+Value WidenStoredValue(const Value& v, ValueType to) {
+  if (v.is_null() || v.type() == to) return v;
+  if (v.type() == ValueType::kInt64 && to == ValueType::kDouble) {
+    return Value(static_cast<double>(v.AsInt()));
+  }
+  if (to == ValueType::kString) {
+    if (v.type() == ValueType::kInt64) return Value(std::to_string(v.AsInt()));
+    if (v.type() == ValueType::kDouble) {
+      return Value(std::to_string(v.AsDouble()));
+    }
+  }
+  return v;
+}
+
 }  // namespace
 
 namespace {
@@ -106,15 +125,10 @@ Status Cvd::ValidateVersion(VersionId vid) const {
   return Status::OK();
 }
 
-Status Cvd::Checkout(const std::vector<VersionId>& vids,
-                     const std::string& table_name,
-                     minidb::Database* staging) {
+Result<minidb::Table> Cvd::Materialize(const std::vector<VersionId>& vids,
+                                       const std::string& table_name) const {
   if (vids.empty()) {
     return Status::InvalidArgument("checkout requires at least one version");
-  }
-  if (staging->HasTable(table_name)) {
-    return Status::AlreadyExists(
-        StrFormat("staging table %s already exists", table_name.c_str()));
   }
   for (VersionId vid : vids) ORPHEUS_RETURN_NOT_OK(ValidateVersion(vid));
 
@@ -168,48 +182,77 @@ Status Cvd::Checkout(const std::vector<VersionId>& vids,
   }
 
   ORPHEUS_COUNTER_ADD("cvd.checkout.records_materialized", merged.num_rows());
-  auto adopted = staging->AdoptTable(std::move(merged));
+  return merged;
+}
+
+Status Cvd::Checkout(const std::vector<VersionId>& vids,
+                     const std::string& table_name,
+                     minidb::Database* staging) {
+  if (staging->HasTable(table_name)) {
+    return Status::AlreadyExists(
+        StrFormat("staging table %s already exists", table_name.c_str()));
+  }
+  auto merged = Materialize(vids, table_name);
+  if (!merged.ok()) return merged.status();
+  auto adopted = staging->AdoptTable(merged.MoveValueOrDie());
   if (!adopted.ok()) return adopted.status();
-  logical_clock_ += 1.0;
+  logical_clock_ += 1;
   staging_[table_name] = StagingInfo{vids, logical_clock_};
   MaybeValidate(*this, "Cvd::Checkout");
   return Status::OK();
 }
 
-Status Cvd::ReconcileSchema(const Table& table, bool has_rid_col,
-                            std::vector<int>* staging_col_of_attr) {
+Status Cvd::PlanSchema(const Table& table, bool has_rid_col, SchemaPlan* plan,
+                       std::vector<int>* staging_col_of_attr) const {
   const Schema& tschema = table.schema();
   const size_t first_data_col = has_rid_col ? 1 : 0;
 
-  // Pass 1: new attributes and type widenings.
+  plan->schema_after = backend_->data_schema().columns();
+  plan->new_attributes.clear();
+  plan->current_attr_ids = current_attr_ids_;
+  int next_attr_id = static_cast<int>(attributes_.size());
+  auto find_planned = [plan](const std::string& name) {
+    for (size_t k = 0; k < plan->schema_after.size(); ++k) {
+      if (plan->schema_after[k].name == name) return static_cast<int>(k);
+    }
+    return -1;
+  };
+
+  // Pass 1: new attributes and type widenings, recorded in the plan only —
+  // the backend is untouched until the commit record has been made durable.
   for (size_t c = first_data_col; c < tschema.num_columns(); ++c) {
     const ColumnDef& def = tschema.column(c);
-    int attr = backend_->data_schema().FindColumn(def.name);
+    int attr = find_planned(def.name);
     if (attr < 0) {
       // New attribute: extend the CVD (ALTER ... ADD COLUMN, NULLs for old
       // records) and log it in the attribute table.
-      ORPHEUS_RETURN_NOT_OK(backend_->AddAttribute(def));
-      RegisterAttribute(def.name, def.type);
+      AttributeInfo info;
+      info.attr_id = next_attr_id++;
+      info.name = def.name;
+      info.type = def.type;
+      plan->schema_after.push_back(def);
+      plan->new_attributes.push_back(info);
+      plan->current_attr_ids.push_back(info.attr_id);
       continue;
     }
-    ValueType have = backend_->data_schema().column(attr).type;
+    ValueType have = plan->schema_after[attr].type;
     if (def.type != have && TypeRank(def.type) > TypeRank(have)) {
       // Widen to the more general type; a fresh attribute entry records the
       // change (Fig. 4.3: cooccurrence integer -> decimal => new attr id).
-      ORPHEUS_RETURN_NOT_OK(backend_->WidenAttribute(attr, def.type));
       AttributeInfo info;
-      info.attr_id = static_cast<int>(attributes_.size());
+      info.attr_id = next_attr_id++;
       info.name = def.name;
       info.type = def.type;
-      attributes_.push_back(info);
-      current_attr_ids_[attr] = info.attr_id;
+      plan->schema_after[attr].type = def.type;
+      plan->new_attributes.push_back(info);
+      plan->current_attr_ids[attr] = info.attr_id;
     }
   }
 
-  // Pass 2: mapping from CVD attribute position -> staging column (or -1).
-  staging_col_of_attr->assign(backend_->data_schema().num_columns(), -1);
-  for (size_t k = 0; k < backend_->data_schema().num_columns(); ++k) {
-    int c = tschema.FindColumn(backend_->data_schema().column(k).name);
+  // Pass 2: mapping from planned attribute position -> staging column.
+  staging_col_of_attr->assign(plan->schema_after.size(), -1);
+  for (size_t k = 0; k < plan->schema_after.size(); ++k) {
+    int c = tschema.FindColumn(plan->schema_after[k].name);
     if (c >= 0 && (!has_rid_col || c != 0)) {
       (*staging_col_of_attr)[k] = c;
     }
@@ -221,26 +264,34 @@ Result<VersionId> Cvd::CommitTable(const Table& table,
                                    const std::vector<VersionId>& parents,
                                    const std::string& message,
                                    const std::string& author,
-                                   double checkout_time) {
+                                   LogicalTime checkout_time) {
   for (VersionId p : parents) ORPHEUS_RETURN_NOT_OK(ValidateVersion(p));
 
   ORPHEUS_TRACE_SPAN("cvd.commit");
   ORPHEUS_COUNTER_ADD("cvd.commit.rows_scanned", table.num_rows());
 
+  // Phase 1 — plan. Everything below is a pure read of the current state:
+  // the planned schema evolution, record membership, fresh rids, weights,
+  // and metadata are computed into a CvdCommitRecord without mutating the
+  // backend, the graph, or the counters.
   const bool has_rid_col = table.schema().num_columns() > 0 &&
                            table.schema().column(0).name == "_rid";
-  const size_t attrs_before = attributes_.size();
+  SchemaPlan plan;
   std::vector<int> col_of_attr;
-  ORPHEUS_RETURN_NOT_OK(ReconcileSchema(table, has_rid_col, &col_of_attr));
+  ORPHEUS_RETURN_NOT_OK(PlanSchema(table, has_rid_col, &plan, &col_of_attr));
 
-  const size_t num_attrs = backend_->data_schema().num_columns();
+  const size_t num_attrs = plan.schema_after.size();
   const int parent_hint = parents.empty() ? -1 : DenseId(parents[0]);
 
-  // PK positions within the CVD attribute space.
+  // PK positions within the (planned) CVD attribute space.
   std::vector<int> pk_attrs;
   for (const auto& pk : options_.primary_key) {
-    int k = backend_->data_schema().FindColumn(pk);
-    if (k >= 0) pk_attrs.push_back(k);
+    for (size_t k = 0; k < num_attrs; ++k) {
+      if (plan.schema_after[k].name == pk) {
+        pk_attrs.push_back(static_cast<int>(k));
+        break;
+      }
+    }
   }
 
   std::vector<RecordId> rids;
@@ -248,15 +299,16 @@ Result<VersionId> Cvd::CommitTable(const Table& table,
   std::vector<NewRecord> new_records;
   std::unordered_set<std::string> pk_seen;
   pk_seen.reserve(table.num_rows() * 2);
+  RecordId next_rid = next_rid_;
 
   for (uint32_t r = 0; r < table.num_rows(); ++r) {
-    // Project the staging row into the CVD attribute space.
+    // Project the staging row into the planned CVD attribute space.
     Row payload(num_attrs);
     for (size_t k = 0; k < num_attrs; ++k) {
       if (col_of_attr[k] >= 0) {
         payload[k] =
             CoerceValue(table.GetValue(r, static_cast<size_t>(col_of_attr[k])),
-                        backend_->data_schema().column(k).type);
+                        plan.schema_after[k].type);
       }
     }
     // Primary-key constraint within the committed version.
@@ -274,7 +326,8 @@ Result<VersionId> Cvd::CommitTable(const Table& table,
     }
     // Modification detection (no cross-version diff rule): a row carrying a
     // rid is kept iff its payload still matches the stored record; anything
-    // else becomes a new immutable record.
+    // else becomes a new immutable record. The stored payload is compared
+    // as if the planned widenings had already converted it.
     RecordId rid = -1;
     if (has_rid_col && !table.column(0).IsNull(r)) {
       rid = table.column(0).GetInt(r);
@@ -285,7 +338,8 @@ Result<VersionId> Cvd::CommitTable(const Table& table,
       if (stored.ok() && stored->size() <= payload.size()) {
         keep = true;
         for (size_t k = 0; k < stored->size(); ++k) {
-          if (!((*stored)[k] == payload[k])) {
+          if (!(WidenStoredValue((*stored)[k], plan.schema_after[k].type) ==
+                payload[k])) {
             keep = false;
             break;
           }
@@ -299,7 +353,7 @@ Result<VersionId> Cvd::CommitTable(const Table& table,
     if (keep) {
       rids.push_back(rid);
     } else {
-      RecordId fresh = next_rid_++;
+      RecordId fresh = next_rid++;
       rids.push_back(fresh);
       new_records.push_back(NewRecord{fresh, std::move(payload)});
     }
@@ -311,10 +365,8 @@ Result<VersionId> Cvd::CommitTable(const Table& table,
   ORPHEUS_COUNTER_ADD("cvd.commit.records_kept",
                       rids.size() - new_records.size());
 
-  std::vector<int> dense_parents;
   std::vector<int64_t> weights;
   for (VersionId p : parents) {
-    dense_parents.push_back(DenseId(p));
     auto prids = backend_->VersionRecords(DenseId(p));
     if (!prids.ok()) return prids.status();
     // Shared records = |parent ∩ new| via sorted merge.
@@ -336,45 +388,36 @@ Result<VersionId> Cvd::CommitTable(const Table& table,
     weights.push_back(shared);
   }
 
-  const int dense = backend_->num_versions();
-  ORPHEUS_RETURN_NOT_OK(
-      backend_->AddVersion(dense, rids, new_records, dense_parents));
-  graph_.AddVersion(dense_parents, weights,
-                    static_cast<int64_t>(rids.size()));
+  CvdCommitRecord record;
+  record.vid = PublicId(backend_->num_versions());
+  record.parents = parents;
+  record.parent_weights = std::move(weights);
+  record.rids = std::move(rids);
+  record.new_records = std::move(new_records);
+  record.metadata.vid = record.vid;
+  record.metadata.parents = parents;
+  record.metadata.checkout_time = checkout_time;
+  record.metadata.commit_time = logical_clock_ + 1;
+  record.metadata.message = message;
+  record.metadata.author = author;
+  record.metadata.attributes = plan.current_attr_ids;
+  record.metadata.num_records = static_cast<int64_t>(record.rids.size());
+  record.new_attributes = std::move(plan.new_attributes);
+  record.current_attr_ids = std::move(plan.current_attr_ids);
+  record.schema_after = std::move(plan.schema_after);
+  record.next_rid_after = next_rid;
+  record.logical_clock_after = logical_clock_ + 1;
 
-  VersionMetadata meta;
-  meta.vid = PublicId(dense);
-  meta.parents = parents;
-  meta.checkout_time = checkout_time;
-  meta.commit_time = (logical_clock_ += 1.0);
-  meta.message = message;
-  meta.author = author;
-  meta.attributes = current_attr_ids_;
-  meta.num_records = static_cast<int64_t>(rids.size());
-  metadata_.push_back(std::move(meta));
-  MaybeValidate(*this, "Cvd::CommitTable");
-
+  // Phase 2 — make it durable. On failure nothing was mutated: the failed
+  // commit leaves no checkoutable version behind (DESIGN.md §10.4).
   if (commit_observer_) {
-    // Durability hook: hand the full commit record to the repository's WAL
-    // before reporting success. On failure the error becomes the commit's
-    // result; the in-memory version exists but was never acknowledged, and
-    // the repository marks itself degraded (DESIGN.md §10.4).
-    CvdCommitRecord record;
-    record.vid = PublicId(dense);
-    record.parents = parents;
-    record.parent_weights = weights;
-    record.rids = rids;
-    record.new_records = new_records;
-    record.metadata = metadata_.back();
-    record.new_attributes.assign(attributes_.begin() + attrs_before,
-                                 attributes_.end());
-    record.current_attr_ids = current_attr_ids_;
-    record.schema_after = backend_->data_schema().columns();
-    record.next_rid_after = next_rid_;
-    record.logical_clock_after = logical_clock_;
     ORPHEUS_RETURN_NOT_OK(commit_observer_(record));
   }
-  return PublicId(dense);
+
+  // Phase 3 — apply. Infallible short of an internal invariant bug; if it
+  // fails anyway the WAL is ahead of memory, which reopening repairs.
+  ORPHEUS_RETURN_NOT_OK(ApplyCommitRecord(record));
+  return record.vid;
 }
 
 Result<VersionId> Cvd::Commit(const std::string& table_name,

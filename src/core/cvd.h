@@ -40,7 +40,7 @@ struct CvdState {
   std::vector<AttributeInfo> attributes;
   std::vector<int> current_attr_ids;
   RecordId next_rid = 0;
-  double logical_clock = 0.0;
+  LogicalTime logical_clock = 0;
   std::vector<VersionMetadata> metadata;
   /// Per dense version: parents (dense ids), per-parent shared-record edge
   /// weights, sorted record membership, and the payloads of records whose
@@ -51,10 +51,12 @@ struct CvdState {
   std::vector<std::vector<NewRecord>> version_new_records;
 };
 
-/// Everything a single CommitTable call decided, captured after the commit
-/// was applied in memory. Replaying the record with Cvd::ApplyCommitRecord
-/// against the pre-commit state reproduces the post-commit state exactly —
-/// this is the WAL record the durable repository logs per commit.
+/// Everything a single CommitTable call decided, captured by the planning
+/// phase before any in-memory state changes. Replaying the record with
+/// Cvd::ApplyCommitRecord against the pre-commit state reproduces the
+/// post-commit state exactly — this is the WAL record the durable
+/// repository logs per commit, and also how CommitTable itself applies the
+/// commit after the observer has made it durable.
 struct CvdCommitRecord {
   VersionId vid = kInvalidVersion;
   std::vector<VersionId> parents;       // public ids
@@ -69,7 +71,7 @@ struct CvdCommitRecord {
   std::vector<int> current_attr_ids;
   std::vector<minidb::ColumnDef> schema_after;
   RecordId next_rid_after = 0;
-  double logical_clock_after = 0.0;
+  LogicalTime logical_clock_after = 0;
 };
 
 /// A Collaborative Versioned Dataset (Sec. 3.1): one relation with many
@@ -106,6 +108,11 @@ class Cvd {
   const std::vector<AttributeInfo>& attribute_table() const {
     return attributes_;
   }
+  /// Names of the primary-key attributes (empty: no PK enforced). The
+  /// session layer's reconciliation keys its three-way merge on these.
+  const std::vector<std::string>& primary_key() const {
+    return options_.primary_key;
+  }
 
   /// `checkout [cvd] -v vid... -t table`: materialize one or more versions
   /// into `staging` as `table_name`. With multiple versions, records are
@@ -113,6 +120,14 @@ class Cvd {
   /// added by an earlier version is omitted (Sec. 3.3.1).
   Status Checkout(const std::vector<VersionId>& vids,
                   const std::string& table_name, minidb::Database* staging);
+
+  /// The read-only core of Checkout: materialize one or more versions into
+  /// a free-standing table (column 0 is `_rid`), with the same precedence
+  /// merge, but without registering a staging table or ticking the logical
+  /// clock. Const — safe to call concurrently with other const reads; the
+  /// session layer runs it under a shared (reader) lock.
+  Result<minidb::Table> Materialize(const std::vector<VersionId>& vids,
+                                    const std::string& table_name) const;
 
   /// `commit -t table -m msg`: diff the staging table against its parent
   /// versions, add any new/modified records to the CVD, register the new
@@ -132,15 +147,19 @@ class Cvd {
                                 const std::vector<VersionId>& parents,
                                 const std::string& message,
                                 const std::string& author = "",
-                                double checkout_time = 0.0);
+                                LogicalTime checkout_time = 0);
 
   // --- Durability hooks (src/storage/, DESIGN.md §10) ---
 
-  /// Observer invoked after each successful commit with the full commit
-  /// record, before the commit result is returned. The durable repository
-  /// appends the record to its WAL here; a non-OK return propagates as the
-  /// commit's result (the in-memory state already contains the version —
-  /// the repository marks itself degraded in that case).
+  /// Observer invoked with the full commit record after planning but
+  /// BEFORE the commit is applied in memory (log-before-apply). The
+  /// durable repository appends the record to its WAL here; a non-OK
+  /// return aborts the commit with no in-memory state change, so a failed
+  /// WAL append can never leave a checkoutable version that the log does
+  /// not know about. If the observer succeeds, the subsequent in-memory
+  /// apply is infallible short of an internal invariant bug; should it
+  /// fail anyway, the WAL is ahead of memory — the safe direction, since
+  /// reopening replays the logged commit.
   using CommitObserver = std::function<Status(const CvdCommitRecord&)>;
   void set_commit_observer(CommitObserver observer) {
     commit_observer_ = std::move(observer);
@@ -200,11 +219,20 @@ class Cvd {
   VersionId PublicId(int dense) const { return dense + 1; }
   Status ValidateVersion(VersionId vid) const;
 
-  /// Align the staging table's columns with the CVD schema, evolving the
-  /// CVD schema when needed (Sec. 4.3). Outputs, for each CVD data
-  /// attribute, the staging column feeding it (-1 => NULL).
-  Status ReconcileSchema(const minidb::Table& table, bool has_rid_col,
-                         std::vector<int>* staging_col_of_attr);
+  /// Commit planning (Sec. 4.3): align the staging table's columns with
+  /// the CVD schema WITHOUT mutating anything, recording the planned
+  /// schema evolution (widenings + new attributes) into `plan`. Outputs,
+  /// for each planned CVD data attribute, the staging column feeding it
+  /// (-1 => NULL). Const — the plan is applied only after the commit
+  /// observer has made the record durable.
+  struct SchemaPlan {
+    std::vector<minidb::ColumnDef> schema_after;
+    std::vector<AttributeInfo> new_attributes;
+    std::vector<int> current_attr_ids;
+  };
+  Status PlanSchema(const minidb::Table& table, bool has_rid_col,
+                    SchemaPlan* plan,
+                    std::vector<int>* staging_col_of_attr) const;
 
   void RegisterAttribute(const std::string& attr_name, minidb::ValueType type);
 
@@ -217,12 +245,12 @@ class Cvd {
   // Current attribute ids (indexes into attributes_) per data column.
   std::vector<int> current_attr_ids_;
   RecordId next_rid_ = 0;
-  double logical_clock_ = 0.0;
+  LogicalTime logical_clock_ = 0;
   // Provenance manager state: staging table -> parent versions + checkout
   // timestamp (Sec. 3.2).
   struct StagingInfo {
     std::vector<VersionId> parents;
-    double checkout_time = 0.0;
+    LogicalTime checkout_time = 0;
   };
   std::unordered_map<std::string, StagingInfo> staging_;
   CommitObserver commit_observer_;

@@ -15,13 +15,18 @@ inline constexpr VersionId kInvalidVersion = 0;
 /// Immutable record identifier within a CVD (never reused; not user-visible).
 using RecordId = int64_t;
 
+/// Logical timestamp: one CVD-wide counter incremented per checkout and
+/// commit. An integer, not a double — a double loses increments past 2^53
+/// and equal timestamps would break commit ordering.
+using LogicalTime = int64_t;
+
 /// Version-level provenance row of the metadata table (Fig. 4.2a):
 /// vid, parents, checkout time, commit time, message, attribute set.
 struct VersionMetadata {
   VersionId vid = kInvalidVersion;
   std::vector<VersionId> parents;
-  double checkout_time = 0.0;  // creation (checkout) timestamp
-  double commit_time = 0.0;    // commit timestamp
+  LogicalTime checkout_time = 0;  // creation (checkout) timestamp
+  LogicalTime commit_time = 0;    // commit timestamp
   std::string message;
   std::string author;
   std::vector<int> attributes;  // attribute ids present in this version

@@ -1,0 +1,219 @@
+#ifndef ORPHEUS_SESSION_SESSION_H_
+#define ORPHEUS_SESSION_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/sync.h"
+#include "core/cvd.h"
+#include "core/types.h"
+#include "minidb/database.h"
+#include "storage/repository.h"
+
+namespace orpheus::session {
+
+/// Concurrent multi-session access to one CVD (DESIGN.md §13).
+///
+/// A SessionManager owns the shared Cvd (and optionally routes commits into
+/// a durable Repository); each Session is a private workspace — its own
+/// staging database and a pinned snapshot watermark — handed to one thread
+/// at a time. Many sessions operate concurrently:
+///
+///   - Checkouts/diffs are snapshot-isolated reads: a session only sees
+///     versions at or below the durable high-water mark it pinned at
+///     open/refresh time, so mid-churn checkouts are byte-stable. They run
+///     under a shared (reader) lock and never wait on WAL fsyncs.
+///   - Commits are optimistic. The committer validates under the commit
+///     lock that its base version is still a graph tip; if a concurrent
+///     commit got there first, reconciliation (three-way record-level
+///     merge, Ranjan et al.) produces a merge commit with both divergent
+///     versions as parents. Only when the same attribute of the same
+///     record diverges does the commit surface a conflict set instead.
+///   - Durability is group-committed: the commit lock is released before
+///     waiting on the WAL, so concurrent committers' records are batched
+///     under a single fsync by the repository's leader.
+
+/// One attribute-level divergence the automatic merge cannot resolve.
+struct MergeConflict {
+  std::string key;        // rendered primary-key tuple
+  std::string attribute;  // data attribute whose values diverge
+  std::string base;       // value at the common base ("" if record absent)
+  std::string ours;       // the committing session's value
+  std::string theirs;     // the concurrent tip's value
+};
+
+/// What one Session::Commit produced.
+struct CommitOutcome {
+  /// The version holding the session's table (always created).
+  core::VersionId vid = core::kInvalidVersion;
+  /// The reconciliation merge commit (kInvalidVersion when the base was
+  /// still a tip, or when conflicts blocked the merge).
+  core::VersionId merged_vid = core::kInvalidVersion;
+  /// The version the merge reconciled against (the concurrent tip).
+  core::VersionId reconciled_with = core::kInvalidVersion;
+  bool reconciled = false;
+  /// Non-empty: the merge was refused; `vid` is left as a divergent branch
+  /// for manual resolution.
+  std::vector<MergeConflict> conflicts;
+};
+
+class SessionManager;
+
+/// A private workspace over the shared CVD. NOT thread-safe — one thread
+/// drives a Session at a time; concurrency comes from many Sessions.
+class Session {
+ public:
+  /// Materialize versions (all <= the pinned watermark) into this session's
+  /// staging database as `table_name`, recording provenance for Commit.
+  Status Checkout(const std::vector<core::VersionId>& vids,
+                  const std::string& table_name);
+
+  /// The session's staging area (mutate checked-out tables here).
+  minidb::Database* staging() { return &staging_; }
+  minidb::Table* table(const std::string& name) {
+    return staging_.GetTable(name);
+  }
+
+  /// Commit a staged table against the parents recorded at Checkout. On
+  /// success (including a conflict outcome — the table's own version is
+  /// always created) the staging table is dropped and the watermark
+  /// advances to cover the new commit(s).
+  Result<CommitOutcome> Commit(const std::string& table_name,
+                               const std::string& message,
+                               const std::string& author = "");
+
+  /// Records in `a` but not `b` (both <= the pinned watermark).
+  Result<minidb::Table> Diff(core::VersionId a, core::VersionId b) const;
+
+  /// Re-pin the watermark to the current durable high-water mark, making
+  /// commits that landed since open/last refresh visible.
+  Status Refresh();
+
+  core::VersionId watermark() const { return watermark_; }
+  int id() const { return id_; }
+
+ private:
+  friend class SessionManager;
+  Session(SessionManager* manager, int id, core::VersionId watermark)
+      : manager_(manager), id_(id), watermark_(watermark) {}
+
+  SessionManager* manager_;
+  int id_;
+  core::VersionId watermark_;
+  minidb::Database staging_;
+  // Staging table -> parent versions pinned at checkout.
+  std::unordered_map<std::string, std::vector<core::VersionId>> parents_;
+};
+
+/// Owns the shared Cvd and coordinates its concurrent sessions.
+class SessionManager {
+ public:
+  /// Takes ownership of `cvd` and installs its commit observer (replacing
+  /// any existing one). `repo` may be null: commits are then acknowledged
+  /// without durability. The repository must outlive the manager.
+  SessionManager(std::unique_ptr<core::Cvd> cvd, storage::Repository* repo);
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Open a new session pinned at the current durable watermark. The
+  /// manager must outlive every session it opened.
+  std::unique_ptr<Session> Open();
+
+  /// Hand the CVD back (clearing the commit observer). No session may be
+  /// used afterwards.
+  std::unique_ptr<core::Cvd> Release();
+
+  const std::string& cvd_name() const { return name_; }
+
+  /// Durable high-water mark: versions <= this are applied AND logged.
+  core::VersionId watermark() const {
+    return watermark_.load(std::memory_order_acquire);
+  }
+
+  /// True after a durability failure: commits are refused until the
+  /// repository is reopened (in-memory versions past the watermark may not
+  /// be on disk).
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  /// Run a read-only callback against the CVD under the shared data lock
+  /// (for callers outside the Session API, e.g. the CLI's ls/log).
+  Status ReadCvd(const std::function<Status(const core::Cvd&)>& fn) const;
+
+  int sessions_opened() const {
+    return next_session_id_.load(std::memory_order_relaxed) - 1;
+  }
+
+ private:
+  friend class Session;
+
+  Status RequireUsable() const;
+  /// Largest childless descendant of `base` (== base when base is a tip).
+  /// Deterministic: highest version id wins. Caller holds data_mu_.
+  core::VersionId TipOf(core::VersionId base) const;
+
+  Result<minidb::Table> Materialize(const std::vector<core::VersionId>& vids,
+                                    const std::string& table_name,
+                                    core::VersionId watermark) const;
+  Result<minidb::Table> Diff(core::VersionId a, core::VersionId b,
+                             core::VersionId watermark) const;
+
+  /// The optimistic-commit protocol (see session.cc for the lock dance).
+  Result<CommitOutcome> CommitStaged(const minidb::Table& table,
+                                     const std::vector<core::VersionId>& parents,
+                                     const std::string& message,
+                                     const std::string& author);
+
+  /// Phase run under commit_mu_: apply the commit, detect divergence,
+  /// build + apply the reconciliation merge. Fills `out`.
+  Status CommitApply(const minidb::Table& table,
+                     const std::vector<core::VersionId>& parents,
+                     const std::string& message, const std::string& author,
+                     CommitOutcome* out) ORPHEUS_REQUIRES(commit_mu_);
+
+  /// Deterministic three-way record-level merge of tip `t` and fresh
+  /// commit `v` against their common base `b` (session.cc §"merge").
+  struct MergePlan {
+    std::unique_ptr<minidb::Table> table;  // null when conflicts is non-empty
+    std::vector<MergeConflict> conflicts;
+  };
+  Result<MergePlan> PlanMerge(core::VersionId base, core::VersionId tip,
+                              core::VersionId vid) const;
+
+  void AdvanceWatermark(core::VersionId vid);
+
+  // Lock order (ranks): commit_mu_ (2) -> data_mu_ (5) -> repository (10).
+  // Committers serialize on commit_mu_ while holding data_mu_ only for the
+  // in-memory apply; readers take data_mu_ shared and never touch
+  // commit_mu_, so checkouts stay concurrent with a committer's planning
+  // and its fsync wait.
+  mutable Mutex commit_mu_{"session.commit", lock_rank::kSessionCommit};
+  mutable SharedMutex data_mu_{"session.data", lock_rank::kSessionData};
+
+  // Owned CVD; writes under data_mu_ exclusive, reads under shared. Not
+  // annotated: the commit observer lambda inside the Cvd also reaches it.
+  std::unique_ptr<core::Cvd> cvd_;
+  storage::Repository* repo_;  // nullable, not owned
+  std::string name_;
+
+  // Tickets returned by Repository::EnqueueCommit during the current
+  // CommitApply. Written by the commit observer, drained by CommitStaged;
+  // both run with commit_mu_ held (the observer fires inside CommitTable,
+  // which sessions only call from CommitApply).
+  std::vector<uint64_t> inflight_tickets_;
+
+  std::atomic<core::VersionId> watermark_{0};
+  std::atomic<bool> failed_{false};
+  std::atomic<int> next_session_id_{1};
+};
+
+}  // namespace orpheus::session
+
+#endif  // ORPHEUS_SESSION_SESSION_H_

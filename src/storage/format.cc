@@ -37,6 +37,14 @@ uint32_t Crc32c(std::string_view data) {
   return crc ^ 0xFFFFFFFF;
 }
 
+uint32_t HeaderCrc(std::string_view magic, uint32_t version, uint64_t seq) {
+  Encoder enc;
+  enc.PutString(magic);
+  enc.PutU32(version);
+  enc.PutU64(seq);
+  return Crc32c(enc.data());
+}
+
 // ---------------------------------------------------------------------------
 // Encoder
 // ---------------------------------------------------------------------------
@@ -336,12 +344,30 @@ Result<core::AttributeInfo> DecodeAttributeInfo(Decoder* dec) {
   return attr;
 }
 
-void EncodeMetadata(const core::VersionMetadata& meta, Encoder* enc) {
+/// Logical-clock fields: i64 at format v3+, IEEE double at v2 (DESIGN.md
+/// §10.2). Every v2 clock value is a whole number produced by `+= 1.0`, so
+/// the narrowing cast on read is exact.
+void PutClock(core::LogicalTime t, Encoder* enc, uint32_t version) {
+  if (version >= 3) {
+    enc->PutI64(t);
+  } else {
+    enc->PutDouble(static_cast<double>(t));
+  }
+}
+
+Result<core::LogicalTime> GetClock(Decoder* dec, uint32_t version) {
+  if (version >= 3) return dec->GetI64();
+  ORPHEUS_ASSIGN_OR_RETURN(double t, dec->GetDouble());
+  return static_cast<core::LogicalTime>(t);
+}
+
+void EncodeMetadata(const core::VersionMetadata& meta, Encoder* enc,
+                    uint32_t version) {
   enc->PutI32(meta.vid);
   enc->PutU32(static_cast<uint32_t>(meta.parents.size()));
   for (core::VersionId p : meta.parents) enc->PutI32(p);
-  enc->PutDouble(meta.checkout_time);
-  enc->PutDouble(meta.commit_time);
+  PutClock(meta.checkout_time, enc, version);
+  PutClock(meta.commit_time, enc, version);
   enc->PutString(meta.message);
   enc->PutString(meta.author);
   enc->PutU32(static_cast<uint32_t>(meta.attributes.size()));
@@ -349,7 +375,7 @@ void EncodeMetadata(const core::VersionMetadata& meta, Encoder* enc) {
   enc->PutI64(meta.num_records);
 }
 
-Result<core::VersionMetadata> DecodeMetadata(Decoder* dec) {
+Result<core::VersionMetadata> DecodeMetadata(Decoder* dec, uint32_t version) {
   core::VersionMetadata meta;
   ORPHEUS_ASSIGN_OR_RETURN(meta.vid, dec->GetI32());
   ORPHEUS_ASSIGN_OR_RETURN(uint32_t num_parents, dec->GetU32());
@@ -358,8 +384,8 @@ Result<core::VersionMetadata> DecodeMetadata(Decoder* dec) {
     ORPHEUS_ASSIGN_OR_RETURN(core::VersionId p, dec->GetI32());
     meta.parents.push_back(p);
   }
-  ORPHEUS_ASSIGN_OR_RETURN(meta.checkout_time, dec->GetDouble());
-  ORPHEUS_ASSIGN_OR_RETURN(meta.commit_time, dec->GetDouble());
+  ORPHEUS_ASSIGN_OR_RETURN(meta.checkout_time, GetClock(dec, version));
+  ORPHEUS_ASSIGN_OR_RETURN(meta.commit_time, GetClock(dec, version));
   ORPHEUS_ASSIGN_OR_RETURN(meta.message, dec->GetString());
   ORPHEUS_ASSIGN_OR_RETURN(meta.author, dec->GetString());
   ORPHEUS_ASSIGN_OR_RETURN(uint32_t num_attrs, dec->GetU32());
@@ -402,7 +428,8 @@ Result<core::NewRecord> DecodeNewRecord(Decoder* dec) {
 
 }  // namespace
 
-void EncodeCvdState(const core::CvdState& state, Encoder* enc) {
+void EncodeCvdState(const core::CvdState& state, Encoder* enc,
+                    uint32_t version) {
   enc->PutString(state.name);
   enc->PutU8(static_cast<uint8_t>(state.model));
   enc->PutU32(static_cast<uint32_t>(state.primary_key.size()));
@@ -414,10 +441,10 @@ void EncodeCvdState(const core::CvdState& state, Encoder* enc) {
   enc->PutU32(static_cast<uint32_t>(state.current_attr_ids.size()));
   for (int id : state.current_attr_ids) enc->PutI32(id);
   enc->PutI64(state.next_rid);
-  enc->PutDouble(state.logical_clock);
+  PutClock(state.logical_clock, enc, version);
   const uint32_t num_versions = static_cast<uint32_t>(state.metadata.size());
   enc->PutU32(num_versions);
-  for (const auto& meta : state.metadata) EncodeMetadata(meta, enc);
+  for (const auto& meta : state.metadata) EncodeMetadata(meta, enc, version);
   for (uint32_t v = 0; v < num_versions; ++v) {
     enc->PutU32(static_cast<uint32_t>(state.version_parents[v].size()));
     for (int p : state.version_parents[v]) enc->PutI32(p);
@@ -430,7 +457,7 @@ void EncodeCvdState(const core::CvdState& state, Encoder* enc) {
   }
 }
 
-Result<core::CvdState> DecodeCvdState(Decoder* dec) {
+Result<core::CvdState> DecodeCvdState(Decoder* dec, uint32_t version) {
   core::CvdState state;
   ORPHEUS_ASSIGN_OR_RETURN(state.name, dec->GetString());
   ORPHEUS_ASSIGN_OR_RETURN(uint8_t model, dec->GetU8());
@@ -461,11 +488,12 @@ Result<core::CvdState> DecodeCvdState(Decoder* dec) {
     state.current_attr_ids.push_back(id);
   }
   ORPHEUS_ASSIGN_OR_RETURN(state.next_rid, dec->GetI64());
-  ORPHEUS_ASSIGN_OR_RETURN(state.logical_clock, dec->GetDouble());
+  ORPHEUS_ASSIGN_OR_RETURN(state.logical_clock, GetClock(dec, version));
   ORPHEUS_ASSIGN_OR_RETURN(uint32_t num_versions, dec->GetU32());
   state.metadata.reserve(num_versions);
   for (uint32_t i = 0; i < num_versions; ++i) {
-    ORPHEUS_ASSIGN_OR_RETURN(core::VersionMetadata meta, DecodeMetadata(dec));
+    ORPHEUS_ASSIGN_OR_RETURN(core::VersionMetadata meta,
+                             DecodeMetadata(dec, version));
     state.metadata.push_back(std::move(meta));
   }
   state.version_parents.resize(num_versions);
@@ -495,7 +523,8 @@ Result<core::CvdState> DecodeCvdState(Decoder* dec) {
   return state;
 }
 
-void EncodeCommitRecord(const core::CvdCommitRecord& record, Encoder* enc) {
+void EncodeCommitRecord(const core::CvdCommitRecord& record, Encoder* enc,
+                        uint32_t version) {
   enc->PutI32(record.vid);
   enc->PutU32(static_cast<uint32_t>(record.parents.size()));
   for (core::VersionId p : record.parents) enc->PutI32(p);
@@ -503,7 +532,7 @@ void EncodeCommitRecord(const core::CvdCommitRecord& record, Encoder* enc) {
   EncodeRidList(record.rids, enc);
   enc->PutU32(static_cast<uint32_t>(record.new_records.size()));
   for (const auto& rec : record.new_records) EncodeNewRecord(rec, enc);
-  EncodeMetadata(record.metadata, enc);
+  EncodeMetadata(record.metadata, enc, version);
   enc->PutU32(static_cast<uint32_t>(record.new_attributes.size()));
   for (const auto& attr : record.new_attributes) EncodeAttributeInfo(attr, enc);
   enc->PutU32(static_cast<uint32_t>(record.current_attr_ids.size()));
@@ -511,10 +540,11 @@ void EncodeCommitRecord(const core::CvdCommitRecord& record, Encoder* enc) {
   enc->PutU32(static_cast<uint32_t>(record.schema_after.size()));
   for (const auto& col : record.schema_after) EncodeColumnDef(col, enc);
   enc->PutI64(record.next_rid_after);
-  enc->PutDouble(record.logical_clock_after);
+  PutClock(record.logical_clock_after, enc, version);
 }
 
-Result<core::CvdCommitRecord> DecodeCommitRecord(Decoder* dec) {
+Result<core::CvdCommitRecord> DecodeCommitRecord(Decoder* dec,
+                                                 uint32_t version) {
   core::CvdCommitRecord record;
   ORPHEUS_ASSIGN_OR_RETURN(record.vid, dec->GetI32());
   ORPHEUS_ASSIGN_OR_RETURN(uint32_t num_parents, dec->GetU32());
@@ -535,7 +565,7 @@ Result<core::CvdCommitRecord> DecodeCommitRecord(Decoder* dec) {
     ORPHEUS_ASSIGN_OR_RETURN(core::NewRecord rec, DecodeNewRecord(dec));
     record.new_records.push_back(std::move(rec));
   }
-  ORPHEUS_ASSIGN_OR_RETURN(record.metadata, DecodeMetadata(dec));
+  ORPHEUS_ASSIGN_OR_RETURN(record.metadata, DecodeMetadata(dec, version));
   ORPHEUS_ASSIGN_OR_RETURN(uint32_t num_attrs, dec->GetU32());
   record.new_attributes.reserve(num_attrs);
   for (uint32_t i = 0; i < num_attrs; ++i) {
@@ -556,7 +586,7 @@ Result<core::CvdCommitRecord> DecodeCommitRecord(Decoder* dec) {
     record.schema_after.push_back(std::move(col));
   }
   ORPHEUS_ASSIGN_OR_RETURN(record.next_rid_after, dec->GetI64());
-  ORPHEUS_ASSIGN_OR_RETURN(record.logical_clock_after, dec->GetDouble());
+  ORPHEUS_ASSIGN_OR_RETURN(record.logical_clock_after, GetClock(dec, version));
   return record;
 }
 

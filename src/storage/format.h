@@ -21,11 +21,29 @@ namespace orpheus::storage {
 /// stored as tagged payloads — raw i64 lists for short or unsorted arrays,
 /// packed RidSet chunk blobs (common/ridset.h) otherwise — instead of one
 /// fixed-width i64 per element.
-inline constexpr uint32_t kFormatVersion = 2;
+///
+/// Version 3: logical-clock fields (CvdState.logical_clock, the metadata
+/// checkout/commit timestamps, CvdCommitRecord.logical_clock_after) are
+/// i64 instead of IEEE doubles (a double silently loses increments past
+/// 2^53). The domain codecs below take the file's format version and
+/// dual-read: v2 files decode the old double fields and convert (every v2
+/// clock is a whole number, so the cast is exact). Writers opened on a v2
+/// file keep appending v2-encoded records so the file stays self-
+/// consistent; the first checkpoint rewrites everything at v3.
+inline constexpr uint32_t kFormatVersion = 3;
+/// Oldest format version the readers still understand.
+inline constexpr uint32_t kMinFormatVersion = 2;
 
 /// CRC32C (Castagnoli, the checksum RocksDB/ext4/iSCSI use), software
 /// table-driven. Crc32c("123456789") == 0xE3069283.
 uint32_t Crc32c(std::string_view data);
+
+/// Checksum of a snapshot/WAL file header (magic | version | seq). Stored
+/// in the header's formerly-reserved u32 at v3+, so a bit flip anywhere in
+/// the header — including one that rewrites the version into another
+/// accepted value — is caught before the payload is decoded with the wrong
+/// rules. v2 writers always put 0 there; readers enforce exactly that.
+uint32_t HeaderCrc(std::string_view magic, uint32_t version, uint64_t seq);
 
 // ---------------------------------------------------------------------------
 // Primitive encoding
@@ -116,11 +134,18 @@ Status ReadFrame(std::string_view data, uint64_t base_offset, size_t* pos,
 // Domain encoding
 // ---------------------------------------------------------------------------
 
-void EncodeCvdState(const core::CvdState& state, Encoder* enc);
-Result<core::CvdState> DecodeCvdState(Decoder* dec);
+/// The domain codecs are parameterized on the container file's format
+/// version (read from the snapshot/WAL header): clock fields are i64 at
+/// v3+, doubles at v2. Encoders accept an old version so a writer
+/// appending to a v2 WAL keeps the file uniform.
+void EncodeCvdState(const core::CvdState& state, Encoder* enc,
+                    uint32_t version = kFormatVersion);
+Result<core::CvdState> DecodeCvdState(Decoder* dec, uint32_t version);
 
-void EncodeCommitRecord(const core::CvdCommitRecord& record, Encoder* enc);
-Result<core::CvdCommitRecord> DecodeCommitRecord(Decoder* dec);
+void EncodeCommitRecord(const core::CvdCommitRecord& record, Encoder* enc,
+                        uint32_t version = kFormatVersion);
+Result<core::CvdCommitRecord> DecodeCommitRecord(Decoder* dec,
+                                                 uint32_t version);
 
 void EncodeValue(const minidb::Value& value, Encoder* enc);
 Result<minidb::Value> DecodeValue(Decoder* dec);

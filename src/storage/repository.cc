@@ -191,6 +191,13 @@ Repository::~Repository() {
   // Closing the WAL fd drops no acknowledged data (every Append fsyncs);
   // errors here have no one to report to.
   MutexLock lock(&mu_);
+  // A leader mid-flush holds a raw pointer into wal_ with mu_ released;
+  // wait for it to publish before closing the file. (Destroying the
+  // repository while commits are still being enqueued is a caller bug —
+  // this only covers the in-flight batch.)
+  while (leader_active_) {
+    commit_cv_.Wait(&mu_);
+  }
   if (wal_.has_value()) {
     ORPHEUS_IGNORE_ERROR(wal_->Close());
   }
@@ -241,8 +248,11 @@ Result<std::unique_ptr<Repository>> Repository::Open(const std::string& dir) {
               {"valid_bytes",
                static_cast<unsigned long long>(state.wal.valid_bytes)}});
   }
+  // The reopened writer keeps appending at the file's own format version;
+  // the first checkpoint rewrites everything at kFormatVersion.
   ORPHEUS_ASSIGN_OR_RETURN(
-      WalWriter wal, WalWriter::Open(state.wal_path, state.wal.valid_bytes));
+      WalWriter wal, WalWriter::Open(state.wal_path, state.wal.valid_bytes,
+                                     state.wal.version));
   ORPHEUS_COUNTER_ADD("storage.wal.replayed_records",
                       state.wal.records.size());
   LOG_INFO("repository opened",
@@ -284,12 +294,16 @@ Status Repository::RequireHealthy() {
 }
 
 Status Repository::AppendRecord(const WalRecord& record) {
+  // Creates and drops write the WAL directly; order them after every
+  // enqueued commit and keep the file exclusively ours for the append.
+  DrainCommitsLocked();
   ORPHEUS_RETURN_NOT_OK(RequireHealthy());
   Status s = wal_->Append(record);
   if (!s.ok()) {
-    // The in-memory commit already happened; the log is now behind memory.
-    // Refuse further writes so the divergence cannot grow (the analog of
-    // RocksDB's background-error state).
+    // Creates/drops are logged write-behind (the in-memory change already
+    // happened), so the log is now behind memory. Refuse further writes so
+    // the divergence cannot grow (the analog of RocksDB's background-error
+    // state).
     degraded_ = true;
     LOG_ERROR("WAL append failed; repository degraded",
               {{"dir", dir_}, {"error", s.message()}});
@@ -309,12 +323,92 @@ Status Repository::LogCreate(const core::Cvd& cvd) {
 Status Repository::LogCommit(const std::string& cvd_name,
                              const core::CvdCommitRecord& record) {
   MutexLock lock(&mu_);
-  return AppendRecord(WalCommitRecord{cvd_name, record});
+  ORPHEUS_ASSIGN_OR_RETURN(uint64_t ticket,
+                           EnqueueCommitLocked(cvd_name, record));
+  return WaitCommitDurableLocked(ticket);
 }
 
 Status Repository::LogDrop(const std::string& cvd_name) {
   MutexLock lock(&mu_);
   return AppendRecord(WalDropRecord{cvd_name});
+}
+
+Result<uint64_t> Repository::EnqueueCommit(
+    const std::string& cvd_name, const core::CvdCommitRecord& record) {
+  MutexLock lock(&mu_);
+  return EnqueueCommitLocked(cvd_name, record);
+}
+
+Status Repository::WaitCommitDurable(uint64_t ticket) {
+  MutexLock lock(&mu_);
+  return WaitCommitDurableLocked(ticket);
+}
+
+Result<uint64_t> Repository::EnqueueCommitLocked(
+    const std::string& cvd_name, const core::CvdCommitRecord& record) {
+  ORPHEUS_RETURN_NOT_OK(RequireHealthy());
+  pending_.push_back(WalCommitRecord{cvd_name, record});
+  return ++enqueued_ticket_;
+}
+
+Status Repository::WaitCommitDurableLocked(uint64_t ticket) {
+  while (durable_ticket_ < ticket) {
+    if (!leader_active_ && !pending_.empty()) {
+      // No leader in flight: this waiter flushes the whole queue itself.
+      LeadBatchLocked();
+      continue;
+    }
+    commit_cv_.Wait(&mu_);
+  }
+  if (failed_from_ticket_ != 0 && ticket >= failed_from_ticket_) {
+    return batch_error_;
+  }
+  return Status::OK();
+}
+
+void Repository::LeadBatchLocked() {
+  std::vector<WalRecord> batch;
+  batch.swap(pending_);
+  const uint64_t hi = enqueued_ticket_;
+  leader_active_ = true;
+  // Safe to deref while unlocked: leader_active_ pins wal_ — checkpoints,
+  // direct appends, and the destructor all wait for the leader first, and
+  // nothing else reassigns wal_.
+  WalWriter* wal = &*wal_;
+  mu_.Unlock();
+  Status s = wal->AppendBatch(batch);
+  ORPHEUS_HISTOGRAM_RECORD("session.commit.group_size",
+                           static_cast<double>(batch.size()));
+  mu_.Lock();
+  if (s.ok()) {
+    stats_.wal_records += batch.size();
+    stats_.wal_bytes = wal_->offset();
+  } else {
+    // None of the batch is durable (a torn tail inside it is truncated on
+    // replay). The committers were applied in memory only AFTER their wait
+    // succeeds, so refusing here leaves no phantom versions — but the file
+    // position is unreliable, so degrade until reopen.
+    degraded_ = true;
+    if (failed_from_ticket_ == 0) failed_from_ticket_ = durable_ticket_ + 1;
+    batch_error_ = s;
+    LOG_ERROR("WAL batch append failed; repository degraded",
+              {{"dir", dir_},
+               {"batch", static_cast<unsigned long long>(batch.size())},
+               {"error", s.message()}});
+  }
+  durable_ticket_ = hi;
+  leader_active_ = false;
+  commit_cv_.NotifyAll();
+}
+
+void Repository::DrainCommitsLocked() {
+  while (leader_active_ || !pending_.empty()) {
+    if (!leader_active_) {
+      LeadBatchLocked();
+    } else {
+      commit_cv_.Wait(&mu_);
+    }
+  }
 }
 
 Status Repository::Checkpoint(const std::vector<const core::Cvd*>& cvds) {
@@ -325,6 +419,7 @@ Status Repository::Checkpoint(const std::vector<const core::Cvd*>& cvds) {
 Status Repository::CheckpointLocked(
     const std::vector<const core::Cvd*>& cvds) {
   ORPHEUS_TRACE_SPAN("storage.checkpoint");
+  DrainCommitsLocked();  // the WAL swap below must not race a leader flush
   ORPHEUS_RETURN_NOT_OK(RequireHealthy());
   const uint64_t new_seq = seq_ + 1;
 

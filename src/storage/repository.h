@@ -22,12 +22,19 @@ namespace orpheus::storage {
 ///
 /// Open() reads CURRENT, loads the snapshot, replays the WAL (truncating a
 /// torn tail), validates every recovered CVD, and returns a Repository
-/// whose WAL is positioned for appending. Commits are logged write-behind:
-/// the in-memory commit happens first, then the WAL append+fsync; if the
-/// append fails the commit's caller sees the error and the repository
-/// enters degraded mode (no further logging is acknowledged — reopen to
-/// recover). Checkpoint() folds the WAL into a fresh snapshot and starts a
-/// new epoch.
+/// whose WAL is positioned for appending. Commits are logged write-AHEAD:
+/// Cvd::CommitTable hands the planned commit record to its observer (which
+/// lands here) before applying it in memory, so a failed append aborts the
+/// commit with no phantom in-memory version; the repository still enters
+/// degraded mode (no further logging is acknowledged — reopen to recover)
+/// because the WAL file may hold a torn tail. Checkpoint() folds the WAL
+/// into a fresh snapshot and starts a new epoch.
+///
+/// Concurrent committers use group commit (DESIGN.md §13.3): EnqueueCommit
+/// queues the record and returns a ticket; WaitCommitDurable elects the
+/// first waiter as leader, which appends every queued record under ONE
+/// fsync while the repository lock is released — later committers keep
+/// enqueueing meanwhile and are batched into the next flush.
 class Repository {
  public:
   struct Stats {
@@ -52,10 +59,26 @@ class Repository {
   std::vector<std::unique_ptr<core::Cvd>> TakeCvds();
 
   /// Durably log a freshly initialized CVD / one commit / a drop.
+  /// LogCommit is EnqueueCommit + WaitCommitDurable (a group of >= 1).
   Status LogCreate(const core::Cvd& cvd);
   Status LogCommit(const std::string& cvd_name,
                    const core::CvdCommitRecord& record);
   Status LogDrop(const std::string& cvd_name);
+
+  /// Group commit. Enqueue the record for the WAL and return its ticket;
+  /// records are written in ticket order. The caller must follow up with
+  /// WaitCommitDurable before acknowledging the commit. Enqueue order is
+  /// the WAL order, so callers serialize Enqueue with their in-memory
+  /// apply (the session layer holds its commit lock across both).
+  Result<uint64_t> EnqueueCommit(const std::string& cvd_name,
+                                 const core::CvdCommitRecord& record)
+      ORPHEUS_EXCLUDES(mu_);
+
+  /// Block until the batch containing `ticket` is fsync'd (leading the
+  /// flush if no leader is active). Returns the batch's append status:
+  /// non-OK means the record is NOT durable and the repository is
+  /// degraded.
+  Status WaitCommitDurable(uint64_t ticket) ORPHEUS_EXCLUDES(mu_);
 
   /// Fold the current state (passed in by the owner of the CVDs) into a
   /// new snapshot, start a fresh WAL, repoint CURRENT, and remove the old
@@ -95,6 +118,18 @@ class Repository {
   /// Checkpoint body, factored out so Close can run it under its own lock.
   Status CheckpointLocked(const std::vector<const core::Cvd*>& cvds)
       ORPHEUS_REQUIRES(mu_);
+  Result<uint64_t> EnqueueCommitLocked(const std::string& cvd_name,
+                                       const core::CvdCommitRecord& record)
+      ORPHEUS_REQUIRES(mu_);
+  Status WaitCommitDurableLocked(uint64_t ticket) ORPHEUS_REQUIRES(mu_);
+  /// Flush the whole pending queue as leader: swap it out, release mu_,
+  /// append + fsync the batch, re-acquire mu_, publish the outcome.
+  void LeadBatchLocked() ORPHEUS_REQUIRES(mu_);
+  /// Wait until no leader is mid-flush and no commit is pending (leading
+  /// flushes ourselves if needed). Direct WAL users (creates, drops,
+  /// checkpoints, close) call this first: it orders them after every
+  /// enqueued commit and guarantees exclusive use of the WAL file.
+  void DrainCommitsLocked() ORPHEUS_REQUIRES(mu_);
 
   const std::string dir_;  // immutable after construction
 
@@ -109,6 +144,20 @@ class Repository {
   bool degraded_ ORPHEUS_GUARDED_BY(mu_) = false;
   bool closed_ ORPHEUS_GUARDED_BY(mu_) = false;
   Stats stats_ ORPHEUS_GUARDED_BY(mu_);
+
+  // Group-commit state. Tickets are dense: record for ticket t is the
+  // (t - durable_ticket_)'th entry of pending_ once the earlier ones are
+  // flushed. While leader_active_ the in-flight leader owns the WAL file
+  // with mu_ released; everyone else keeps enqueueing or waits.
+  std::vector<WalRecord> pending_ ORPHEUS_GUARDED_BY(mu_);
+  uint64_t enqueued_ticket_ ORPHEUS_GUARDED_BY(mu_) = 0;
+  uint64_t durable_ticket_ ORPHEUS_GUARDED_BY(mu_) = 0;
+  /// First ticket of the failed range (0 = no failure). Tickets >= this
+  /// were never made durable: their waiters get batch_error_.
+  uint64_t failed_from_ticket_ ORPHEUS_GUARDED_BY(mu_) = 0;
+  Status batch_error_ ORPHEUS_GUARDED_BY(mu_);
+  bool leader_active_ ORPHEUS_GUARDED_BY(mu_) = false;
+  CondVar commit_cv_;
 };
 
 }  // namespace orpheus::storage

@@ -22,7 +22,7 @@ Status WriteSnapshot(const std::string& path, uint64_t seq,
   ORPHEUS_TRACE_SPAN("storage.snapshot.write");
   Encoder header;
   header.PutU32(kFormatVersion);
-  header.PutU32(0);  // reserved
+  header.PutU32(HeaderCrc({kSnapshotMagic, kMagicSize}, kFormatVersion, seq));
   header.PutU64(seq);
   std::string data(kSnapshotMagic, kMagicSize);
   data.append(header.data());
@@ -63,16 +63,28 @@ Result<SnapshotContents> ReadSnapshot(const std::string& path) {
       std::string_view(data).substr(kMagicSize, kHeaderSize - kMagicSize),
       kMagicSize);
   ORPHEUS_ASSIGN_OR_RETURN(uint32_t version, header.GetU32());
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     return Status::DataLoss(StrFormat(
-        "%s: unsupported snapshot format version %u (expected %u) at offset "
-        "%zu",
-        path.c_str(), version, kFormatVersion, kMagicSize));
+        "%s: unsupported snapshot format version %u (expected %u..%u) at "
+        "offset %zu",
+        path.c_str(), version, kMinFormatVersion, kFormatVersion, kMagicSize));
   }
-  ORPHEUS_ASSIGN_OR_RETURN(uint32_t reserved, header.GetU32());
-  (void)reserved;
+  ORPHEUS_ASSIGN_OR_RETURN(uint32_t header_crc, header.GetU32());
   SnapshotContents contents;
+  contents.version = version;
   ORPHEUS_ASSIGN_OR_RETURN(contents.seq, header.GetU64());
+  // v3+ stores a header checksum where v2 always wrote 0; both rules catch
+  // flips that rewrite the version into the other accepted value.
+  const uint32_t want_crc =
+      version >= 3 ? HeaderCrc({kSnapshotMagic, kMagicSize}, version,
+                               contents.seq)
+                   : 0;
+  if (header_crc != want_crc) {
+    return Status::DataLoss(StrFormat(
+        "%s: snapshot header checksum mismatch (got %08x, want %08x) at "
+        "offset %zu",
+        path.c_str(), header_crc, want_crc, kMagicSize + 4));
+  }
 
   size_t pos = kHeaderSize;
   bool saw_footer = false;
@@ -99,7 +111,7 @@ Result<SnapshotContents> ReadSnapshot(const std::string& path) {
     switch (frame.type) {
       case FrameType::kCvdState: {
         Decoder dec(frame.payload, frame.offset + kFrameHeaderSize);
-        auto state = DecodeCvdState(&dec);
+        auto state = DecodeCvdState(&dec, version);
         if (!state.ok()) {
           return Status::DataLoss(StrFormat(
               "%s: %s", path.c_str(), state.status().message().c_str()));

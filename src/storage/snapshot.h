@@ -29,6 +29,9 @@ inline constexpr char kSnapshotMagic[] = "ORPHSNP1";  // 8 bytes, no NUL
 
 struct SnapshotContents {
   uint64_t seq = 0;
+  /// Format version read from the header (kMinFormatVersion..kFormatVersion;
+  /// new snapshots are always written at kFormatVersion).
+  uint32_t version = 0;
   std::vector<core::CvdState> cvds;
 };
 

@@ -16,25 +16,25 @@ constexpr size_t kHeaderSize = kMagicSize + 4 + 4 + 8;  // magic|ver|rsvd|seq
 std::string EncodeHeader(uint64_t seq) {
   Encoder enc;
   enc.PutU32(kFormatVersion);
-  enc.PutU32(0);  // reserved
+  enc.PutU32(HeaderCrc({kWalMagic, kMagicSize}, kFormatVersion, seq));
   enc.PutU64(seq);
   std::string header(kWalMagic, kMagicSize);
   header.append(enc.data());
   return header;
 }
 
-Result<WalRecord> DecodeWalFrame(const Frame& frame) {
+Result<WalRecord> DecodeWalFrame(const Frame& frame, uint32_t version) {
   Decoder dec(frame.payload, frame.offset + kFrameHeaderSize);
   switch (frame.type) {
     case FrameType::kWalCreate: {
       WalCreateRecord rec;
-      ORPHEUS_ASSIGN_OR_RETURN(rec.state, DecodeCvdState(&dec));
+      ORPHEUS_ASSIGN_OR_RETURN(rec.state, DecodeCvdState(&dec, version));
       return WalRecord(std::move(rec));
     }
     case FrameType::kWalCommit: {
       WalCommitRecord rec;
       ORPHEUS_ASSIGN_OR_RETURN(rec.cvd, dec.GetString());
-      ORPHEUS_ASSIGN_OR_RETURN(rec.record, DecodeCommitRecord(&dec));
+      ORPHEUS_ASSIGN_OR_RETURN(rec.record, DecodeCommitRecord(&dec, version));
       return WalRecord(std::move(rec));
     }
     case FrameType::kWalDrop: {
@@ -50,16 +50,16 @@ Result<WalRecord> DecodeWalFrame(const Frame& frame) {
   }
 }
 
-std::string EncodeWalFrame(const WalRecord& record) {
+std::string EncodeWalFrame(const WalRecord& record, uint32_t version) {
   std::string out;
   if (const auto* create = std::get_if<WalCreateRecord>(&record)) {
     Encoder enc;
-    EncodeCvdState(create->state, &enc);
+    EncodeCvdState(create->state, &enc, version);
     AppendFrame(&out, FrameType::kWalCreate, enc.data());
   } else if (const auto* commit = std::get_if<WalCommitRecord>(&record)) {
     Encoder enc;
     enc.PutString(commit->cvd);
-    EncodeCommitRecord(commit->record, &enc);
+    EncodeCommitRecord(commit->record, &enc, version);
     AppendFrame(&out, FrameType::kWalCommit, enc.data());
   } else {
     Encoder enc;
@@ -92,14 +92,24 @@ Result<WalContents> ReadWal(const std::string& path) {
       std::string_view(data).substr(kMagicSize, kHeaderSize - kMagicSize),
       kMagicSize);
   ORPHEUS_ASSIGN_OR_RETURN(uint32_t version, header.GetU32());
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     return Status::DataLoss(StrFormat(
-        "%s: unsupported WAL format version %u (expected %u)", path.c_str(),
-        version, kFormatVersion));
+        "%s: unsupported WAL format version %u (expected %u..%u)",
+        path.c_str(), version, kMinFormatVersion, kFormatVersion));
   }
-  ORPHEUS_ASSIGN_OR_RETURN(uint32_t reserved, header.GetU32());
-  (void)reserved;
+  contents.version = version;
+  ORPHEUS_ASSIGN_OR_RETURN(uint32_t header_crc, header.GetU32());
   ORPHEUS_ASSIGN_OR_RETURN(contents.seq, header.GetU64());
+  // v3+ stores a header checksum where v2 always wrote 0; both rules catch
+  // flips that rewrite the version into the other accepted value.
+  const uint32_t want_crc =
+      version >= 3 ? HeaderCrc({kWalMagic, kMagicSize}, version, contents.seq)
+                   : 0;
+  if (header_crc != want_crc) {
+    return Status::DataLoss(StrFormat(
+        "%s: WAL header checksum mismatch (got %08x, want %08x)",
+        path.c_str(), header_crc, want_crc));
+  }
 
   size_t pos = kHeaderSize;
   contents.valid_bytes = pos;
@@ -115,7 +125,7 @@ Result<WalContents> ReadWal(const std::string& path) {
       contents.torn_tail = true;
       break;
     }
-    auto record = DecodeWalFrame(frame);
+    auto record = DecodeWalFrame(frame, version);
     if (!record.ok()) {
       return Status::DataLoss(StrFormat("%s: %s", path.c_str(),
                                         record.status().message().c_str()));
@@ -132,23 +142,44 @@ Result<WalWriter> WalWriter::Create(const std::string& path, uint64_t seq) {
   ORPHEUS_RETURN_NOT_OK(file.Append(EncodeHeader(seq)));
   ORPHEUS_FAILPOINT("storage.wal.create.sync");
   ORPHEUS_RETURN_NOT_OK(file.Sync());
-  return WalWriter(std::move(file));
+  return WalWriter(std::move(file), kFormatVersion);
 }
 
-Result<WalWriter> WalWriter::Open(const std::string& path, uint64_t offset) {
+Result<WalWriter> WalWriter::Open(const std::string& path, uint64_t offset,
+                                  uint32_t version) {
   ORPHEUS_ASSIGN_OR_RETURN(FileWriter file, FileWriter::OpenAt(path, offset));
-  return WalWriter(std::move(file));
+  return WalWriter(std::move(file), version);
 }
 
 Status WalWriter::Append(const WalRecord& record) {
   ORPHEUS_TRACE_SPAN("storage.wal.append");
-  const std::string frame = EncodeWalFrame(record);
+  const std::string frame = EncodeWalFrame(record, version_);
   ORPHEUS_FAILPOINT("storage.wal.append.frame");
   ORPHEUS_RETURN_NOT_OK(file_.Append(frame));
   ORPHEUS_FAILPOINT("storage.wal.append.sync");
   ORPHEUS_RETURN_NOT_OK(file_.Sync());
   ORPHEUS_COUNTER_ADD("storage.wal.appends", 1);
+  ORPHEUS_COUNTER_ADD("storage.wal.syncs", 1);
   ORPHEUS_COUNTER_ADD("storage.wal.append_bytes", frame.size());
+  return Status::OK();
+}
+
+Status WalWriter::AppendBatch(const std::vector<WalRecord>& records) {
+  if (records.empty()) return Status::OK();
+  ORPHEUS_TRACE_SPAN("storage.wal.append_batch");
+  std::string frames;
+  for (const WalRecord& record : records) {
+    frames.append(EncodeWalFrame(record, version_));
+  }
+  // Same failpoint sites as Append, so the crash matrix and degradation
+  // tests exercise the batched path identically.
+  ORPHEUS_FAILPOINT("storage.wal.append.frame");
+  ORPHEUS_RETURN_NOT_OK(file_.Append(frames));
+  ORPHEUS_FAILPOINT("storage.wal.append.sync");
+  ORPHEUS_RETURN_NOT_OK(file_.Sync());
+  ORPHEUS_COUNTER_ADD("storage.wal.appends", records.size());
+  ORPHEUS_COUNTER_ADD("storage.wal.syncs", 1);
+  ORPHEUS_COUNTER_ADD("storage.wal.append_bytes", frames.size());
   return Status::OK();
 }
 

@@ -21,8 +21,9 @@ namespace orpheus::storage {
 ///     kWalCreate: CvdState of a freshly initialized CVD
 ///     kWalCommit: cvd name + CvdCommitRecord
 ///     kWalDrop:   cvd name
-/// Appends are fsync'd before the commit returns (group commit is future
-/// work; the paper's workloads are checkout/commit-bound, not fsync-bound).
+/// Appends are fsync'd before the commit returns. Concurrent committers go
+/// through AppendBatch: the repository's group-commit leader concatenates
+/// every queued record into one write and one fsync (DESIGN.md §13.3).
 ///
 /// On replay, a final frame that is truncated or checksum-bad is a torn
 /// tail — the record was never acknowledged, so it is safely truncated
@@ -44,6 +45,8 @@ using WalRecord = std::variant<WalCreateRecord, WalCommitRecord, WalDropRecord>;
 
 struct WalContents {
   uint64_t seq = 0;
+  /// Format version read from the header (kMinFormatVersion..kFormatVersion).
+  uint32_t version = 0;
   std::vector<WalRecord> records;
   /// True when the final frame was interrupted mid-append; `valid_bytes`
   /// is the prefix length holding only whole, verified frames — the caller
@@ -60,27 +63,41 @@ Result<WalContents> ReadWal(const std::string& path);
 /// commits through it).
 class WalWriter {
  public:
-  /// Create a fresh WAL for checkpoint epoch `seq` (header written+synced).
+  /// Create a fresh WAL for checkpoint epoch `seq` (header written+synced,
+  /// always at the current kFormatVersion).
   static Result<WalWriter> Create(const std::string& path, uint64_t seq);
   /// Reopen an existing WAL for appending at `offset` (bytes past it — a
-  /// torn tail found by ReadWal — are truncated away first).
-  static Result<WalWriter> Open(const std::string& path, uint64_t offset);
+  /// torn tail found by ReadWal — are truncated away first). `version` is
+  /// the format version ReadWal found in the header: appended records are
+  /// encoded at that version so the file stays self-consistent.
+  static Result<WalWriter> Open(const std::string& path, uint64_t offset,
+                                uint32_t version = kFormatVersion);
 
-  /// Serialize, append, and fsync one record. On failure the WAL's
-  /// durable contents are unchanged or hold a torn tail that replay
-  /// truncates — but the in-memory commit has already happened, so the
-  /// repository must degrade (stop acknowledging commits) when this fails.
+  /// Serialize, append, and fsync one record. On failure the WAL's durable
+  /// contents are unchanged or hold a torn tail that replay truncates —
+  /// the commit was never applied in memory (log-before-apply), but the
+  /// repository still degrades because this writer's file position may no
+  /// longer match the file.
   Status Append(const WalRecord& record);
+
+  /// Group commit: append every record as consecutive frames with a single
+  /// write and a single fsync. All-or-nothing durability per batch: on
+  /// failure none of the records is acknowledged (a torn tail inside the
+  /// batch is truncated on replay, exactly like a torn single append).
+  Status AppendBatch(const std::vector<WalRecord>& records);
 
   Status Sync() { return file_.Sync(); }
   Status Close() { return file_.Close(); }
   uint64_t offset() const { return file_.offset(); }
   const std::string& path() const { return file_.path(); }
+  uint32_t version() const { return version_; }
 
  private:
-  explicit WalWriter(FileWriter file) : file_(std::move(file)) {}
+  WalWriter(FileWriter file, uint32_t version)
+      : file_(std::move(file)), version_(version) {}
 
   FileWriter file_;
+  uint32_t version_ = kFormatVersion;
 };
 
 }  // namespace orpheus::storage

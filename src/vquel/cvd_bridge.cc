@@ -15,7 +15,9 @@ Result<VersionStore> BuildVersionStore(const core::Cvd& cvd,
     VersionStore::Version version;
     version.commit_id = StrFormat("v%d", vid);
     version.commit_msg = meta.message;
-    version.creation_ts = meta.commit_time;
+    // VQuel's Version.creation_ts stays a double (wall-clock-shaped for
+    // query literals); the logical clock is an exact int64 well below 2^53.
+    version.creation_ts = static_cast<double>(meta.commit_time);
     version.author_name = meta.author;
     for (core::VersionId p : meta.parents) {
       version.parents.push_back(p - 1);  // dense store indices

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "cli/command_processor.h"
@@ -15,6 +16,14 @@ using minidb::Schema;
 using minidb::Table;
 using minidb::Value;
 using minidb::ValueType;
+
+std::string MakeTempDir() {
+  std::string tmpl = ::testing::TempDir() + "orpheus_cli_XXXXXX";
+  if (::mkdtemp(tmpl.data()) == nullptr) {
+    ADD_FAILURE() << "mkdtemp failed for " << tmpl;
+  }
+  return tmpl;
+}
 
 class CliTest : public ::testing::Test {
  protected:
@@ -212,6 +221,155 @@ TEST_F(CliTest, CommitFromMissingCsvNamesThePath) {
   Status s = Err("commit -f " + path + " -m x");
   EXPECT_TRUE(s.IsNotFound()) << s.ToString();
   EXPECT_NE(s.message().find(path), std::string::npos) << s.ToString();
+}
+
+TEST_F(CliTest, SessionLifecycle) {
+  SeedStagingTable("cities");
+  Ok("init Cities -t cities -k city");
+  std::string out = Ok("session open Cities");
+  EXPECT_NE(out.find("session-managed"), std::string::npos) << out;
+
+  // While session-managed, the single-user commands must stand aside.
+  Status plain = Err("checkout Cities -v 1 -t w");
+  EXPECT_TRUE(plain.IsInvalidArgument()) << plain.ToString();
+  EXPECT_NE(plain.message().find("open for concurrent use"), std::string::npos)
+      << plain.ToString();
+  EXPECT_TRUE(Err("drop Cities").IsInvalidArgument());
+  EXPECT_TRUE(Err("session open Cities").IsAlreadyExists());
+  EXPECT_NE(Ok("ls").find("session-managed"), std::string::npos);
+
+  EXPECT_NE(Ok("session new Cities").find("opened session 1"),
+            std::string::npos);
+  EXPECT_NE(Ok("session new Cities").find("opened session 2"),
+            std::string::npos);
+  Ok("session checkout Cities 1 -v 1 -t w1");
+  Ok("session checkout Cities 2 -v 1 -t w2");
+
+  // Disjoint edits: session 1 grows springfield, session 2 shelbyville.
+  // Session staging tables live inside each Session, not the shared
+  // staging database, so plain `run` SQL cannot reach another session's
+  // uncommitted work.
+  Table* w1 = processor_.session("Cities", 1)->table("w1");
+  ASSERT_NE(w1, nullptr);
+  w1->SetRow(0, {w1->GetRow(0)[0], Value("springfield"),
+                 Value(int64_t{31000})});
+  Table* w2 = processor_.session("Cities", 2)->table("w2");
+  ASSERT_NE(w2, nullptr);
+  w2->SetRow(1, {w2->GetRow(1)[0], Value("shelbyville"),
+                 Value(int64_t{21000})});
+
+  Ok("session commit Cities 1 -t w1 -m grow1");
+  std::string merged = Ok("session commit Cities 2 -t w2 -m grow2");
+  EXPECT_NE(merged.find("reconciled with concurrent version 2"),
+            std::string::npos)
+      << merged;
+  EXPECT_NE(merged.find("merge version 4"), std::string::npos) << merged;
+
+  EXPECT_NE(Ok("session ls").find("open session(s)"), std::string::npos);
+  out = Ok("session close Cities");
+  EXPECT_NE(out.find("2 session(s) closed"), std::string::npos) << out;
+  // The CVD is back under single-user control, merge history intact.
+  Ok("checkout Cities -v 4 -t merged");
+  Table* m = processor_.staging()->GetTable("merged");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->num_rows(), 2u);
+  EXPECT_TRUE(Err("session new Cities").IsNotFound());
+}
+
+TEST_F(CliTest, SessionConflictRendering) {
+  SeedStagingTable("cities");
+  Ok("init Cities -t cities -k city");
+  Ok("session open Cities");
+  Ok("session new Cities");
+  Ok("session new Cities");
+  Ok("session checkout Cities 1 -v 1 -t w1");
+  Ok("session checkout Cities 2 -v 1 -t w2");
+  Table* w1 = processor_.session("Cities", 1)->table("w1");
+  ASSERT_NE(w1, nullptr);
+  w1->SetRow(0, {w1->GetRow(0)[0], Value("springfield"),
+                 Value(int64_t{111})});
+  Table* w2 = processor_.session("Cities", 2)->table("w2");
+  ASSERT_NE(w2, nullptr);
+  w2->SetRow(0, {w2->GetRow(0)[0], Value("springfield"),
+                 Value(int64_t{222})});
+  Ok("session commit Cities 1 -t w1 -m first");
+  std::string out = Ok("session commit Cities 2 -t w2 -m second");
+  EXPECT_NE(out.find("CONFLICT with concurrent version 2"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("divergent branch"), std::string::npos) << out;
+  EXPECT_NE(out.find("key=springfield attribute=pop"), std::string::npos)
+      << out;
+  Ok("session close Cities");
+}
+
+TEST_F(CliTest, SessionOpenGuards) {
+  SeedStagingTable("cities");
+  Ok("init Cities -t cities -k city");
+  EXPECT_TRUE(Err("session open Ghost").IsNotFound());
+  // A pending staged checkout pins the CVD to this processor.
+  Ok("checkout Cities -v 1 -t pending");
+  Status staged = Err("session open Cities");
+  EXPECT_TRUE(staged.IsInvalidArgument()) << staged.ToString();
+  EXPECT_NE(staged.message().find("staged checkouts"), std::string::npos);
+  Ok("commit -t pending -m flush");
+  Ok("session open Cities");
+  EXPECT_TRUE(Err("session new Ghost").IsNotFound());
+  EXPECT_TRUE(Err("session checkout Cities 9 -v 1 -t w").IsNotFound());
+  EXPECT_TRUE(Err("session checkout Cities bogus -v 1 -t w")
+                  .IsInvalidArgument());
+  Ok("session close Cities");
+}
+
+TEST_F(CliTest, RepositoryLifecycleRefusedWhileSessionManaged) {
+  const std::string dir = MakeTempDir();
+  Ok("open " + dir);
+  SeedStagingTable("cities");
+  Ok("init Cities -t cities -k city");
+  Ok("session open Cities");
+  for (const char* cmd : {"checkpoint", "close"}) {
+    Status s = Err(cmd);
+    EXPECT_TRUE(s.IsInvalidArgument()) << cmd << ": " << s.ToString();
+    EXPECT_NE(s.message().find("session close"), std::string::npos)
+        << s.ToString();
+  }
+  Ok("session close Cities");
+  Ok("close");
+  EXPECT_EQ(processor_.exit_code(), 0);
+}
+
+TEST_F(CliTest, FsckSetsCorruptExitCode) {
+  const std::string dir = MakeTempDir();
+  Ok("open " + dir);
+  SeedStagingTable("cities");
+  Ok("init Cities -t cities -k city");
+  Ok("close");
+  EXPECT_NE(Ok("fsck -d " + dir).find("ok"), std::string::npos);
+  EXPECT_EQ(processor_.exit_code(), 0);
+
+  // Flip the active snapshot's format version byte: dual-read would
+  // otherwise accept the neighbouring version, so the header checksum must
+  // catch it.
+  std::ifstream current(dir + "/CURRENT");
+  std::string snapshot_name;
+  ASSERT_TRUE(std::getline(current, snapshot_name));
+  const std::string snapshot = dir + "/" + snapshot_name;
+  std::fstream f(snapshot,
+                 std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(8);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 1);
+  f.seekp(8);
+  f.write(&byte, 1);
+  f.close();
+
+  Status s = Err("fsck -d " + dir);
+  EXPECT_TRUE(s.IsDataLoss()) << s.ToString();
+  EXPECT_EQ(processor_.exit_code(), CommandProcessor::kExitCorrupt);
+  // The corrupt code is sticky and outranks plain errors.
+  processor_.NoteError();
+  EXPECT_EQ(processor_.exit_code(), CommandProcessor::kExitCorrupt);
 }
 
 TEST(AccessControllerTest, Basics) {

@@ -1,0 +1,543 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/validation.h"
+#include "core/cvd.h"
+#include "core/types.h"
+#include "core/validate.h"
+#include "minidb/csv.h"
+#include "minidb/schema.h"
+#include "minidb/table.h"
+#include "minidb/value.h"
+#include "session/session.h"
+#include "storage/repository.h"
+
+namespace orpheus::session {
+namespace {
+
+using core::VersionId;
+using minidb::Schema;
+using minidb::Table;
+using minidb::Value;
+using minidb::ValueType;
+using storage::Repository;
+
+std::string MakeTempDir() {
+  std::string tmpl = ::testing::TempDir() + "orpheus_session_XXXXXX";
+  if (::mkdtemp(tmpl.data()) == nullptr) {
+    ADD_FAILURE() << "mkdtemp failed for " << tmpl;
+  }
+  return tmpl;
+}
+
+Table MakeTable(const std::vector<std::pair<int64_t, std::string>>& rows) {
+  Table t("seed",
+          Schema({{"id", ValueType::kInt64}, {"name", ValueType::kString}}));
+  for (const auto& [id, name] : rows) {
+    ORPHEUS_CHECK_OK(t.InsertRow({Value(id), Value(name)}));
+  }
+  return t;
+}
+
+core::Cvd::Options PkOptions() {
+  core::Cvd::Options opts;
+  opts.primary_key = {"id"};
+  return opts;
+}
+
+std::unique_ptr<core::Cvd> MakeCvd(
+    const std::vector<std::pair<int64_t, std::string>>& rows,
+    const core::Cvd::Options& opts) {
+  return core::Cvd::Init("t", MakeTable(rows), opts).MoveValueOrDie();
+}
+
+// --- Helpers over checked-out staging tables (schema: _rid, id, name) ---
+
+int64_t RowOf(const Table& t, int64_t id) {
+  for (uint32_t r = 0; r < t.num_rows(); ++r) {
+    if (t.GetValue(r, 1).AsInt() == id) return r;
+  }
+  return -1;
+}
+
+void SetName(Table* t, int64_t id, const std::string& name) {
+  int64_t row = RowOf(*t, id);
+  ASSERT_GE(row, 0) << "no row with id " << id;
+  minidb::Row vals = t->GetRow(static_cast<uint32_t>(row));
+  vals[2] = Value(name);
+  t->SetRow(static_cast<uint32_t>(row), vals);
+}
+
+void DeleteKey(Table* t, int64_t id) {
+  int64_t row = RowOf(*t, id);
+  ASSERT_GE(row, 0) << "no row with id " << id;
+  t->DeleteRows({static_cast<uint32_t>(row)});
+}
+
+void AddRow(Table* t, int64_t id, const std::string& name) {
+  t->AppendRowUnchecked({Value::Null(), Value(id), Value(name)});
+}
+
+std::map<int64_t, std::string> NamesByKey(const Table& t) {
+  std::map<int64_t, std::string> out;
+  for (uint32_t r = 0; r < t.num_rows(); ++r) {
+    out[t.GetValue(r, 1).AsInt()] = t.GetValue(r, 2).ToString();
+  }
+  return out;
+}
+
+/// Materialize `vids` through a throwaway session and render as CSV (the
+/// byte-identical yardstick; includes the _rid column).
+std::string CheckoutCsv(SessionManager* manager,
+                        const std::vector<VersionId>& vids) {
+  auto s = manager->Open();
+  ORPHEUS_CHECK_OK(s->Checkout(vids, "peek"));
+  return minidb::ToCsv(*s->table("peek"));
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { log::SetLevelForTest(log::Level::kError); }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+// ---------------------------------------------------------------------------
+// Basic flow + snapshot isolation
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, CommitAdvancesOnlyTheCommittersView) {
+  SessionManager manager(MakeCvd({{1, "a"}, {2, "b"}, {3, "c"}}, PkOptions()),
+                        /*repo=*/nullptr);
+  auto s1 = manager.Open();
+  auto s2 = manager.Open();
+  EXPECT_EQ(s1->watermark(), 1);
+  EXPECT_EQ(s2->watermark(), 1);
+
+  ASSERT_TRUE(s1->Checkout({1}, "t").ok());
+  SetName(s1->table("t"), 2, "b2");
+  AddRow(s1->table("t"), 4, "d");
+  auto out = s1->Commit("t", "edit b, add d");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->vid, 2);
+  EXPECT_FALSE(out->reconciled);
+  EXPECT_EQ(out->merged_vid, core::kInvalidVersion);
+  EXPECT_TRUE(out->conflicts.empty());
+  EXPECT_EQ(s1->watermark(), 2);  // read-your-writes
+  EXPECT_FALSE(s1->staging()->HasTable("t"));
+
+  // s2 is pinned at its open-time snapshot: v2 is invisible until Refresh.
+  EXPECT_EQ(s2->watermark(), 1);
+  EXPECT_FALSE(s2->Checkout({2}, "t").ok());
+  ASSERT_TRUE(s2->Refresh().ok());
+  EXPECT_EQ(s2->watermark(), 2);
+  ASSERT_TRUE(s2->Checkout({2}, "t").ok());
+  EXPECT_EQ(NamesByKey(*s2->table("t")),
+            (std::map<int64_t, std::string>{
+                {1, "a"}, {2, "b2"}, {3, "c"}, {4, "d"}}));
+}
+
+TEST_F(SessionTest, DiffIsWatermarkGated) {
+  SessionManager manager(MakeCvd({{1, "a"}}, PkOptions()), nullptr);
+  auto reader = manager.Open();  // pinned at v1
+  auto writer = manager.Open();
+  ASSERT_TRUE(writer->Checkout({1}, "t").ok());
+  AddRow(writer->table("t"), 2, "b");
+  ASSERT_TRUE(writer->Commit("t", "add b").ok());
+
+  EXPECT_FALSE(reader->Diff(2, 1).ok());
+  ASSERT_TRUE(reader->Refresh().ok());
+  auto diff = reader->Diff(2, 1);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_EQ(diff->num_rows(), 1u);
+  EXPECT_EQ(diff->GetValue(0, 1).AsInt(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Optimistic commit reconciliation (three-way record-level merge)
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, DisjointEditsReconcileIntoMergeCommit) {
+  SessionManager manager(MakeCvd({{1, "a"}, {2, "b"}, {3, "c"}}, PkOptions()),
+                        nullptr);
+  auto s1 = manager.Open();
+  auto s2 = manager.Open();
+  ASSERT_TRUE(s1->Checkout({1}, "t").ok());
+  ASSERT_TRUE(s2->Checkout({1}, "t").ok());
+
+  SetName(s1->table("t"), 2, "s1");
+  AddRow(s1->table("t"), 4, "d");
+  ASSERT_TRUE(s1->Commit("t", "s1 edits").ok());
+
+  SetName(s2->table("t"), 3, "s2");
+  AddRow(s2->table("t"), 5, "e");
+  auto out = s2->Commit("t", "s2 edits");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->vid, 3);
+  EXPECT_TRUE(out->reconciled);
+  EXPECT_EQ(out->reconciled_with, 2);
+  EXPECT_EQ(out->merged_vid, 4);
+  EXPECT_TRUE(out->conflicts.empty());
+
+  // Merge commit has both divergent versions as parents: {tip, ours}.
+  ASSERT_TRUE(manager
+                  .ReadCvd([](const core::Cvd& cvd) {
+                    EXPECT_EQ(cvd.num_versions(), 4);
+                    EXPECT_EQ(cvd.Parents(4),
+                              (std::vector<VersionId>{2, 3}));
+                    return Status::OK();
+                  })
+                  .ok());
+
+  auto merged = manager.Open();
+  ASSERT_TRUE(merged->Checkout({4}, "m").ok());
+  EXPECT_EQ(NamesByKey(*merged->table("m")),
+            (std::map<int64_t, std::string>{
+                {1, "a"}, {2, "s1"}, {3, "s2"}, {4, "d"}, {5, "e"}}));
+}
+
+TEST_F(SessionTest, DeleteVersusModifyTheModificationWins) {
+  SessionManager manager(MakeCvd({{1, "a"}, {2, "b"}, {3, "c"}}, PkOptions()),
+                        nullptr);
+  auto s1 = manager.Open();
+  auto s2 = manager.Open();
+  ASSERT_TRUE(s1->Checkout({1}, "t").ok());
+  ASSERT_TRUE(s2->Checkout({1}, "t").ok());
+
+  DeleteKey(s1->table("t"), 2);  // tip deletes...
+  ASSERT_TRUE(s1->Commit("t", "delete b").ok());
+  SetName(s2->table("t"), 2, "kept");  // ...we modify concurrently
+  auto out = s2->Commit("t", "modify b");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_TRUE(out->reconciled);
+
+  auto merged = manager.Open();
+  ASSERT_TRUE(merged->Checkout({out->merged_vid}, "m").ok());
+  EXPECT_EQ(NamesByKey(*merged->table("m")),
+            (std::map<int64_t, std::string>{
+                {1, "a"}, {2, "kept"}, {3, "c"}}));
+}
+
+TEST_F(SessionTest, IdenticalConcurrentInsertsMergeToOneRecord) {
+  SessionManager manager(MakeCvd({{1, "a"}}, PkOptions()), nullptr);
+  auto s1 = manager.Open();
+  auto s2 = manager.Open();
+  ASSERT_TRUE(s1->Checkout({1}, "t").ok());
+  ASSERT_TRUE(s2->Checkout({1}, "t").ok());
+  AddRow(s1->table("t"), 2, "same");
+  ASSERT_TRUE(s1->Commit("t", "add").ok());
+  AddRow(s2->table("t"), 2, "same");
+  auto out = s2->Commit("t", "add again");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_TRUE(out->reconciled);
+
+  // One surviving record, carrying the tip's record id.
+  auto peek = manager.Open();
+  ASSERT_TRUE(peek->Checkout({out->merged_vid}, "m").ok());
+  ASSERT_TRUE(peek->Checkout({2}, "tip").ok());
+  const Table* m = peek->table("m");
+  EXPECT_EQ(m->num_rows(), 2u);
+  int64_t merged_row = RowOf(*m, 2);
+  int64_t tip_row = RowOf(*peek->table("tip"), 2);
+  ASSERT_GE(merged_row, 0);
+  ASSERT_GE(tip_row, 0);
+  EXPECT_EQ(m->GetValue(static_cast<uint32_t>(merged_row), 0),
+            peek->table("tip")->GetValue(static_cast<uint32_t>(tip_row), 0));
+}
+
+TEST_F(SessionTest, SameAttributeDivergenceReportsConflictSet) {
+  SessionManager manager(MakeCvd({{1, "a"}, {2, "b"}}, PkOptions()), nullptr);
+  auto s1 = manager.Open();
+  auto s2 = manager.Open();
+  ASSERT_TRUE(s1->Checkout({1}, "t").ok());
+  ASSERT_TRUE(s2->Checkout({1}, "t").ok());
+  SetName(s1->table("t"), 2, "theirs");
+  ASSERT_TRUE(s1->Commit("t", "edit").ok());
+  SetName(s2->table("t"), 2, "ours");
+  auto out = s2->Commit("t", "conflicting edit");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  EXPECT_EQ(out->vid, 3);
+  EXPECT_FALSE(out->reconciled);
+  EXPECT_EQ(out->merged_vid, core::kInvalidVersion);
+  EXPECT_EQ(out->reconciled_with, 2);
+  ASSERT_EQ(out->conflicts.size(), 1u);
+  EXPECT_EQ(out->conflicts[0].key, "2");
+  EXPECT_EQ(out->conflicts[0].attribute, "name");
+  EXPECT_EQ(out->conflicts[0].base, "b");
+  EXPECT_EQ(out->conflicts[0].ours, "ours");
+  EXPECT_EQ(out->conflicts[0].theirs, "theirs");
+
+  // No merge commit: the session's version stays as a divergent branch.
+  ASSERT_TRUE(manager
+                  .ReadCvd([](const core::Cvd& cvd) {
+                    EXPECT_EQ(cvd.num_versions(), 3);
+                    EXPECT_EQ(cvd.Parents(3),
+                              (std::vector<VersionId>{1}));
+                    return Status::OK();
+                  })
+                  .ok());
+  auto peek = manager.Open();
+  ASSERT_TRUE(peek->Checkout({3}, "v").ok());
+  EXPECT_EQ(NamesByKey(*peek->table("v"))[2], "ours");
+}
+
+TEST_F(SessionTest, NoPrimaryKeyMergesAtTheRecordLevelWithoutConflicts) {
+  // Records are immutable, so without a PK the merge is pure set algebra:
+  // (base - both delete sets) + both add sets. Conflicts are impossible.
+  SessionManager manager(
+      MakeCvd({{1, "a"}, {2, "b"}, {3, "c"}}, core::Cvd::Options{}), nullptr);
+  auto s1 = manager.Open();
+  auto s2 = manager.Open();
+  ASSERT_TRUE(s1->Checkout({1}, "t").ok());
+  ASSERT_TRUE(s2->Checkout({1}, "t").ok());
+  DeleteKey(s1->table("t"), 1);
+  AddRow(s1->table("t"), 4, "d");
+  ASSERT_TRUE(s1->Commit("t", "s1").ok());
+  DeleteKey(s2->table("t"), 2);
+  AddRow(s2->table("t"), 5, "e");
+  auto out = s2->Commit("t", "s2");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_TRUE(out->reconciled);
+
+  auto peek = manager.Open();
+  ASSERT_TRUE(peek->Checkout({out->merged_vid}, "m").ok());
+  EXPECT_EQ(NamesByKey(*peek->table("m")),
+            (std::map<int64_t, std::string>{
+                {3, "c"}, {4, "d"}, {5, "e"}}));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: a fixed commit order reconciles identically at any degree
+// ---------------------------------------------------------------------------
+
+struct RunResult {
+  std::vector<std::tuple<VersionId, VersionId, VersionId>> outcomes;
+  std::string final_csv;
+  int num_versions = 0;
+};
+
+RunResult RunFixedScheduleAtDegree(int degree) {
+  constexpr int kWorkers = 6;
+  SessionManager manager(
+      MakeCvd({{1, "r"}, {2, "r"}, {3, "r"}, {4, "r"}, {5, "r"}, {6, "r"}},
+              PkOptions()),
+      nullptr);
+
+  // Every worker edits its own key; commit order is forced by a turn
+  // counter, so the reconciliation chain (and every assigned rid) must come
+  // out identical no matter how many threads run the schedule.
+  std::vector<std::tuple<VersionId, VersionId, VersionId>> outcomes(kWorkers);
+  std::atomic<int> turn{0};
+  ThreadPool pool(degree);
+  {
+    ThreadPool::TaskGroup group(&pool);
+    for (int i = 0; i < kWorkers; ++i) {
+      group.Submit([&, i] {
+        auto s = manager.Open();
+        ORPHEUS_CHECK_OK(s->Checkout({1}, "t"));
+        SetName(s->table("t"), i + 1, "w" + std::to_string(i));
+        while (turn.load(std::memory_order_acquire) != i) {
+        }
+        auto out = s->Commit("t", "worker " + std::to_string(i));
+        ORPHEUS_CHECK_OK(out.status());
+        EXPECT_TRUE(out->conflicts.empty());
+        outcomes[i] = {out->vid, out->merged_vid, out->reconciled_with};
+        turn.store(i + 1, std::memory_order_release);
+      });
+    }
+    group.Wait();
+  }
+
+  RunResult result;
+  result.outcomes = std::move(outcomes);
+  result.final_csv = CheckoutCsv(&manager, {manager.watermark()});
+  ORPHEUS_CHECK_OK(manager.ReadCvd([&](const core::Cvd& cvd) {
+    result.num_versions = cvd.num_versions();
+    ValidationReport report;
+    core::ValidateCvd(cvd, &report);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+    return Status::OK();
+  }));
+  return result;
+}
+
+TEST_F(SessionTest, ReconciliationIsDeterministicAcrossDegrees) {
+  RunResult serial = RunFixedScheduleAtDegree(1);
+  RunResult parallel = RunFixedScheduleAtDegree(8);
+  EXPECT_EQ(serial.outcomes, parallel.outcomes);
+  EXPECT_EQ(serial.num_versions, parallel.num_versions);
+  EXPECT_EQ(serial.final_csv, parallel.final_csv);
+  // First committer saw its base still a tip; everyone after reconciled.
+  EXPECT_EQ(std::get<1>(serial.outcomes[0]), core::kInvalidVersion);
+  for (size_t i = 1; i < serial.outcomes.size(); ++i) {
+    EXPECT_NE(std::get<1>(serial.outcomes[i]), core::kInvalidVersion);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 8-session hammer over a durable repository
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, EightSessionHammerStaysConsistentAndDurable) {
+  constexpr int kWorkers = 8;
+  constexpr int kIters = 6;
+  const std::string dir = MakeTempDir();
+  auto repo = Repository::Open(dir).MoveValueOrDie();
+  auto cvd = MakeCvd({{1, "r1"},
+                      {2, "r2"},
+                      {3, "r3"},
+                      {4, "r4"},
+                      {5, "r5"},
+                      {6, "r6"},
+                      {7, "r7"},
+                      {8, "r8"}},
+                     PkOptions());
+  ASSERT_TRUE(repo->LogCreate(*cvd).ok());
+  SessionManager manager(std::move(cvd), repo.get());
+
+  const std::string pinned_golden = CheckoutCsv(&manager, {1});
+  const uint64_t syncs_before =
+      MetricsRegistry::Global().counter("storage.wal.syncs").value();
+  std::atomic<int> done{0};
+  ThreadPool pool(kWorkers + 1);
+  {
+    ThreadPool::TaskGroup group(&pool);
+    // Pinned reader: mid-churn checkouts of v1 must stay byte-identical.
+    group.Submit([&] {
+      auto s = manager.Open();
+      int j = 0;
+      while (done.load(std::memory_order_acquire) < kWorkers) {
+        std::string name = "pin" + std::to_string(j++);
+        ORPHEUS_CHECK_OK(s->Checkout({1}, name));
+        EXPECT_EQ(minidb::ToCsv(*s->table(name)), pinned_golden);
+        ORPHEUS_CHECK_OK(s->staging()->DropTable(name));
+      }
+    });
+    // Committers: each owns one key, so every reconciliation is clean.
+    for (int i = 0; i < kWorkers; ++i) {
+      group.Submit([&, i] {
+        auto s = manager.Open();
+        for (int it = 0; it < kIters; ++it) {
+          ORPHEUS_CHECK_OK(s->Refresh());
+          ORPHEUS_CHECK_OK(s->Checkout({s->watermark()}, "t"));
+          SetName(s->table("t"), i + 1,
+                  "w" + std::to_string(i) + "_" + std::to_string(it));
+          auto out = s->Commit("t", "hammer");
+          ORPHEUS_CHECK_OK(out.status());
+          EXPECT_TRUE(out->conflicts.empty());
+        }
+        done.fetch_add(1, std::memory_order_release);
+      });
+    }
+    group.Wait();
+  }
+  EXPECT_FALSE(manager.failed());
+
+  // Validator-clean graph; the watermark covers every applied version.
+  VersionId final_wm = manager.watermark();
+  ASSERT_TRUE(manager
+                  .ReadCvd([&](const core::Cvd& cvd_ref) {
+                    EXPECT_EQ(cvd_ref.num_versions(),
+                              static_cast<int>(final_wm));
+                    ValidationReport report;
+                    core::ValidateCvd(cvd_ref, &report);
+                    EXPECT_TRUE(report.ok()) << report.ToString();
+                    return Status::OK();
+                  })
+                  .ok());
+  const std::string final_golden = CheckoutCsv(&manager, {final_wm});
+
+  // Every applied version reached the WAL, and the leader batched: the
+  // fsync count can never exceed one per logged commit record.
+  const uint64_t commits = static_cast<uint64_t>(final_wm) - 1;
+  EXPECT_EQ(repo->stats().wal_records, commits + 1);  // + the create record
+  if (MetricsEnabled()) {
+    const uint64_t syncs =
+        MetricsRegistry::Global().counter("storage.wal.syncs").value() -
+        syncs_before;
+    EXPECT_LE(syncs, commits);
+  }
+
+  // Everything survives close + fsck + reopen bit-identically.
+  auto released = manager.Release();
+  ASSERT_TRUE(repo->Close({released.get()}).ok());
+  repo.reset();
+  ASSERT_TRUE(Repository::Fsck(dir).ok());
+  auto reopened = Repository::Open(dir).MoveValueOrDie();
+  auto cvds = reopened->TakeCvds();
+  ASSERT_EQ(cvds.size(), 1u);
+  SessionManager manager2(std::move(cvds[0]), reopened.get());
+  EXPECT_EQ(manager2.watermark(), final_wm);
+  EXPECT_EQ(CheckoutCsv(&manager2, {final_wm}), final_golden);
+}
+
+// ---------------------------------------------------------------------------
+// Durability failure: no phantom version, manager poisoned
+// ---------------------------------------------------------------------------
+
+#if ORPHEUS_FAILPOINTS_ENABLED
+TEST_F(SessionTest, DurabilityFailurePoisonsManagerWithoutPhantomVersions) {
+  const std::string dir = MakeTempDir();
+  auto repo = Repository::Open(dir).MoveValueOrDie();
+  auto cvd = MakeCvd({{1, "a"}, {2, "b"}}, PkOptions());
+  ASSERT_TRUE(repo->LogCreate(*cvd).ok());
+  SessionManager manager(std::move(cvd), repo.get());
+  const std::string golden = CheckoutCsv(&manager, {1});
+
+  // Fail before any byte reaches the file: the commit must be absent both
+  // from every live session's view and from the reopened repository. (A
+  // failed *fsync* is weaker — the record may survive in the page cache —
+  // so the live-view guarantees below hold for it too, but not the
+  // absent-after-reopen one.)
+  failpoint::Arm("storage.wal.append.frame", failpoint::Action::kError);
+  auto s = manager.Open();
+  ASSERT_TRUE(s->Checkout({1}, "t").ok());
+  SetName(s->table("t"), 2, "lost");
+  auto out = s->Commit("t", "never durable");
+  EXPECT_FALSE(out.ok());
+  failpoint::DisarmAll();
+
+  // The manager is poisoned and the un-durable version stays invisible:
+  // the watermark never advanced over it, so no session can check it out.
+  EXPECT_TRUE(manager.failed());
+  EXPECT_TRUE(repo->degraded());
+  EXPECT_EQ(manager.watermark(), 1);
+  auto s2 = manager.Open();
+  EXPECT_FALSE(s2->Checkout({2}, "t").ok());
+  EXPECT_TRUE(s2->Checkout({1}, "ok").ok());  // snapshot reads still work
+  EXPECT_FALSE(s2->Refresh().ok());
+  ASSERT_TRUE(s2->Checkout({1}, "t2").ok());
+  SetName(s2->table("t2"), 2, "refused");
+  EXPECT_FALSE(s2->Commit("t2", "must be refused").ok());
+
+  // Recovery path: reopen from disk — only the durable state is there.
+  repo.reset();
+  ASSERT_TRUE(Repository::Fsck(dir).ok());
+  auto reopened = Repository::Open(dir).MoveValueOrDie();
+  auto cvds = reopened->TakeCvds();
+  ASSERT_EQ(cvds.size(), 1u);
+  SessionManager manager2(std::move(cvds[0]), reopened.get());
+  EXPECT_EQ(manager2.watermark(), 1);
+  EXPECT_EQ(CheckoutCsv(&manager2, {1}), golden);
+}
+#endif  // ORPHEUS_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace orpheus::session

@@ -290,7 +290,7 @@ TEST(FormatTest, CvdStateRoundtripPreservesCheckouts) {
   EncodeCvdState(state, &enc);
   std::string data = enc.Take();
   Decoder dec(data);
-  auto decoded = DecodeCvdState(&dec);
+  auto decoded = DecodeCvdState(&dec, kFormatVersion);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_TRUE(dec.AtEnd());
   core::CvdState got = decoded.MoveValueOrDie();
@@ -318,7 +318,7 @@ TEST(FormatTest, CommitRecordRoundtripReplaysIdentically) {
   EncodeCommitRecord(captured, &enc);
   std::string data = enc.Take();
   Decoder dec(data);
-  auto decoded = DecodeCommitRecord(&dec);
+  auto decoded = DecodeCommitRecord(&dec, kFormatVersion);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_TRUE(dec.AtEnd());
   core::CvdCommitRecord got = decoded.MoveValueOrDie();
@@ -335,6 +335,85 @@ TEST(FormatTest, CommitRecordRoundtripReplaysIdentically) {
   auto replayed = core::Cvd::FromState(pre).MoveValueOrDie();
   ASSERT_TRUE(replayed->ApplyCommitRecord(got).ok());
   EXPECT_EQ(CheckoutCsv(replayed.get(), {2}), CheckoutCsv(cvd.get(), {2}));
+}
+
+TEST(FormatTest, V2RepositoryStaysReadableAndAppendable) {
+  // Hand-build a format-v2 repository (double-typed logical clocks): a v2
+  // snapshot holding the CVD and an empty v2 WAL. Existing repositories
+  // written before the v3 bump must keep working end to end.
+  const std::string dir = MakeTempDir();
+  auto cvd = MakeCvdWithTwoVersions();
+  auto state = cvd->ExportState().MoveValueOrDie();
+  {
+    Encoder header;
+    header.PutU32(2);  // format version 2
+    header.PutU32(0);
+    header.PutU64(1);
+    std::string data(kSnapshotMagic, 8);
+    data.append(header.data());
+    Encoder enc;
+    EncodeCvdState(state, &enc, /*version=*/2);
+    AppendFrame(&data, FrameType::kCvdState, enc.data());
+    Encoder footer;
+    footer.PutU32(1);
+    AppendFrame(&data, FrameType::kFooter, footer.data());
+    ASSERT_TRUE(WriteFileAtomic(dir + "/snapshot-1", data, true).ok());
+  }
+  {
+    Encoder header;
+    header.PutU32(2);
+    header.PutU32(0);
+    header.PutU64(1);
+    std::string data(kWalMagic, 8);
+    data.append(header.data());
+    ASSERT_TRUE(WriteFileAtomic(dir + "/wal-1", data, true).ok());
+  }
+  ASSERT_TRUE(WriteFileAtomic(dir + "/CURRENT", "snapshot-1\n", true).ok());
+
+  // Dual-read: fsck and open accept v2, and the converted clocks are exact.
+  ASSERT_TRUE(Repository::Fsck(dir).ok());
+  auto repo = Repository::Open(dir).MoveValueOrDie();
+  auto cvds = repo->TakeCvds();
+  ASSERT_EQ(cvds.size(), 1u);
+  core::Cvd* t = cvds[0].get();
+  EXPECT_EQ(t->num_versions(), 2);
+  EXPECT_EQ(t->version_metadata(2).commit_time,
+            cvd->version_metadata(2).commit_time);
+  EXPECT_EQ(CheckoutCsv(t, {1}), CheckoutCsv(cvd.get(), {1}));
+  EXPECT_EQ(CheckoutCsv(t, {2}), CheckoutCsv(cvd.get(), {2}));
+
+  // A writer reopened on the v2 WAL appends v2-encoded records so the file
+  // stays self-consistent.
+  Repository* raw = repo.get();
+  t->set_commit_observer([raw](const core::CvdCommitRecord& record) {
+    return raw->LogCommit("t", record);
+  });
+  auto v3 = t->CommitTable(V3Table(), {2}, "v3", "tester");
+  ASSERT_TRUE(v3.ok()) << v3.status().ToString();
+  const std::string golden3 = CheckoutCsv(t, {3});
+  repo.reset();
+
+  auto wal1 = ReadWal(dir + "/wal-1");
+  ASSERT_TRUE(wal1.ok()) << wal1.status().ToString();
+  EXPECT_EQ(wal1->version, 2u);
+  ASSERT_EQ(wal1->records.size(), 1u);
+
+  auto again = Repository::Open(dir).MoveValueOrDie();
+  auto cvds2 = again->TakeCvds();
+  ASSERT_EQ(cvds2.size(), 1u);
+  EXPECT_EQ(cvds2[0]->num_versions(), 3);
+  EXPECT_EQ(CheckoutCsv(cvds2[0].get(), {3}), golden3);
+
+  // The first checkpoint rewrites the whole epoch at the current version.
+  std::vector<const core::Cvd*> ptrs = {cvds2[0].get()};
+  ASSERT_TRUE(again->Checkpoint(ptrs).ok());
+  again.reset();
+  auto snap = ReadSnapshot(dir + "/snapshot-2");
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->version, kFormatVersion);
+  auto wal2 = ReadWal(dir + "/wal-2");
+  ASSERT_TRUE(wal2.ok()) << wal2.status().ToString();
+  EXPECT_EQ(wal2->version, kFormatVersion);
 }
 
 // ---------------------------------------------------------------------------
@@ -626,15 +705,11 @@ TEST_F(StorageTest, SnapshotByteFlipSweep) {
     mutated[i] ^= 0x01;
     ASSERT_TRUE(WriteFileAtomic(snap, mutated, /*sync=*/false).ok());
     auto repo = Repository::Open(dir_);
-    if (i >= 12 && i < 16) {
-      // The reserved header word is the only region recovery may ignore.
-      EXPECT_TRUE(repo.ok()) << "reserved byte " << i << ": "
-                             << repo.status().ToString();
-    } else {
-      ASSERT_FALSE(repo.ok()) << "flip at byte " << i << " went undetected";
-      EXPECT_TRUE(repo.status().IsDataLoss())
-          << "byte " << i << ": " << repo.status().ToString();
-    }
+    // Every byte is covered: the formerly-reserved word now holds the
+    // header checksum, so even version/seq/checksum flips are caught.
+    ASSERT_FALSE(repo.ok()) << "flip at byte " << i << " went undetected";
+    EXPECT_TRUE(repo.status().IsDataLoss())
+        << "byte " << i << ": " << repo.status().ToString();
   }
   ORPHEUS_CHECK_OK(WriteFileAtomic(snap, pristine, /*sync=*/false));
   EXPECT_TRUE(Repository::Open(dir_).ok());
@@ -695,15 +770,28 @@ TEST_F(StorageTest, WalAppendFailureDegradesRepository) {
   EXPECT_FALSE(v2.ok());
   EXPECT_TRUE(repo->degraded());
   failpoint::DisarmAll();
-  // Degraded mode sticks: memory is ahead of the log, so even healthy I/O
-  // must be refused until the repository is reopened.
+  // Log-before-apply: the failed WAL append must leave NO phantom version
+  // in memory. The commit was planned but never applied, so the CVD still
+  // has exactly v1 and a checkout of v2 is refused.
+  EXPECT_EQ(cvd->num_versions(), 1);
+  EXPECT_EQ(cvd->latest(), 1);
+  {
+    minidb::Database staging;
+    EXPECT_FALSE(cvd->Checkout({2}, "phantom", &staging).ok());
+  }
+  // Degraded mode sticks: the WAL file position is unreliable, so even
+  // healthy I/O must be refused until the repository is reopened.
   EXPECT_TRUE(repo->LogDrop("t").IsInternal());
   repo.reset();
 
+  // On-disk state is a consistent v1-only repository: fsck is clean and
+  // reopening agrees with memory.
+  ASSERT_TRUE(Repository::Fsck(dir_).ok());
   auto reopened = Repository::Open(dir_).MoveValueOrDie();
   auto cvds = reopened->TakeCvds();
   ASSERT_EQ(cvds.size(), 1u);
   EXPECT_EQ(cvds[0]->num_versions(), 1);  // v2 was never acknowledged
+  EXPECT_EQ(CheckoutCsv(cvds[0].get(), {1}), CheckoutCsv(cvd.get(), {1}));
 }
 
 TEST_F(StorageTest, FailedCheckpointKeepsOldEpochRecoverable) {

@@ -30,8 +30,9 @@ run() {
 run bench_checkout_cost_model
 run bench_data_models
 run bench_partitioning_tradeoff --quick
+run bench_session
 
 for f in BENCH_checkout_cost_model.json BENCH_data_models.json \
-         BENCH_partitioning_tradeoff.json; do
+         BENCH_partitioning_tradeoff.json BENCH_session.json; do
   python3 tools/check_metrics_schema.py "$f"
 done
