@@ -213,6 +213,7 @@ Result<std::string> CommandProcessor::Execute(const std::string& line) {
   if (cmd == "optimize") return Optimize(args);
   if (cmd == "fsck") return Fsck(args);
   if (cmd == "session") return SessionCmd(args);
+  if (cmd == "remote") return RemoteCmd(args);
   if (cmd == "stats") return Stats(args);
   if (cmd == "trace") return Trace(args);
   if (cmd == "tables") {
@@ -737,6 +738,150 @@ Result<std::string> CommandProcessor::SessionCmd(const Args& args) {
   return Status::InvalidArgument(StrFormat(
       "unknown session subcommand '%s' (want "
       "open|new|checkout|commit|refresh|ls|close)",
+      sub.c_str()));
+}
+
+Result<std::string> CommandProcessor::RemoteCmd(const Args& args) {
+  if (args.positional.empty()) {
+    return Status::InvalidArgument(
+        "usage: remote connect|open|checkout|commit|refresh|heartbeat|ls|"
+        "close|disconnect ...");
+  }
+  const std::string sub = ToLower(args.positional[0]);
+
+  if (sub == "connect") {
+    if (args.positional.size() < 2) {
+      return Status::InvalidArgument(
+          "usage: remote connect <unix:<path> | tcp:[host:]<port>>");
+    }
+    ORPHEUS_ASSIGN_OR_RETURN(remote_,
+                             net::Client::Connect(args.positional[1]));
+    return StrFormat("connected to %s as %s%s", args.positional[1].c_str(),
+                     remote_->client_uuid().c_str(),
+                     remote_->server_degraded()
+                         ? " (server DEGRADED: read-only)"
+                         : "");
+  }
+  if (remote_ == nullptr) {
+    return Status::InvalidArgument(
+        "not connected; run `remote connect <address>` first");
+  }
+  if (sub == "disconnect") {
+    remote_.reset();
+    return std::string("disconnected");
+  }
+  if (sub == "ls") {
+    ORPHEUS_ASSIGN_OR_RETURN(std::vector<net::CvdSummary> cvds,
+                             remote_->Ls());
+    if (cvds.empty()) return std::string("server has no CVDs\n");
+    std::string out;
+    for (const net::CvdSummary& c : cvds) {
+      out += StrFormat("%s  (%d version(s), watermark v%d, %d open "
+                       "session(s)%s)\n",
+                       c.name.c_str(), c.num_versions, c.watermark,
+                       c.open_sessions,
+                       c.failed ? ", COMMITS REFUSED" : "");
+    }
+    return out;
+  }
+  if (sub == "open") {
+    if (args.positional.size() < 2) {
+      return Status::InvalidArgument("usage: remote open <cvd>");
+    }
+    ORPHEUS_ASSIGN_OR_RETURN(net::Client::OpenResult opened,
+                             remote_->Open(args.positional[1]));
+    return StrFormat(
+        "opened remote session %llu on CVD %s (snapshot watermark v%d)",
+        static_cast<unsigned long long>(opened.sid),
+        args.positional[1].c_str(), opened.watermark);
+  }
+
+  // The remaining subcommands address one remote session by sid.
+  if (args.positional.size() < 2) {
+    return Status::InvalidArgument(
+        StrFormat("usage: remote %s <sid> ...", sub.c_str()));
+  }
+  char* end = nullptr;
+  const std::string& sid_spec = args.positional[1];
+  const unsigned long long sid =
+      std::strtoull(sid_spec.c_str(), &end, 10);
+  if (end != sid_spec.c_str() + sid_spec.size() || sid == 0) {
+    return Status::InvalidArgument(
+        StrFormat("bad remote session id '%s'", sid_spec.c_str()));
+  }
+
+  if (sub == "checkout") {
+    const std::string* vspec = args.Flag("v");
+    const std::string* table = args.Flag("t");
+    if (vspec == nullptr || table == nullptr) {
+      return Status::InvalidArgument(
+          "usage: remote checkout <sid> -v <vids> -t <table>");
+    }
+    auto vids = ParseVersionList(*vspec);
+    if (!vids.ok()) return vids.status();
+    if (staging_.HasTable(*table)) {
+      return Status::AlreadyExists(
+          StrFormat("staging table %s already exists", table->c_str()));
+    }
+    ORPHEUS_ASSIGN_OR_RETURN(minidb::Table fetched,
+                             remote_->Checkout(sid, *vids, *table));
+    const size_t rows = fetched.num_rows();
+    ORPHEUS_RETURN_NOT_OK(
+        staging_.AdoptTable(std::move(fetched)).status());
+    return StrFormat(
+        "remote session %llu checked out version(s) %s into table %s "
+        "(%zu record(s))",
+        sid, vspec->c_str(), table->c_str(), rows);
+  }
+  if (sub == "commit") {
+    const std::string* table = args.Flag("t");
+    if (table == nullptr) {
+      return Status::InvalidArgument(
+          "usage: remote commit <sid> -t <table> -m \"<msg>\"");
+    }
+    const minidb::Table* staged = staging_.GetTable(*table);
+    if (staged == nullptr) {
+      return Status::NotFound(
+          StrFormat("no staging table named %s", table->c_str()));
+    }
+    const std::string* msg = args.Flag("m");
+    auto outcome = remote_->Commit(sid, *staged, msg ? *msg : "",
+                                   access_.current_user());
+    if (!outcome.ok()) return outcome.status();
+    ORPHEUS_RETURN_NOT_OK(staging_.DropTable(*table));
+    std::string out = StrFormat(
+        "remote session %llu committed table %s as version %d", sid,
+        table->c_str(), outcome->vid);
+    if (outcome->reconciled) {
+      out += StrFormat("\nreconciled with concurrent version %d into merge "
+                       "version %d",
+                       outcome->reconciled_with, outcome->merged_vid);
+    } else if (!outcome->conflicts.empty()) {
+      out += StrFormat("\nCONFLICT with concurrent version %d: %zu attribute "
+                       "conflict(s); v%d left as a divergent branch",
+                       outcome->reconciled_with, outcome->conflicts.size(),
+                       outcome->vid);
+    }
+    return out;
+  }
+  if (sub == "refresh") {
+    ORPHEUS_ASSIGN_OR_RETURN(core::VersionId watermark,
+                             remote_->Refresh(sid));
+    return StrFormat("remote session %llu now at watermark v%d", sid,
+                     watermark);
+  }
+  if (sub == "heartbeat") {
+    ORPHEUS_ASSIGN_OR_RETURN(int64_t lease, remote_->Heartbeat(sid));
+    return StrFormat("remote session %llu lease renewed (%lld ms)", sid,
+                     static_cast<long long>(lease));
+  }
+  if (sub == "close") {
+    ORPHEUS_RETURN_NOT_OK(remote_->CloseSession(sid));
+    return StrFormat("remote session %llu closed", sid);
+  }
+  return Status::InvalidArgument(StrFormat(
+      "unknown remote subcommand '%s' (want "
+      "connect|open|checkout|commit|refresh|heartbeat|ls|close|disconnect)",
       sub.c_str()));
 }
 

@@ -10,6 +10,7 @@
 #include "core/access_control.h"
 #include "core/cvd.h"
 #include "minidb/database.h"
+#include "net/client.h"
 #include "session/session.h"
 #include "storage/repository.h"
 
@@ -76,6 +77,21 @@ namespace orpheus::cli {
 ///   session refresh <cvd> <sid>     re-pin to the durable watermark
 ///   session ls                      list session-managed CVDs
 ///   session close <cvd>             release the CVD back to the session
+///
+/// Remote commands (DESIGN.md §14) — drive an orpheusd server over the
+/// wire protocol (start one with `orpheusd serve <dir>`); calls retry
+/// transient faults with backoff and deduplicate commits server-side:
+///   remote connect <address>        connect (unix:<path> or tcp:<port>)
+///   remote open <cvd>               open a remote session (prints sid)
+///   remote checkout <sid> -v <vids> -t <table>
+///                                   materialize into the local staging area
+///   remote commit <sid> -t <table> -m "<msg>"
+///                                   ship the staging table and commit it
+///   remote refresh <sid>            re-pin the remote watermark
+///   remote heartbeat <sid>          renew the session lease
+///   remote ls                       list the server's CVDs
+///   remote close <sid>              close the remote session
+///   remote disconnect               drop the connection
 class CommandProcessor {
  public:
   CommandProcessor() = default;
@@ -131,6 +147,7 @@ class CommandProcessor {
   Result<std::string> Optimize(const Args& args);
   Result<std::string> Fsck(const Args& args);
   Result<std::string> SessionCmd(const Args& args);
+  Result<std::string> RemoteCmd(const Args& args);
   Result<std::string> Stats(const Args& args);
   Result<std::string> Trace(const Args& args);
   Result<std::string> Profile(const std::string& command);
@@ -166,6 +183,8 @@ class CommandProcessor {
   std::map<std::string, std::unique_ptr<session::SessionManager>> managers_;
   std::map<std::string, std::map<int, std::unique_ptr<session::Session>>>
       sessions_;
+  // Remote-mode client (`remote connect`); null until connected.
+  std::unique_ptr<net::Client> remote_;
   int exit_code_ = 0;
   // CSV checkout provenance: file path -> (cvd name, parent versions).
   struct FileInfo {

@@ -1,0 +1,111 @@
+// orpheusd: the OrpheusDB network session server (DESIGN.md §14). Opens a
+// durable repository, hands its CVDs to a SessionServer, and serves the
+// Session API over the wire protocol until SIGINT/SIGTERM.
+//
+//   orpheusd serve <repo-dir> [--listen <unix:path|tcp:[host:]port>]
+//                             [--lease-ms <n>] [--max-sessions <n>]
+//
+// Exit codes: 0 clean shutdown, 1 bad invocation, 2 open/serve failure.
+
+#include <csignal>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/log.h"
+#include "common/trace.h"
+#include "net/server.h"
+#include "storage/repository.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int Usage() {
+  std::cout << "usage: orpheusd serve <repo-dir> [--listen <address>] "
+               "[--lease-ms <n>] [--max-sessions <n>]\n"
+               "  address: unix:<path> or tcp:[127.0.0.1:]<port> "
+               "(default tcp:0 = kernel-assigned)\n";
+  return 1;
+}
+
+// --flag value parsing for the few numeric options; atoi is banned, so go
+// through the strict parser.
+bool ParseInt64Flag(const std::string& value, int64_t* out) {
+  auto parsed = orpheus::ParseIntStrict(value);
+  if (!parsed.has_value() || *parsed <= 0) return false;
+  *out = *parsed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  orpheus::trace::SetCurrentThreadName("main");
+  if (argc < 3 || std::string(argv[1]) != "serve") return Usage();
+
+  const std::string dir = argv[2];
+  orpheus::net::ServerOptions options;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) return Usage();
+    const std::string value = argv[++i];
+    if (flag == "--listen") {
+      options.listen = value;
+    } else if (flag == "--lease-ms") {
+      if (!ParseInt64Flag(value, &options.lease_ms)) return Usage();
+    } else if (flag == "--max-sessions") {
+      int64_t n = 0;
+      if (!ParseInt64Flag(value, &n)) return Usage();
+      options.max_sessions = static_cast<int>(n);
+    } else {
+      return Usage();
+    }
+  }
+
+  auto repo = orpheus::storage::Repository::Open(dir);
+  if (!repo.ok()) {
+    std::cout << "error: " << repo.status().ToString() << "\n";
+    return 2;
+  }
+  std::vector<std::unique_ptr<orpheus::core::Cvd>> cvds =
+      (*repo)->TakeCvds();
+  LOG_INFO("orpheusd opened repository",
+           {{"dir", dir}, {"cvds", static_cast<long long>(cvds.size())}});
+
+  auto server = orpheus::net::SessionServer::Start(repo->get(),
+                                                   std::move(cvds), options);
+  if (!server.ok()) {
+    std::cout << "error: " << server.status().ToString() << "\n";
+    return 2;
+  }
+  // The address line is the machine-readable contract: scripts (and the
+  // two-terminal walkthrough in README.md) read it to find the endpoint.
+  std::cout << "orpheusd listening on " << (*server)->address() << "\n"
+            << std::flush;
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::cout << "orpheusd shutting down\n";
+  (*server)->Stop();
+  std::vector<std::unique_ptr<orpheus::core::Cvd>> released =
+      (*server)->ReleaseCvds();
+  std::vector<const orpheus::core::Cvd*> pointers;
+  pointers.reserve(released.size());
+  for (const auto& cvd : released) pointers.push_back(cvd.get());
+  auto closed = (*repo)->Close(pointers);
+  if (!closed.ok()) {
+    std::cout << "error: " << closed.ToString() << "\n";
+    return 2;
+  }
+  return 0;
+}

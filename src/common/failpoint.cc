@@ -2,10 +2,15 @@
 
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <map>
+#include <thread>
 
 #include "common/env.h"
 #include "common/log.h"
+#include "common/random.h"
 #include "common/string_util.h"
 #include "common/sync.h"
 
@@ -23,6 +28,8 @@ struct State {
   bool once = false;
   uint64_t hits = 0;
   bool expired = false;
+  double probability = 1.0;
+  int delay_ms = 0;
 };
 
 // Constexpr-constructible, so usable before dynamic initialization runs.
@@ -33,6 +40,15 @@ std::map<std::string, State>& Registry() ORPHEUS_REQUIRES(g_mu) {
   // static destructors.
   static std::map<std::string, State>* map = new std::map<std::string, State>();
   return *map;
+}
+
+/// RNG behind probabilistic (`p<f>`) failpoints. One global stream under
+/// g_mu: with a fixed ORPHEUS_FAILPOINT_SEED and a deterministic hit order
+/// a chaos run fires the exact same subset of hits every time.
+Xorshift& Rng() ORPHEUS_REQUIRES(g_mu) {
+  static Xorshift* rng = new Xorshift(static_cast<uint64_t>(
+      ParseEnvInt("ORPHEUS_FAILPOINT_SEED", 1, 0, INT64_MAX)));
+  return *rng;
 }
 
 /// Arm failpoints named in the ORPHEUS_FAILPOINTS environment variable as
@@ -53,14 +69,23 @@ const EnvArm env_arm;
 
 }  // namespace
 
-void Arm(const std::string& name, Action action, int trigger_at, bool once) {
+void Arm(const std::string& name, Action action, int trigger_at, bool once,
+         double probability, int delay_ms) {
+  if (probability < 0.0) probability = 0.0;
+  if (probability > 1.0) probability = 1.0;
   MutexLock lock(&g_mu);
   auto [it, inserted] = Registry().insert_or_assign(
-      name, State{action, trigger_at < 1 ? 1 : trigger_at, once, 0, false});
+      name, State{action, trigger_at < 1 ? 1 : trigger_at, once, 0, false,
+                  probability, delay_ms < 0 ? 0 : delay_ms});
   (void)it;
   if (inserted) {
     internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void Reseed(uint64_t seed) {
+  MutexLock lock(&g_mu);
+  Rng() = Xorshift(seed);
 }
 
 void Disarm(const std::string& name) {
@@ -90,7 +115,7 @@ std::vector<Info> List() {
   out.reserve(Registry().size());
   for (const auto& [name, st] : Registry()) {
     out.push_back(Info{name, st.action, st.trigger_at, st.once, st.hits,
-                       st.expired});
+                       st.expired, st.probability, st.delay_ms});
   }
   return out;
 }
@@ -121,32 +146,59 @@ Status ArmFromSpec(std::string_view spec) {
       action = Action::kError;
     } else if (action_name == "abort" || action_name == "crash") {
       action = Action::kAbort;
+    } else if (action_name == "delay") {
+      action = Action::kDelay;
     } else if (action_name == "off") {
       Disarm(name);
       continue;
     } else {
-      return Status::InvalidArgument(
-          StrFormat("bad failpoint action '%s' in '%s' (want error|abort|off)",
-                    parts[0].c_str(), entry.c_str()));
+      return Status::InvalidArgument(StrFormat(
+          "bad failpoint action '%s' in '%s' (want error|abort|delay|off)",
+          parts[0].c_str(), entry.c_str()));
     }
     int trigger_at = 1;
     bool once = false;
+    double probability = 1.0;
+    int delay_ms = 50;
     for (size_t i = 1; i < parts.size(); ++i) {
       std::string opt = ToLower(parts[i]);
       if (opt == "once") {
         once = true;
         continue;
       }
+      if (opt.size() > 1 && opt[0] == 'p') {
+        // p<f>: per-hit firing probability in [0, 1].
+        char* end = nullptr;
+        const double p = std::strtod(opt.c_str() + 1, &end);
+        if (end == nullptr || *end != '\0' || p < 0.0 || p > 1.0) {
+          return Status::InvalidArgument(StrFormat(
+              "bad failpoint probability '%s' in '%s' (want p<float in "
+              "[0,1]>, e.g. p0.3)",
+              parts[i].c_str(), entry.c_str()));
+        }
+        probability = p;
+        continue;
+      }
+      if (opt.size() > 2 && opt.compare(opt.size() - 2, 2, "ms") == 0) {
+        auto ms = ParseIntStrict(opt.substr(0, opt.size() - 2));
+        if (!ms || *ms < 0) {
+          return Status::InvalidArgument(StrFormat(
+              "bad failpoint delay '%s' in '%s' (want <millis>ms)",
+              parts[i].c_str(), entry.c_str()));
+        }
+        delay_ms = static_cast<int>(*ms);
+        continue;
+      }
       auto n = ParseIntStrict(opt);
       if (!n || *n < 1) {
         return Status::InvalidArgument(
             StrFormat("bad failpoint option '%s' in '%s' (want a positive "
-                      "ordinal or 'once')",
+                      "ordinal, 'once', p<prob>, or <millis>ms)",
                       parts[i].c_str(), entry.c_str()));
       }
       trigger_at = static_cast<int>(*n);
     }
-    Arm(name, action, trigger_at, once);
+    Arm(name, action, trigger_at, once, probability, delay_ms);
   }
   return Status::OK();
 }
@@ -154,17 +206,33 @@ Status ArmFromSpec(std::string_view spec) {
 namespace internal {
 
 std::optional<Action> ConsumeHit(const char* name) {
-  MutexLock lock(&g_mu);
-  auto it = Registry().find(name);
-  if (it == Registry().end()) return std::nullopt;
-  State& st = it->second;
-  ++st.hits;
-  if (st.expired) return std::nullopt;
-  const bool fire = st.once ? st.hits == static_cast<uint64_t>(st.trigger_at)
-                            : st.hits >= static_cast<uint64_t>(st.trigger_at);
-  if (!fire) return std::nullopt;
-  if (st.once) st.expired = true;
-  return st.action;
+  int delay_ms = 0;
+  {
+    MutexLock lock(&g_mu);
+    auto it = Registry().find(name);
+    if (it == Registry().end()) return std::nullopt;
+    State& st = it->second;
+    ++st.hits;
+    if (st.expired) return std::nullopt;
+    bool fire = st.once ? st.hits == static_cast<uint64_t>(st.trigger_at)
+                        : st.hits >= static_cast<uint64_t>(st.trigger_at);
+    // The probability draw happens on every *eligible* hit (so the RNG
+    // stream position depends only on the hit sequence, keeping seeded
+    // chaos runs replayable) and gates whether this one actually fires.
+    if (fire && st.probability < 1.0) fire = Rng().Bernoulli(st.probability);
+    if (!fire) return std::nullopt;
+    if (st.once) st.expired = true;
+    if (st.action != Action::kDelay) return st.action;
+    delay_ms = st.delay_ms;
+  }
+  // kDelay is absorbed here — outside the registry lock (rank 60: sleeping
+  // under it would stall every other site) — so the dozens of existing
+  // sites need no per-site delay handling: to them a delay hit looks like
+  // "not fired", just later.
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return std::nullopt;
 }
 
 Status Fire(const char* name) {

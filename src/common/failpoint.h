@@ -26,6 +26,8 @@ enum class Action {
   kError,  // the site returns Status::Internal("failpoint <name> fired...")
   kAbort,  // the process terminates immediately via _exit (no cleanup, no
            // buffer flush — a faithful crash simulation)
+  kDelay,  // the site sleeps `delay_ms`, then proceeds normally (simulates
+           // a slow disk / stalled peer rather than a hard failure)
 };
 
 struct Info {
@@ -35,14 +37,24 @@ struct Info {
   bool once = false;
   uint64_t hits = 0;     // times the site was reached while armed
   bool expired = false;  // a `once` failpoint that already fired
+  double probability = 1.0;  // chance an eligible hit actually fires
+  int delay_ms = 0;          // sleep duration for kDelay
 };
 
 /// Arm `name`. `trigger_at` is the 1-based hit ordinal at which the
 /// failpoint first fires (1 = the next hit). With `once`, the failpoint
 /// fires exactly once and then expires; otherwise it keeps firing on every
 /// hit from `trigger_at` on (moot for kAbort, which never returns).
+/// `probability` < 1 makes each eligible hit fire with that chance, drawn
+/// from the registry's seeded RNG (ORPHEUS_FAILPOINT_SEED) so chaos runs
+/// replay identically. `delay_ms` is the sleep duration for kDelay.
 void Arm(const std::string& name, Action action, int trigger_at = 1,
-         bool once = false);
+         bool once = false, double probability = 1.0, int delay_ms = 50);
+
+/// Re-seed the probabilistic-firing RNG (normally seeded once from
+/// ORPHEUS_FAILPOINT_SEED, default 1). Tests call this between chaos runs
+/// to replay the exact same firing sequence.
+void Reseed(uint64_t seed);
 
 /// Disarm one site / all sites. Disarming an unknown name is a no-op.
 void Disarm(const std::string& name);
@@ -55,10 +67,19 @@ uint64_t HitCount(const std::string& name);
 std::vector<Info> List();
 
 /// Parse and arm an ORPHEUS_FAILPOINTS spec: `;`- or `,`-separated entries
-/// of the form `name=action[:nth][:once]`, e.g.
+/// of the form `name=action[:option]...` (grammar in DESIGN.md §14.6) with
+/// actions error|abort|crash|delay|off and options
+///   <nth>   fire from the nth hit on (1-based; `once` limits it to that hit)
+///   once    fire exactly once, then expire
+///   p<f>    fire each eligible hit with probability f in [0,1], drawn from
+///           the ORPHEUS_FAILPOINT_SEED-seeded RNG (reproducible chaos)
+///   <n>ms   sleep duration for the delay action (default 50ms)
+/// e.g.
 ///   "storage.wal.append.sync=abort"
 ///   "io.write=error:3"           (fire on the 3rd hit and every hit after)
 ///   "io.sync=error:2:once"      (fire exactly once, on the 2nd hit)
+///   "net.server.recv=error:p0.05"  (drop ~5% of reads, deterministically)
+///   "net.client.send=delay:100ms"  (stall every send 100ms)
 /// Returns InvalidArgument naming the bad entry on malformed input.
 Status ArmFromSpec(std::string_view spec);
 

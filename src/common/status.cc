@@ -49,6 +49,10 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -20,6 +20,8 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kDataLoss,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// A lightweight status object carrying a code and, for errors, a message.
@@ -70,6 +72,19 @@ class [[nodiscard]] Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  /// A bounded wait ran out before the operation completed. The outcome is
+  /// UNKNOWN (the work may still finish): callers must not treat this as
+  /// "did not happen" — retry with an idempotency key or re-check state.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// A transient, retryable condition (peer gone, connection reset, torn
+  /// frame). Distinct from kInternal so retry loops can tell "try again"
+  /// from "give up": only kUnavailable and kDeadlineExceeded are safe to
+  /// retry blindly.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -82,6 +97,10 @@ class [[nodiscard]] Status {
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -120,6 +120,7 @@ namespace orpheus {
 
 namespace lock_rank {
 inline constexpr int kUnranked = 0;
+inline constexpr int kNetServer = 1;         // net/server.cc (session registry)
 inline constexpr int kSessionCommit = 2;     // session/session.cc (committer)
 inline constexpr int kSessionData = 5;       // session/session.cc (CVD state)
 inline constexpr int kRepository = 10;       // storage/repository.cc

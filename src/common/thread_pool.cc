@@ -166,6 +166,24 @@ void ThreadPool::TaskGroup::Wait() {
   }
 }
 
+DedicatedThread::DedicatedThread(std::string name, std::function<void()> fn)
+    : thread_([name = std::move(name), fn = std::move(fn)] {
+        trace::SetCurrentThreadName(name);
+        fn();
+      }) {}
+
+DedicatedThread::~DedicatedThread() { Join(); }
+
+DedicatedThread& DedicatedThread::operator=(DedicatedThread&& other) noexcept {
+  Join();
+  thread_ = std::move(other.thread_);
+  return *this;
+}
+
+void DedicatedThread::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
 void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
                              const std::function<void(size_t, size_t)>& fn) {
   if (end <= begin) return;

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -117,6 +118,37 @@ class ThreadPool {
   CondVar work_cv_;
   std::deque<Task> queue_ ORPHEUS_GUARDED_BY(mu_);
   bool stopping_ ORPHEUS_GUARDED_BY(mu_) = false;
+};
+
+/// A single named thread for long-running *blocking* work — server accept
+/// loops, per-connection handlers — that must never occupy a pool worker
+/// (a handler parked in poll() would starve the fan-out constructs above).
+/// This is the one sanctioned home for threads outside the pool: the
+/// tools/lint.py bare-thread rule confines std::thread to this file, so
+/// every thread in the process is either a pool worker or a DedicatedThread
+/// with a trace-visible name.
+///
+/// The function must return on its own (typically by observing a stop flag
+/// its owner sets); Join()/the destructor only wait, they cannot interrupt.
+class DedicatedThread {
+ public:
+  DedicatedThread() = default;
+  /// Starts `fn` on a new thread registered under `name` in trace dumps.
+  DedicatedThread(std::string name, std::function<void()> fn);
+  /// Joins if still running.
+  ~DedicatedThread();
+
+  DedicatedThread(DedicatedThread&&) noexcept = default;
+  DedicatedThread& operator=(DedicatedThread&& other) noexcept;
+  DedicatedThread(const DedicatedThread&) = delete;
+  DedicatedThread& operator=(const DedicatedThread&) = delete;
+
+  /// Blocks until `fn` returns. Safe to call twice (second is a no-op).
+  void Join();
+  bool joinable() const { return thread_.joinable(); }
+
+ private:
+  std::thread thread_;
 };
 
 /// Shorthand for ThreadPool::Global().ParallelFor(...).

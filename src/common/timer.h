@@ -33,6 +33,57 @@ class Timer {
   Clock::time_point start_;
 };
 
+/// An absolute point in time a bounded operation must finish by. The one
+/// sanctioned carrier of steady_clock arithmetic outside common/ (the
+/// tools/lint.py raw-clock rule): network calls, lock waits, and retry
+/// loops pass a Deadline down instead of juggling timeouts, so nested
+/// operations naturally share one budget.
+class Deadline {
+ public:
+  /// Never expires. remaining() saturates at a large sentinel.
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now (clamped at >= 0).
+  static Deadline AfterMillis(int64_t ms) {
+    Deadline d;
+    d.infinite_ = false;
+    d.when_ = Clock::now() + std::chrono::milliseconds(ms < 0 ? 0 : ms);
+    return d;
+  }
+
+  bool is_infinite() const { return infinite_; }
+
+  bool expired() const {
+    return !infinite_ && Clock::now() >= when_;
+  }
+
+  /// Time left, as a duration; kForeverNanos worth for infinite deadlines
+  /// and zero once expired. Safe to hand straight to CondVar::WaitFor.
+  std::chrono::nanoseconds remaining() const {
+    if (infinite_) return std::chrono::nanoseconds(kForeverNanos);
+    auto left = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        when_ - Clock::now());
+    return left.count() < 0 ? std::chrono::nanoseconds(0) : left;
+  }
+
+  /// Time left in whole milliseconds (0 when expired); poll(2)-friendly.
+  int64_t remaining_millis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(remaining())
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  // ~292 years: effectively forever, but arithmetic on it cannot overflow
+  // a signed 64-bit nanosecond count when added to now().
+  static constexpr int64_t kForeverNanos = int64_t{1} << 62;
+
+  Deadline() = default;
+
+  bool infinite_ = true;
+  Clock::time_point when_{};
+};
+
 }  // namespace orpheus
 
 #endif  // ORPHEUS_COMMON_TIMER_H_

@@ -1,0 +1,437 @@
+#include "net/wire.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "minidb/schema.h"
+
+namespace orpheus::net {
+
+using storage::Decoder;
+using storage::Encoder;
+
+namespace {
+
+/// Statuses reconstructed from the wire reuse the StatusCode numbering; a
+/// peer sending an out-of-range byte gets mapped to Internal.
+Status MakeStatus(uint8_t code, const std::string& message) {
+  if (code == 0) return Status::OK();
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kNotFound:
+      return Status::NotFound(message);
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(message);
+    case StatusCode::kConstraintViolation:
+      return Status::ConstraintViolation(message);
+    case StatusCode::kCorruption:
+      return Status::Corruption(message);
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(message);
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(message);
+    case StatusCode::kDataLoss:
+      return Status::DataLoss(message);
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(message);
+    default:
+      return Status::Internal(message);
+  }
+}
+
+void EncodeConflict(const session::MergeConflict& c, Encoder* enc) {
+  enc->PutString(c.key);
+  enc->PutString(c.attribute);
+  enc->PutString(c.base);
+  enc->PutString(c.ours);
+  enc->PutString(c.theirs);
+}
+
+Result<session::MergeConflict> DecodeConflict(Decoder* dec) {
+  session::MergeConflict c;
+  ORPHEUS_ASSIGN_OR_RETURN(c.key, dec->GetString());
+  ORPHEUS_ASSIGN_OR_RETURN(c.attribute, dec->GetString());
+  ORPHEUS_ASSIGN_OR_RETURN(c.base, dec->GetString());
+  ORPHEUS_ASSIGN_OR_RETURN(c.ours, dec->GetString());
+  ORPHEUS_ASSIGN_OR_RETURN(c.theirs, dec->GetString());
+  return c;
+}
+
+void EncodeOutcome(const session::CommitOutcome& out, Encoder* enc) {
+  enc->PutI32(out.vid);
+  enc->PutI32(out.merged_vid);
+  enc->PutI32(out.reconciled_with);
+  enc->PutU8(out.reconciled ? 1 : 0);
+  enc->PutU32(static_cast<uint32_t>(out.conflicts.size()));
+  for (const session::MergeConflict& c : out.conflicts) {
+    EncodeConflict(c, enc);
+  }
+}
+
+Result<session::CommitOutcome> DecodeOutcome(Decoder* dec) {
+  session::CommitOutcome out;
+  ORPHEUS_ASSIGN_OR_RETURN(out.vid, dec->GetI32());
+  ORPHEUS_ASSIGN_OR_RETURN(out.merged_vid, dec->GetI32());
+  ORPHEUS_ASSIGN_OR_RETURN(out.reconciled_with, dec->GetI32());
+  ORPHEUS_ASSIGN_OR_RETURN(uint8_t reconciled, dec->GetU8());
+  out.reconciled = reconciled != 0;
+  ORPHEUS_ASSIGN_OR_RETURN(uint32_t n, dec->GetU32());
+  out.conflicts.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ORPHEUS_ASSIGN_OR_RETURN(session::MergeConflict c, DecodeConflict(dec));
+    out.conflicts.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kOpen: return "open";
+    case Op::kCheckout: return "checkout";
+    case Op::kCommit: return "commit";
+    case Op::kRefresh: return "refresh";
+    case Op::kLs: return "ls";
+    case Op::kClose: return "close";
+    case Op::kHeartbeat: return "heartbeat";
+  }
+  return "unknown";
+}
+
+Status Response::ToStatus() const {
+  return MakeStatus(code, message);
+}
+
+void Response::SetStatus(const Status& s, bool transient) {
+  code = static_cast<uint8_t>(s.code());
+  message = std::string(s.message());
+  retryable = transient;
+}
+
+// ---------------------------------------------------------------------------
+// Hello / HelloAck
+// ---------------------------------------------------------------------------
+
+std::string EncodeHello(const Hello& hello) {
+  Encoder enc;
+  enc.PutString(hello.magic);
+  enc.PutU32(hello.protocol_version);
+  enc.PutString(hello.client_uuid);
+  return enc.Take();
+}
+
+Result<Hello> DecodeHello(std::string_view payload) {
+  Decoder dec(payload);
+  Hello hello;
+  ORPHEUS_ASSIGN_OR_RETURN(hello.magic, dec.GetString());
+  ORPHEUS_ASSIGN_OR_RETURN(hello.protocol_version, dec.GetU32());
+  ORPHEUS_ASSIGN_OR_RETURN(hello.client_uuid, dec.GetString());
+  return hello;
+}
+
+std::string EncodeHelloAck(const HelloAck& ack) {
+  Encoder enc;
+  enc.PutU32(ack.protocol_version);
+  enc.PutString(ack.server_id);
+  enc.PutU8(ack.degraded ? 1 : 0);
+  enc.PutU8(ack.code);
+  enc.PutString(ack.message);
+  return enc.Take();
+}
+
+Result<HelloAck> DecodeHelloAck(std::string_view payload) {
+  Decoder dec(payload);
+  HelloAck ack;
+  ORPHEUS_ASSIGN_OR_RETURN(ack.protocol_version, dec.GetU32());
+  ORPHEUS_ASSIGN_OR_RETURN(ack.server_id, dec.GetString());
+  ORPHEUS_ASSIGN_OR_RETURN(uint8_t degraded, dec.GetU8());
+  ack.degraded = degraded != 0;
+  ORPHEUS_ASSIGN_OR_RETURN(ack.code, dec.GetU8());
+  ORPHEUS_ASSIGN_OR_RETURN(ack.message, dec.GetString());
+  return ack;
+}
+
+// ---------------------------------------------------------------------------
+// Table codec
+// ---------------------------------------------------------------------------
+
+void EncodeTable(const minidb::Table& table, storage::Encoder* enc) {
+  enc->PutString(table.name());
+  const minidb::Schema& schema = table.schema();
+  enc->PutU32(static_cast<uint32_t>(schema.num_columns()));
+  for (const minidb::ColumnDef& col : schema.columns()) {
+    enc->PutString(col.name);
+    enc->PutU8(static_cast<uint8_t>(col.type));
+  }
+  enc->PutU32(static_cast<uint32_t>(table.num_rows()));
+  for (uint32_t r = 0; r < table.num_rows(); ++r) {
+    const minidb::Row row = table.GetRow(r);
+    for (const minidb::Value& value : row) {
+      storage::EncodeValue(value, enc);
+    }
+  }
+}
+
+Result<minidb::Table> DecodeTable(storage::Decoder* dec) {
+  ORPHEUS_ASSIGN_OR_RETURN(std::string name, dec->GetString());
+  ORPHEUS_ASSIGN_OR_RETURN(uint32_t ncols, dec->GetU32());
+  std::vector<minidb::ColumnDef> cols;
+  cols.reserve(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    minidb::ColumnDef col;
+    ORPHEUS_ASSIGN_OR_RETURN(col.name, dec->GetString());
+    ORPHEUS_ASSIGN_OR_RETURN(uint8_t type, dec->GetU8());
+    if (type > static_cast<uint8_t>(minidb::ValueType::kIntArray)) {
+      return Status::DataLoss(
+          StrFormat("bad column type %u on the wire", type));
+    }
+    col.type = static_cast<minidb::ValueType>(type);
+    cols.push_back(std::move(col));
+  }
+  ORPHEUS_ASSIGN_OR_RETURN(uint32_t nrows, dec->GetU32());
+  minidb::Table table(name, minidb::Schema(std::move(cols)));
+  minidb::Row row(table.num_columns());
+  for (uint32_t r = 0; r < nrows; ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      ORPHEUS_ASSIGN_OR_RETURN(row[c], storage::DecodeValue(dec));
+    }
+    table.AppendRowUnchecked(row);
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Request / Response
+// ---------------------------------------------------------------------------
+
+std::string EncodeRequest(const Request& req) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(req.op));
+  enc.PutU64(req.request_seq);
+  enc.PutU64(req.acked_seq);
+  enc.PutU64(req.sid);
+  enc.PutI64(req.deadline_ms);
+  enc.PutString(req.cvd);
+  enc.PutString(req.table_name);
+  enc.PutU32(static_cast<uint32_t>(req.vids.size()));
+  for (core::VersionId vid : req.vids) enc.PutI32(vid);
+  enc.PutString(req.message);
+  enc.PutString(req.author);
+  enc.PutU8(req.table != nullptr ? 1 : 0);
+  if (req.table != nullptr) EncodeTable(*req.table, &enc);
+  return enc.Take();
+}
+
+Result<Request> DecodeRequest(std::string_view payload) {
+  Decoder dec(payload);
+  Request req;
+  ORPHEUS_ASSIGN_OR_RETURN(uint8_t op, dec.GetU8());
+  if (op < static_cast<uint8_t>(Op::kOpen) ||
+      op > static_cast<uint8_t>(Op::kHeartbeat)) {
+    return Status::DataLoss(StrFormat("bad request op %u", op));
+  }
+  req.op = static_cast<Op>(op);
+  ORPHEUS_ASSIGN_OR_RETURN(req.request_seq, dec.GetU64());
+  ORPHEUS_ASSIGN_OR_RETURN(req.acked_seq, dec.GetU64());
+  ORPHEUS_ASSIGN_OR_RETURN(req.sid, dec.GetU64());
+  ORPHEUS_ASSIGN_OR_RETURN(req.deadline_ms, dec.GetI64());
+  ORPHEUS_ASSIGN_OR_RETURN(req.cvd, dec.GetString());
+  ORPHEUS_ASSIGN_OR_RETURN(req.table_name, dec.GetString());
+  ORPHEUS_ASSIGN_OR_RETURN(uint32_t nvids, dec.GetU32());
+  req.vids.reserve(nvids);
+  for (uint32_t i = 0; i < nvids; ++i) {
+    ORPHEUS_ASSIGN_OR_RETURN(core::VersionId vid, dec.GetI32());
+    req.vids.push_back(vid);
+  }
+  ORPHEUS_ASSIGN_OR_RETURN(req.message, dec.GetString());
+  ORPHEUS_ASSIGN_OR_RETURN(req.author, dec.GetString());
+  ORPHEUS_ASSIGN_OR_RETURN(uint8_t has_table, dec.GetU8());
+  if (has_table != 0) {
+    ORPHEUS_ASSIGN_OR_RETURN(minidb::Table table, DecodeTable(&dec));
+    req.table = std::make_unique<minidb::Table>(std::move(table));
+  }
+  return req;
+}
+
+std::string EncodeResponse(const Response& resp) {
+  Encoder enc;
+  enc.PutU64(resp.request_seq);
+  enc.PutU8(resp.code);
+  enc.PutU8(resp.retryable ? 1 : 0);
+  enc.PutString(resp.message);
+  enc.PutU8(static_cast<uint8_t>(resp.op));
+  if (!resp.ok()) return enc.Take();
+  switch (resp.op) {
+    case Op::kOpen:
+      enc.PutU64(resp.sid);
+      enc.PutI32(resp.watermark);
+      break;
+    case Op::kCheckout:
+      EncodeTable(*resp.table, &enc);
+      break;
+    case Op::kCommit:
+      EncodeOutcome(resp.outcome, &enc);
+      break;
+    case Op::kRefresh:
+      enc.PutI32(resp.watermark);
+      break;
+    case Op::kLs:
+      enc.PutU32(static_cast<uint32_t>(resp.cvds.size()));
+      for (const CvdSummary& c : resp.cvds) {
+        enc.PutString(c.name);
+        enc.PutI32(c.num_versions);
+        enc.PutI32(c.watermark);
+        enc.PutI32(c.open_sessions);
+        enc.PutU8(c.failed ? 1 : 0);
+      }
+      break;
+    case Op::kClose:
+      break;
+    case Op::kHeartbeat:
+      enc.PutI64(resp.lease_ms);
+      break;
+  }
+  return enc.Take();
+}
+
+Result<Response> DecodeResponse(std::string_view payload) {
+  Decoder dec(payload);
+  Response resp;
+  ORPHEUS_ASSIGN_OR_RETURN(resp.request_seq, dec.GetU64());
+  ORPHEUS_ASSIGN_OR_RETURN(resp.code, dec.GetU8());
+  ORPHEUS_ASSIGN_OR_RETURN(uint8_t retryable, dec.GetU8());
+  resp.retryable = retryable != 0;
+  ORPHEUS_ASSIGN_OR_RETURN(resp.message, dec.GetString());
+  ORPHEUS_ASSIGN_OR_RETURN(uint8_t op, dec.GetU8());
+  if (op < static_cast<uint8_t>(Op::kOpen) ||
+      op > static_cast<uint8_t>(Op::kHeartbeat)) {
+    return Status::DataLoss(StrFormat("bad response op %u", op));
+  }
+  resp.op = static_cast<Op>(op);
+  if (!resp.ok()) return resp;
+  switch (resp.op) {
+    case Op::kOpen: {
+      ORPHEUS_ASSIGN_OR_RETURN(resp.sid, dec.GetU64());
+      ORPHEUS_ASSIGN_OR_RETURN(resp.watermark, dec.GetI32());
+      break;
+    }
+    case Op::kCheckout: {
+      ORPHEUS_ASSIGN_OR_RETURN(minidb::Table table, DecodeTable(&dec));
+      resp.table = std::make_unique<minidb::Table>(std::move(table));
+      break;
+    }
+    case Op::kCommit: {
+      ORPHEUS_ASSIGN_OR_RETURN(resp.outcome, DecodeOutcome(&dec));
+      break;
+    }
+    case Op::kRefresh: {
+      ORPHEUS_ASSIGN_OR_RETURN(resp.watermark, dec.GetI32());
+      break;
+    }
+    case Op::kLs: {
+      ORPHEUS_ASSIGN_OR_RETURN(uint32_t n, dec.GetU32());
+      resp.cvds.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        CvdSummary c;
+        ORPHEUS_ASSIGN_OR_RETURN(c.name, dec.GetString());
+        ORPHEUS_ASSIGN_OR_RETURN(c.num_versions, dec.GetI32());
+        ORPHEUS_ASSIGN_OR_RETURN(c.watermark, dec.GetI32());
+        ORPHEUS_ASSIGN_OR_RETURN(c.open_sessions, dec.GetI32());
+        ORPHEUS_ASSIGN_OR_RETURN(uint8_t failed, dec.GetU8());
+        c.failed = failed != 0;
+        resp.cvds.push_back(std::move(c));
+      }
+      break;
+    }
+    case Op::kClose:
+      break;
+    case Op::kHeartbeat: {
+      ORPHEUS_ASSIGN_OR_RETURN(resp.lease_ms, dec.GetI64());
+      break;
+    }
+  }
+  return resp;
+}
+
+// ---------------------------------------------------------------------------
+// Framed I/O
+// ---------------------------------------------------------------------------
+
+Status SendMessage(Socket* sock, MsgType type, std::string_view payload,
+                   const Deadline& deadline) {
+  std::string frame;
+  storage::AppendFrame(&frame,
+                       static_cast<storage::FrameType>(
+                           static_cast<uint8_t>(type)),
+                       payload);
+  return sock->SendAll(frame, deadline);
+}
+
+Status RecvMessage(Socket* sock, MsgType* type, std::string* payload,
+                   const Deadline& idle_deadline) {
+  // The 8-byte length+crc prefix, read under the idle deadline. A timeout
+  // with ZERO bytes consumed leaves the stream frame-aligned (retryable);
+  // any partial read means we are desynced mid-frame.
+  std::string buf(storage::kFrameHeaderSize - 1, '\0');
+  size_t received = 0;
+  Status s = sock->RecvAll(buf.data(), buf.size(), idle_deadline, &received);
+  if (!s.ok()) {
+    if (s.IsDeadlineExceeded() && received > 0) {
+      return Status::Unavailable(StrFormat(
+          "frame torn: %zu of %zu header bytes before the deadline",
+          received, buf.size()));
+    }
+    return s;
+  }
+  storage::Decoder header(buf);
+  ORPHEUS_ASSIGN_OR_RETURN(uint32_t payload_size, header.GetU32());
+  if (payload_size > kMaxFramePayload) {
+    return Status::Unavailable(StrFormat(
+        "frame claims %u payload bytes (cap %u) — corrupt stream",
+        payload_size, kMaxFramePayload));
+  }
+  // Once a frame has started, finish it under a generous fixed bound so a
+  // stalled peer cannot park us forever, while a briefly-slow large frame
+  // still completes.
+  const Deadline body_deadline = Deadline::AfterMillis(10000);
+  std::string rest(1 + static_cast<size_t>(payload_size), '\0');
+  s = sock->RecvAll(rest.data(), rest.size(), body_deadline, &received);
+  if (!s.ok()) {
+    if (s.IsDeadlineExceeded()) {
+      return Status::Unavailable(StrFormat(
+          "frame torn: %zu of %zu body bytes before the deadline", received,
+          rest.size()));
+    }
+    return s;
+  }
+  // Reassemble and parse with the storage frame reader — the same
+  // torn/corrupt classification the WAL uses. A "torn tail" here cannot
+  // happen (we read the exact length), so any checksum failure surfaces
+  // as corruption, which on a stream means a retryable transport fault.
+  buf.append(rest);
+  size_t pos = 0;
+  storage::Frame frame;
+  bool torn = false;
+  s = storage::ReadFrame(buf, 0, &pos, &frame, &torn);
+  if (!s.ok() || torn) {
+    return Status::Unavailable(StrFormat(
+        "corrupt frame on the wire: %s",
+        s.ok() ? "torn" : std::string(s.message()).c_str()));
+  }
+  const uint8_t raw_type = static_cast<uint8_t>(frame.type);
+  if (raw_type < static_cast<uint8_t>(MsgType::kHello) ||
+      raw_type > static_cast<uint8_t>(MsgType::kResponse)) {
+    return Status::Unavailable(StrFormat(
+        "unexpected frame type %u on the wire (not a net message)",
+        raw_type));
+  }
+  *type = static_cast<MsgType>(raw_type);
+  payload->assign(frame.payload);
+  return Status::OK();
+}
+
+}  // namespace orpheus::net

@@ -72,6 +72,33 @@ Status Session::Checkout(const std::vector<core::VersionId>& vids,
 Result<CommitOutcome> Session::Commit(const std::string& table_name,
                                       const std::string& message,
                                       const std::string& author) {
+  CommitOutcome out;
+  ORPHEUS_RETURN_NOT_OK(CommitWithDeadline(table_name, message, author,
+                                           Deadline::Infinite(), &out));
+  return out;
+}
+
+Status Session::CommitWithDeadline(const std::string& table_name,
+                                   const std::string& message,
+                                   const std::string& author,
+                                   const Deadline& deadline,
+                                   CommitOutcome* out) {
+  auto pending_it = pending_commits_.find(table_name);
+  if (pending_it != pending_commits_.end()) {
+    // A previous attempt timed out waiting for durability: the commit is
+    // already applied, so re-wait its tickets — never re-apply (retrying
+    // after a lost result must be exactly-once).
+    Status s =
+        manager_->WaitPendingDurable(&pending_it->second, deadline, out);
+    if (s.IsDeadlineExceeded()) return s;  // still in flight; keep parked
+    pending_commits_.erase(pending_it);
+    ORPHEUS_RETURN_NOT_OK(s);
+    ORPHEUS_RETURN_NOT_OK(staging_.DropTable(table_name));
+    parents_.erase(table_name);
+    watermark_ = std::max(watermark_, manager_->watermark());
+    return Status::OK();
+  }
+
   const minidb::Table* table = staging_.GetTable(table_name);
   if (table == nullptr) {
     return Status::NotFound(StrFormat(
@@ -83,16 +110,58 @@ Result<CommitOutcome> Session::Commit(const std::string& table_name,
         "staging table \"%s\" has no checkout provenance in session %d",
         table_name.c_str(), id_));
   }
-  ORPHEUS_ASSIGN_OR_RETURN(
-      CommitOutcome outcome,
-      manager_->CommitStaged(*table, it->second, message, author));
+  PendingDurability pending;
+  Status s = manager_->CommitStaged(*table, it->second, message, author,
+                                    deadline, out, &pending);
+  if (s.IsDeadlineExceeded()) {
+    pending_commits_[table_name] = std::move(pending);
+    return s;
+  }
+  ORPHEUS_RETURN_NOT_OK(s);
   ORPHEUS_RETURN_NOT_OK(staging_.DropTable(table_name));
   parents_.erase(it);
   // Read-your-writes: the commit is durable by now, so the manager's
   // watermark covers it — advancing the pin cannot admit anything weaker
   // than snapshot isolation.
   watermark_ = std::max(watermark_, manager_->watermark());
-  return outcome;
+  return Status::OK();
+}
+
+Status Session::ReplaceStaging(const std::string& table_name,
+                               minidb::Table table) {
+  if (parents_.find(table_name) == parents_.end()) {
+    return Status::InvalidArgument(StrFormat(
+        "staging table \"%s\" has no checkout provenance in session %d",
+        table_name.c_str(), id_));
+  }
+  if (pending_commits_.find(table_name) != pending_commits_.end()) {
+    return Status::InvalidArgument(StrFormat(
+        "staging table \"%s\" has a commit awaiting durability in session "
+        "%d; resolve it before restaging",
+        table_name.c_str(), id_));
+  }
+  if (table.name() != table_name) {
+    return Status::InvalidArgument(StrFormat(
+        "replacement table is named \"%s\", expected \"%s\"",
+        table.name().c_str(), table_name.c_str()));
+  }
+  ORPHEUS_RETURN_NOT_OK(staging_.DropTable(table_name));
+  ORPHEUS_ASSIGN_OR_RETURN(minidb::Table * adopted,
+                           staging_.AdoptTable(std::move(table)));
+  (void)adopted;
+  return Status::OK();
+}
+
+Status Session::DiscardStaging(const std::string& table_name) {
+  if (pending_commits_.find(table_name) != pending_commits_.end()) {
+    return Status::InvalidArgument(StrFormat(
+        "staging table \"%s\" has a commit awaiting durability in session "
+        "%d; resolve it before discarding",
+        table_name.c_str(), id_));
+  }
+  ORPHEUS_RETURN_NOT_OK(staging_.DropTable(table_name));
+  parents_.erase(table_name);
+  return Status::OK();
 }
 
 Result<minidb::Table> Session::Diff(core::VersionId a,
@@ -193,39 +262,88 @@ Result<minidb::Table> SessionManager::Diff(core::VersionId a,
 Result<CommitOutcome> SessionManager::CommitStaged(
     const minidb::Table& table, const std::vector<core::VersionId>& parents,
     const std::string& message, const std::string& author) {
-  ORPHEUS_TRACE_SPAN("session.commit");
   CommitOutcome out;
+  PendingDurability pending;
+  ORPHEUS_RETURN_NOT_OK(CommitStaged(table, parents, message, author,
+                                     Deadline::Infinite(), &out, &pending));
+  return out;
+}
+
+Status SessionManager::CommitStaged(
+    const minidb::Table& table, const std::vector<core::VersionId>& parents,
+    const std::string& message, const std::string& author,
+    const Deadline& deadline, CommitOutcome* out,
+    PendingDurability* pending) {
+  ORPHEUS_TRACE_SPAN("session.commit");
   std::vector<uint64_t> tickets;
   Status apply_status;
   {
     MutexLock commit_lock(&commit_mu_);
     ORPHEUS_RETURN_NOT_OK(RequireUsable());
     inflight_tickets_.clear();
-    apply_status = CommitApply(table, parents, message, author, &out);
+    apply_status = CommitApply(table, parents, message, author, out);
     // Drain the tickets even when a later step failed: every enqueued
     // record WAS applied in memory, so someone must wait out its batch.
     tickets.swap(inflight_tickets_);
   }
   // Wait outside commit_mu_: the next committer enqueues meanwhile and the
   // repository's leader batches both under one fsync.
-  Status durable_status;
-  for (uint64_t ticket : tickets) {
-    if (repo_ == nullptr) break;
-    Status s = repo_->WaitCommitDurable(ticket);
-    if (!s.ok() && durable_status.ok()) durable_status = s;
+  Status durable_status = WaitTicketsDurable(tickets, deadline);
+  if (durable_status.IsDeadlineExceeded()) {
+    // The batch is still in flight: durability (and hence the outcome) is
+    // unknown, so the manager is NOT poisoned and the watermark does not
+    // move. Park everything needed to resolve the commit later.
+    pending->tickets = std::move(tickets);
+    pending->outcome = *out;
+    pending->apply_status = apply_status;
+    ORPHEUS_COUNTER_ADD("session.commit.durability_timeout", 1);
+    return durable_status;
   }
   if (!durable_status.ok()) {
     // Versions past the watermark exist in memory but not on disk. The
     // watermark never advances over them, so no session can check them
     // out; poison the manager and make the caller reopen.
-    failed_.store(true, std::memory_order_release);
-    LOG_ERROR("session commit not durable; manager poisoned",
-              {{"cvd", name_}, {"error", durable_status.message()}});
+    PoisonAfterDurabilityFailure(durable_status);
     return durable_status;
   }
   ORPHEUS_RETURN_NOT_OK(apply_status);
-  AdvanceWatermark(std::max(out.vid, out.merged_vid));
-  return out;
+  AdvanceWatermark(std::max(out->vid, out->merged_vid));
+  return Status::OK();
+}
+
+Status SessionManager::WaitPendingDurable(PendingDurability* pending,
+                                          const Deadline& deadline,
+                                          CommitOutcome* out) {
+  Status durable_status = WaitTicketsDurable(pending->tickets, deadline);
+  if (durable_status.IsDeadlineExceeded()) return durable_status;
+  if (!durable_status.ok()) {
+    PoisonAfterDurabilityFailure(durable_status);
+    return durable_status;
+  }
+  ORPHEUS_RETURN_NOT_OK(pending->apply_status);
+  *out = pending->outcome;
+  AdvanceWatermark(std::max(out->vid, out->merged_vid));
+  return Status::OK();
+}
+
+Status SessionManager::WaitTicketsDurable(
+    const std::vector<uint64_t>& tickets, const Deadline& deadline) {
+  Status first_error;
+  for (uint64_t ticket : tickets) {
+    if (repo_ == nullptr) break;
+    Status s = deadline.is_infinite()
+                   ? repo_->WaitCommitDurable(ticket)
+                   : repo_->WaitCommitDurableFor(ticket, deadline);
+    if (s.IsDeadlineExceeded()) return s;
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+void SessionManager::PoisonAfterDurabilityFailure(const Status& error) {
+  failed_.store(true, std::memory_order_release);
+  LOG_ERROR("session commit not durable; manager poisoned",
+            {{"cvd", name_}, {"error", error.message()}});
 }
 
 Status SessionManager::CommitApply(const minidb::Table& table,

@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/sync.h"
+#include "common/timer.h"
 #include "core/cvd.h"
 #include "core/types.h"
 #include "minidb/database.h"
@@ -66,6 +67,15 @@ struct CommitOutcome {
 
 class SessionManager;
 
+/// A commit applied in memory whose group-commit batch outlived the
+/// caller's deadline: the WAL tickets are still in flight and the outcome
+/// (computed during apply) is parked until a re-wait resolves durability.
+struct PendingDurability {
+  std::vector<uint64_t> tickets;
+  CommitOutcome outcome;
+  Status apply_status;
+};
+
 /// A private workspace over the shared CVD. NOT thread-safe — one thread
 /// drives a Session at a time; concurrency comes from many Sessions.
 class Session {
@@ -89,6 +99,44 @@ class Session {
                                const std::string& message,
                                const std::string& author = "");
 
+  /// Commit with a bounded durability wait (the network server's commit
+  /// path: a client deadline must not hang on a stalled group-commit
+  /// leader). On DeadlineExceeded the commit was APPLIED in memory but its
+  /// WAL batch is still in flight — the outcome is unknown, the staging
+  /// table is kept, and the session remembers the in-flight tickets: a
+  /// later call for the same table re-waits those tickets instead of
+  /// re-applying, so retrying after a timeout can never double-commit.
+  /// Any other error is definitive (validation failure, conflict-free
+  /// apply error, or a durability failure that poisons the manager).
+  Status CommitWithDeadline(const std::string& table_name,
+                            const std::string& message,
+                            const std::string& author,
+                            const Deadline& deadline, CommitOutcome* out);
+
+  /// Swap the contents of a staged table (keeping the provenance recorded
+  /// by Checkout) with a table shipped from elsewhere — the server's way
+  /// of adopting a remote client's edits before committing them. Refused
+  /// while a timed-out commit for `table_name` is still in flight.
+  Status ReplaceStaging(const std::string& table_name, minidb::Table table);
+
+  /// True while a deadline-exceeded commit for `table_name` awaits its
+  /// durability verdict (CommitWithDeadline must be called to resolve it).
+  bool HasPendingCommit(const std::string& table_name) const {
+    return pending_commits_.find(table_name) != pending_commits_.end();
+  }
+
+  /// Drop a staged table and its provenance without committing (the server
+  /// uses this to make a retried checkout idempotent). Refused while a
+  /// timed-out commit for `table_name` is still in flight.
+  Status DiscardStaging(const std::string& table_name);
+
+  /// The parent versions recorded for `table_name` at Checkout, or null.
+  const std::vector<core::VersionId>* CheckoutParents(
+      const std::string& table_name) const {
+    auto it = parents_.find(table_name);
+    return it == parents_.end() ? nullptr : &it->second;
+  }
+
   /// Records in `a` but not `b` (both <= the pinned watermark).
   Result<minidb::Table> Diff(core::VersionId a, core::VersionId b) const;
 
@@ -110,6 +158,9 @@ class Session {
   minidb::Database staging_;
   // Staging table -> parent versions pinned at checkout.
   std::unordered_map<std::string, std::vector<core::VersionId>> parents_;
+  // Staging table -> commit applied in memory but with its WAL batch still
+  // in flight after a durability-wait timeout (see CommitWithDeadline).
+  std::unordered_map<std::string, PendingDurability> pending_commits_;
 };
 
 /// Owns the shared Cvd and coordinates its concurrent sessions.
@@ -171,6 +222,23 @@ class SessionManager {
                                      const std::string& message,
                                      const std::string& author);
 
+  /// Deadline-bounded CommitStaged. On DeadlineExceeded `*pending` holds
+  /// the in-flight tickets plus the parked outcome (the apply already
+  /// happened); the manager is NOT poisoned — durability is unknown, not
+  /// failed. Resolve by calling WaitPendingDurable.
+  Status CommitStaged(const minidb::Table& table,
+                      const std::vector<core::VersionId>& parents,
+                      const std::string& message, const std::string& author,
+                      const Deadline& deadline, CommitOutcome* out,
+                      PendingDurability* pending);
+
+  /// Re-wait a parked commit's tickets. OK: fills `*out` and advances the
+  /// watermark. DeadlineExceeded: still in flight, call again. Other
+  /// errors are definitive (durability failed -> manager poisoned, or the
+  /// parked apply error).
+  Status WaitPendingDurable(PendingDurability* pending,
+                            const Deadline& deadline, CommitOutcome* out);
+
   /// Phase run under commit_mu_: apply the commit, detect divergence,
   /// build + apply the reconciliation merge. Fills `out`.
   Status CommitApply(const minidb::Table& table,
@@ -188,6 +256,14 @@ class SessionManager {
                               core::VersionId vid) const;
 
   void AdvanceWatermark(core::VersionId vid);
+
+  /// Wait out every ticket, bounded by `deadline`. DeadlineExceeded
+  /// short-circuits (durability unknown); append failures are collected
+  /// (first wins) so every ticket still gets waited on.
+  Status WaitTicketsDurable(const std::vector<uint64_t>& tickets,
+                            const Deadline& deadline);
+  /// Mark the manager failed after a definitive durability failure.
+  void PoisonAfterDurabilityFailure(const Status& error);
 
   // Lock order (ranks): commit_mu_ (2) -> data_mu_ (5) -> repository (10).
   // Committers serialize on commit_mu_ while holding data_mu_ only for the

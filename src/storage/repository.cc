@@ -325,7 +325,7 @@ Status Repository::LogCommit(const std::string& cvd_name,
   MutexLock lock(&mu_);
   ORPHEUS_ASSIGN_OR_RETURN(uint64_t ticket,
                            EnqueueCommitLocked(cvd_name, record));
-  return WaitCommitDurableLocked(ticket);
+  return WaitCommitDurableLocked(ticket, Deadline::Infinite());
 }
 
 Status Repository::LogDrop(const std::string& cvd_name) {
@@ -341,7 +341,13 @@ Result<uint64_t> Repository::EnqueueCommit(
 
 Status Repository::WaitCommitDurable(uint64_t ticket) {
   MutexLock lock(&mu_);
-  return WaitCommitDurableLocked(ticket);
+  return WaitCommitDurableLocked(ticket, Deadline::Infinite());
+}
+
+Status Repository::WaitCommitDurableFor(uint64_t ticket,
+                                        const Deadline& deadline) {
+  MutexLock lock(&mu_);
+  return WaitCommitDurableLocked(ticket, deadline);
 }
 
 Result<uint64_t> Repository::EnqueueCommitLocked(
@@ -351,14 +357,27 @@ Result<uint64_t> Repository::EnqueueCommitLocked(
   return ++enqueued_ticket_;
 }
 
-Status Repository::WaitCommitDurableLocked(uint64_t ticket) {
+Status Repository::WaitCommitDurableLocked(uint64_t ticket,
+                                           const Deadline& deadline) {
   while (durable_ticket_ < ticket) {
     if (!leader_active_ && !pending_.empty()) {
       // No leader in flight: this waiter flushes the whole queue itself.
+      // Deliberately not deadline-bounded — abandoning our own append
+      // mid-write is not safe, and if every bounded waiter bailed before
+      // leading, the queue would never drain.
       LeadBatchLocked();
       continue;
     }
-    commit_cv_.Wait(&mu_);
+    if (!commit_cv_.WaitFor(&mu_, deadline.remaining()) &&
+        durable_ticket_ < ticket && deadline.expired()) {
+      // A leader is still mid-flush. The batch may yet land (or fail):
+      // this ticket's durability is UNKNOWN, and the caller may call
+      // again to keep waiting.
+      return Status::DeadlineExceeded(StrFormat(
+          "commit ticket %llu not durable before deadline (leader still "
+          "flushing); durability unknown — wait again or reopen",
+          static_cast<unsigned long long>(ticket)));
+    }
   }
   if (failed_from_ticket_ != 0 && ticket >= failed_from_ticket_) {
     return batch_error_;

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/sync.h"
+#include "common/timer.h"
 #include "core/cvd.h"
 #include "storage/wal.h"
 
@@ -80,6 +81,18 @@ class Repository {
   /// degraded.
   Status WaitCommitDurable(uint64_t ticket) ORPHEUS_EXCLUDES(mu_);
 
+  /// WaitCommitDurable with a deadline. When another committer is leading
+  /// the flush (e.g. stalled in fsync) and `ticket`'s batch is still not
+  /// durable at the deadline, returns DeadlineExceeded: durability is then
+  /// UNKNOWN — the record stays queued/in-flight and the caller may wait
+  /// again. When no leader is active this waiter leads the flush itself,
+  /// to completion regardless of the deadline: its own in-progress write
+  /// cannot be safely abandoned, and without a leader the queue would
+  /// never drain. So the deadline bounds waiting on *others*, not this
+  /// thread's own fsync.
+  Status WaitCommitDurableFor(uint64_t ticket, const Deadline& deadline)
+      ORPHEUS_EXCLUDES(mu_);
+
   /// Fold the current state (passed in by the owner of the CVDs) into a
   /// new snapshot, start a fresh WAL, repoint CURRENT, and remove the old
   /// epoch's files. Crash-safe at every step: until CURRENT is replaced,
@@ -121,7 +134,8 @@ class Repository {
   Result<uint64_t> EnqueueCommitLocked(const std::string& cvd_name,
                                        const core::CvdCommitRecord& record)
       ORPHEUS_REQUIRES(mu_);
-  Status WaitCommitDurableLocked(uint64_t ticket) ORPHEUS_REQUIRES(mu_);
+  Status WaitCommitDurableLocked(uint64_t ticket, const Deadline& deadline)
+      ORPHEUS_REQUIRES(mu_);
   /// Flush the whole pending queue as leader: swap it out, release mu_,
   /// append + fsync the batch, re-acquire mu_, publish the outcome.
   void LeadBatchLocked() ORPHEUS_REQUIRES(mu_);

@@ -168,9 +168,34 @@ Status WalWriter::AppendBatch(const std::vector<WalRecord>& records) {
   if (records.empty()) return Status::OK();
   ORPHEUS_TRACE_SPAN("storage.wal.append_batch");
   std::string frames;
+  size_t first_frame_bytes = 0;
   for (const WalRecord& record : records) {
     frames.append(EncodeWalFrame(record, version_));
+    if (first_frame_bytes == 0) first_frame_bytes = frames.size();
   }
+#if ORPHEUS_FAILPOINTS_ENABLED
+  if (failpoint::AnyArmed()) {
+    // Torn-batch simulation: persist the first record whole plus half of
+    // the second (or half of a lone record), sync, then fire — a power cut
+    // that lands *between* the records of one group-commit batch. Replay
+    // must recover the applied prefix (record 1) and truncate the tear;
+    // none of the torn-off records may surface as phantom versions.
+    if (auto action =
+            failpoint::internal::ConsumeHit("storage.wal.append_batch.torn")) {
+      const size_t keep = records.size() > 1
+                              ? first_frame_bytes +
+                                    (frames.size() - first_frame_bytes) / 2
+                              : frames.size() / 2;
+      ORPHEUS_RETURN_NOT_OK(file_.Append(frames.substr(0, keep)));
+      ORPHEUS_RETURN_NOT_OK(file_.Sync());
+      if (*action == failpoint::Action::kAbort) {
+        failpoint::internal::CrashNow("storage.wal.append_batch.torn");
+      }
+      return Status::Internal(
+          "injected failure at failpoint storage.wal.append_batch.torn");
+    }
+  }
+#endif
   // Same failpoint sites as Append, so the crash matrix and degradation
   // tests exercise the batched path identically.
   ORPHEUS_FAILPOINT("storage.wal.append.frame");

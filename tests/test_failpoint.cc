@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "common/status.h"
+#include "common/timer.h"
 
 namespace orpheus::failpoint {
 namespace {
@@ -124,6 +129,81 @@ TEST_F(FailpointTest, ArmFromSpecEmptyIsOk) {
   EXPECT_TRUE(ArmFromSpec("").ok());
   EXPECT_TRUE(ArmFromSpec(" ; , ").ok());
   EXPECT_FALSE(AnyArmed());
+}
+
+TEST_F(FailpointTest, ProbabilisticFiringIsSeedDeterministic) {
+  // p=0.5: each eligible hit draws from the registry RNG. Two runs under
+  // the same seed must fire on exactly the same hit ordinals — reproducible
+  // chaos is the whole point of ORPHEUS_FAILPOINT_SEED.
+  auto run = [](uint64_t seed) {
+    Reseed(seed);
+    Arm("test.failpoint.site", Action::kError, /*trigger_at=*/1,
+        /*once=*/false, /*probability=*/0.5);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!GuardedOperation().ok());
+    Disarm("test.failpoint.site");
+    return fired;
+  };
+  const std::vector<bool> a = run(42);
+  const std::vector<bool> b = run(42);
+  EXPECT_EQ(a, b);
+  const size_t fires = static_cast<size_t>(
+      std::count(a.begin(), a.end(), true));
+  // Loose two-sided bound: 64 draws at p=0.5 landing outside [10, 54]
+  // would mean the draw is not actually probabilistic.
+  EXPECT_GE(fires, 10u);
+  EXPECT_LE(fires, 54u);
+  // A different seed yields a different firing sequence (with probability
+  // 1 - 2^-64; a flake here means the seed is being ignored).
+  EXPECT_NE(run(43), a);
+}
+
+TEST_F(FailpointTest, ProbabilityZeroNeverFiresButCountsHits) {
+  Arm("test.failpoint.site", Action::kError, /*trigger_at=*/1,
+      /*once=*/false, /*probability=*/0.0);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(HitCount("test.failpoint.site"), 20u);
+}
+
+TEST_F(FailpointTest, DelayActionStallsThenProceeds) {
+  Arm("test.failpoint.site", Action::kDelay, /*trigger_at=*/1,
+      /*once=*/true, /*probability=*/1.0, /*delay_ms=*/120);
+  Timer timer;
+  EXPECT_TRUE(GuardedOperation().ok());  // slow, but NOT a failure
+  EXPECT_GE(timer.ElapsedMillis(), 100.0);
+  EXPECT_EQ(HitCount("test.failpoint.site"), 1u);
+  timer.Restart();
+  EXPECT_TRUE(GuardedOperation().ok());  // once: expired, back to fast
+  EXPECT_LT(timer.ElapsedMillis(), 100.0);
+}
+
+TEST_F(FailpointTest, ArmFromSpecProbabilityAndDelayOptions) {
+  ASSERT_TRUE(
+      ArmFromSpec("test.failpoint.site=delay:25ms:p0.25;x.other=error:p1.0")
+          .ok());
+  auto infos = List();
+  ASSERT_EQ(infos.size(), 2u);
+  for (const auto& info : infos) {
+    if (info.name == "test.failpoint.site") {
+      EXPECT_EQ(info.action, Action::kDelay);
+      EXPECT_EQ(info.delay_ms, 25);
+      EXPECT_DOUBLE_EQ(info.probability, 0.25);
+    } else {
+      EXPECT_EQ(info.name, "x.other");
+      EXPECT_EQ(info.action, Action::kError);
+      EXPECT_DOUBLE_EQ(info.probability, 1.0);
+    }
+  }
+}
+
+TEST_F(FailpointTest, ArmFromSpecRejectsBadProbabilityAndDelay) {
+  EXPECT_TRUE(ArmFromSpec("x=error:p1.5").IsInvalidArgument());
+  EXPECT_TRUE(ArmFromSpec("x=error:p-0.1").IsInvalidArgument());
+  EXPECT_TRUE(ArmFromSpec("x=error:pmaybe").IsInvalidArgument());
+  EXPECT_TRUE(ArmFromSpec("x=error:p").IsInvalidArgument());
+  EXPECT_TRUE(ArmFromSpec("x=delay:-5ms").IsInvalidArgument());
+  EXPECT_TRUE(ArmFromSpec("x=delay:12sm").IsInvalidArgument());
+  EXPECT_FALSE(AnyArmed()) << "malformed spec must not leave sites armed";
 }
 
 TEST_F(FailpointTest, AbortModeTerminatesTheProcess) {

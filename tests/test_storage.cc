@@ -3,11 +3,13 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -17,6 +19,8 @@
 #include "common/log.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "core/cvd.h"
 #include "minidb/csv.h"
 #include "minidb/database.h"
@@ -917,6 +921,136 @@ TEST_F(StorageTest, CrashMatrixRecoversAtEveryFailpoint) {
       std::filesystem::remove_all(dir, ec);
     }
   }
+}
+
+/// Torn-batch child: queue TWO commits without waiting (so they flush as
+/// one group-commit batch), then arm the bespoke torn-batch site and call
+/// WaitCommitDurable — the elected leader writes record 1 whole plus half
+/// of record 2, fsyncs that torn prefix, and dies. Exit codes as above.
+[[noreturn]] void ChildTornGroupCommitBatch(const std::string& dir) {
+  auto repo_or = Repository::Open(dir);
+  if (!repo_or.ok()) _exit(7);
+  auto repo = repo_or.MoveValueOrDie();
+  auto cvds = repo->TakeCvds();
+  if (cvds.size() != 1) _exit(7);
+  core::Cvd* cvd = cvds[0].get();
+  Repository* raw = repo.get();
+  std::vector<uint64_t> tickets;
+  cvd->set_commit_observer(
+      [raw, &tickets](const core::CvdCommitRecord& record) -> Status {
+        auto t = raw->EnqueueCommit("t", record);
+        if (!t.ok()) return t.status();
+        tickets.push_back(t.ValueOrDie());
+        return Status::OK();
+      });
+  if (!cvd->CommitTable(V3Table(), {2}, "v3", "tester").ok()) _exit(7);
+  if (!cvd->CommitTable(MakeTable({{1, "a"}, {6, "f"}}), {3}, "v4", "tester")
+           .ok()) {
+    _exit(7);
+  }
+  if (tickets.size() != 2) _exit(7);
+  failpoint::Arm("storage.wal.append_batch.torn", failpoint::Action::kAbort);
+  ORPHEUS_IGNORE_ERROR(repo->WaitCommitDurable(tickets.back()));
+  _exit(9);  // the torn-batch site must have fired during the leader flush
+}
+
+TEST_F(StorageTest, TornGroupCommitBatchRecoversAppliedPrefix) {
+  Goldens goldens;
+  ASSERT_NO_FATAL_FAILURE(BuildRepoWithTwoVersions(dir_, &goldens));
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) ChildTornGroupCommitBatch(dir_);  // never returns
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  ASSERT_EQ(WEXITSTATUS(wstatus), 134) << "torn-batch site did not fire";
+
+  // The tear landed BETWEEN records of one batch and the torn prefix was
+  // fsynced: recovery must keep the applied prefix (v3, whose record is
+  // whole) and truncate the half record — v4/v5 must not exist even as
+  // phantoms, and the repository must be fully consistent.
+  auto fsck = Repository::Fsck(dir_);
+  ASSERT_TRUE(fsck.ok()) << fsck.status().ToString();
+  auto repo_or = Repository::Open(dir_);
+  ASSERT_TRUE(repo_or.ok()) << repo_or.status().ToString();
+  auto repo = repo_or.MoveValueOrDie();
+  EXPECT_FALSE(repo->degraded());
+  auto cvds = repo->TakeCvds();
+  ASSERT_EQ(cvds.size(), 1u);
+  core::Cvd* cvd = cvds[0].get();
+  EXPECT_EQ(cvd->num_versions(), 3);
+  EXPECT_EQ(CheckoutCsv(cvd, {1}), goldens.v1);
+  EXPECT_EQ(CheckoutCsv(cvd, {2}), goldens.v2);
+  EXPECT_EQ(CheckoutCsv(cvd, {3}), goldens.v3);
+  {
+    minidb::Database staging;
+    EXPECT_FALSE(cvd->Checkout({4}, "phantom", &staging).ok());
+  }
+  // The repaired WAL must accept new commits: the truncated tail left the
+  // file position exactly after v3's record.
+  Repository* raw = repo.get();
+  cvd->set_commit_observer([raw](const core::CvdCommitRecord& record) {
+    return raw->LogCommit("t", record);
+  });
+  auto v4 = cvd->CommitTable(MakeTable({{1, "a"}, {8, "h"}}), {3}, "v4-retry",
+                             "tester");
+  ASSERT_TRUE(v4.ok()) << v4.status().ToString();
+  EXPECT_EQ(cvd->num_versions(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Group commit: the deadline-bounded durability wait
+// ---------------------------------------------------------------------------
+
+TEST_F(StorageTest, WaitCommitDurableForTimesOutBehindStalledLeader) {
+  auto repo = Repository::Open(dir_).MoveValueOrDie();
+  auto cvd = core::Cvd::Init("t", V1Table(), PkOptions()).MoveValueOrDie();
+  ASSERT_TRUE(repo->LogCreate(*cvd).ok());
+  Repository* raw = repo.get();
+  std::vector<uint64_t> tickets;
+  cvd->set_commit_observer(
+      [raw, &tickets](const core::CvdCommitRecord& record) -> Status {
+        auto t = raw->EnqueueCommit("t", record);
+        if (!t.ok()) return t.status();
+        tickets.push_back(t.ValueOrDie());
+        return Status::OK();
+      });
+  ASSERT_TRUE(cvd->CommitTable(V2Table(), {1}, "v2", "tester").ok());
+  ASSERT_TRUE(cvd->CommitTable(V3Table(), {2}, "v3", "tester").ok());
+  ASSERT_EQ(tickets.size(), 2u);
+
+  // Stall the leader's fsync: the follower's bounded wait must give up at
+  // its deadline (leaving the commit in flight), not block behind the
+  // leader indefinitely.
+  failpoint::Arm("storage.wal.append.sync", failpoint::Action::kDelay,
+                 /*trigger_at=*/1, /*once=*/true, /*probability=*/1.0,
+                 /*delay_ms=*/800);
+  Status leader_status;
+  DedicatedThread leader("test-leader", [&] {
+    leader_status = raw->WaitCommitDurable(tickets[0]);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Status bounded =
+      raw->WaitCommitDurableFor(tickets[1], Deadline::AfterMillis(100));
+  EXPECT_TRUE(bounded.IsDeadlineExceeded()) << bounded.ToString();
+
+  // The timed-out wait abandoned nothing: re-waiting on the SAME ticket
+  // resolves once the leader's flush lands (both records were in its
+  // batch), exactly like a network client retrying a parked commit.
+  Status resolved =
+      raw->WaitCommitDurableFor(tickets[1], Deadline::Infinite());
+  EXPECT_TRUE(resolved.ok()) << resolved.ToString();
+  leader.Join();
+  EXPECT_TRUE(leader_status.ok()) << leader_status.ToString();
+  EXPECT_FALSE(repo->degraded());
+
+  // Durable means durable: a reopen replays both commits.
+  repo.reset();
+  auto reopened = Repository::Open(dir_).MoveValueOrDie();
+  auto cvds = reopened->TakeCvds();
+  ASSERT_EQ(cvds.size(), 1u);
+  EXPECT_EQ(cvds[0]->num_versions(), 3);
 }
 
 #endif  // ORPHEUS_FAILPOINTS_ENABLED

@@ -31,8 +31,10 @@ run bench_checkout_cost_model
 run bench_data_models
 run bench_partitioning_tradeoff --quick
 run bench_session
+run bench_net_session
 
 for f in BENCH_checkout_cost_model.json BENCH_data_models.json \
-         BENCH_partitioning_tradeoff.json BENCH_session.json; do
+         BENCH_partitioning_tradeoff.json BENCH_session.json \
+         BENCH_net_session.json; do
   python3 tools/check_metrics_schema.py "$f"
 done
